@@ -1,0 +1,92 @@
+// Reproduces the paper's Section 4.4 specificity ablation: compare the
+// linear, quadratic (default), and cubic specificity functions in factor
+// selection. The paper found that the linear weight under-ranks deep
+// functions (missing a factor contributing 18.2% in an early iteration)
+// while cubic selects exactly what quadratic selects.
+#include "bench/common.h"
+
+namespace {
+
+int RankOf(const std::vector<vprof::Factor>& factors,
+           const std::vector<std::string>& names, const std::string& label) {
+  int rank = 1;
+  for (const auto& factor : factors) {
+    if (factor.Label(names) == label) {
+      return rank;
+    }
+    ++rank;
+  }
+  return -1;
+}
+
+void PrintTop(const char* title, const std::vector<vprof::Factor>& factors,
+              const std::vector<std::string>& names, size_t k) {
+  std::printf("  %s\n", title);
+  for (size_t i = 0; i < std::min(k, factors.size()); ++i) {
+    std::printf("    %zu. %-46s contri=%5.1f%% score=%g\n", i + 1,
+                factors[i].Label(names).c_str(),
+                factors[i].contribution * 100.0, factors[i].score);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Section 4.4 ablation — specificity exponent");
+
+  minidb::Engine engine(bench::MysqlMemoryResidentConfig());
+  vprof::CallGraph graph;
+  minidb::Engine::RegisterCallGraph(&graph);
+  workload::TpccDriver driver(&engine, bench::TpccQuick(4, 400));
+  driver.Run();
+
+  // Profile once with the quadratic default to obtain the deep tree, then
+  // re-rank the same variance tree under each specificity exponent.
+  vprof::Profiler profiler("run_transaction", &graph, [&] { driver.Run(); });
+  vprof::ProfileOptions options;
+  options.top_k = 5;
+  const vprof::ProfileResult result = profiler.Run(options);
+  const vprof::VarianceAnalysis& analysis = *result.analysis;
+  const vprof::FuncId root = vprof::RegisterFunction("run_transaction");
+
+  const auto linear = vprof::AggregateFactors(analysis, graph, root,
+                                              vprof::SpecificityKind::kLinear);
+  const auto quadratic = vprof::AggregateFactors(
+      analysis, graph, root, vprof::SpecificityKind::kQuadratic);
+  const auto cubic = vprof::AggregateFactors(analysis, graph, root,
+                                             vprof::SpecificityKind::kCubic);
+
+  PrintTop("linear specificity:", linear, result.function_names, 5);
+  PrintTop("quadratic specificity (default):", quadratic, result.function_names, 5);
+  PrintTop("cubic specificity:", cubic, result.function_names, 5);
+
+  const int deep_linear = RankOf(linear, result.function_names, "os_event_wait");
+  const int deep_quad = RankOf(quadratic, result.function_names, "os_event_wait");
+  const int deep_cubic = RankOf(cubic, result.function_names, "os_event_wait");
+  std::printf("\n  rank of the deep culprit os_event_wait: linear=%d, "
+              "quadratic=%d, cubic=%d\n",
+              deep_linear, deep_quad, deep_cubic);
+  // The linear pathology: the shallow, uninformative root function crowds
+  // into the top-k (k=3 by default), displacing a deep factor — exactly how
+  // the paper's linear run missed an 18.2% contributor.
+  const int root_linear =
+      RankOf(linear, result.function_names, "run_transaction");
+  const int root_quad =
+      RankOf(quadratic, result.function_names, "run_transaction");
+  std::printf("  rank of the uninformative root run_transaction: linear=%d, "
+              "quadratic=%d (higher is better)\n",
+              root_linear, root_quad);
+  std::printf("  paper: linear under-weights deep factors (missed an 18.2%% "
+              "factor); cubic == quadratic selections.\n");
+
+  // Verify the paper's "cubic yields exactly the same factors" claim on the
+  // top-k selection.
+  bool same = true;
+  for (size_t i = 0; i < 3 && i < quadratic.size() && i < cubic.size(); ++i) {
+    same &= quadratic[i].Label(result.function_names) ==
+            cubic[i].Label(result.function_names);
+  }
+  std::printf("  top-3 under cubic identical to quadratic: %s\n",
+              same ? "yes" : "no");
+  return 0;
+}

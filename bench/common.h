@@ -1,0 +1,198 @@
+// Shared helpers for the experiment harnesses in bench/. Each binary
+// regenerates one table or figure of the paper's evaluation (Section 4) and
+// prints the measured rows next to the paper's reported values. Absolute
+// numbers differ (simulated substrate, single machine); the comparison target
+// is the *shape*: which factor dominates, which fix wins, by roughly what
+// factor.
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/vprof/analysis/profiler.h"
+#include "src/minidb/engine.h"
+#include "src/minipg/engine.h"
+#include "src/httpd/server.h"
+#include "src/statkit/summary.h"
+#include "src/workload/ab.h"
+#include "src/workload/tpcc.h"
+
+namespace bench {
+
+// Latency triple used throughout the paper: mean, variance, p99.
+struct LatencyStats {
+  double mean_ms = 0.0;
+  double variance_ms2 = 0.0;
+  double p99_ms = 0.0;
+  double throughput = 0.0;
+  size_t samples = 0;
+};
+
+inline LatencyStats ToStats(std::span<const double> latencies_ns,
+                            double throughput = 0.0) {
+  const statkit::Summary s = statkit::Summarize(latencies_ns);
+  LatencyStats out;
+  out.mean_ms = s.mean / 1e6;
+  out.variance_ms2 = s.variance / 1e12;
+  out.p99_ms = s.p99 / 1e6;
+  out.throughput = throughput;
+  out.samples = s.count;
+  return out;
+}
+
+inline void PrintStatsRow(const char* label, const LatencyStats& s) {
+  std::printf("  %-28s mean=%8.3f ms  var=%10.4f ms^2  p99=%8.3f ms  (n=%zu)\n",
+              label, s.mean_ms, s.variance_ms2, s.p99_ms, s.samples);
+}
+
+// Prints "measured vs paper" reduction rows.
+inline void PrintReductionRow(const char* metric, double baseline,
+                              double treated, double paper_pct) {
+  const double measured = statkit::ReductionPercent(baseline, treated);
+  std::printf("  %-22s measured reduction: %6.1f%%   (paper: %5.1f%%)\n", metric,
+              measured, paper_pct);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+// --- paper-regime configurations -------------------------------------------
+
+// minidb "128-WH" regime: memory-resident, record-lock contention dominates.
+inline minidb::EngineConfig MysqlMemoryResidentConfig() {
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  return config;
+}
+
+// minidb "2-WH" regime: tiny buffer pool, buffer-pool mutex dominates.
+inline minidb::EngineConfig MysqlMemoryConstrainedConfig() {
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryConstrained();
+  return config;
+}
+
+inline workload::TpccOptions TpccQuick(int threads, int txns_per_thread,
+                                       uint64_t seed = 99) {
+  workload::TpccOptions options;
+  options.threads = threads;
+  options.transactions_per_thread = txns_per_thread;
+  options.seed = seed;
+  return options;
+}
+
+inline minipg::PgConfig PostgresConfig(int wal_units) {
+  minipg::PgConfig config;
+  config.wal_units = wal_units;
+  return config;
+}
+
+inline httpd::HttpdConfig ApacheConfig(bool bulk_allocation) {
+  httpd::HttpdConfig config;
+  config.workers = 4;
+  config.bulk_allocation = bulk_allocation;
+  config.global_free_blocks = 8;  // the paper's memory-pressure regime
+  return config;
+}
+
+// --- fix-comparison runners ---------------------------------------------------
+
+// Builds a fresh minidb engine for `config`, warms it up, runs the TPC-C
+// workload untraced, and summarizes committed-transaction latencies.
+inline LatencyStats RunMinidb(const minidb::EngineConfig& config,
+                              const workload::TpccOptions& options,
+                              int warmup_txns_per_thread = 100) {
+  minidb::Engine engine(config);
+  workload::TpccOptions warmup = options;
+  warmup.transactions_per_thread = warmup_txns_per_thread;
+  workload::TpccDriver(&engine, warmup).Run();
+  const workload::TpccResult result =
+      workload::TpccDriver(&engine, options).Run();
+  return ToStats(result.latencies_ns, result.throughput_tps);
+}
+
+inline LatencyStats RunMinipg(const minipg::PgConfig& config,
+                              const workload::TpccOptions& options) {
+  minipg::PgEngine engine(config);
+  workload::TpccDriver driver(nullptr, options);
+  const workload::TpccResult result = driver.RunWith(
+      [&engine](const minidb::TxnRequest& request) {
+        return engine.Execute(request);
+      },
+      /*warehouses=*/8);
+  return ToStats(result.latencies_ns, result.throughput_tps);
+}
+
+inline LatencyStats RunHttpd(const httpd::HttpdConfig& config,
+                             const workload::AbOptions& options) {
+  httpd::HttpServer server(config);
+  workload::AbDriver driver(&server, options);
+  const workload::AbResult result = driver.Run();
+  server.Shutdown();
+  return ToStats(result.latencies_ns, result.requests_per_s);
+}
+
+// --- profile-report printing -------------------------------------------------
+
+// Root-to-node path label, e.g. "run_transaction/row_upd/os_event_wait".
+inline std::string NodePath(const vprof::VarianceAnalysis& va, vprof::NodeId id) {
+  std::vector<std::string> parts;
+  while (id > 0) {
+    parts.push_back(va.NodeLabel(id));
+    id = va.node(id).parent;
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!out.empty()) {
+      out += "/";
+    }
+    out += *it;
+  }
+  return out;
+}
+
+inline void PrintTopFactors(const vprof::ProfileResult& result, size_t k) {
+  std::printf("  overall: mean=%.3f ms, variance=%.4f ms^2, intervals=%zu, runs=%d\n",
+              result.overall_mean_ns / 1e6, result.overall_variance / 1e12,
+              result.latencies_ns.size(), result.runs);
+  std::printf("  %-4s %-46s %s\n", "rank", "factor", "contribution to overall variance");
+  size_t rank = 1;
+  for (const auto& factor : result.all_factors) {
+    if (rank > k) {
+      break;
+    }
+    if (factor.contribution < 0.005) {
+      continue;
+    }
+    std::printf("  %-4zu %-46s %6.1f%%\n", rank++,
+                factor.Label(result.function_names).c_str(),
+                factor.contribution * 100.0);
+  }
+}
+
+// Per-call-site view: tree nodes for `function` with their contributions,
+// reproducing the paper's os_event_wait [A] / [B] split.
+inline void PrintFunctionCallSites(const vprof::ProfileResult& result,
+                                   const std::string& function) {
+  const auto& va = *result.analysis;
+  std::vector<std::pair<double, std::string>> rows;
+  for (size_t i = 1; i < va.node_count(); ++i) {
+    const auto id = static_cast<vprof::NodeId>(i);
+    if (va.NodeLabel(id) == function) {
+      rows.emplace_back(va.NodeContribution(id), NodePath(va, id));
+    }
+  }
+  std::sort(rows.rbegin(), rows.rend());
+  for (const auto& [contribution, path] : rows) {
+    std::printf("    %6.1f%%  %s\n", contribution * 100.0, path.c_str());
+  }
+}
+
+}  // namespace bench
+
+#endif  // BENCH_COMMON_H_

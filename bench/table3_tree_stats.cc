@@ -1,0 +1,72 @@
+// Reproduces paper Table 3: statistics of the final variance tree per
+// application — number of VProfiler runs, tree height, tree breadth.
+//
+// Paper: MySQL 37 runs / height 19 / breadth 245025; Postgres 16 / 8 /
+// 16900; Apache 17 / 15 / 36. Our engines are purposely smaller codebases
+// (tens of instrumentable functions, not 30K), so runs and heights are
+// proportionally smaller; the comparison point is the ordering (the
+// database engines need deeper trees than the web server's narrow chain)
+// and that factor selection keeps the explored tree tiny relative to the
+// full call graph.
+#include "bench/common.h"
+
+namespace {
+
+void Report(const char* system, const vprof::ProfileResult& result,
+            int paper_runs, int paper_height, uint64_t paper_breadth) {
+  std::printf("  %-10s runs=%2d (paper %2d)   height=%2d (paper %2d)   "
+              "breadth=%6llu (paper %llu)\n",
+              system, result.runs, paper_runs, result.tree_height, paper_height,
+              static_cast<unsigned long long>(result.tree_breadth),
+              static_cast<unsigned long long>(paper_breadth));
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 3 — final variance tree statistics");
+
+  {
+    minidb::Engine engine(bench::MysqlMemoryResidentConfig());
+    vprof::CallGraph graph;
+    minidb::Engine::RegisterCallGraph(&graph);
+    workload::TpccDriver driver(&engine, bench::TpccQuick(4, 250));
+    driver.Run();
+    vprof::Profiler profiler("run_transaction", &graph, [&] { driver.Run(); });
+    vprof::ProfileOptions options;
+    options.top_k = 5;
+    Report("minidb", profiler.Run(options), 37, 19, 245025);
+  }
+  {
+    minipg::PgEngine engine(bench::PostgresConfig(1));
+    vprof::CallGraph graph;
+    minipg::PgEngine::RegisterCallGraph(&graph);
+    workload::TpccDriver driver(nullptr, bench::TpccQuick(4, 250));
+    const auto run = [&] {
+      driver.RunWith(
+          [&engine](const minidb::TxnRequest& r) { return engine.Execute(r); },
+          8);
+    };
+    run();
+    vprof::Profiler profiler("exec_simple_query", &graph, run);
+    vprof::ProfileOptions options;
+    options.top_k = 5;
+    Report("minipg", profiler.Run(options), 16, 8, 16900);
+  }
+  {
+    httpd::HttpServer server(bench::ApacheConfig(false));
+    vprof::CallGraph graph;
+    httpd::HttpServer::RegisterCallGraph(&graph);
+    workload::AbOptions ab;
+    ab.clients = 8;
+    ab.requests_per_client = 250;
+    workload::AbDriver driver(&server, ab);
+    driver.Run();
+    vprof::Profiler profiler("process_request", &graph, [&] { driver.Run(); });
+    vprof::ProfileOptions options;
+    options.top_k = 5;
+    Report("httpd", profiler.Run(options), 17, 15, 36);
+    server.Shutdown();
+  }
+  return 0;
+}

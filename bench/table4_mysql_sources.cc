@@ -1,0 +1,78 @@
+// Reproduces paper Table 4: key sources of transaction latency variance in
+// MySQL (minidb) under the memory-resident ("128-WH") and memory-constrained
+// ("2-WH") TPC-C regimes, found via VProfiler's iterative refinement.
+//
+// Paper rows:
+//   128-WH  os_event_wait [A]             37.5%
+//   128-WH  os_event_wait [B]             21.7%
+//   128-WH  row_ins_clust_index_entry_low  9.3%
+//   2-WH    buf_pool_mutex_enter          32.92%
+//   2-WH    btr_cur_search_to_nth_level    8.3%
+//   2-WH    fil_flush                      5%
+#include "bench/common.h"
+
+namespace {
+
+void ProfileConfig(const char* label, const minidb::EngineConfig& config,
+                   int threads, int txns_per_thread) {
+  bench::PrintHeader(std::string("Table 4 — minidb variance sources, ") + label);
+
+  minidb::Engine engine(config);
+  vprof::CallGraph graph;
+  minidb::Engine::RegisterCallGraph(&graph);
+
+  workload::TpccOptions options = bench::TpccQuick(threads, txns_per_thread);
+  workload::TpccDriver driver(&engine, options);
+  driver.Run();  // warm-up: populate the buffer pool, stabilize contention
+
+  vprof::Profiler profiler("run_transaction", &graph,
+                           [&] { driver.Run(); });
+  vprof::ProfileOptions profile_options;
+  profile_options.top_k = 5;
+  profile_options.min_contribution = 0.01;
+  const vprof::ProfileResult result = profiler.Run(profile_options);
+
+  bench::PrintTopFactors(result, 8);
+  std::printf("  os_event_wait by call site (paper's [A]/[B] split):\n");
+  bench::PrintFunctionCallSites(result, "os_event_wait");
+  std::printf("  buf_pool_mutex_enter by call site:\n");
+  bench::PrintFunctionCallSites(result, "buf_pool_mutex_enter");
+
+  // Per-transaction-type view (interval labels): re-analyze the final
+  // trace once per type. Read-only types show no commit-flush component.
+  std::printf("  per transaction type (interval labels):\n");
+  static const char* kTypeNames[] = {"NewOrder", "Payment", "OrderStatus",
+                                     "Delivery", "StockLevel"};
+  for (int type = 0; type < 5; ++type) {
+    vprof::CriticalPathOptions only;
+    only.filter_by_label = true;
+    only.label_filter = static_cast<vprof::IntervalLabel>(type) + 1;
+    const vprof::VarianceAnalysis per_type(result.trace, only);
+    if (per_type.interval_count() == 0) {
+      continue;
+    }
+    std::printf("    %-12s n=%5zu  mean=%7.3f ms  var=%9.4f ms^2\n",
+                kTypeNames[type], per_type.interval_count(),
+                per_type.overall_mean() / 1e6,
+                per_type.overall_variance() / 1e12);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 4 reproduction: dominant variance sources in minidb.\n"
+              "Expected shape: lock waits (os_event_wait) dominate when memory-\n"
+              "resident; buf_pool_mutex_enter rises under memory pressure.\n");
+
+  ProfileConfig("memory-resident (paper 128-WH)",
+                bench::MysqlMemoryResidentConfig(), 4, 400);
+  std::printf("\n  paper: os_event_wait[A] 37.5%%, os_event_wait[B] 21.7%%, "
+              "row_ins_clust_index_entry_low 9.3%%\n");
+
+  ProfileConfig("memory-constrained (paper 2-WH)",
+                bench::MysqlMemoryConstrainedConfig(), 4, 250);
+  std::printf("\n  paper: buf_pool_mutex_enter 32.9%%, "
+              "btr_cur_search_to_nth_level 8.3%%, fil_flush 5%%\n");
+  return 0;
+}

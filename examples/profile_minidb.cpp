@@ -1,0 +1,68 @@
+// Profile minidb (the MySQL/InnoDB stand-in) under a TPC-C workload and
+// print the latency-variance profile, then demonstrate acting on the
+// finding: re-run with VATS lock scheduling and compare.
+//
+// This walks the exact loop of the paper's Section 4.5 case study.
+//
+// Build & run:  ./build/examples/profile_minidb
+#include <cstdio>
+
+#include "src/minidb/engine.h"
+#include "src/statkit/summary.h"
+#include "src/vprof/analysis/profiler.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+statkit::Summary RunOnce(minidb::LockScheduling scheduling) {
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  config.warehouses = 2;
+  config.lock_scheduling = scheduling;
+  minidb::Engine engine(config);
+  workload::TpccOptions options;
+  options.threads = 8;
+  options.transactions_per_thread = 300;
+  workload::TpccDriver driver(&engine, options);
+  driver.Run();  // warm-up
+  const workload::TpccResult result = driver.Run();
+  return statkit::Summarize(result.latencies_ns);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Step 1: profile transaction latency variance (FCFS locks).\n\n");
+
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  config.warehouses = 2;
+  minidb::Engine engine(config);
+  vprof::CallGraph graph;
+  minidb::Engine::RegisterCallGraph(&graph);
+
+  workload::TpccOptions options;
+  options.threads = 8;
+  options.transactions_per_thread = 250;
+  workload::TpccDriver driver(&engine, options);
+  driver.Run();  // warm-up
+
+  vprof::Profiler profiler("run_transaction", &graph, [&] { driver.Run(); });
+  vprof::ProfileOptions profile_options;
+  profile_options.top_k = 5;
+  const vprof::ProfileResult result = profiler.Run(profile_options);
+  std::printf("%s\n", result.Report().c_str());
+
+  std::printf("Step 2: the top factor should be os_event_wait — record-lock\n"
+              "waits under FCFS scheduling. Apply the paper's fix (VATS) and\n"
+              "compare end-to-end latency:\n\n");
+
+  const statkit::Summary fcfs = RunOnce(minidb::LockScheduling::kFcfs);
+  const statkit::Summary vats = RunOnce(minidb::LockScheduling::kVats);
+  std::printf("  FCFS: mean=%.2f ms  var=%.3f ms^2  p99=%.2f ms\n",
+              fcfs.mean / 1e6, fcfs.variance / 1e12, fcfs.p99 / 1e6);
+  std::printf("  VATS: mean=%.2f ms  var=%.3f ms^2  p99=%.2f ms\n",
+              vats.mean / 1e6, vats.variance / 1e12, vats.p99 / 1e6);
+  std::printf("  variance reduction: %.1f%%, p99 reduction: %.1f%%\n",
+              statkit::ReductionPercent(fcfs.variance, vats.variance),
+              statkit::ReductionPercent(fcfs.p99, vats.p99));
+  return 0;
+}

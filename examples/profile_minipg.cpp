@@ -1,0 +1,73 @@
+// Profile minipg (the Postgres stand-in): find the WAL write lock as the
+// dominant variance source, then apply distributed logging (two WAL units)
+// and show the improvement — the paper's Section 4.6 case study.
+//
+// Build & run:  ./build/examples/profile_minipg
+#include <cstdio>
+
+#include "src/minipg/engine.h"
+#include "src/statkit/summary.h"
+#include "src/vprof/analysis/profiler.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+constexpr int kWarehouses = 8;
+
+statkit::Summary RunOnce(int wal_units) {
+  minipg::PgConfig config;
+  config.wal_units = wal_units;
+  minipg::PgEngine engine(config);
+  workload::TpccOptions options;
+  options.threads = 4;
+  options.transactions_per_thread = 500;
+  workload::TpccDriver driver(nullptr, options);
+  const workload::TpccResult result = driver.RunWith(
+      [&engine](const minidb::TxnRequest& request) {
+        return engine.Execute(request);
+      },
+      kWarehouses);
+  return statkit::Summarize(result.latencies_ns);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Step 1: profile transaction latency variance (single WAL).\n\n");
+
+  minipg::PgEngine engine(minipg::PgConfig{});
+  vprof::CallGraph graph;
+  minipg::PgEngine::RegisterCallGraph(&graph);
+
+  workload::TpccOptions options;
+  options.threads = 4;
+  options.transactions_per_thread = 400;
+  workload::TpccDriver driver(nullptr, options);
+  const auto run_workload = [&] {
+    driver.RunWith(
+        [&engine](const minidb::TxnRequest& request) {
+          return engine.Execute(request);
+        },
+        kWarehouses);
+  };
+  run_workload();  // warm-up
+
+  vprof::Profiler profiler("exec_simple_query", &graph, run_workload);
+  const vprof::ProfileResult result = profiler.Run();
+  std::printf("%s\n", result.Report().c_str());
+
+  std::printf("Step 2: the profile points at LWLockAcquireOrWait — every\n"
+              "committing backend funnels through one WAL write lock. Apply\n"
+              "the paper's distributed-logging fix (two WAL units):\n\n");
+
+  const statkit::Summary single = RunOnce(1);
+  const statkit::Summary dual = RunOnce(2);
+  std::printf("  1 WAL:  mean=%.3f ms  var=%.4f ms^2  p99=%.3f ms\n",
+              single.mean / 1e6, single.variance / 1e12, single.p99 / 1e6);
+  std::printf("  2 WALs: mean=%.3f ms  var=%.4f ms^2  p99=%.3f ms\n",
+              dual.mean / 1e6, dual.variance / 1e12, dual.p99 / 1e6);
+  std::printf("  mean reduction: %.1f%%, variance reduction: %.1f%%\n",
+              statkit::ReductionPercent(single.mean, dual.mean),
+              statkit::ReductionPercent(single.variance, dual.variance));
+  return 0;
+}

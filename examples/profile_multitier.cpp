@@ -1,0 +1,137 @@
+// Multi-tier profiling (the paper's Section 5 future-work direction): one
+// semantic interval spans an application-server request *and* the database
+// transaction it issues. The variance tree crosses both tiers, so the
+// profiler can tell whether end-to-end request variance comes from the app
+// tier (rendering, queueing) or from inside the database (lock waits,
+// log flushes).
+//
+// Architecture: client threads enqueue requests on a task queue; app workers
+// dequeue (created-by edge), parse, run a minidb transaction (which *joins*
+// the enclosing interval instead of opening its own), render, and signal the
+// client.
+//
+// Build & run:  ./build/examples/profile_multitier
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/minidb/engine.h"
+#include "src/vprof/analysis/profiler.h"
+#include "src/vprof/probe.h"
+#include "src/vprof/task_queue.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+struct AppRequest {
+  vprof::IntervalId sid = vprof::kNoInterval;
+  minidb::TxnRequest txn;
+  vprof::Event* done = nullptr;
+};
+
+void ParseRequest() {
+  VPROF_FUNC("app_parse");
+  volatile uint64_t h = 1469598103934665603ull;
+  for (int i = 0; i < 2000; ++i) {
+    h = (h ^ static_cast<uint64_t>(i)) * 1099511628211ull;
+  }
+}
+
+void RenderResponse() {
+  VPROF_FUNC("app_render");
+  volatile uint64_t h = 1469598103934665603ull;
+  for (int i = 0; i < 6000; ++i) {
+    h = (h ^ static_cast<uint64_t>(i)) * 1099511628211ull;
+  }
+}
+
+class AppServer {
+ public:
+  AppServer(minidb::Engine* db, int workers) : db_(db) {
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~AppServer() {
+    queue_.Close();
+    for (auto& worker : workers_) {
+      worker.join();
+    }
+  }
+
+  void HandleBlocking(const minidb::TxnRequest& txn) {
+    const vprof::IntervalId sid = vprof::BeginInterval();
+    vprof::Event done;
+    queue_.Push(AppRequest{sid, txn, &done});
+    done.Wait();
+    vprof::EndInterval(sid);
+  }
+
+ private:
+  void WorkerLoop() {
+    while (auto request = queue_.Pop()) {
+      vprof::WorkOnBehalf(request->sid);
+      {
+        VPROF_FUNC("app_handle_request");
+        ParseRequest();
+        db_->Execute(request->txn);  // joins the enclosing interval
+        RenderResponse();
+      }
+      request->done->Set();
+      vprof::WorkOnBehalf(vprof::kNoInterval);
+    }
+  }
+
+  minidb::Engine* db_;
+  vprof::TaskQueue<AppRequest> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+int main() {
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  config.warehouses = 2;
+  minidb::Engine db(config);
+  AppServer app(&db, /*workers=*/4);
+
+  // Combined call graph: app tier on top of the database's graph.
+  vprof::CallGraph graph;
+  graph.AddEdge("app_handle_request", "app_parse");
+  graph.AddEdge("app_handle_request", "run_transaction");
+  graph.AddEdge("app_handle_request", "app_render");
+  minidb::Engine::RegisterCallGraph(&graph);
+
+  workload::TpccOptions options;
+  options.threads = 8;
+  options.transactions_per_thread = 200;
+  const workload::TpccGenerator generator(options, config.warehouses);
+
+  const auto run_workload = [&] {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < options.threads; ++c) {
+      clients.emplace_back([&, c] {
+        statkit::Rng rng(77 + static_cast<uint64_t>(c));
+        for (int i = 0; i < options.transactions_per_thread; ++i) {
+          app.HandleBlocking(generator.Next(rng));
+        }
+      });
+    }
+    for (auto& client : clients) {
+      client.join();
+    }
+  };
+  run_workload();  // warm-up
+
+  vprof::Profiler profiler("app_handle_request", &graph, run_workload);
+  vprof::ProfileOptions profile_options;
+  profile_options.top_k = 5;
+  const vprof::ProfileResult result = profiler.Run(profile_options);
+  std::printf("%s\n", result.Report().c_str());
+  std::printf("The top factors come from *inside the database tier* (commit-\n"
+              "path flushing and lock waits) — not from app_parse/app_render —\n"
+              "even though the profiled interval is an application-server\n"
+              "request crossing a queue hop and two software tiers.\n");
+  return 0;
+}

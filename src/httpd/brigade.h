@@ -1,0 +1,67 @@
+// Bucket brigades: ordered lists of data buckets flowing through the filter
+// chain, allocated from a connection's BucketAllocator.
+#ifndef SRC_HTTPD_BRIGADE_H_
+#define SRC_HTTPD_BRIGADE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/httpd/bucket_alloc.h"
+
+namespace httpd {
+
+enum class BucketType {
+  kHeap,  // response bytes
+  kFile,  // sendfile-style file reference
+  kEos,   // end of stream
+};
+
+struct Bucket {
+  BucketType type = BucketType::kHeap;
+  uint64_t bytes = 0;
+};
+
+// A brigade owns its buckets' allocations: every Append takes one block from
+// the allocator and Clear/dtor return them.
+class Brigade {
+ public:
+  explicit Brigade(BucketAllocator* allocator) : allocator_(allocator) {}
+
+  ~Brigade() { Clear(); }
+
+  Brigade(const Brigade&) = delete;
+  Brigade& operator=(const Brigade&) = delete;
+
+  void Append(BucketType type, uint64_t bytes) {
+    allocator_->Alloc();
+    buckets_.push_back(Bucket{type, bytes});
+  }
+
+  void Clear() {
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      allocator_->Free();
+    }
+    buckets_.clear();
+  }
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const Bucket& b : buckets_) {
+      total += b.bytes;
+    }
+    return total;
+  }
+
+  BucketAllocator* allocator() { return allocator_; }
+
+ private:
+  BucketAllocator* allocator_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace httpd
+
+#endif  // SRC_HTTPD_BRIGADE_H_

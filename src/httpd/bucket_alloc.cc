@@ -1,0 +1,132 @@
+#include "src/httpd/bucket_alloc.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "src/simio/disk.h"
+#include "src/vprof/probe.h"
+
+namespace httpd {
+
+GlobalFreeList::GlobalFreeList(int initial_blocks, bool bulk)
+    : free_blocks_(initial_blocks),
+      bulk_blocks_(bulk ? 64 : 4),
+      cap_blocks_(bulk ? initial_blocks * 8 : initial_blocks) {}
+
+namespace {
+std::atomic<int> g_pressure_override{-1};
+}  // namespace
+
+void GlobalFreeList::SetPressureOverrideForTesting(int override_value) {
+  g_pressure_override.store(override_value, std::memory_order_relaxed);
+}
+
+bool GlobalFreeList::PressuredNow() {
+  const int forced = g_pressure_override.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    return forced != 0;
+  }
+  // Time-windowed memory pressure (kernel reclaim/compaction phases): ~25%
+  // of 5ms windows, selected by a hash of the window index.
+  const auto now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  const uint64_t window = static_cast<uint64_t>(now_us) / 5000;
+  return ((window * 2654435761ull) >> 13) % 4 == 0;
+}
+
+void GlobalFreeList::SystemAlloc(bool pressured) {
+  // Simulated mmap + page faulting.
+  ++system_allocs_;
+  ++alloc_sequence_;
+  const double cost_us =
+      pressured ? 90.0 + static_cast<double>(alloc_sequence_ % 5) * 40.0
+                : 10.0 + static_cast<double>(alloc_sequence_ % 3) * 4.0;
+  simio::SleepUs(cost_us);
+  free_blocks_ += bulk_blocks_;
+}
+
+int GlobalFreeList::Take(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (PressuredNow()) {
+    // Under memory pressure the retained free list has been reclaimed by the
+    // OS: every trip to the global allocator pays the system-allocation
+    // cost. Because all of a request's allocation sites share this state,
+    // they slow down *together* — the shared root cause behind the positive
+    // function covariances of paper Table 7.
+    SystemAlloc(/*pressured=*/true);
+  } else if (free_blocks_ < count) {
+    SystemAlloc(/*pressured=*/false);
+  }
+  const int granted = std::min(count, free_blocks_);
+  free_blocks_ -= granted;
+  return granted;
+}
+
+void GlobalFreeList::Give(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Blocks above the retention cap are "returned to the OS" (APR's
+  // apr_allocator max_free_index behaviour), so pressure recurs.
+  free_blocks_ = std::min(free_blocks_ + count, cap_blocks_);
+}
+
+int GlobalFreeList::free_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_blocks_;
+}
+
+uint64_t GlobalFreeList::system_allocs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return system_allocs_;
+}
+
+BucketAllocator::BucketAllocator(GlobalFreeList* global, bool bulk)
+    : global_(global),
+      refill_count_(bulk ? 16 : 1),
+      surplus_limit_(bulk ? 32 : 4) {}
+
+BucketAllocator::~BucketAllocator() {
+  if (local_free_ > 0) {
+    global_->Give(local_free_);
+  }
+}
+
+void BucketAllocator::Alloc() {
+  VPROF_FUNC("apr_bucket_alloc");
+  if (local_free_ > 0) {
+    --local_free_;
+    ++outstanding_;
+    ++stats_.local_hits;
+    return;
+  }
+  // Local cache exhausted: instrumented trip to the global allocator.
+  {
+    VPROF_FUNC("apr_allocator_alloc");
+    const uint64_t before = global_->system_allocs();
+    const int granted = global_->Take(refill_count_);
+    local_free_ += granted;
+    ++stats_.global_refills;
+    if (global_->system_allocs() != before) {
+      ++stats_.system_allocs;
+    }
+  }
+  if (local_free_ > 0) {
+    --local_free_;
+  }
+  ++outstanding_;
+}
+
+void BucketAllocator::Free() {
+  if (outstanding_ > 0) {
+    --outstanding_;
+  }
+  ++local_free_;
+  if (local_free_ > surplus_limit_) {
+    const int surplus = local_free_ - surplus_limit_ / 2;
+    global_->Give(surplus);
+    local_free_ -= surplus;
+  }
+}
+
+}  // namespace httpd

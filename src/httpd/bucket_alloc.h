@@ -1,0 +1,92 @@
+// APR-style bucket allocator, the variance source of the paper's Apache case
+// study (Section 4.7, Table 7).
+//
+// Free memory is organized in fixed-size blocks. Each connection owns a
+// BucketAllocator with a small local cache; when the cache is empty it
+// refills from a mutex-protected global free list, and when the global list
+// is empty it falls back to a (simulated) system allocation — the expensive,
+// variable path. Because *every* allocation site in the request path shares
+// this machinery, moments of memory pressure slow apr_file_open,
+// basic_http_header, and ap_pass_brigade together, producing the function
+// co-variances the paper reports. The paper's fix — pre-allocating larger
+// chunks in advance — is the `bulk_allocation` mode.
+#ifndef SRC_HTTPD_BUCKET_ALLOC_H_
+#define SRC_HTTPD_BUCKET_ALLOC_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace httpd {
+
+struct AllocatorStats {
+  uint64_t local_hits = 0;     // served from the connection's cache
+  uint64_t global_refills = 0;  // trips to the global free list
+  uint64_t system_allocs = 0;   // global list empty: slow path
+};
+
+// Process-wide free list shared by all connections.
+class GlobalFreeList {
+ public:
+  // `initial_blocks` are pre-faulted at startup; `bulk` controls how many
+  // blocks a system allocation produces (the paper's fix uses large chunks).
+  GlobalFreeList(int initial_blocks, bool bulk);
+
+  // Takes up to `count` blocks; performs a system allocation if empty.
+  // Returns the number of blocks handed out.
+  int Take(int count);
+
+  // Returns blocks to the list.
+  void Give(int count);
+
+  int free_blocks() const;
+  uint64_t system_allocs() const;
+
+  // True while the simulated OS is in a memory-pressure window.
+  static bool PressuredNow();
+
+  // Test hook: forces the pressure phase. -1 = follow the clock (default),
+  // 0 = always calm, 1 = always pressured.
+  static void SetPressureOverrideForTesting(int override_value);
+
+ private:
+  // Simulated mmap/brk: tens of microseconds normally, slower when the OS
+  // is reclaiming.
+  void SystemAlloc(bool pressured);
+
+  mutable std::mutex mu_;
+  int free_blocks_ = 0;
+  const int bulk_blocks_;
+  const int cap_blocks_;
+  uint64_t system_allocs_ = 0;
+  uint64_t alloc_sequence_ = 0;  // drives the deterministic latency pattern
+};
+
+// Per-connection allocator (apr_bucket_alloc_t).
+class BucketAllocator {
+ public:
+  BucketAllocator(GlobalFreeList* global, bool bulk);
+  ~BucketAllocator();
+
+  // Allocates one bucket's worth of memory (instrumented as
+  // apr_bucket_alloc).
+  void Alloc();
+
+  // Frees one bucket back to the local cache (returning surplus globally).
+  void Free();
+
+  AllocatorStats stats() const { return stats_; }
+  int local_free() const { return local_free_; }
+
+ private:
+  GlobalFreeList* global_;
+  const int refill_count_;   // blocks fetched per global trip
+  const int surplus_limit_;  // local cache size before returning blocks
+  int local_free_ = 0;
+  int outstanding_ = 0;
+  AllocatorStats stats_;
+};
+
+}  // namespace httpd
+
+#endif  // SRC_HTTPD_BUCKET_ALLOC_H_

@@ -1,0 +1,53 @@
+// The request-processing path: default handler, apr_file_open, HTTP header
+// construction, and the recursive output filter chain (ap_pass_brigade).
+// Instrumented function names match the paper's Table 7 factors.
+#ifndef SRC_HTTPD_FILTERS_H_
+#define SRC_HTTPD_FILTERS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+
+#include "src/httpd/brigade.h"
+#include "src/simio/disk.h"
+
+namespace httpd {
+
+// OS page cache for static files: hits cost a memcpy, misses a disk read.
+class PageCache {
+ public:
+  PageCache(int capacity_files, simio::Disk* disk)
+      : capacity_(capacity_files), disk_(disk) {}
+
+  // Returns true on a cache hit. Misses read from disk and populate.
+  bool ReadFile(uint64_t file_id, uint64_t bytes);
+
+ private:
+  const int capacity_;
+  simio::Disk* disk_;
+  std::mutex mu_;
+  std::unordered_set<uint64_t> cached_;
+};
+
+// An output filter in the chain; filters run via ap_pass_brigade recursion.
+struct Filter {
+  enum class Kind { kContentLength, kHeader, kCoreOutput };
+  Kind kind = Kind::kCoreOutput;
+  Filter* next = nullptr;
+};
+
+// Recursive dispatch down the filter chain (instrumented ap_pass_brigade).
+void ApPassBrigade(Filter* filter, Brigade* brigade);
+
+// Opens a static file: allocates the file bucket and consults the page cache
+// (instrumented apr_file_open).
+void AprFileOpen(uint64_t file_id, uint64_t bytes, Brigade* brigade,
+                 PageCache* cache);
+
+// Builds the HTTP response header into the brigade (instrumented
+// basic_http_header).
+void BasicHttpHeader(Brigade* brigade);
+
+}  // namespace httpd
+
+#endif  // SRC_HTTPD_FILTERS_H_

@@ -1,0 +1,100 @@
+// Event-based static-file web server, the Apache HTTPD stand-in for the
+// paper's Section 4.7 case study.
+//
+// A listener-side submission enqueues the request on a shared task queue
+// (the semantic interval begins at submission); a pool worker dequeues it,
+// executes the request path, and signals completion. Instrumented hierarchy:
+//
+//   process_request
+//    |- ap_process_request_internal ----- apr_bucket_alloc
+//    `- default_handler
+//        |- apr_file_open -------------- apr_bucket_alloc
+//        |- basic_http_header ---------- apr_bucket_alloc
+//        `- ap_pass_brigade (recursive)
+//            |- apr_bucket_alloc
+//            `- core_output_filter
+//   apr_bucket_alloc ------------------- apr_allocator_alloc
+#ifndef SRC_HTTPD_SERVER_H_
+#define SRC_HTTPD_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/httpd/bucket_alloc.h"
+#include "src/httpd/filters.h"
+#include "src/simio/disk.h"
+#include "src/vprof/analysis/call_graph.h"
+#include "src/vprof/sync.h"
+#include "src/vprof/task_queue.h"
+
+namespace httpd {
+
+struct HttpdConfig {
+  int workers = 4;
+
+  // The paper's fix: pre-allocate memory in large chunks (Section 4.7).
+  bool bulk_allocation = false;
+
+  // Initial global free-list size, in blocks. Small values create the
+  // memory-pressure regime the paper observed.
+  int global_free_blocks = 48;
+
+  uint64_t file_count = 4;     // distinct static files served
+  uint64_t page_bytes = 169;   // the paper's 169-byte static page
+  int page_cache_files = 1024; // effectively everything stays cached
+
+  simio::DiskConfig file_disk;
+};
+
+struct HttpdStats {
+  uint64_t requests_served = 0;
+  uint64_t system_allocs = 0;
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(const HttpdConfig& config);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Client-side entry point: begins a semantic interval, enqueues the
+  // request, and blocks until a worker completes it. Thread-safe.
+  void HandleRequestBlocking(uint64_t file_id);
+
+  void Shutdown();
+
+  static void RegisterCallGraph(vprof::CallGraph* graph);
+
+  HttpdStats stats() const;
+  const HttpdConfig& config() const { return config_; }
+  GlobalFreeList& global_free_list() { return global_list_; }
+
+ private:
+  struct PendingRequest {
+    vprof::IntervalId sid = vprof::kNoInterval;
+    uint64_t file_id = 0;
+    vprof::Event* done = nullptr;
+  };
+
+  void WorkerLoop();
+  void ProcessRequest(const PendingRequest& request, BucketAllocator* allocator,
+                      Filter* chain);
+
+  HttpdConfig config_;
+  simio::Disk file_disk_;
+  GlobalFreeList global_list_;
+  PageCache page_cache_;
+  vprof::TaskQueue<PendingRequest> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace httpd
+
+#endif  // SRC_HTTPD_SERVER_H_

@@ -1,0 +1,96 @@
+// minidb buffer pool: fixed set of page frames with an LRU replacement list
+// protected by one global mutex, modeled after InnoDB's buf_pool->mutex.
+//
+// The paper's 2-WH MySQL case study (Section 4.5) attributes ~33% of latency
+// variance to `buf_pool_mutex_enter`, dominated by the call site that moves a
+// page to the LRU head on access, and evaluates two mitigations we also
+// implement: a bounded-spin Lazy LRU Update (LLU) that skips the move when
+// the mutex is busy, and replacing the sleeping mutex with a spin lock.
+//
+// Page presence is tracked in a hash table under its own short-lived latch
+// (InnoDB's page hash), so the global mutex protects only LRU maintenance,
+// eviction, and page I/O — including the write-back of a dirty victim while
+// holding the mutex, the single-page-flush pathology the MySQL community
+// later fixed with multi-threaded LRU flushing (paper Section 4.8).
+#ifndef SRC_MINIDB_BUFFER_POOL_H_
+#define SRC_MINIDB_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/minidb/config.h"
+#include "src/simio/disk.h"
+#include "src/vprof/sync.h"
+
+namespace minidb {
+
+using PageId = uint64_t;
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t clean_evictions = 0;
+  uint64_t dirty_evictions = 0;
+  uint64_t lru_moves = 0;
+  uint64_t lru_moves_skipped = 0;  // LLU deferrals
+};
+
+class BufferPool {
+ public:
+  BufferPool(int capacity_pages, BufferPolicy policy, int llu_try_iterations,
+             simio::Disk* disk);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins the page for an access (buf_page_get). Blocks for simulated I/O on
+  // a miss; marks the frame dirty when for_write is true.
+  void GetPage(PageId page_id, bool for_write);
+
+  BufferPoolStats stats() const;
+  size_t resident_pages() const;
+  int capacity() const { return capacity_; }
+
+  // Invariant check for tests: LRU size == hash size <= capacity, no
+  // duplicate page ids.
+  bool CheckInvariants() const;
+
+ private:
+  struct Frame {
+    PageId page_id = 0;
+    bool dirty = false;
+    bool deferred_move = false;
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  // Instrumented acquisition of the global pool mutex (blocking variant).
+  void PoolMutexEnter();
+  // Spin-lock variant: burns CPU instead of sleeping, still instrumented.
+  void PoolMutexSpinEnter();
+  // LLU variant: bounded try; returns false if the move should be skipped.
+  bool PoolMutexTryEnterBounded();
+
+  void HandleMiss(PageId page_id, bool for_write);
+  void TouchLru(Frame& frame);
+
+  const int capacity_;
+  const BufferPolicy policy_;
+  const int llu_try_iterations_;
+  simio::Disk* disk_;
+
+  mutable std::mutex hash_mu_;  // the page-hash latch (short critical sections)
+  std::unordered_map<PageId, Frame> frames_;
+
+  vprof::Mutex pool_mu_;      // the global buffer-pool mutex
+  std::list<PageId> lru_;     // front = most recently used
+
+  mutable std::mutex stats_mu_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace minidb
+
+#endif  // SRC_MINIDB_BUFFER_POOL_H_

@@ -1,0 +1,35 @@
+// InnoDB-style os_event wrapper. The wait is an instrumented function so the
+// profiler can attribute lock-wait variance to `os_event_wait` exactly as the
+// paper's MySQL case study does (Table 4).
+#ifndef SRC_MINIDB_OS_EVENT_H_
+#define SRC_MINIDB_OS_EVENT_H_
+
+#include "src/vprof/probe.h"
+#include "src/vprof/sync.h"
+
+namespace minidb {
+
+class OsEvent {
+ public:
+  void Wait() {
+    VPROF_FUNC("os_event_wait");
+    event_.Wait();
+  }
+
+  // Returns false on timeout.
+  bool WaitFor(int64_t timeout_ns) {
+    VPROF_FUNC("os_event_wait");
+    return event_.WaitFor(timeout_ns);
+  }
+
+  void Set() { event_.Set(); }
+  void Reset() { event_.Reset(); }
+  bool IsSet() const { return event_.IsSet(); }
+
+ private:
+  vprof::Event event_;
+};
+
+}  // namespace minidb
+
+#endif  // SRC_MINIDB_OS_EVENT_H_

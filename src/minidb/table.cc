@@ -1,0 +1,87 @@
+#include "src/minidb/table.h"
+
+namespace minidb {
+
+Table::Table(std::string name, uint32_t table_id, int rows_per_page,
+             BufferPool* pool)
+    : name_(std::move(name)),
+      table_id_(table_id),
+      rows_per_page_(rows_per_page),
+      pool_(pool) {}
+
+uint64_t Table::ChecksumWork(const Row& row) {
+  // A few passes over the payload: O(100ns..1us) of CPU per access, standing
+  // in for predicate evaluation / tuple materialization.
+  uint64_t h = 1469598103934665603ull;
+  for (int pass = 0; pass < 8; ++pass) {
+    for (uint8_t b : row.payload) {
+      h = (h ^ b) * 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+void Table::LoadRow(int64_t key) {
+  std::lock_guard<std::mutex> lock(rows_mu_);
+  Row row;
+  row.key = key;
+  for (size_t i = 0; i < row.payload.size(); ++i) {
+    row.payload[i] = static_cast<uint8_t>((key + static_cast<int64_t>(i)) & 0xff);
+  }
+  rows_.emplace(key, row);
+  std::lock_guard<vprof::Mutex> latch(index_latch_);
+  index_.Insert(key, static_cast<uint64_t>(key));
+}
+
+bool Table::ReadRow(int64_t key, Row* out) {
+  pool_->GetPage(PageOf(key), /*for_write=*/false);
+  std::lock_guard<std::mutex> lock(rows_mu_);
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return false;
+  }
+  // Consume the checksum so the work is not optimized away.
+  it->second.version += (ChecksumWork(it->second) == 0) ? 1 : 0;
+  if (out != nullptr) {
+    *out = it->second;
+  }
+  return true;
+}
+
+bool Table::UpdateRow(int64_t key) {
+  pool_->GetPage(PageOf(key), /*for_write=*/true);
+  std::lock_guard<std::mutex> lock(rows_mu_);
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return false;
+  }
+  Row& row = it->second;
+  ++row.version;
+  row.payload[static_cast<size_t>(row.version % row.payload.size())] ^=
+      static_cast<uint8_t>(ChecksumWork(row));
+  return true;
+}
+
+bool Table::InsertRow(int64_t key) {
+  pool_->GetPage(PageOf(key), /*for_write=*/true);
+  {
+    std::lock_guard<std::mutex> lock(rows_mu_);
+    Row row;
+    row.key = key;
+    for (size_t i = 0; i < row.payload.size(); ++i) {
+      row.payload[i] = static_cast<uint8_t>((key * 31 + static_cast<int64_t>(i)) & 0xff);
+    }
+    if (!rows_.emplace(key, row).second) {
+      return false;
+    }
+  }
+  std::lock_guard<vprof::Mutex> latch(index_latch_);
+  return index_.Insert(key, static_cast<uint64_t>(key));
+}
+
+size_t Table::row_count() const {
+  std::lock_guard<std::mutex> lock(rows_mu_);
+  return rows_.size();
+}
+
+}  // namespace minidb

@@ -1,0 +1,37 @@
+// Transaction context: identity, age (for VATS), and the lock set released
+// at commit/abort (strict two-phase locking).
+#ifndef SRC_MINIDB_TRANSACTION_H_
+#define SRC_MINIDB_TRANSACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace minidb {
+
+class Transaction {
+ public:
+  Transaction(uint64_t id, int64_t start_ts) : id_(id), start_ts_(start_ts) {}
+
+  uint64_t id() const { return id_; }
+
+  // Monotonic start timestamp; VATS grants contended locks to the
+  // transaction with the smallest value (the oldest).
+  int64_t start_ts() const { return start_ts_; }
+
+  void AddLock(uint64_t object_id) { lock_set_.push_back(object_id); }
+  const std::vector<uint64_t>& lock_set() const { return lock_set_; }
+  void ClearLocks() { lock_set_.clear(); }
+
+  void MarkAborted() { aborted_ = true; }
+  bool aborted() const { return aborted_; }
+
+ private:
+  uint64_t id_;
+  int64_t start_ts_;
+  std::vector<uint64_t> lock_set_;
+  bool aborted_ = false;
+};
+
+}  // namespace minidb
+
+#endif  // SRC_MINIDB_TRANSACTION_H_

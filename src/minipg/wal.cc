@@ -1,0 +1,128 @@
+#include "src/minipg/wal.h"
+
+#include <algorithm>
+
+#include "src/vprof/probe.h"
+
+namespace minipg {
+
+namespace {
+constexpr uint64_t kWalBlockBytes = 8192;
+}  // namespace
+
+WalUnit::WalUnit(const simio::DiskConfig& disk_config) : disk_(disk_config) {}
+
+uint64_t WalUnit::Insert(uint64_t bytes) {
+  VPROF_FUNC("XLogInsert");
+  pending_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.inserts;
+  }
+  return next_lsn_.fetch_add(bytes, std::memory_order_acq_rel) + bytes - 1;
+}
+
+bool WalUnit::AcquireOrWait(uint64_t lsn) {
+  VPROF_FUNC("LWLockAcquireOrWait");
+  std::lock_guard<vprof::Mutex> lock(mu_);
+  if (!write_lock_held_) {
+    write_lock_held_ = true;
+    return true;
+  }
+  // Someone is flushing: sleep until they release, then tell the caller to
+  // re-check whether its LSN became durable (Postgres semantics).
+  waiters_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.flush_waits;
+  }
+  while (write_lock_held_ &&
+         flushed_lsn_.load(std::memory_order_acquire) < lsn) {
+    released_cv_.WaitFor(mu_, 50LL * 1000 * 1000);
+  }
+  waiters_.fetch_sub(1, std::memory_order_relaxed);
+  if (!write_lock_held_ &&
+      flushed_lsn_.load(std::memory_order_acquire) < lsn) {
+    // Lock free and our data still not durable: take it.
+    write_lock_held_ = true;
+    return true;
+  }
+  return false;
+}
+
+void WalUnit::ReleaseAndWake() {
+  {
+    std::lock_guard<vprof::Mutex> lock(mu_);
+    write_lock_held_ = false;
+  }
+  released_cv_.NotifyAll();
+}
+
+void WalUnit::Flush(uint64_t lsn) {
+  VPROF_FUNC("XLogFlush");
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.flush_calls;
+  }
+  while (flushed_lsn_.load(std::memory_order_acquire) < lsn) {
+    if (!AcquireOrWait(lsn)) {
+      continue;  // re-check the flushed position
+    }
+    // We hold the write lock: write out everything inserted so far.
+    const uint64_t target = next_lsn_.load(std::memory_order_acquire) - 1;
+    const uint64_t bytes = pending_bytes_.exchange(0, std::memory_order_acq_rel);
+    {
+      VPROF_FUNC("issue_xlog_fsync");
+      if (bytes > 0) {
+        disk_.Write(((bytes + kWalBlockBytes - 1) / kWalBlockBytes) *
+                    kWalBlockBytes);
+      }
+      disk_.Fsync();
+    }
+    flushed_lsn_.store(target, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.flushes_performed;
+    }
+    ReleaseAndWake();
+  }
+}
+
+WalStats WalUnit::stats() const {
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  return stats_;
+}
+
+Wal::Wal(int units, const simio::DiskConfig& disk_config) {
+  for (int i = 0; i < std::max(1, units); ++i) {
+    simio::DiskConfig config = disk_config;
+    config.seed = disk_config.seed + static_cast<uint64_t>(i) * 7919;
+    units_.push_back(std::make_unique<WalUnit>(config));
+  }
+}
+
+Wal::Position Wal::Insert(uint64_t bytes) {
+  int best = 0;
+  int best_waiters = units_[0]->waiters();
+  for (int i = 1; i < unit_count(); ++i) {
+    const int w = units_[static_cast<size_t>(i)]->waiters();
+    if (w < best_waiters) {
+      best = i;
+      best_waiters = w;
+    }
+  }
+  return InsertAt(best, bytes);
+}
+
+Wal::Position Wal::InsertAt(int unit, uint64_t bytes) {
+  Position position;
+  position.unit = unit;
+  position.lsn = units_[static_cast<size_t>(unit)]->Insert(bytes);
+  return position;
+}
+
+void Wal::Flush(const Position& position) {
+  units_[static_cast<size_t>(position.unit)]->Flush(position.lsn);
+}
+
+}  // namespace minipg

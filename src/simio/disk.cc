@@ -1,0 +1,58 @@
+#include "src/simio/disk.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/statkit/distributions.h"
+
+namespace simio {
+
+void SleepUs(double us) {
+  if (us <= 0.0) {
+    return;
+  }
+  std::this_thread::sleep_for(
+      std::chrono::nanoseconds(static_cast<int64_t>(us * 1000.0)));
+}
+
+Disk::Disk(const DiskConfig& config) : config_(config), rng_(config.seed) {}
+
+double Disk::SampleServiceUs(double mu, double sigma, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  const double base = statkit::SampleLognormal(rng_, mu, sigma);
+  const double transfer = static_cast<double>(bytes) / config_.bytes_per_us;
+  return base + transfer;
+}
+
+void Disk::Service(double service_us) {
+  if (config_.serialize_access) {
+    std::lock_guard<std::mutex> lock(device_mu_);
+    SleepUs(service_us);
+  } else {
+    SleepUs(service_us);
+  }
+}
+
+void Disk::Read(uint64_t bytes) {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  Service(SampleServiceUs(config_.read_mu, config_.read_sigma, bytes));
+}
+
+void Disk::Write(uint64_t bytes) {
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  Service(SampleServiceUs(config_.write_mu, config_.write_sigma, bytes));
+}
+
+void Disk::Fsync() {
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  double service = SampleServiceUs(config_.fsync_mu, config_.fsync_sigma, 0);
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    if (rng_.NextBool(config_.fsync_spike_prob)) {
+      service *= config_.fsync_spike_scale;
+    }
+  }
+  Service(service);
+}
+
+}  // namespace simio

@@ -1,0 +1,87 @@
+// Simulated storage device.
+//
+// The paper's case studies run against physical disks whose service-time
+// variance (especially fsync) is one of the latency-variance sources VProfiler
+// surfaces (MySQL fil_flush, Postgres WAL flush). This module substitutes a
+// disk model: lognormal per-op service time, bandwidth-proportional transfer
+// time, occasional fsync stalls (write-cache flushes), and optional
+// single-spindle serialization so concurrent requests queue behind each other.
+#ifndef SRC_SIMIO_DISK_H_
+#define SRC_SIMIO_DISK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "src/statkit/rng.h"
+
+namespace simio {
+
+struct DiskConfig {
+  // Lognormal parameters of the base service time, in microseconds.
+  double read_mu = 4.0;     // exp(4.0) ~ 55us median
+  double read_sigma = 0.35;
+  double write_mu = 3.7;    // ~40us median (buffered write)
+  double write_sigma = 0.3;
+  double fsync_mu = 5.3;    // ~200us median
+  double fsync_sigma = 0.45;
+
+  // With probability spike_prob an fsync takes spike_scale times longer
+  // (models periodic device write-cache flushes / FTL garbage collection).
+  double fsync_spike_prob = 0.03;
+  double fsync_spike_scale = 6.0;
+
+  // Transfer bandwidth for the size-dependent component.
+  double bytes_per_us = 400.0;  // ~400 MB/s
+
+  // When true, operations serialize on the device (one spindle): concurrent
+  // callers queue, which is itself a variance source.
+  bool serialize_access = true;
+
+  uint64_t seed = 42;
+};
+
+// Thread-safe simulated disk. Each operation blocks the calling thread for
+// the sampled service duration.
+class Disk {
+ public:
+  explicit Disk(const DiskConfig& config = DiskConfig{});
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  // Reads `bytes`; blocks for the sampled service time.
+  void Read(uint64_t bytes);
+
+  // Writes `bytes` into the (simulated) device write buffer.
+  void Write(uint64_t bytes);
+
+  // Forces buffered writes to stable storage; the slow, high-variance op.
+  void Fsync();
+
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
+
+  const DiskConfig& config() const { return config_; }
+
+ private:
+  // Samples a lognormal service time (microseconds) plus transfer time.
+  double SampleServiceUs(double mu, double sigma, uint64_t bytes);
+  void Service(double service_us);
+
+  DiskConfig config_;
+  std::mutex rng_mu_;
+  statkit::Rng rng_;
+  std::mutex device_mu_;  // held for the service duration when serializing
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+};
+
+// Blocks the calling thread for approximately `us` microseconds.
+void SleepUs(double us);
+
+}  // namespace simio
+
+#endif  // SRC_SIMIO_DISK_H_

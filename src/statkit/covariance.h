@@ -1,0 +1,77 @@
+// Dense covariance matrix over a fixed set of co-observed series.
+//
+// The variance tree needs Var(child_i) for every child of an expanded call
+// node and Cov(child_i, child_j) for every sibling pair. CovarianceMatrix
+// accumulates the full second-moment matrix of an n-vector in one pass.
+#ifndef SRC_STATKIT_COVARIANCE_H_
+#define SRC_STATKIT_COVARIANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace statkit {
+
+class CovarianceMatrix {
+ public:
+  explicit CovarianceMatrix(size_t n)
+      : n_(n), mean_(n, 0.0), comoment_(n * n, 0.0), delta_(n, 0.0) {}
+
+  size_t dimension() const { return n_; }
+  uint64_t count() const { return count_; }
+
+  // Adds one observation vector; x.size() must equal dimension().
+  void Add(std::span<const double> x) {
+    ++count_;
+    const double n = static_cast<double>(count_);
+    for (size_t i = 0; i < n_; ++i) {
+      delta_[i] = x[i] - mean_[i];
+      mean_[i] += delta_[i] / n;
+    }
+    // comoment += delta_pre * delta_post^T, accumulated symmetrically.
+    for (size_t i = 0; i < n_; ++i) {
+      const double post_i = x[i] - mean_[i];
+      for (size_t j = 0; j <= i; ++j) {
+        const double update = delta_[j] * post_i;
+        comoment_[i * n_ + j] += update;
+        if (i != j) {
+          comoment_[j * n_ + i] += update;
+        }
+      }
+    }
+  }
+
+  double mean(size_t i) const { return mean_[i]; }
+
+  // Population covariance of series i and j.
+  double Covariance(size_t i, size_t j) const {
+    return count_ > 0 ? comoment_[i * n_ + j] / static_cast<double>(count_) : 0.0;
+  }
+
+  // Population variance of series i.
+  double Variance(size_t i) const { return Covariance(i, i); }
+
+  // Variance of the sum of all series: sum Var + 2 * sum_{i<j} Cov. This is
+  // the quantity Equation (2) of the paper decomposes.
+  double VarianceOfSum() const {
+    double total = 0.0;
+    for (size_t i = 0; i < n_; ++i) {
+      for (size_t j = 0; j < n_; ++j) {
+        total += Covariance(i, j);
+      }
+    }
+    return total;
+  }
+
+ private:
+  size_t n_;
+  uint64_t count_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> comoment_;  // row-major n x n
+  std::vector<double> delta_;     // scratch: pre-update deltas
+};
+
+}  // namespace statkit
+
+#endif  // SRC_STATKIT_COVARIANCE_H_

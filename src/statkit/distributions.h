@@ -1,0 +1,88 @@
+// Samplers for the latency/workload distributions used across the simulators.
+#ifndef SRC_STATKIT_DISTRIBUTIONS_H_
+#define SRC_STATKIT_DISTRIBUTIONS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/statkit/rng.h"
+
+namespace statkit {
+
+// Standard normal via Box-Muller (single value; the discarded pair keeps the
+// sampler stateless).
+inline double SampleStandardNormal(Rng& rng) {
+  double u1 = rng.NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 1e-300;
+  }
+  const double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+// Lognormal with the given log-space mean and log-space sigma. Heavy right
+// tail; used to model storage service times.
+inline double SampleLognormal(Rng& rng, double mu, double sigma) {
+  return std::exp(mu + sigma * SampleStandardNormal(rng));
+}
+
+// Exponential with the given mean (mean = 1/lambda).
+inline double SampleExponential(Rng& rng, double mean) {
+  double u = rng.NextDouble();
+  if (u <= 0.0) {
+    u = 1e-300;
+  }
+  return -mean * std::log(u);
+}
+
+// Pareto (Lomax form shifted to start at `scale`); alpha > 1 for finite mean.
+inline double SamplePareto(Rng& rng, double scale, double alpha) {
+  double u = rng.NextDouble();
+  if (u <= 0.0) {
+    u = 1e-300;
+  }
+  return scale / std::pow(u, 1.0 / alpha);
+}
+
+// Zipf-distributed integers in [0, n). Uses the classic precomputed-CDF
+// approach: O(n) setup, O(log n) sampling. Suitable for the table-key skews in
+// the database workloads (n up to a few hundred thousand).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta) : cdf_(n) {
+    double sum = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      cdf_[i] /= sum;
+    }
+  }
+
+  uint64_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    // Binary search for the first CDF entry >= u.
+    uint64_t lo = 0;
+    uint64_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const uint64_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  uint64_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace statkit
+
+#endif  // SRC_STATKIT_DISTRIBUTIONS_H_

@@ -1,0 +1,82 @@
+#include "src/statkit/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace statkit {
+
+LogHistogram::LogHistogram(double min_value, double max_value, int buckets_per_decade)
+    : min_value_(min_value) {
+  const double decades = std::log10(max_value / min_value);
+  const size_t buckets =
+      static_cast<size_t>(std::ceil(decades * buckets_per_decade)) + 1;
+  log_min_ = std::log10(min_value);
+  log_step_ = 1.0 / buckets_per_decade;
+  inv_log_step_ = static_cast<double>(buckets_per_decade);
+  counts_.assign(buckets, 0);
+}
+
+size_t LogHistogram::BucketFor(double value) const {
+  if (value <= min_value_) {
+    return 0;
+  }
+  const double pos = (std::log10(value) - log_min_) * inv_log_step_;
+  const size_t idx = static_cast<size_t>(pos);
+  return std::min(idx, counts_.size() - 1);
+}
+
+void LogHistogram::Add(double value) {
+  ++count_;
+  ++counts_[BucketFor(value)];
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  const size_t n = std::min(counts_.size(), other.counts_.size());
+  for (size_t i = 0; i < n; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+}
+
+double LogHistogram::bucket_lower_bound(size_t i) const {
+  return std::pow(10.0, log_min_ + static_cast<double>(i) * log_step_);
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    const uint64_t next = cumulative + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within the bucket in log space.
+      const double frac =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(counts_[i]);
+      const double lo = log_min_ + static_cast<double>(i) * log_step_;
+      return std::pow(10.0, lo + frac * log_step_);
+    }
+    cumulative = next;
+  }
+  return bucket_lower_bound(counts_.size() - 1);
+}
+
+std::string LogHistogram::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    out << "[" << bucket_lower_bound(i) << ", " << bucket_lower_bound(i + 1) << "): "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace statkit

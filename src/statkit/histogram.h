@@ -1,0 +1,52 @@
+// Log-scaled latency histogram with quantile queries.
+#ifndef SRC_STATKIT_HISTOGRAM_H_
+#define SRC_STATKIT_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace statkit {
+
+// Histogram over positive values with geometrically growing bucket bounds.
+// Designed for latencies spanning ~6 orders of magnitude (ns to ms) while
+// keeping relative quantile error bounded by the per-bucket growth factor.
+class LogHistogram {
+ public:
+  // Buckets cover [min_value, max_value] with `buckets_per_decade` buckets per
+  // factor-of-10; values outside the range clamp to the end buckets.
+  LogHistogram(double min_value = 1.0, double max_value = 1e9,
+               int buckets_per_decade = 20);
+
+  void Add(double value);
+  void Merge(const LogHistogram& other);
+
+  uint64_t count() const { return count_; }
+
+  // Quantile q in [0,1] via linear interpolation inside the selected bucket.
+  // Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  double Percentile(double p) const { return Quantile(p / 100.0); }
+
+  // Multi-line human-readable rendering of the non-empty buckets.
+  std::string ToString() const;
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket_value(size_t i) const { return counts_[i]; }
+  double bucket_lower_bound(size_t i) const;
+
+ private:
+  size_t BucketFor(double value) const;
+
+  double min_value_;
+  double log_min_;
+  double inv_log_step_;
+  double log_step_;
+  uint64_t count_ = 0;
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace statkit
+
+#endif  // SRC_STATKIT_HISTOGRAM_H_

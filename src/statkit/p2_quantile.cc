@@ -1,0 +1,104 @@
+#include "src/statkit/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace statkit {
+
+P2Quantile::P2Quantile(double quantile) : quantile_(quantile) {
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * quantile_;
+  desired_[2] = 1.0 + 4.0 * quantile_;
+  desired_[3] = 3.0 + 2.0 * quantile_;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = quantile_ / 2.0;
+  increments_[2] = quantile_;
+  increments_[3] = (1.0 + quantile_) / 2.0;
+  increments_[4] = 1.0;
+  for (int i = 0; i < 5; ++i) {
+    positions_[i] = static_cast<double>(i + 1);
+    heights_[i] = 0.0;
+  }
+}
+
+double P2Quantile::Parabolic(int i, double d) const {
+  const double qi = heights_[i];
+  const double nm = positions_[i - 1];
+  const double ni = positions_[i];
+  const double np = positions_[i + 1];
+  return qi + d / (np - nm) *
+                  ((ni - nm + d) * (heights_[i + 1] - qi) / (np - ni) +
+                   (np - ni - d) * (qi - heights_[i - 1]) / (ni - nm));
+}
+
+double P2Quantile::Linear(int i, int d) const {
+  return heights_[i] +
+         static_cast<double>(d) * (heights_[i + d] - heights_[i]) /
+             (positions_[i + d] - positions_[i]);
+}
+
+void P2Quantile::Add(double x) {
+  ++count_;
+  if (count_ <= 5) {
+    heights_[count_ - 1] = x;
+    if (count_ == 5) {
+      std::sort(heights_, heights_ + 5);
+    }
+    return;
+  }
+
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) {
+      ++k;
+    }
+  }
+
+  for (int i = k + 1; i < 5; ++i) {
+    positions_[i] += 1.0;
+  }
+  for (int i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const int sign = d >= 0 ? 1 : -1;
+      double candidate = Parabolic(i, sign);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = Linear(i, sign);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (count_ < 5) {
+    // Exact: nearest-rank on the sorted prefix.
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const auto rank = static_cast<uint64_t>(
+        std::ceil(quantile_ * static_cast<double>(count_)));
+    return sorted[std::max<uint64_t>(rank, 1) - 1];
+  }
+  return heights_[2];
+}
+
+}  // namespace statkit

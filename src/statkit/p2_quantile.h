@@ -1,0 +1,38 @@
+// P² (piecewise-parabolic) streaming quantile estimator (Jain & Chlamtac 1985).
+//
+// Constant-memory estimate of a single quantile; used where storing every
+// latency sample would perturb the system under test.
+#ifndef SRC_STATKIT_P2_QUANTILE_H_
+#define SRC_STATKIT_P2_QUANTILE_H_
+
+#include <cstdint>
+
+namespace statkit {
+
+class P2Quantile {
+ public:
+  // quantile in (0, 1), e.g. 0.99 for the 99th percentile.
+  explicit P2Quantile(double quantile);
+
+  void Add(double x);
+
+  // Current estimate; exact while fewer than 5 observations have been added.
+  double Value() const;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  double Parabolic(int i, double d) const;
+  double Linear(int i, int d) const;
+
+  double quantile_;
+  uint64_t count_ = 0;
+  double heights_[5];
+  double positions_[5];
+  double desired_[5];
+  double increments_[5];
+};
+
+}  // namespace statkit
+
+#endif  // SRC_STATKIT_P2_QUANTILE_H_

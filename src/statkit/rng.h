@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for workloads and simulators.
+//
+// All stochastic behaviour in this repository (disk latency, workload mixes,
+// request sizes) flows through statkit::Rng so that experiments are replayable
+// from a single seed. The generator is xoshiro256**, seeded via SplitMix64.
+#ifndef SRC_STATKIT_RNG_H_
+#define SRC_STATKIT_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace statkit {
+
+// Small, fast, high-quality PRNG (xoshiro256**). Not cryptographically secure.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  // Re-seeds the full 256-bit state from a 64-bit seed using SplitMix64.
+  void Seed(uint64_t seed) {
+    for (auto& word : state_) {
+      word = SplitMix64(&seed);
+    }
+  }
+
+  // Returns the next 64 pseudo-random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    // Multiply-shift rejection-free mapping; bias is negligible for the bounds
+    // used in this project (all far below 2^32).
+    return static_cast<uint64_t>((static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Returns true with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // UniformRandomBitGenerator interface for use with <random> adaptors.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<uint64_t>::max(); }
+  result_type operator()() { return Next(); }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace statkit
+
+#endif  // SRC_STATKIT_RNG_H_

@@ -1,0 +1,66 @@
+#include "src/statkit/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/statkit/welford.h"
+
+namespace statkit {
+
+double PercentileOfSorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary Summarize(std::span<const double> sample) {
+  Summary s;
+  if (sample.empty()) {
+    return s;
+  }
+  StreamingMoments moments;
+  for (double x : sample) {
+    moments.Add(x);
+  }
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  s.count = moments.count();
+  s.mean = moments.mean();
+  s.variance = moments.variance();
+  s.stddev = moments.stddev();
+  s.cv = moments.cv();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = PercentileOfSorted(sorted, 50.0);
+  s.p90 = PercentileOfSorted(sorted, 90.0);
+  s.p95 = PercentileOfSorted(sorted, 95.0);
+  s.p99 = PercentileOfSorted(sorted, 99.0);
+  s.p999 = PercentileOfSorted(sorted, 99.9);
+  return s;
+}
+
+double ReductionPercent(double a, double b) {
+  if (a == 0.0) {
+    return 0.0;
+  }
+  return 100.0 * (a - b) / a;
+}
+
+std::string Summary::ToString() const {
+  std::ostringstream out;
+  out << "n=" << count << " mean=" << mean << " var=" << variance << " sd=" << stddev
+      << " cv=" << cv << " p50=" << p50 << " p99=" << p99 << " max=" << max;
+  return out.str();
+}
+
+}  // namespace statkit

@@ -1,0 +1,43 @@
+// Batch summary statistics over a latency sample.
+#ifndef SRC_STATKIT_SUMMARY_H_
+#define SRC_STATKIT_SUMMARY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace statkit {
+
+// One-shot summary of a sample: moments plus exact percentiles. The input is
+// copied and sorted internally.
+struct Summary {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // population variance
+  double stddev = 0.0;
+  double cv = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+
+  std::string ToString() const;
+};
+
+// Computes a Summary from the sample (empty input yields a zero Summary).
+Summary Summarize(std::span<const double> sample);
+
+// Exact percentile (nearest-rank with interpolation) of a sorted sample.
+double PercentileOfSorted(std::span<const double> sorted, double p);
+
+// Relative change (a -> b) expressed as the percentage reduction, i.e.
+// 100 * (a - b) / a. Positive means b improved on a. Returns 0 when a == 0.
+double ReductionPercent(double a, double b);
+
+}  // namespace statkit
+
+#endif  // SRC_STATKIT_SUMMARY_H_

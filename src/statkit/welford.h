@@ -1,0 +1,112 @@
+// Streaming first/second-moment accumulators (Welford's algorithm) and the
+// pairwise covariance accumulator used by the variance tree.
+#ifndef SRC_STATKIT_WELFORD_H_
+#define SRC_STATKIT_WELFORD_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace statkit {
+
+// Numerically stable streaming mean/variance.
+class StreamingMoments {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || count_ == 1) {
+      min_ = x;
+    }
+    if (x > max_ || count_ == 1) {
+      max_ = x;
+    }
+  }
+
+  // Merges another accumulator into this one (parallel Welford / Chan et al.).
+  void Merge(const StreamingMoments& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    if (other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  // Population variance (divide by n). The paper's variance decomposition
+  // identity Var(sum) = sum Var + 2 sum Cov holds exactly for the population
+  // forms, so the whole project standardizes on them.
+  double variance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+
+  // Unbiased sample variance (divide by n-1).
+  double sample_variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+  // Coefficient of variation (stddev / mean); 0 when the mean is 0.
+  double cv() const { return mean() != 0.0 ? stddev() / mean() : 0.0; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Streaming covariance of a pair of co-observed series.
+class StreamingCovariance {
+ public:
+  void Add(double x, double y) {
+    ++count_;
+    const double n = static_cast<double>(count_);
+    const double dx = x - mean_x_;
+    mean_x_ += dx / n;
+    mean_y_ += (y - mean_y_) / n;
+    // Uses the updated mean_y_ (co-moment form of Welford).
+    comoment_ += dx * (y - mean_y_);
+  }
+
+  uint64_t count() const { return count_; }
+  double mean_x() const { return mean_x_; }
+  double mean_y() const { return mean_y_; }
+
+  // Population covariance.
+  double covariance() const {
+    return count_ > 0 ? comoment_ / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_x_ = 0.0;
+  double mean_y_ = 0.0;
+  double comoment_ = 0.0;
+};
+
+}  // namespace statkit
+
+#endif  // SRC_STATKIT_WELFORD_H_

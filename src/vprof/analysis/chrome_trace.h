@@ -1,0 +1,29 @@
+// Export a vprof::Trace to the Chrome trace-event JSON format, viewable in
+// chrome://tracing or Perfetto. Instrumented invocations become duration
+// ("X") events per thread; segments become colored slices on a state track;
+// semantic intervals become flow arrows from begin to end.
+#ifndef SRC_VPROF_ANALYSIS_CHROME_TRACE_H_
+#define SRC_VPROF_ANALYSIS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "src/vprof/trace.h"
+
+namespace vprof {
+
+struct ChromeTraceOptions {
+  bool include_segments = true;   // emit the per-thread segment state track
+  bool include_intervals = true;  // emit interval begin/end instant events
+};
+
+// Renders the trace as a Chrome trace-event JSON string.
+std::string ToChromeTraceJson(const Trace& trace,
+                              const ChromeTraceOptions& options = {});
+
+// Writes the JSON to a file; returns false on I/O error.
+bool WriteChromeTrace(const Trace& trace, const std::string& path,
+                      const ChromeTraceOptions& options = {});
+
+}  // namespace vprof
+
+#endif  // SRC_VPROF_ANALYSIS_CHROME_TRACE_H_

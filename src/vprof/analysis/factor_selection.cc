@@ -1,0 +1,119 @@
+#include "src/vprof/analysis/factor_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+namespace vprof {
+
+std::string Factor::Label(const std::vector<std::string>& function_names) const {
+  auto name = [&](FuncId f, bool body) {
+    std::string n = f < function_names.size() ? function_names[f] : "?";
+    return body ? n + "(body)" : n;
+  };
+  if (!is_covariance()) {
+    return name(func_a, body_a);
+  }
+  return "(" + name(func_a, body_a) + ", " + name(func_b, body_b) + ")";
+}
+
+namespace {
+
+// Key for aggregating factor instances across call sites.
+struct FactorKey {
+  FuncId a;
+  FuncId b;
+  bool body_a;
+  bool body_b;
+  bool operator<(const FactorKey& o) const {
+    return std::tie(a, b, body_a, body_b) < std::tie(o.a, o.b, o.body_a, o.body_b);
+  }
+};
+
+double SpecificityOf(int root_height, int height, SpecificityKind kind) {
+  const double base = std::max(0, root_height - height);
+  return std::pow(base, static_cast<double>(static_cast<int>(kind)));
+}
+
+}  // namespace
+
+std::vector<Factor> AggregateFactors(const VarianceAnalysis& analysis,
+                                     const CallGraph& graph, FuncId root,
+                                     SpecificityKind specificity) {
+  const int root_height = graph.Height(root) + 1;  // +1: synthetic tree root
+  std::map<FactorKey, Factor> by_key;
+
+  // Variance factors: every real node in the tree (skip the synthetic root;
+  // its variance is the overall variance being decomposed).
+  for (size_t id = 1; id < analysis.node_count(); ++id) {
+    const TreeNode& n = analysis.node(static_cast<NodeId>(id));
+    if (n.func == kInvalidFunc) {
+      continue;  // synthetic root's body ("(other)") is reported separately
+    }
+    FactorKey key{n.func, kInvalidFunc, n.is_body, false};
+    Factor& f = by_key[key];
+    f.func_a = n.func;
+    f.body_a = n.is_body;
+    f.total += analysis.NodeVariance(static_cast<NodeId>(id));
+    f.height = n.is_body ? 0 : graph.Height(n.func);
+  }
+
+  // Covariance factors: sibling pairs under each expanded parent, counted
+  // with the factor 2 from Equation (2).
+  for (const SiblingCovariance& cov : analysis.covariances()) {
+    const TreeNode& na = analysis.node(cov.a);
+    const TreeNode& nb = analysis.node(cov.b);
+    if (na.func == kInvalidFunc || nb.func == kInvalidFunc) {
+      continue;
+    }
+    FuncId fa = na.func;
+    FuncId fb = nb.func;
+    bool ba = na.is_body;
+    bool bb = nb.is_body;
+    if (fb < fa || (fa == fb && bb && !ba)) {
+      std::swap(fa, fb);
+      std::swap(ba, bb);
+    }
+    FactorKey key{fa, fb, ba, bb};
+    Factor& f = by_key[key];
+    f.func_a = fa;
+    f.func_b = fb;
+    f.body_a = ba;
+    f.body_b = bb;
+    f.total += 2.0 * cov.covariance;
+    f.height = std::max(ba ? 0 : graph.Height(fa), bb ? 0 : graph.Height(fb));
+  }
+
+  const double overall = analysis.overall_variance();
+  std::vector<Factor> out;
+  out.reserve(by_key.size());
+  for (auto& [key, f] : by_key) {
+    f.contribution = overall > 0.0 ? f.total / overall : 0.0;
+    f.specificity = SpecificityOf(root_height, f.height, specificity);
+    f.score = f.specificity * f.total;
+    out.push_back(f);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Factor& x, const Factor& y) { return x.score > y.score; });
+  return out;
+}
+
+std::vector<Factor> SelectFactors(const VarianceAnalysis& analysis,
+                                  const CallGraph& graph, FuncId root,
+                                  const FactorSelectionOptions& options) {
+  std::vector<Factor> all =
+      AggregateFactors(analysis, graph, root, options.specificity);
+  std::vector<Factor> selected;
+  for (const Factor& f : all) {
+    if (static_cast<int>(selected.size()) >= options.top_k) {
+      break;
+    }
+    if (f.contribution >= options.min_contribution) {
+      selected.push_back(f);
+    }
+  }
+  return selected;
+}
+
+}  // namespace vprof

@@ -1,0 +1,66 @@
+// Factor ranking and selection (paper Section 3.2.2, Algorithm 1).
+//
+// A factor is the variance of a function (or of a function's body) or the
+// covariance of a function pair, aggregated across every call site / tree
+// position where it appears. Factors are ranked by
+//
+//   score(f) = specificity(f) * total (co)variance of f          (Eq. 4)
+//   specificity(f) = (height(call_graph) - height(f))^p          (Eq. 3)
+//
+// with p = 2 by default; p = 1 and p = 3 are available for the Section 4.4
+// specificity ablation.
+#ifndef SRC_VPROF_ANALYSIS_FACTOR_SELECTION_H_
+#define SRC_VPROF_ANALYSIS_FACTOR_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/vprof/analysis/call_graph.h"
+#include "src/vprof/analysis/variance_tree.h"
+
+namespace vprof {
+
+enum class SpecificityKind {
+  kLinear = 1,
+  kQuadratic = 2,
+  kCubic = 3,
+};
+
+struct Factor {
+  // Variance factor: func_a set, func_b == kInvalidFunc.
+  // Covariance factor: both set (canonical order func_a <= func_b).
+  FuncId func_a = kInvalidFunc;
+  FuncId func_b = kInvalidFunc;
+  bool body_a = false;
+  bool body_b = false;
+
+  double total = 0.0;         // summed (co)variance across instances (ns^2);
+                              // covariance instances count twice (Eq. 2)
+  double contribution = 0.0;  // total / overall latency variance
+  int height = 0;
+  double specificity = 0.0;
+  double score = 0.0;
+
+  bool is_covariance() const { return func_b != kInvalidFunc; }
+  std::string Label(const std::vector<std::string>& function_names) const;
+};
+
+struct FactorSelectionOptions {
+  int top_k = 3;
+  double min_contribution = 0.01;  // threshold d
+  SpecificityKind specificity = SpecificityKind::kQuadratic;
+};
+
+// Aggregates all factors in the variance tree (unfiltered, sorted by score).
+std::vector<Factor> AggregateFactors(const VarianceAnalysis& analysis,
+                                     const CallGraph& graph, FuncId root,
+                                     SpecificityKind specificity);
+
+// Algorithm 1: the top-k factors with contribution >= d.
+std::vector<Factor> SelectFactors(const VarianceAnalysis& analysis,
+                                  const CallGraph& graph, FuncId root,
+                                  const FactorSelectionOptions& options);
+
+}  // namespace vprof
+
+#endif  // SRC_VPROF_ANALYSIS_FACTOR_SELECTION_H_

@@ -1,0 +1,75 @@
+#include "src/vprof/analysis/flat_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/statkit/welford.h"
+
+namespace vprof {
+
+std::vector<FunctionStats> ComputeFlatProfile(const Trace& trace) {
+  struct Accumulator {
+    statkit::StreamingMoments moments;
+    double child_ns = 0.0;
+  };
+  std::unordered_map<FuncId, Accumulator> by_func;
+
+  for (const ThreadTrace& thread : trace.threads) {
+    for (const Invocation& inv : thread.invocations) {
+      const double duration = static_cast<double>(inv.end - inv.start);
+      by_func[inv.func].moments.Add(duration);
+      if (inv.parent >= 0) {
+        const Invocation& parent =
+            thread.invocations[static_cast<size_t>(inv.parent)];
+        by_func[parent.func].child_ns += duration;
+      }
+    }
+  }
+
+  std::vector<FunctionStats> out;
+  out.reserve(by_func.size());
+  for (const auto& [func, acc] : by_func) {
+    FunctionStats stats;
+    stats.func = func;
+    stats.name = func < trace.function_names.size()
+                     ? trace.function_names[func]
+                     : "?";
+    stats.calls = acc.moments.count();
+    stats.mean_ns = acc.moments.mean();
+    stats.total_ns = stats.mean_ns * static_cast<double>(stats.calls);
+    stats.stddev_ns = acc.moments.stddev();
+    stats.min_ns = acc.moments.min();
+    stats.max_ns = acc.moments.max();
+    stats.self_ns = stats.total_ns - acc.child_ns;
+    out.push_back(std::move(stats));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FunctionStats& a, const FunctionStats& b) {
+              return a.total_ns > b.total_ns;
+            });
+  return out;
+}
+
+std::string FormatFlatProfile(const std::vector<FunctionStats>& profile,
+                              size_t max_rows) {
+  std::ostringstream out;
+  out << "function                                 calls     total(ms)  "
+         "self(ms)   mean(us)    sd(us)\n";
+  size_t rows = 0;
+  for (const FunctionStats& f : profile) {
+    if (rows++ >= max_rows) {
+      break;
+    }
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "%-40s %8llu %10.2f %10.2f %10.1f %9.1f\n", f.name.c_str(),
+                  static_cast<unsigned long long>(f.calls), f.total_ns / 1e6,
+                  f.self_ns / 1e6, f.mean_ns / 1e3, f.stddev_ns / 1e3);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace vprof

@@ -1,0 +1,38 @@
+// Flat per-function profile computed directly from a trace: call counts and
+// duration moments per function, gprof-style but with variance — the
+// "conventional profiler" view that the paper contrasts VProfiler against.
+// Useful as a first look before running the semantic-interval analysis.
+#ifndef SRC_VPROF_ANALYSIS_FLAT_PROFILE_H_
+#define SRC_VPROF_ANALYSIS_FLAT_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/vprof/trace.h"
+
+namespace vprof {
+
+struct FunctionStats {
+  FuncId func = kInvalidFunc;
+  std::string name;
+  uint64_t calls = 0;
+  double total_ns = 0.0;
+  double mean_ns = 0.0;
+  double stddev_ns = 0.0;
+  double min_ns = 0.0;
+  double max_ns = 0.0;
+  // Self time: total minus time spent in recorded child invocations.
+  double self_ns = 0.0;
+};
+
+// Per-function stats over all invocations in the trace, sorted by descending
+// total time.
+std::vector<FunctionStats> ComputeFlatProfile(const Trace& trace);
+
+// Text table of the flat profile.
+std::string FormatFlatProfile(const std::vector<FunctionStats>& profile,
+                              size_t max_rows = 20);
+
+}  // namespace vprof
+
+#endif  // SRC_VPROF_ANALYSIS_FLAT_PROFILE_H_

@@ -1,0 +1,110 @@
+#include "src/vprof/analysis/profiler.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/vprof/registry.h"
+#include "src/vprof/runtime.h"
+
+namespace vprof {
+
+Profiler::Profiler(std::string root_function, const CallGraph* graph,
+                   std::function<void()> workload)
+    : root_name_(std::move(root_function)),
+      graph_(graph),
+      workload_(std::move(workload)) {}
+
+ProfileResult Profiler::Run(const ProfileOptions& options) {
+  ProfileResult result;
+  const FuncId root = RegisterFunction(root_name_);
+
+  std::set<FuncId> instrumented = {root};
+  std::set<FuncId> expanded;
+  std::vector<FuncId> frontier = {root};
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // Expand the frontier: instrument each frontier function's children.
+    for (FuncId f : frontier) {
+      expanded.insert(f);
+      for (FuncId child : graph_->Children(f)) {
+        instrumented.insert(child);
+      }
+    }
+    frontier.clear();
+
+    DisableAllFunctions();
+    for (FuncId f : instrumented) {
+      SetFunctionEnabled(f, true);
+    }
+
+    StartTracing();
+    workload_();
+    Trace trace = StopTracing();
+    ++result.runs;
+
+    auto analysis =
+        std::make_shared<VarianceAnalysis>(trace, options.path_options);
+    FactorSelectionOptions sel;
+    sel.top_k = options.top_k;
+    sel.min_contribution = options.min_contribution;
+    sel.specificity = options.specificity;
+    std::vector<Factor> selected = SelectFactors(*analysis, *graph_, root, sel);
+
+    // Decide which selected variance factors to break down further
+    // (Algorithm 3 lines 12-17).
+    for (const Factor& f : selected) {
+      if (f.is_covariance() || f.body_a) {
+        continue;  // covariances and bodies have no children to instrument
+      }
+      if (expanded.count(f.func_a) != 0 || !graph_->HasChildren(f.func_a)) {
+        continue;
+      }
+      if (options.should_expand && !options.should_expand(f)) {
+        continue;
+      }
+      frontier.push_back(f.func_a);
+    }
+
+    result.factors = std::move(selected);
+    result.all_factors =
+        AggregateFactors(*analysis, *graph_, root, options.specificity);
+    result.tree_height = analysis->TreeHeight();
+    result.tree_breadth = analysis->TreeBreadth();
+    result.overall_mean_ns = analysis->overall_mean();
+    result.overall_variance = analysis->overall_variance();
+    result.latencies_ns.assign(analysis->latencies().begin(),
+                               analysis->latencies().end());
+    result.function_names = trace.function_names;
+    result.analysis = analysis;
+    result.trace = std::move(trace);
+
+    if (frontier.empty()) {
+      break;  // selection stable: nothing left to break down
+    }
+  }
+
+  result.instrumented.clear();
+  for (FuncId f : instrumented) {
+    result.instrumented.push_back(FunctionName(f));
+  }
+  DisableAllFunctions();
+  return result;
+}
+
+std::string ProfileResult::Report() const {
+  std::ostringstream out;
+  out << "overall: mean=" << overall_mean_ns / 1e6
+      << " ms, variance=" << overall_variance / 1e12
+      << " ms^2, intervals=" << latencies_ns.size() << ", runs=" << runs
+      << ", tree height=" << tree_height << ", breadth=" << tree_breadth << "\n";
+  out << "rank | factor | contribution to overall variance | score\n";
+  int rank = 1;
+  for (const Factor& f : factors) {
+    out << rank++ << " | " << f.Label(function_names) << " | "
+        << f.contribution * 100.0 << "% | " << f.score << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vprof

@@ -1,0 +1,79 @@
+// The iterative-refinement profiling driver (paper Section 3.3.4 and
+// Algorithm 3) and the top-level VProfiler facade.
+//
+// Starting from the semantic-interval root function, each iteration:
+//   1. instruments the current skeleton (all expanded functions plus their
+//      static-call-graph children),
+//   2. runs the caller-supplied workload under tracing,
+//   3. extends the variance tree one level and selects the top-k factors,
+//   4. expands the selected variance factors that the break-down policy
+//      approves, and repeats until the selection is stable.
+//
+// The paper regenerates instrumented sources and recompiles between
+// iterations; here the same selectivity is achieved by flipping per-function
+// probe flags (see registry.h), so an iteration is just another run.
+#ifndef SRC_VPROF_ANALYSIS_PROFILER_H_
+#define SRC_VPROF_ANALYSIS_PROFILER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/vprof/analysis/call_graph.h"
+#include "src/vprof/analysis/factor_selection.h"
+#include "src/vprof/analysis/variance_tree.h"
+
+namespace vprof {
+
+struct ProfileOptions {
+  int top_k = 3;                   // k in Algorithm 1
+  double min_contribution = 0.01;  // d in Algorithm 1
+  int max_iterations = 16;
+  SpecificityKind specificity = SpecificityKind::kQuadratic;
+  CriticalPathOptions path_options;
+
+  // Stands in for the developer's "investigate further?" answer. Called for
+  // each selected variance factor that could be expanded; return true to
+  // instrument its children next iteration. Defaults to always-yes.
+  std::function<bool(const Factor&)> should_expand;
+};
+
+struct ProfileResult {
+  std::vector<Factor> factors;    // final top-k selection
+  std::vector<Factor> all_factors;  // full ranking from the final iteration
+  int runs = 0;                   // tracing runs performed (Table 3)
+  int tree_height = 0;            // final variance tree height (Table 3)
+  uint64_t tree_breadth = 0;      // final variance tree breadth (Table 3)
+  double overall_mean_ns = 0.0;
+  double overall_variance = 0.0;  // ns^2
+  std::vector<double> latencies_ns;  // per-interval latencies, final run
+  std::vector<std::string> instrumented;  // final instrumented set
+  std::vector<std::string> function_names;
+  std::shared_ptr<const VarianceAnalysis> analysis;  // final tree
+  Trace trace;  // the final iteration's raw trace (for re-analysis, e.g.
+                // per-label profiles or Chrome export)
+
+  // Formatted factor table in the style of the paper's Tables 4/6/7.
+  std::string Report() const;
+};
+
+class Profiler {
+ public:
+  // `root` is the function whose invocations span the semantic interval.
+  // `workload` runs the system under test once; tracing is already active
+  // when it is called.
+  Profiler(std::string root_function, const CallGraph* graph,
+           std::function<void()> workload);
+
+  ProfileResult Run(const ProfileOptions& options = {});
+
+ private:
+  std::string root_name_;
+  const CallGraph* graph_;
+  std::function<void()> workload_;
+};
+
+}  // namespace vprof
+
+#endif  // SRC_VPROF_ANALYSIS_PROFILER_H_

@@ -1,0 +1,104 @@
+#include "src/vprof/analysis/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "src/statkit/summary.h"
+
+namespace vprof {
+
+std::string FormatFactorTable(const std::vector<Factor>& factors,
+                              const std::vector<std::string>& function_names,
+                              size_t max_rows, double min_contribution) {
+  std::ostringstream out;
+  out << "rank  contribution  score         factor\n";
+  size_t rank = 1;
+  for (const Factor& factor : factors) {
+    if (rank > max_rows) {
+      break;
+    }
+    if (factor.contribution < min_contribution) {
+      continue;
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-5zu %10.1f%%  %-12.4g  %s\n", rank,
+                  factor.contribution * 100.0, factor.score,
+                  factor.Label(function_names).c_str());
+    out << line;
+    ++rank;
+  }
+  return out.str();
+}
+
+namespace {
+
+void FormatNode(const VarianceAnalysis& analysis, NodeId id, int indent,
+                double min_contribution, double min_mean_ns,
+                std::ostringstream* out) {
+  const double contribution = analysis.NodeContribution(id);
+  const double mean = analysis.NodeMean(id);
+  if (id != kRootNode &&
+      (contribution < min_contribution && mean < min_mean_ns)) {
+    return;
+  }
+  char line[192];
+  const std::string label =
+      id == kRootNode ? "(interval)" : analysis.NodeLabel(id);
+  std::snprintf(line, sizeof(line), "%*s%-*s mean=%10.1f us  var%%=%6.1f\n",
+                indent * 2, "", std::max(1, 44 - indent * 2), label.c_str(),
+                mean / 1000.0, contribution * 100.0);
+  *out << line;
+  // Children ordered by descending contribution for readability.
+  std::vector<NodeId> children = analysis.node(id).children;
+  std::sort(children.begin(), children.end(), [&](NodeId a, NodeId b) {
+    return analysis.NodeContribution(a) > analysis.NodeContribution(b);
+  });
+  for (NodeId child : children) {
+    FormatNode(analysis, child, indent + 1, min_contribution, min_mean_ns, out);
+  }
+}
+
+}  // namespace
+
+std::string FormatCallTree(const VarianceAnalysis& analysis,
+                           double min_contribution, double min_mean_ns) {
+  std::ostringstream out;
+  FormatNode(analysis, kRootNode, 0, min_contribution, min_mean_ns, &out);
+  return out.str();
+}
+
+std::string FormatWaitBreakdown(const VarianceAnalysis& analysis) {
+  std::ostringstream out;
+  const double n = std::max<double>(1.0, static_cast<double>(analysis.interval_count()));
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "uncovered critical-path time per interval (avg):\n"
+                "  queue wait:        %10.1f us\n"
+                "  blocked (no edge): %10.1f us\n"
+                "  descheduled:       %10.1f us\n",
+                analysis.total_queue_wait_ns() / n / 1000.0,
+                analysis.total_blocked_wait_ns() / n / 1000.0,
+                analysis.total_descheduled_ns() / n / 1000.0);
+  out << line;
+  return out.str();
+}
+
+std::string FormatLatencySummary(const VarianceAnalysis& analysis) {
+  const auto latencies = analysis.latencies();
+  const statkit::Summary s =
+      statkit::Summarize({latencies.data(), latencies.size()});
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "intervals: %zu\n"
+                "latency: mean=%.3f ms  sd=%.3f ms  cv=%.2f\n"
+                "         p50=%.3f ms  p95=%.3f ms  p99=%.3f ms  max=%.3f ms\n",
+                analysis.interval_count(), s.mean / 1e6, s.stddev / 1e6, s.cv,
+                s.p50 / 1e6, s.p95 / 1e6, s.p99 / 1e6, s.max / 1e6);
+  out << line;
+  return out.str();
+}
+
+}  // namespace vprof

@@ -1,0 +1,37 @@
+// Human-readable report rendering for variance analyses and profiles:
+// ranked factor tables, annotated call trees, wait-time breakdowns, and
+// latency summaries. Used by the bench harnesses, the examples, and any
+// downstream tool embedding VProfiler.
+#ifndef SRC_VPROF_ANALYSIS_REPORT_H_
+#define SRC_VPROF_ANALYSIS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/vprof/analysis/factor_selection.h"
+#include "src/vprof/analysis/variance_tree.h"
+
+namespace vprof {
+
+// Ranked factor table, one row per factor with contribution percentages.
+std::string FormatFactorTable(const std::vector<Factor>& factors,
+                              const std::vector<std::string>& function_names,
+                              size_t max_rows = 10,
+                              double min_contribution = 0.005);
+
+// ASCII rendering of the variance tree: indented nodes with per-node mean
+// time and contribution to the overall variance. Nodes below
+// `min_contribution` and with mean below `min_mean_ns` are pruned.
+std::string FormatCallTree(const VarianceAnalysis& analysis,
+                           double min_contribution = 0.001,
+                           double min_mean_ns = 100.0);
+
+// Where interval time went that no instrumented function covered.
+std::string FormatWaitBreakdown(const VarianceAnalysis& analysis);
+
+// Mean / variance / percentiles of the interval latencies.
+std::string FormatLatencySummary(const VarianceAnalysis& analysis);
+
+}  // namespace vprof
+
+#endif  // SRC_VPROF_ANALYSIS_REPORT_H_

@@ -1,0 +1,256 @@
+#include "src/vprof/analysis/variance_tree.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/statkit/covariance.h"
+#include "src/statkit/welford.h"
+
+namespace vprof {
+
+namespace {
+
+// Per-thread helper that maps invocation records to tree nodes and finds
+// invocations overlapping a time window.
+struct ThreadView {
+  const ThreadTrace* thread = nullptr;
+  std::vector<NodeId> invocation_nodes;  // parallel to thread->invocations
+};
+
+// True when any invocation on the thread overlaps [lo, hi]. Walks backwards
+// from the last invocation starting before `hi`; a completed top-level
+// invocation entirely before the window bounds the scan.
+bool AnyInvocationCovers(const ThreadTrace& thread, TimeNs lo, TimeNs hi) {
+  const std::vector<Invocation>& invocations = thread.invocations;
+  auto upper = std::upper_bound(
+      invocations.begin(), invocations.end(), hi,
+      [](TimeNs value, const Invocation& inv) { return value <= inv.start; });
+  for (auto rit = std::make_reverse_iterator(upper); rit != invocations.rend();
+       ++rit) {
+    if (rit->end > lo) {
+      return true;
+    }
+    if (rit->parent < 0) {
+      break;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+VarianceAnalysis::VarianceAnalysis(const Trace& trace,
+                                   const CriticalPathOptions& options) {
+  function_names_ = trace.function_names;
+  nodes_.push_back(TreeNode{});  // synthetic root
+  node_times_.emplace_back();
+
+  TraceIndex index(trace);
+  CriticalPathOptions path_options = options;
+  if (!path_options.has_coverage) {
+    path_options.has_coverage = [&index](ThreadId tid, TimeNs lo, TimeNs hi) {
+      const ThreadTrace* thread = index.Thread(tid);
+      return thread != nullptr && AnyInvocationCovers(*thread, lo, hi);
+    };
+  }
+  const std::vector<IntervalBreakdown> breakdowns =
+      BuildBreakdowns(index, path_options);
+  interval_count_ = breakdowns.size();
+  for (auto& series : node_times_) {
+    series.assign(interval_count_, 0.0);
+  }
+  AttributeWindows(index, breakdowns);
+  AddBodiesAndStats();
+}
+
+NodeId VarianceAnalysis::Intern(NodeId parent, FuncId func, bool is_body) {
+  const TreeNode& parent_node = nodes_[static_cast<size_t>(parent)];
+  for (NodeId child : parent_node.children) {
+    const TreeNode& n = nodes_[static_cast<size_t>(child)];
+    if (n.func == func && n.is_body == is_body) {
+      return child;
+    }
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  TreeNode node;
+  node.parent = parent;
+  node.func = func;
+  node.is_body = is_body;
+  node.depth = nodes_[static_cast<size_t>(parent)].depth + 1;
+  nodes_.push_back(node);
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  node_times_.emplace_back(interval_count_, 0.0);
+  return id;
+}
+
+void VarianceAnalysis::AttributeWindows(
+    const TraceIndex& index, const std::vector<IntervalBreakdown>& breakdowns) {
+  const Trace& trace = index.trace();
+
+  // Precompute, per thread, the tree node of every recorded invocation.
+  // Parents precede children in the record order, so one forward pass works.
+  std::vector<ThreadView> views(trace.threads.size());
+  for (size_t t = 0; t < trace.threads.size(); ++t) {
+    const ThreadTrace& thread = trace.threads[t];
+    views[t].thread = &thread;
+    views[t].invocation_nodes.resize(thread.invocations.size());
+    for (size_t i = 0; i < thread.invocations.size(); ++i) {
+      const Invocation& inv = thread.invocations[i];
+      const NodeId parent_node =
+          inv.parent >= 0 ? views[t].invocation_nodes[static_cast<size_t>(inv.parent)]
+                          : kRootNode;
+      views[t].invocation_nodes[i] = Intern(parent_node, inv.func, /*is_body=*/false);
+    }
+  }
+
+  // Map tid -> view.
+  std::unordered_map<ThreadId, ThreadView*> by_tid;
+  for (ThreadView& view : views) {
+    by_tid[view.thread->tid] = &view;
+  }
+
+  for (size_t interval_idx = 0; interval_idx < breakdowns.size(); ++interval_idx) {
+    const IntervalBreakdown& b = breakdowns[interval_idx];
+    node_times_[kRootNode][interval_idx] = b.latency_ns();
+    total_queue_wait_ns_ += b.queue_wait_ns;
+    total_blocked_wait_ns_ += b.blocked_wait_ns;
+    total_descheduled_ns_ += b.descheduled_ns;
+
+    for (const PathWindow& window : b.windows) {
+      auto it = by_tid.find(window.tid);
+      if (it == by_tid.end()) {
+        continue;
+      }
+      const ThreadView& view = *it->second;
+      const std::vector<Invocation>& invocations = view.thread->invocations;
+      if (invocations.empty()) {
+        continue;
+      }
+      // Last invocation starting before the window's end, then walk
+      // backwards. Stop at a completed top-level invocation entirely before
+      // the window: everything earlier also ends before it.
+      auto upper = std::upper_bound(
+          invocations.begin(), invocations.end(), window.hi,
+          [](TimeNs value, const Invocation& inv) { return value <= inv.start; });
+      for (auto rit = std::make_reverse_iterator(upper);
+           rit != invocations.rend(); ++rit) {
+        const Invocation& inv = *rit;
+        if (inv.end <= window.lo) {
+          if (inv.parent < 0) {
+            break;
+          }
+          continue;
+        }
+        const TimeNs lo = std::max(inv.start, window.lo);
+        const TimeNs hi = std::min(inv.end, window.hi);
+        if (hi > lo) {
+          const size_t record_idx =
+              static_cast<size_t>(&inv - invocations.data());
+          const NodeId node = view.invocation_nodes[record_idx];
+          node_times_[static_cast<size_t>(node)][interval_idx] +=
+              static_cast<double>(hi - lo);
+        }
+      }
+    }
+  }
+}
+
+void VarianceAnalysis::AddBodiesAndStats() {
+  // Add a body pseudo-node under every node that has children (including the
+  // synthetic root, whose body captures critical-path time outside any
+  // instrumented function: waits, queueing, uninstrumented code).
+  const size_t original_count = nodes_.size();
+  for (size_t id = 0; id < original_count; ++id) {
+    if (nodes_[id].children.empty()) {
+      continue;
+    }
+    const NodeId body = Intern(static_cast<NodeId>(id),
+                               nodes_[id].func, /*is_body=*/true);
+    std::vector<double>& body_series = node_times_[static_cast<size_t>(body)];
+    const std::vector<double>& self_series = node_times_[id];
+    for (size_t i = 0; i < interval_count_; ++i) {
+      double children_sum = 0.0;
+      for (NodeId child : nodes_[id].children) {
+        if (child != body) {
+          children_sum += node_times_[static_cast<size_t>(child)][i];
+        }
+      }
+      body_series[i] = self_series[i] - children_sum;
+    }
+  }
+
+  // Per-node variance and mean.
+  node_variance_.resize(nodes_.size());
+  node_mean_.resize(nodes_.size());
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    statkit::StreamingMoments m;
+    for (double x : node_times_[id]) {
+      m.Add(x);
+    }
+    node_variance_[id] = m.variance();
+    node_mean_[id] = m.mean();
+  }
+
+  // Sibling covariances per expanded parent.
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const std::vector<NodeId>& kids = nodes_[id].children;
+    for (size_t a = 0; a < kids.size(); ++a) {
+      for (size_t b = a + 1; b < kids.size(); ++b) {
+        statkit::StreamingCovariance cov;
+        const auto& sa = node_times_[static_cast<size_t>(kids[a])];
+        const auto& sb = node_times_[static_cast<size_t>(kids[b])];
+        for (size_t i = 0; i < interval_count_; ++i) {
+          cov.Add(sa[i], sb[i]);
+        }
+        covariances_.push_back(SiblingCovariance{
+            static_cast<NodeId>(id), kids[a], kids[b], cov.covariance()});
+      }
+    }
+  }
+}
+
+std::string VarianceAnalysis::NodeLabel(NodeId id) const {
+  const TreeNode& n = nodes_[static_cast<size_t>(id)];
+  if (n.func == kInvalidFunc) {
+    return n.is_body ? "(other)" : "(interval)";
+  }
+  const std::string& name = n.func < function_names_.size()
+                                ? function_names_[n.func]
+                                : std::string("?");
+  return n.is_body ? name + "(body)" : name;
+}
+
+std::span<const double> VarianceAnalysis::Series(NodeId id) const {
+  return node_times_[static_cast<size_t>(id)];
+}
+
+double VarianceAnalysis::NodeMean(NodeId id) const {
+  return node_mean_[static_cast<size_t>(id)];
+}
+
+double VarianceAnalysis::NodeVariance(NodeId id) const {
+  return node_variance_[static_cast<size_t>(id)];
+}
+
+double VarianceAnalysis::NodeContribution(NodeId id) const {
+  const double overall = overall_variance();
+  return overall > 0.0 ? NodeVariance(id) / overall : 0.0;
+}
+
+int VarianceAnalysis::TreeHeight() const {
+  int height = 0;
+  for (const TreeNode& n : nodes_) {
+    height = std::max(height, n.depth);
+  }
+  return height;
+}
+
+uint64_t VarianceAnalysis::TreeBreadth() const {
+  uint64_t widest = 0;
+  for (const TreeNode& n : nodes_) {
+    widest = std::max(widest, static_cast<uint64_t>(n.children.size()));
+  }
+  return widest * widest;
+}
+
+}  // namespace vprof

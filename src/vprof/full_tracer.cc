@@ -1,0 +1,70 @@
+#include "src/vprof/full_tracer.h"
+
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/vprof/registry.h"
+
+namespace vprof {
+
+namespace {
+
+struct FullEvent {
+  uint64_t name_hash;
+  int64_t time_ns;
+  bool entry;
+};
+
+struct FullTracerState {
+  std::mutex mu;
+  std::vector<FullEvent> events;
+  std::unordered_map<std::string, uint64_t> per_function_counts;
+};
+
+FullTracerState& State() {
+  static FullTracerState* state = new FullTracerState();
+  return *state;
+}
+
+void Record(FuncId func, bool entry) {
+  // Symbol lookup by name, as a binary tracer would key its aggregation.
+  const std::string name = FunctionName(func);
+  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  FullTracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.push_back(
+      FullEvent{std::hash<std::string>{}(name), now, entry});
+  ++state.per_function_counts[name];
+  // Bound memory: generic tracers stream to a consumer; we emulate by
+  // discarding the oldest half when the buffer grows large.
+  if (state.events.size() > (1u << 20)) {
+    state.events.erase(state.events.begin(),
+                       state.events.begin() + state.events.size() / 2);
+  }
+}
+
+}  // namespace
+
+void FullTracerOnEntry(FuncId func) { Record(func, true); }
+void FullTracerOnExit(FuncId func) { Record(func, false); }
+
+FullTraceStats GetFullTracerStats() {
+  FullTracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  FullTraceStats stats;
+  stats.events = state.events.size();
+  stats.distinct_functions = state.per_function_counts.size();
+  return stats;
+}
+
+void ResetFullTracer() {
+  FullTracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.clear();
+  state.per_function_counts.clear();
+}
+
+}  // namespace vprof

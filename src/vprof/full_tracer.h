@@ -1,0 +1,33 @@
+// A deliberately heavyweight "instrument everything" tracer, standing in for
+// DTrace-style binary injection in the Figure 3 overhead comparison.
+//
+// Every probe — regardless of the selection flags — takes a timestamp,
+// serializes on a single global lock, hashes the function *name* (binary
+// tracers key events by symbol), and appends to one shared event log. This is
+// the per-event cost model of a generic injection tracer; VProfiler's probes
+// avoid all of it for unselected functions.
+#ifndef SRC_VPROF_FULL_TRACER_H_
+#define SRC_VPROF_FULL_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/vprof/types.h"
+
+namespace vprof {
+
+struct FullTraceStats {
+  uint64_t events = 0;
+  uint64_t distinct_functions = 0;
+};
+
+void FullTracerOnEntry(FuncId func);
+void FullTracerOnExit(FuncId func);
+
+FullTraceStats GetFullTracerStats();
+void ResetFullTracer();
+
+}  // namespace vprof
+
+#endif  // SRC_VPROF_FULL_TRACER_H_

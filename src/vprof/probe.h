@@ -1,0 +1,68 @@
+// Function-entry probes.
+//
+// VPROF_FUNC("name") at the top of a function body registers the function
+// once (thread-safe static init) and creates a scoped probe. The probe is a
+// few relaxed atomic loads when the function is not selected for the current
+// refinement iteration, which is what keeps VProfiler's overhead an order of
+// magnitude below binary-injection tracers (paper Section 4.1).
+#ifndef SRC_VPROF_PROBE_H_
+#define SRC_VPROF_PROBE_H_
+
+#include "src/vprof/full_tracer.h"
+#include "src/vprof/runtime.h"
+
+namespace vprof {
+
+class ScopedProbe {
+ public:
+  explicit ScopedProbe(FuncId func) {
+    if (!IsTracing()) {
+      return;
+    }
+    if (IsFullTrace()) {
+      // DTrace-like comparison mode: record every function, the slow way.
+      FullTracerOnEntry(func);
+      full_ = true;
+      func_ = func;
+      return;
+    }
+    if (!IsFunctionEnabled(func)) {
+      return;
+    }
+    thread_ = CurrentThread();
+    epoch_ = thread_->run_epoch();
+    record_index_ = thread_->OpenInvocation(func, Now());
+  }
+
+  ~ScopedProbe() {
+    if (thread_ != nullptr) {
+      // Drop the close if tracing restarted underneath this probe.
+      if (thread_->run_epoch() == epoch_) {
+        thread_->CloseInvocation(record_index_, Now());
+      }
+      return;
+    }
+    if (full_) {
+      FullTracerOnExit(func_);
+    }
+  }
+
+  ScopedProbe(const ScopedProbe&) = delete;
+  ScopedProbe& operator=(const ScopedProbe&) = delete;
+
+ private:
+  ThreadState* thread_ = nullptr;
+  uint64_t epoch_ = 0;
+  uint32_t record_index_ = 0;
+  bool full_ = false;
+  FuncId func_ = kInvalidFunc;
+};
+
+}  // namespace vprof
+
+// Instruments the enclosing function under the given profile name.
+#define VPROF_FUNC(name)                                                      \
+  static const ::vprof::FuncId vprof_local_fid = ::vprof::RegisterFunction(name); \
+  ::vprof::ScopedProbe vprof_local_probe(vprof_local_fid)
+
+#endif  // SRC_VPROF_PROBE_H_

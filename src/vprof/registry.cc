@@ -1,0 +1,97 @@
+#include "src/vprof/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace vprof {
+
+std::atomic<uint8_t> g_func_enabled[kMaxFunctions];
+
+namespace {
+
+struct RegistryState {
+  std::mutex mu;
+  std::vector<std::string> names;
+  std::unordered_map<std::string, FuncId> by_name;
+};
+
+RegistryState& State() {
+  static RegistryState* state = new RegistryState();
+  return *state;
+}
+
+}  // namespace
+
+FuncId RegisterFunction(std::string_view name) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.by_name.find(std::string(name));
+  if (it != state.by_name.end()) {
+    return it->second;
+  }
+  if (state.names.size() >= kMaxFunctions) {
+    std::fprintf(stderr, "vprof: function registry overflow (%zu)\n",
+                 state.names.size());
+    std::abort();
+  }
+  const FuncId id = static_cast<FuncId>(state.names.size());
+  state.names.emplace_back(name);
+  state.by_name.emplace(std::string(name), id);
+  return id;
+}
+
+FuncId LookupFunction(std::string_view name) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.by_name.find(std::string(name));
+  return it == state.by_name.end() ? kInvalidFunc : it->second;
+}
+
+std::string FunctionName(FuncId id) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (id >= state.names.size()) {
+    return std::string();
+  }
+  return state.names[id];
+}
+
+size_t RegisteredFunctionCount() {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.names.size();
+}
+
+std::vector<std::string> AllFunctionNames() {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.names;
+}
+
+void SetFunctionEnabled(FuncId id, bool enabled) {
+  if (id < kMaxFunctions) {
+    g_func_enabled[id].store(enabled ? 1 : 0, std::memory_order_relaxed);
+  }
+}
+
+void DisableAllFunctions() {
+  const size_t n = RegisteredFunctionCount();
+  for (size_t i = 0; i < n; ++i) {
+    g_func_enabled[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<FuncId> EnabledFunctions() {
+  std::vector<FuncId> out;
+  const size_t n = RegisteredFunctionCount();
+  for (size_t i = 0; i < n; ++i) {
+    if (g_func_enabled[i].load(std::memory_order_relaxed) != 0) {
+      out.push_back(static_cast<FuncId>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace vprof

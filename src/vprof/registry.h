@@ -1,0 +1,57 @@
+// Global function registry and per-function instrumentation flags.
+//
+// The paper's tool rewrites source to instrument only the currently selected
+// functions, recompiling between refinement iterations (Section 3.3.4). We
+// get the same selectivity without recompiling: every instrumentable function
+// carries a compiled-in probe that checks one relaxed atomic flag; the
+// refinement driver flips flags between runs.
+#ifndef SRC_VPROF_REGISTRY_H_
+#define SRC_VPROF_REGISTRY_H_
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/vprof/types.h"
+
+namespace vprof {
+
+inline constexpr size_t kMaxFunctions = 4096;
+
+// Per-function enable flags, indexed by FuncId. Exposed for the inline probe
+// fast path only; use SetFunctionEnabled to mutate.
+extern std::atomic<uint8_t> g_func_enabled[kMaxFunctions];
+
+// Registers (or finds) a function by name and returns its dense id.
+// Thread-safe; idempotent per name. Aborts if kMaxFunctions is exceeded.
+FuncId RegisterFunction(std::string_view name);
+
+// Returns the id for `name`, or kInvalidFunc if it was never registered.
+FuncId LookupFunction(std::string_view name);
+
+// Returns the registered name for `id` (empty string if out of range).
+std::string FunctionName(FuncId id);
+
+// Number of registered functions.
+size_t RegisteredFunctionCount();
+
+// Snapshot of all registered names, indexed by FuncId.
+std::vector<std::string> AllFunctionNames();
+
+// Enables or disables recording for one function.
+void SetFunctionEnabled(FuncId id, bool enabled);
+
+// Disables recording for every function.
+void DisableAllFunctions();
+
+// Currently enabled function ids.
+std::vector<FuncId> EnabledFunctions();
+
+inline bool IsFunctionEnabled(FuncId id) {
+  return g_func_enabled[id].load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace vprof
+
+#endif  // SRC_VPROF_REGISTRY_H_

@@ -1,0 +1,278 @@
+#include "src/vprof/runtime.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/vprof/full_tracer.h"
+
+namespace vprof {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<bool> g_full_trace{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RuntimeState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadState>> threads;
+  std::atomic<uint64_t> next_interval{1};
+  std::atomic<uint64_t> run_epoch{0};
+  Clock::time_point epoch = Clock::now();
+};
+
+RuntimeState& State() {
+  static RuntimeState* state = new RuntimeState();
+  return *state;
+}
+
+thread_local ThreadState* tls_thread = nullptr;
+
+}  // namespace
+
+TimeNs Now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              State().epoch)
+      .count();
+}
+
+ThreadState* CurrentThread() {
+  if (tls_thread == nullptr) {
+    RuntimeState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    auto owned =
+        std::make_unique<ThreadState>(static_cast<ThreadId>(state.threads.size()));
+    owned->ResetForRun(state.run_epoch.load(std::memory_order_relaxed));
+    tls_thread = owned.get();
+    state.threads.push_back(std::move(owned));
+  }
+  return tls_thread;
+}
+
+// --- ThreadState ------------------------------------------------------------
+
+void ThreadState::ResetForRun(uint64_t run_epoch) {
+  run_epoch_ = run_epoch;
+  current_sid_ = kNoInterval;
+  invocations_.clear();
+  segments_.clear();
+  interval_events_.clear();
+  depth_ = 0;
+  block_depth_ = 0;
+  seg_start_ = -1;
+  seg_sid_ = kNoInterval;
+  seg_state_ = SegmentState::kExecuting;
+  pending_gen_tid_ = kNoThread;
+  pending_gen_time_ = -1;
+  pending_waker_tid_ = kNoThread;
+  pending_waker_time_ = -1;
+}
+
+void ThreadState::EnsureSegmentOpen(TimeNs now) {
+  if (seg_start_ >= 0) {
+    return;
+  }
+  seg_start_ = now;
+  seg_sid_ = current_sid_;
+  seg_state_ = SegmentState::kExecuting;
+}
+
+void ThreadState::CloseSegment(TimeNs now) {
+  if (seg_start_ < 0) {
+    return;
+  }
+  Segment seg;
+  seg.start = seg_start_;
+  seg.end = now;
+  seg.sid = seg_sid_;
+  seg.state = seg_state_;
+  seg.generator_tid = pending_gen_tid_;
+  seg.generator_time = pending_gen_time_;
+  segments_.push_back(seg);
+  seg_start_ = -1;
+  pending_gen_tid_ = kNoThread;
+  pending_gen_time_ = -1;
+}
+
+uint32_t ThreadState::OpenInvocation(FuncId func, TimeNs now) {
+  EnsureSegmentOpen(now);
+  const uint32_t index = static_cast<uint32_t>(invocations_.size());
+  Invocation inv;
+  inv.start = now;
+  inv.func = func;
+  inv.sid = current_sid_;
+  inv.parent = depth_ > 0 ? static_cast<int32_t>(stack_[depth_ - 1].record_index) : -1;
+  invocations_.push_back(inv);
+  if (depth_ < kMaxProbeDepth) {
+    stack_[depth_] = Frame{func, index};
+  }
+  ++depth_;
+  return index;
+}
+
+void ThreadState::CloseInvocation(uint32_t index, TimeNs now) {
+  if (depth_ > 0) {
+    --depth_;
+  }
+  if (index < invocations_.size()) {
+    invocations_[index].end = now;
+  }
+}
+
+void ThreadState::SwitchInterval(IntervalId sid, TimeNs now) {
+  if (sid == current_sid_ && seg_start_ >= 0) {
+    return;
+  }
+  CloseSegment(now);
+  current_sid_ = sid;
+  EnsureSegmentOpen(now);
+}
+
+void ThreadState::BeginBlocked(SegmentState state, TimeNs now) {
+  if (block_depth_++ > 0) {
+    return;
+  }
+  CloseSegment(now);
+  seg_start_ = now;
+  seg_sid_ = current_sid_;
+  seg_state_ = state;
+}
+
+void ThreadState::EndBlocked(TimeNs now, ThreadId waker_tid, TimeNs waker_time) {
+  if (block_depth_ > 0 && --block_depth_ > 0) {
+    // Inner waits keep the outermost blocked segment open, but remember the
+    // most recent waker: it is the event that actually freed the thread.
+    pending_waker_tid_ = waker_tid;
+    pending_waker_time_ = waker_time;
+    return;
+  }
+  if (waker_tid == kNoThread && pending_waker_tid_ != kNoThread) {
+    waker_tid = pending_waker_tid_;
+    waker_time = pending_waker_time_;
+  }
+  pending_waker_tid_ = kNoThread;
+  pending_waker_time_ = -1;
+  if (seg_start_ >= 0) {
+    Segment seg;
+    seg.start = seg_start_;
+    seg.end = now;
+    seg.sid = seg_sid_;
+    seg.state = seg_state_;
+    seg.waker_tid = waker_tid;
+    seg.waker_time = waker_time;
+    segments_.push_back(seg);
+    seg_start_ = -1;
+  }
+  EnsureSegmentOpen(now);
+}
+
+void ThreadState::AttachGeneratorEdge(ThreadId producer_tid, TimeNs enqueue_time,
+                                      TimeNs now) {
+  CloseSegment(now);
+  pending_gen_tid_ = producer_tid;
+  pending_gen_time_ = enqueue_time;
+  EnsureSegmentOpen(now);
+}
+
+void ThreadState::RecordIntervalEvent(IntervalId sid, IntervalEventKind kind,
+                                      TimeNs now, IntervalLabel label) {
+  interval_events_.push_back(IntervalEvent{sid, now, kind, label});
+}
+
+ThreadTrace ThreadState::Collect(TimeNs end_time) {
+  CloseSegment(end_time);
+  ThreadTrace out;
+  out.tid = tid_;
+  out.invocations = invocations_;
+  out.segments = segments_;
+  out.interval_events = interval_events_;
+  // Clamp invocations still open at stop time.
+  for (Invocation& inv : out.invocations) {
+    if (inv.end < 0) {
+      inv.end = end_time;
+    }
+  }
+  return out;
+}
+
+// --- run control ------------------------------------------------------------
+
+void StartTracing() {
+  RuntimeState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.run_epoch.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t epoch = state.run_epoch.load(std::memory_order_relaxed);
+  for (auto& thread : state.threads) {
+    thread->ResetForRun(epoch);
+  }
+  state.next_interval.store(1, std::memory_order_relaxed);
+  state.epoch = Clock::now();
+  ResetFullTracer();
+  g_tracing.store(true, std::memory_order_seq_cst);
+}
+
+Trace StopTracing() {
+  g_tracing.store(false, std::memory_order_seq_cst);
+  RuntimeState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const TimeNs end_time = Now();
+  Trace trace;
+  trace.duration = end_time;
+  trace.function_names = AllFunctionNames();
+  for (auto& thread : state.threads) {
+    ThreadTrace tt = thread->Collect(end_time);
+    if (!tt.invocations.empty() || !tt.segments.empty() ||
+        !tt.interval_events.empty()) {
+      trace.threads.push_back(std::move(tt));
+    }
+  }
+  return trace;
+}
+
+void EnableFullTrace(bool enabled) {
+  g_full_trace.store(enabled, std::memory_order_seq_cst);
+}
+
+// --- interval annotations ----------------------------------------------------
+
+IntervalId BeginInterval(IntervalLabel label) {
+  if (!IsTracing()) {
+    return kNoInterval;
+  }
+  RuntimeState& state = State();
+  const IntervalId sid = state.next_interval.fetch_add(1, std::memory_order_relaxed);
+  ThreadState* thread = CurrentThread();
+  const TimeNs now = Now();
+  thread->RecordIntervalEvent(sid, IntervalEventKind::kBegin, now, label);
+  thread->SwitchInterval(sid, now);
+  return sid;
+}
+
+void EndInterval(IntervalId sid) {
+  if (!IsTracing() || sid == kNoInterval) {
+    return;
+  }
+  ThreadState* thread = CurrentThread();
+  const TimeNs now = Now();
+  thread->RecordIntervalEvent(sid, IntervalEventKind::kEnd, now);
+  thread->SwitchInterval(kNoInterval, now);
+}
+
+void WorkOnBehalf(IntervalId sid) {
+  if (!IsTracing()) {
+    return;
+  }
+  CurrentThread()->SwitchInterval(sid, Now());
+}
+
+IntervalId CurrentIntervalId() {
+  if (!IsTracing()) {
+    return kNoInterval;
+  }
+  return CurrentThread()->current_sid();
+}
+
+}  // namespace vprof

@@ -1,0 +1,164 @@
+// The VProfiler online runtime: tracing control, per-thread record buffers,
+// semantic-interval annotations, and the hooks used by probes and the
+// instrumented synchronization primitives.
+#ifndef SRC_VPROF_RUNTIME_H_
+#define SRC_VPROF_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/vprof/registry.h"
+#include "src/vprof/trace.h"
+#include "src/vprof/types.h"
+
+namespace vprof {
+
+// Maximum nesting depth of simultaneously-open recorded probes on one thread.
+inline constexpr int kMaxProbeDepth = 128;
+
+// Fast global flags, read on every probe. Mutate only via Start/StopTracing
+// and EnableFullTrace.
+extern std::atomic<bool> g_tracing;
+extern std::atomic<bool> g_full_trace;
+
+inline bool IsTracing() { return g_tracing.load(std::memory_order_relaxed); }
+inline bool IsFullTrace() { return g_full_trace.load(std::memory_order_relaxed); }
+
+// Nanoseconds since the current run's epoch (monotonic clock).
+TimeNs Now();
+
+// All per-thread recording state. One instance per OS thread that touches the
+// runtime while tracing; owned by the global runtime, reset between runs.
+class ThreadState {
+ public:
+  explicit ThreadState(ThreadId tid) : tid_(tid) {}
+
+  ThreadId tid() const { return tid_; }
+  IntervalId current_sid() const { return current_sid_; }
+
+  // --- probe hooks -----------------------------------------------------
+  // Opens an invocation record; returns its index for CloseInvocation.
+  uint32_t OpenInvocation(FuncId func, TimeNs now);
+  void CloseInvocation(uint32_t index, TimeNs now);
+  uint64_t run_epoch() const { return run_epoch_; }
+
+  // --- segment / interval transitions ----------------------------------
+  // Switches the interval this thread works on behalf of (segment split).
+  void SwitchInterval(IntervalId sid, TimeNs now);
+
+  // Marks the thread blocked (lock/condvar/queue). EndBlocked closes the
+  // blocked segment, records the wake-up edge, and resumes execution.
+  // Nested Begin/End pairs (a condvar wait inside a queue wait, the lock
+  // reacquisition after a wait) are counted and only the outermost pair is
+  // recorded, keeping segments flat.
+  void BeginBlocked(SegmentState state, TimeNs now);
+  void EndBlocked(TimeNs now, ThreadId waker_tid, TimeNs waker_time);
+
+  // Splits the current executing segment to attach a created-by edge for a
+  // freshly dequeued task (paper's 4-tuple).
+  void AttachGeneratorEdge(ThreadId producer_tid, TimeNs enqueue_time, TimeNs now);
+
+  // Records a semantic-interval begin/end annotation on this thread.
+  void RecordIntervalEvent(IntervalId sid, IntervalEventKind kind, TimeNs now,
+                           IntervalLabel label = kNoLabel);
+
+  // --- run lifecycle ----------------------------------------------------
+  void ResetForRun(uint64_t run_epoch);
+  // Closes any open segment and copies buffers out.
+  ThreadTrace Collect(TimeNs end_time);
+
+ private:
+  void EnsureSegmentOpen(TimeNs now);
+  void CloseSegment(TimeNs now);
+
+  ThreadId tid_;
+  uint64_t run_epoch_ = 0;
+  IntervalId current_sid_ = kNoInterval;
+
+  std::vector<Invocation> invocations_;
+  std::vector<Segment> segments_;
+  std::vector<IntervalEvent> interval_events_;
+
+  struct Frame {
+    FuncId func;
+    uint32_t record_index;
+  };
+  Frame stack_[kMaxProbeDepth];
+  int depth_ = 0;
+  int block_depth_ = 0;
+
+  // Open segment (start < 0 when none).
+  TimeNs seg_start_ = -1;
+  SegmentState seg_state_ = SegmentState::kExecuting;
+  IntervalId seg_sid_ = kNoInterval;
+  // Pending created-by edge for the segment being opened.
+  ThreadId pending_gen_tid_ = kNoThread;
+  TimeNs pending_gen_time_ = -1;
+  // Waker reported by an inner nested wait, consumed by the outermost
+  // EndBlocked.
+  ThreadId pending_waker_tid_ = kNoThread;
+  TimeNs pending_waker_time_ = -1;
+};
+
+// Returns this thread's state, creating and registering it on first use.
+ThreadState* CurrentThread();
+
+// --- run control ----------------------------------------------------------
+
+// Clears all buffers, re-arms the clock epoch, and begins recording.
+void StartTracing();
+
+// Stops recording and returns everything captured since StartTracing.
+Trace StopTracing();
+
+// Enables the DTrace-like always-on heavyweight tracer (see full_tracer.h).
+// Used only by the overhead-comparison experiment.
+void EnableFullTrace(bool enabled);
+
+// --- semantic interval annotations (paper Section 3.1) ---------------------
+
+// Annotation (1): a new semantic interval is created; the calling thread
+// starts working on its behalf. Returns the new interval's id. The optional
+// label classifies the interval (e.g. transaction type) so the analysis can
+// compute per-type profiles.
+IntervalId BeginInterval(IntervalLabel label = kNoLabel);
+
+// Annotation (2): the semantic interval is complete. The calling thread
+// reverts to background (no-interval) execution.
+void EndInterval(IntervalId sid);
+
+// Annotation (3): the calling thread starts executing on behalf of `sid`
+// (task-based models; worker dequeues an event for the interval). Passing
+// kNoInterval marks the thread as background again.
+void WorkOnBehalf(IntervalId sid);
+
+// The interval the calling thread currently works on behalf of.
+IntervalId CurrentIntervalId();
+
+// RAII wrapper: begins a semantic interval on construction and ends it on
+// destruction. If the thread is already inside an interval, the scope joins
+// it (no nested interval is created).
+class IntervalScope {
+ public:
+  explicit IntervalScope(IntervalLabel label = kNoLabel) {
+    if (CurrentIntervalId() == kNoInterval) {
+      sid_ = BeginInterval(label);
+    }
+  }
+  ~IntervalScope() {
+    if (sid_ != kNoInterval) {
+      EndInterval(sid_);
+    }
+  }
+  IntervalScope(const IntervalScope&) = delete;
+  IntervalScope& operator=(const IntervalScope&) = delete;
+
+  IntervalId id() const { return sid_; }
+
+ private:
+  IntervalId sid_ = kNoInterval;
+};
+
+}  // namespace vprof
+
+#endif  // SRC_VPROF_RUNTIME_H_

@@ -1,0 +1,171 @@
+#include "src/vprof/trace.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "src/vprof/registry.h"
+
+namespace vprof {
+
+uint64_t Trace::invocation_count() const {
+  uint64_t n = 0;
+  for (const ThreadTrace& t : threads) {
+    n += t.invocations.size();
+  }
+  return n;
+}
+
+uint64_t Trace::segment_count() const {
+  uint64_t n = 0;
+  for (const ThreadTrace& t : threads) {
+    n += t.segments.size();
+  }
+  return n;
+}
+
+uint64_t Trace::interval_count() const {
+  uint64_t n = 0;
+  for (const ThreadTrace& t : threads) {
+    for (const IntervalEvent& e : t.interval_events) {
+      if (e.kind == IntervalEventKind::kEnd) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+namespace {
+
+constexpr uint32_t kMagic = 0x56505246;  // "VPRF"
+constexpr uint32_t kVersion = 2;         // v2: IntervalEvent carries a label
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t size) {
+  return std::fwrite(data, 1, size, f) == size;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t size) {
+  return std::fread(data, 1, size, f) == size;
+}
+
+template <typename T>
+bool WritePod(std::FILE* f, const T& value) {
+  return WriteBytes(f, &value, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* value) {
+  return ReadBytes(f, value, sizeof(T));
+}
+
+bool WriteString(std::FILE* f, const std::string& s) {
+  const uint64_t size = s.size();
+  return WritePod(f, size) && WriteBytes(f, s.data(), s.size());
+}
+
+bool ReadString(std::FILE* f, std::string* s) {
+  uint64_t size = 0;
+  if (!ReadPod(f, &size) || size > (1ull << 20)) {
+    return false;
+  }
+  s->resize(size);
+  return ReadBytes(f, s->data(), size);
+}
+
+template <typename T>
+bool WriteVector(std::FILE* f, const std::vector<T>& v) {
+  const uint64_t size = v.size();
+  return WritePod(f, size) && WriteBytes(f, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+bool ReadVector(std::FILE* f, std::vector<T>* v) {
+  uint64_t size = 0;
+  if (!ReadPod(f, &size) || size > (1ull << 32)) {
+    return false;
+  }
+  v->resize(size);
+  return ReadBytes(f, v->data(), v->size() * sizeof(T));
+}
+
+}  // namespace
+
+bool SaveTrace(const Trace& trace, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return false;
+  }
+  if (!WritePod(f.get(), kMagic) || !WritePod(f.get(), kVersion) ||
+      !WritePod(f.get(), trace.duration)) {
+    return false;
+  }
+  const uint64_t name_count = trace.function_names.size();
+  if (!WritePod(f.get(), name_count)) {
+    return false;
+  }
+  for (const std::string& name : trace.function_names) {
+    if (!WriteString(f.get(), name)) {
+      return false;
+    }
+  }
+  const uint64_t thread_count = trace.threads.size();
+  if (!WritePod(f.get(), thread_count)) {
+    return false;
+  }
+  for (const ThreadTrace& t : trace.threads) {
+    if (!WritePod(f.get(), t.tid) || !WriteVector(f.get(), t.invocations) ||
+        !WriteVector(f.get(), t.segments) ||
+        !WriteVector(f.get(), t.interval_events)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadTrace(const std::string& path, Trace* trace) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return false;
+  }
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadPod(f.get(), &magic) || magic != kMagic ||
+      !ReadPod(f.get(), &version) || version != kVersion ||
+      !ReadPod(f.get(), &trace->duration)) {
+    return false;
+  }
+  uint64_t name_count = 0;
+  if (!ReadPod(f.get(), &name_count) || name_count > kMaxFunctions) {
+    return false;
+  }
+  trace->function_names.resize(name_count);
+  for (std::string& name : trace->function_names) {
+    if (!ReadString(f.get(), &name)) {
+      return false;
+    }
+  }
+  uint64_t thread_count = 0;
+  if (!ReadPod(f.get(), &thread_count) || thread_count > (1u << 20)) {
+    return false;
+  }
+  trace->threads.resize(thread_count);
+  for (ThreadTrace& t : trace->threads) {
+    if (!ReadPod(f.get(), &t.tid) || !ReadVector(f.get(), &t.invocations) ||
+        !ReadVector(f.get(), &t.segments) ||
+        !ReadVector(f.get(), &t.interval_events)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vprof

@@ -1,0 +1,44 @@
+// Fundamental types shared by the VProfiler runtime and analysis.
+#ifndef SRC_VPROF_TYPES_H_
+#define SRC_VPROF_TYPES_H_
+
+#include <cstdint>
+
+namespace vprof {
+
+// Nanoseconds since the start of the current tracing run.
+using TimeNs = int64_t;
+
+// Identifier of a semantic interval (transaction, request). 0 means "no
+// interval": background work not executed on behalf of any request.
+using IntervalId = uint64_t;
+inline constexpr IntervalId kNoInterval = 0;
+
+// Application-defined class of a semantic interval (e.g. the transaction
+// type), usable to compute per-request-type variance profiles. 0 = untyped.
+using IntervalLabel = uint32_t;
+inline constexpr IntervalLabel kNoLabel = 0;
+
+// Dense identifier of a registered (instrumentable) function.
+using FuncId = uint32_t;
+inline constexpr FuncId kInvalidFunc = 0xffffffffu;
+
+// Dense per-run thread identifier.
+using ThreadId = int32_t;
+inline constexpr ThreadId kNoThread = -1;
+
+// State of an execution segment (paper Section 3.3.1, segment 5-tuple).
+enum class SegmentState : uint8_t {
+  kExecuting = 0,  // running application code
+  kBlocked = 1,    // blocked on a synchronization object (lock, condvar, I/O)
+  kQueueWait = 2,  // waiting to dequeue from an empty task/message queue
+};
+
+enum class IntervalEventKind : uint8_t {
+  kBegin = 0,
+  kEnd = 1,
+};
+
+}  // namespace vprof
+
+#endif  // SRC_VPROF_TYPES_H_

@@ -1,0 +1,54 @@
+#include "src/workload/ab.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "src/simio/disk.h"
+#include "src/statkit/rng.h"
+
+namespace workload {
+
+AbDriver::AbDriver(httpd::HttpServer* server, const AbOptions& options)
+    : server_(server), options_(options) {}
+
+AbResult AbDriver::Run() {
+  AbResult result;
+  std::mutex result_mu;
+  const auto run_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(options_.clients));
+  for (int c = 0; c < options_.clients; ++c) {
+    clients.emplace_back([&, c] {
+      statkit::Rng rng(options_.seed * 7907 + static_cast<uint64_t>(c));
+      std::vector<double> local;
+      local.reserve(static_cast<size_t>(options_.requests_per_client));
+      for (int i = 0; i < options_.requests_per_client; ++i) {
+        const uint64_t file_id = rng.NextBelow(server_->config().file_count);
+        const auto t0 = std::chrono::steady_clock::now();
+        server_->HandleRequestBlocking(file_id);
+        const auto t1 = std::chrono::steady_clock::now();
+        local.push_back(std::chrono::duration<double, std::nano>(t1 - t0).count());
+        if (options_.think_time_us > 0.0) {
+          simio::SleepUs(options_.think_time_us);
+        }
+      }
+      std::lock_guard<std::mutex> lock(result_mu);
+      result.latencies_ns.insert(result.latencies_ns.end(), local.begin(),
+                                 local.end());
+      result.completed += local.size();
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  const auto run_end = std::chrono::steady_clock::now();
+  result.duration_s = std::chrono::duration<double>(run_end - run_start).count();
+  result.requests_per_s =
+      result.duration_s > 0.0
+          ? static_cast<double>(result.completed) / result.duration_s
+          : 0.0;
+  return result;
+}
+
+}  // namespace workload

@@ -1,0 +1,131 @@
+#include "src/workload/tpcc.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "src/simio/disk.h"
+
+namespace workload {
+
+using minidb::TxnRequest;
+using minidb::TxnType;
+
+TpccGenerator::TpccGenerator(const TpccOptions& options, int warehouses)
+    : options_(options), warehouses_(warehouses) {
+  if (options.customer_zipf_theta > 0.0) {
+    customer_zipf_ = std::make_unique<statkit::ZipfGenerator>(
+        static_cast<uint64_t>(minidb::Engine::kCustomersPerDistrict),
+        options.customer_zipf_theta);
+  }
+  if (options.item_zipf_theta > 0.0) {
+    item_zipf_ = std::make_unique<statkit::ZipfGenerator>(
+        static_cast<uint64_t>(minidb::Engine::kItemsPerWarehouse),
+        options.item_zipf_theta);
+  }
+}
+
+TxnRequest TpccGenerator::Next(statkit::Rng& rng) const {
+  TxnRequest request;
+  const int roll = static_cast<int>(rng.NextBelow(100));
+  if (roll < options_.pct_new_order) {
+    request.type = TxnType::kNewOrder;
+  } else if (roll < options_.pct_new_order + options_.pct_payment) {
+    request.type = TxnType::kPayment;
+  } else if (roll < options_.pct_new_order + options_.pct_payment +
+                        options_.pct_order_status) {
+    request.type = TxnType::kOrderStatus;
+  } else if (roll < options_.pct_new_order + options_.pct_payment +
+                        options_.pct_order_status + options_.pct_delivery) {
+    request.type = TxnType::kDelivery;
+  } else {
+    request.type = TxnType::kStockLevel;
+  }
+
+  request.warehouse = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(warehouses_)));
+  request.district = static_cast<int>(
+      rng.NextBelow(minidb::Engine::kDistrictsPerWarehouse));
+  request.customer =
+      customer_zipf_ != nullptr
+          ? static_cast<int64_t>(customer_zipf_->Sample(rng))
+          : static_cast<int64_t>(rng.NextBelow(
+                static_cast<uint64_t>(minidb::Engine::kCustomersPerDistrict)));
+
+  if (request.type == TxnType::kNewOrder ||
+      request.type == TxnType::kStockLevel) {
+    const int count = static_cast<int>(rng.NextInRange(options_.min_items,
+                                                       options_.max_items));
+    request.items.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      request.items.push_back(
+          item_zipf_ != nullptr
+              ? static_cast<int64_t>(item_zipf_->Sample(rng))
+              : static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(
+                    minidb::Engine::kItemsPerWarehouse))));
+    }
+  }
+  return request;
+}
+
+TpccDriver::TpccDriver(minidb::Engine* engine, const TpccOptions& options)
+    : engine_(engine), options_(options) {}
+
+TpccResult TpccDriver::Run() {
+  return RunWith(
+      [this](const TxnRequest& request) {
+        return engine_->Execute(request).committed;
+      },
+      engine_->config().warehouses);
+}
+
+TpccResult TpccDriver::RunWith(const Executor& executor, int warehouses) {
+  TpccResult result;
+  std::mutex result_mu;
+  const TpccGenerator generator(options_, warehouses);
+
+  const auto run_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(options_.threads));
+  for (int t = 0; t < options_.threads; ++t) {
+    threads.emplace_back([&, t] {
+      statkit::Rng rng(options_.seed * 1000003 + static_cast<uint64_t>(t));
+      std::vector<double> local_latencies;
+      local_latencies.reserve(static_cast<size_t>(options_.transactions_per_thread));
+      uint64_t local_committed = 0;
+      uint64_t local_aborted = 0;
+      for (int i = 0; i < options_.transactions_per_thread; ++i) {
+        const TxnRequest request = generator.Next(rng);
+        const auto t0 = std::chrono::steady_clock::now();
+        const bool committed = executor(request);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (committed) {
+          ++local_committed;
+          local_latencies.push_back(
+              std::chrono::duration<double, std::nano>(t1 - t0).count());
+        } else {
+          ++local_aborted;
+        }
+        if (options_.think_time_us > 0.0) {
+          simio::SleepUs(options_.think_time_us);
+        }
+      }
+      std::lock_guard<std::mutex> lock(result_mu);
+      result.latencies_ns.insert(result.latencies_ns.end(),
+                                 local_latencies.begin(), local_latencies.end());
+      result.committed += local_committed;
+      result.aborted += local_aborted;
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const auto run_end = std::chrono::steady_clock::now();
+  result.duration_s = std::chrono::duration<double>(run_end - run_start).count();
+  result.throughput_tps =
+      result.duration_s > 0.0
+          ? static_cast<double>(result.committed) / result.duration_s
+          : 0.0;
+  return result;
+}
+
+}  // namespace workload

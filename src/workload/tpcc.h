@@ -1,0 +1,87 @@
+// TPC-C-style workload generator and closed-loop driver for minidb/minipg.
+//
+// The paper drives MySQL and Postgres with the TPC-C benchmark via
+// OLTP-Bench; this module generates the same transaction mix (NewOrder,
+// Payment, OrderStatus, Delivery, StockLevel) from a deterministic seed and
+// runs it closed-loop from a configurable number of connection threads.
+#ifndef SRC_WORKLOAD_TPCC_H_
+#define SRC_WORKLOAD_TPCC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/minidb/engine.h"
+#include "src/statkit/distributions.h"
+#include "src/statkit/rng.h"
+
+namespace workload {
+
+struct TpccOptions {
+  int threads = 4;
+  int transactions_per_thread = 500;
+
+  // Transaction mix in percent; remainder goes to StockLevel.
+  int pct_new_order = 45;
+  int pct_payment = 43;
+  int pct_order_status = 4;
+  int pct_delivery = 4;
+
+  int min_items = 3;
+  int max_items = 8;
+
+  // Access skew (TPC-C's NURand analogue): 0 = uniform; ~0.9 concentrates
+  // accesses on a few hot customers/items, raising record contention.
+  double customer_zipf_theta = 0.0;
+  double item_zipf_theta = 0.0;
+
+  // Optional client think time between transactions (us).
+  double think_time_us = 0.0;
+
+  uint64_t seed = 99;
+};
+
+struct TpccResult {
+  std::vector<double> latencies_ns;  // committed transactions only
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  double duration_s = 0.0;
+  double throughput_tps = 0.0;
+};
+
+// Generates TPC-C-style requests for a given engine scale.
+class TpccGenerator {
+ public:
+  TpccGenerator(const TpccOptions& options, int warehouses);
+
+  minidb::TxnRequest Next(statkit::Rng& rng) const;
+
+ private:
+  TpccOptions options_;
+  int warehouses_;
+  std::unique_ptr<statkit::ZipfGenerator> customer_zipf_;
+  std::unique_ptr<statkit::ZipfGenerator> item_zipf_;
+};
+
+// Closed-loop driver: `threads` connection threads each execute
+// `transactions_per_thread` requests back to back.
+class TpccDriver {
+ public:
+  TpccDriver(minidb::Engine* engine, const TpccOptions& options);
+
+  TpccResult Run();
+
+  // Runs the workload through an arbitrary executor (used by minipg, which
+  // shares the request shape). The executor returns true on commit.
+  using Executor = std::function<bool(const minidb::TxnRequest&)>;
+  TpccResult RunWith(const Executor& executor, int warehouses);
+
+ private:
+  minidb::Engine* engine_;
+  TpccOptions options_;
+};
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_TPCC_H_

@@ -1,0 +1,136 @@
+#include "src/httpd/bucket_alloc.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace httpd {
+namespace {
+
+// Pin the pressure phase so tests are independent of wall-clock windows.
+class CalmEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override { GlobalFreeList::SetPressureOverrideForTesting(0); }
+  void TearDown() override {
+    GlobalFreeList::SetPressureOverrideForTesting(-1);
+  }
+};
+const auto* const kCalm =
+    ::testing::AddGlobalTestEnvironment(new CalmEnvironment());
+
+TEST(GlobalFreeListTest, PressuredWindowForcesSystemAlloc) {
+  GlobalFreeList::SetPressureOverrideForTesting(1);
+  GlobalFreeList list(100, /*bulk=*/false);
+  list.Take(1);  // plenty of blocks, but pressure reclaims the list
+  EXPECT_EQ(list.system_allocs(), 1u);
+  GlobalFreeList::SetPressureOverrideForTesting(0);
+  list.Take(1);
+  EXPECT_EQ(list.system_allocs(), 1u);  // calm again: free blocks suffice
+}
+
+TEST(GlobalFreeListTest, TakeAndGive) {
+  GlobalFreeList list(10, /*bulk=*/false);
+  EXPECT_EQ(list.free_blocks(), 10);
+  EXPECT_EQ(list.Take(4), 4);
+  EXPECT_EQ(list.free_blocks(), 6);
+  list.Give(2);
+  EXPECT_EQ(list.free_blocks(), 8);
+  EXPECT_EQ(list.system_allocs(), 0u);
+}
+
+TEST(GlobalFreeListTest, EmptyTriggersSystemAlloc) {
+  GlobalFreeList list(2, /*bulk=*/false);
+  EXPECT_EQ(list.Take(2), 2);
+  EXPECT_GT(list.Take(1), 0);  // forced system allocation
+  EXPECT_EQ(list.system_allocs(), 1u);
+}
+
+TEST(GlobalFreeListTest, GiveRespectsRetentionCap) {
+  GlobalFreeList list(8, /*bulk=*/false);  // cap = 8 in non-bulk mode
+  list.Give(100);
+  EXPECT_EQ(list.free_blocks(), 8);
+}
+
+TEST(GlobalFreeListTest, BulkModeAllocatesLargerChunks) {
+  GlobalFreeList lean(1, /*bulk=*/false);
+  GlobalFreeList bulk(1, /*bulk=*/true);
+  lean.Take(1);
+  bulk.Take(1);
+  lean.Take(1);  // sysalloc: +4 blocks
+  bulk.Take(1);  // sysalloc: +64 blocks
+  EXPECT_GT(bulk.free_blocks(), lean.free_blocks());
+}
+
+TEST(BucketAllocatorTest, LocalCacheHitsAfterRefill) {
+  GlobalFreeList list(64, /*bulk=*/true);
+  BucketAllocator alloc(&list, /*bulk=*/true);
+  alloc.Alloc();  // refill (16 blocks), consume 1
+  alloc.Alloc();  // local hit
+  alloc.Alloc();  // local hit
+  const AllocatorStats stats = alloc.stats();
+  EXPECT_EQ(stats.global_refills, 1u);
+  EXPECT_EQ(stats.local_hits, 2u);
+}
+
+TEST(BucketAllocatorTest, NonBulkRefillsEveryAlloc) {
+  GlobalFreeList list(64, /*bulk=*/false);
+  BucketAllocator alloc(&list, /*bulk=*/false);
+  alloc.Alloc();
+  alloc.Alloc();
+  EXPECT_EQ(alloc.stats().global_refills, 2u);  // refill_count == 1
+}
+
+TEST(BucketAllocatorTest, FreeReturnsSurplusGlobally) {
+  GlobalFreeList list(64, /*bulk=*/false);
+  BucketAllocator alloc(&list, /*bulk=*/false);
+  const int before = list.free_blocks();
+  for (int i = 0; i < 10; ++i) {
+    alloc.Alloc();
+  }
+  for (int i = 0; i < 10; ++i) {
+    alloc.Free();
+  }
+  // Surplus beyond the local limit went back to the global list.
+  EXPECT_GE(list.free_blocks(), before - 5);
+  EXPECT_LE(alloc.local_free(), 4);
+}
+
+TEST(BucketAllocatorTest, DestructorReturnsLocalCache) {
+  GlobalFreeList list(64, /*bulk=*/false);
+  {
+    BucketAllocator alloc(&list, /*bulk=*/false);
+    alloc.Alloc();
+    alloc.Free();
+  }
+  EXPECT_EQ(list.free_blocks(), 64);
+}
+
+TEST(BucketAllocatorTest, ConcurrentChurnConsistent) {
+  // Each thread keeps 12 buckets outstanding against an 8-block pool, so
+  // pressure occurs even if the scheduler serializes the threads entirely.
+  GlobalFreeList list(8, /*bulk=*/false);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&list] {
+      BucketAllocator alloc(&list, /*bulk=*/false);
+      for (int i = 0; i < 200; ++i) {
+        for (int k = 0; k < 12; ++k) {
+          alloc.Alloc();
+        }
+        for (int k = 0; k < 12; ++k) {
+          alloc.Free();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_GE(list.free_blocks(), 0);
+  // Pressure occurred at least once with so small a pool.
+  EXPECT_GT(list.system_allocs(), 0u);
+}
+
+}  // namespace
+}  // namespace httpd

@@ -1,0 +1,105 @@
+// Focused tests for the httpd request path pieces: page-cache eviction,
+// filter-chain composition, and allocation accounting along the path.
+#include <gtest/gtest.h>
+
+#include "src/httpd/filters.h"
+
+namespace httpd {
+namespace {
+
+simio::DiskConfig FastDisk() {
+  simio::DiskConfig config;
+  config.read_mu = 0.5;
+  config.serialize_access = false;
+  return config;
+}
+
+class CalmEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override { GlobalFreeList::SetPressureOverrideForTesting(0); }
+  void TearDown() override {
+    GlobalFreeList::SetPressureOverrideForTesting(-1);
+  }
+};
+const auto* const kCalm =
+    ::testing::AddGlobalTestEnvironment(new CalmEnvironment());
+
+TEST(PageCacheTest, EvictionOnCapacity) {
+  simio::Disk disk(FastDisk());
+  PageCache cache(2, &disk);
+  cache.ReadFile(1, 100);
+  cache.ReadFile(2, 100);
+  cache.ReadFile(3, 100);  // evicts one of {1,2}
+  EXPECT_EQ(disk.reads(), 3u);
+  // File 3 is definitely resident.
+  EXPECT_TRUE(cache.ReadFile(3, 100));
+  // At least one of the earlier files was evicted: re-reading both must
+  // produce at least one new disk read.
+  const uint64_t before = disk.reads();
+  cache.ReadFile(1, 100);
+  cache.ReadFile(2, 100);
+  EXPECT_GT(disk.reads(), before);
+}
+
+TEST(FiltersTest, ContentLengthAddsOneBucket) {
+  GlobalFreeList list(32, false);
+  BucketAllocator alloc(&list, false);
+  Brigade brigade(&alloc);
+  brigade.Append(BucketType::kHeap, 169);
+  Filter core{Filter::Kind::kCoreOutput, nullptr};
+  Filter content_length{Filter::Kind::kContentLength, &core};
+  ApPassBrigade(&content_length, &brigade);
+  EXPECT_EQ(brigade.buckets().size(), 2u);
+  EXPECT_EQ(brigade.buckets().back().bytes, 16u);
+}
+
+TEST(FiltersTest, HeaderFilterUsesBasicHttpHeader) {
+  GlobalFreeList list(32, false);
+  BucketAllocator alloc(&list, false);
+  Brigade brigade(&alloc);
+  Filter core{Filter::Kind::kCoreOutput, nullptr};
+  Filter header{Filter::Kind::kHeader, &core};
+  ApPassBrigade(&header, &brigade);
+  // basic_http_header appends status line + headers buckets.
+  ASSERT_EQ(brigade.buckets().size(), 2u);
+  EXPECT_EQ(brigade.buckets()[0].bytes, 128u);
+  EXPECT_EQ(brigade.buckets()[1].bytes, 64u);
+}
+
+TEST(FiltersTest, NullChainIsSafe) {
+  GlobalFreeList list(8, false);
+  BucketAllocator alloc(&list, false);
+  Brigade brigade(&alloc);
+  ApPassBrigade(nullptr, &brigade);  // must not crash
+  EXPECT_TRUE(brigade.buckets().empty());
+}
+
+TEST(FiltersTest, FileOpenAppendsFileBucketAndReads) {
+  simio::Disk disk(FastDisk());
+  PageCache cache(8, &disk);
+  GlobalFreeList list(32, false);
+  BucketAllocator alloc(&list, false);
+  Brigade brigade(&alloc);
+  AprFileOpen(42, 169, &brigade, &cache);
+  ASSERT_EQ(brigade.buckets().size(), 1u);
+  EXPECT_EQ(brigade.buckets()[0].type, BucketType::kFile);
+  EXPECT_EQ(brigade.buckets()[0].bytes, 169u);
+  EXPECT_EQ(disk.reads(), 1u);  // cold cache
+  AprFileOpen(42, 169, &brigade, &cache);
+  EXPECT_EQ(disk.reads(), 1u);  // warm cache
+}
+
+TEST(BrigadeTest, TotalBytesSumsBuckets) {
+  GlobalFreeList list(16, false);
+  BucketAllocator alloc(&list, false);
+  Brigade brigade(&alloc);
+  brigade.Append(BucketType::kHeap, 10);
+  brigade.Append(BucketType::kFile, 20);
+  brigade.Append(BucketType::kEos, 0);
+  EXPECT_EQ(brigade.TotalBytes(), 30u);
+  brigade.Clear();
+  EXPECT_EQ(brigade.TotalBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace httpd

@@ -1,0 +1,142 @@
+#include "src/httpd/server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/httpd/brigade.h"
+#include "src/workload/ab.h"
+
+namespace httpd {
+namespace {
+
+// Pin the allocator's pressure phase: server tests assert on system-alloc
+// counts, which must not depend on wall-clock pressure windows.
+class CalmEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override { GlobalFreeList::SetPressureOverrideForTesting(0); }
+  void TearDown() override {
+    GlobalFreeList::SetPressureOverrideForTesting(-1);
+  }
+};
+const auto* const kCalm =
+    ::testing::AddGlobalTestEnvironment(new CalmEnvironment());
+
+HttpdConfig FastConfig() {
+  HttpdConfig config;
+  config.workers = 2;
+  config.file_disk.read_mu = 0.5;
+  config.file_disk.serialize_access = false;
+  return config;
+}
+
+TEST(BrigadeTest, AppendAndClearBalanceAllocator) {
+  GlobalFreeList list(32, false);
+  BucketAllocator alloc(&list, false);
+  {
+    Brigade brigade(&alloc);
+    brigade.Append(BucketType::kHeap, 100);
+    brigade.Append(BucketType::kFile, 169);
+    EXPECT_EQ(brigade.buckets().size(), 2u);
+    EXPECT_EQ(brigade.TotalBytes(), 269u);
+  }
+  // Brigade destructor freed both buckets.
+  EXPECT_GE(alloc.local_free(), 0);
+}
+
+TEST(PageCacheTest, MissThenHit) {
+  simio::DiskConfig disk_config;
+  disk_config.read_mu = 0.5;
+  disk_config.serialize_access = false;
+  simio::Disk disk(disk_config);
+  PageCache cache(16, &disk);
+  EXPECT_FALSE(cache.ReadFile(1, 169));  // miss: disk read
+  EXPECT_TRUE(cache.ReadFile(1, 169));   // hit
+  EXPECT_EQ(disk.reads(), 1u);
+}
+
+TEST(FiltersTest, PassBrigadeRunsWholeChain) {
+  GlobalFreeList list(32, false);
+  BucketAllocator alloc(&list, false);
+  Brigade brigade(&alloc);
+  brigade.Append(BucketType::kHeap, 169);
+  Filter core{Filter::Kind::kCoreOutput, nullptr};
+  Filter header{Filter::Kind::kHeader, &core};
+  Filter content_length{Filter::Kind::kContentLength, &header};
+  ApPassBrigade(&content_length, &brigade);
+  // content-length added one bucket, header two.
+  EXPECT_EQ(brigade.buckets().size(), 4u);
+}
+
+TEST(HttpServerTest, ServesSingleRequest) {
+  HttpServer server(FastConfig());
+  server.HandleRequestBlocking(0);
+  EXPECT_EQ(server.stats().requests_served, 1u);
+  server.Shutdown();
+}
+
+TEST(HttpServerTest, ServesManyConcurrentClients) {
+  HttpServer server(FastConfig());
+  workload::AbOptions options;
+  options.clients = 4;
+  options.requests_per_client = 50;
+  workload::AbDriver driver(&server, options);
+  const workload::AbResult result = driver.Run();
+  EXPECT_EQ(result.completed, 200u);
+  EXPECT_EQ(result.latencies_ns.size(), 200u);
+  EXPECT_EQ(server.stats().requests_served, 200u);
+  EXPECT_GT(result.requests_per_s, 0.0);
+  server.Shutdown();
+}
+
+TEST(HttpServerTest, ShutdownIsIdempotent) {
+  HttpServer server(FastConfig());
+  server.HandleRequestBlocking(1);
+  server.Shutdown();
+  server.Shutdown();
+}
+
+TEST(HttpServerTest, MemoryPressureProducesSystemAllocs) {
+  HttpdConfig config = FastConfig();
+  config.global_free_blocks = 4;  // tiny pool: pressure guaranteed
+  HttpServer server(config);
+  workload::AbOptions options;
+  options.clients = 4;
+  options.requests_per_client = 50;
+  workload::AbDriver driver(&server, options);
+  driver.Run();
+  EXPECT_GT(server.stats().system_allocs, 0u);
+  server.Shutdown();
+}
+
+TEST(HttpServerTest, BulkAllocationReducesGlobalTrips) {
+  auto run = [](bool bulk) {
+    HttpdConfig config;
+    config.workers = 2;
+    config.bulk_allocation = bulk;
+    config.global_free_blocks = 4;  // pressure regime
+    config.file_disk.read_mu = 0.5;
+    config.file_disk.serialize_access = false;
+    HttpServer server(config);
+    workload::AbOptions options;
+    options.clients = 4;
+    options.requests_per_client = 100;
+    workload::AbDriver driver(&server, options);
+    driver.Run();
+    const uint64_t sys = server.stats().system_allocs;
+    server.Shutdown();
+    return sys;
+  };
+  const uint64_t lean_allocs = run(false);
+  const uint64_t bulk_allocs = run(true);
+  EXPECT_LT(bulk_allocs, lean_allocs);
+}
+
+TEST(HttpServerTest, CallGraphShape) {
+  vprof::CallGraph graph;
+  HttpServer::RegisterCallGraph(&graph);
+  const auto root = vprof::RegisterFunction("process_request");
+  EXPECT_EQ(graph.Children(root).size(), 2u);
+  EXPECT_GE(graph.Height(root), 3);
+}
+
+}  // namespace
+}  // namespace httpd

@@ -1,0 +1,103 @@
+// Failure injection: degrade one component hard and verify the profiler's
+// blame follows it. This is the end-to-end sanity property of the whole
+// system — whatever we break should become the top-ranked factor.
+#include <gtest/gtest.h>
+
+#include "src/minidb/engine.h"
+#include "src/minipg/engine.h"
+#include "src/vprof/analysis/profiler.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+double ContributionOf(const vprof::ProfileResult& result,
+                      const std::string& label) {
+  for (const auto& factor : result.all_factors) {
+    if (factor.Label(result.function_names) == label) {
+      return factor.contribution;
+    }
+  }
+  return 0.0;
+}
+
+TEST(FailureInjectionTest, PathologicalFsyncBlamesFilFlush) {
+  // A log device that stalls 20x for a third of its fsyncs: fil_flush (or
+  // the log path above it) must dominate the profile even in the regime
+  // where lock waits normally win.
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  config.warehouses = 8;  // low lock contention
+  config.log_disk.fsync_spike_prob = 0.33;
+  config.log_disk.fsync_spike_scale = 20.0;
+  minidb::Engine engine(config);
+  vprof::CallGraph graph;
+  minidb::Engine::RegisterCallGraph(&graph);
+  workload::TpccOptions options;
+  options.threads = 2;  // little cross-transaction masking
+  options.transactions_per_thread = 200;
+  workload::TpccDriver driver(&engine, options);
+  driver.Run();
+
+  vprof::Profiler profiler("run_transaction", &graph, [&] { driver.Run(); });
+  vprof::ProfileOptions profile_options;
+  profile_options.top_k = 5;
+  const auto result = profiler.Run(profile_options);
+
+  const double flush = ContributionOf(result, "fil_flush");
+  const double log_path = ContributionOf(result, "log_write_up_to");
+  EXPECT_GT(std::max(flush, log_path), 0.4)
+      << "injected fsync stalls must surface in the log path";
+  EXPECT_GT(std::max(flush, log_path),
+            ContributionOf(result, "os_event_wait"));
+}
+
+TEST(FailureInjectionTest, SlowWalDeviceBlamesTheWalPath) {
+  minipg::PgConfig config;
+  config.wal_disk.fsync_spike_prob = 0.4;
+  config.wal_disk.fsync_spike_scale = 15.0;
+  minipg::PgEngine engine(config);
+  vprof::CallGraph graph;
+  minipg::PgEngine::RegisterCallGraph(&graph);
+  workload::TpccOptions options;
+  options.threads = 2;
+  options.transactions_per_thread = 250;
+  workload::TpccDriver driver(nullptr, options);
+  const auto run = [&] {
+    driver.RunWith(
+        [&engine](const minidb::TxnRequest& r) { return engine.Execute(r); },
+        8);
+  };
+  run();
+  vprof::Profiler profiler("exec_simple_query", &graph, run);
+  const auto result = profiler.Run();
+  // The WAL path (flush, its fsync, or the write-lock wait) dominates.
+  const double wal = std::max(
+      {ContributionOf(result, "XLogFlush"),
+       ContributionOf(result, "issue_xlog_fsync"),
+       ContributionOf(result, "LWLockAcquireOrWait")});
+  EXPECT_GT(wal, 0.5);
+  EXPECT_GT(wal, ContributionOf(result, "ExecProcNode"));
+}
+
+TEST(FailureInjectionTest, SlowDataDiskBlamesBufferPath) {
+  // A pathological data disk in the constrained regime: the buffer path
+  // (miss I/O under the pool mutex) must carry nearly all the variance.
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryConstrained();
+  config.data_disk.read_mu = 5.7;   // ~300us reads
+  config.data_disk.read_sigma = 0.8;
+  minidb::Engine engine(config);
+  vprof::CallGraph graph;
+  minidb::Engine::RegisterCallGraph(&graph);
+  workload::TpccOptions options;
+  options.threads = 2;
+  options.transactions_per_thread = 120;
+  workload::TpccDriver driver(&engine, options);
+  driver.Run();
+  vprof::Profiler profiler("run_transaction", &graph, [&] { driver.Run(); });
+  const auto result = profiler.Run();
+  const double buffer_path =
+      std::max(ContributionOf(result, "buf_page_get"),
+               ContributionOf(result, "buf_pool_mutex_enter"));
+  EXPECT_GT(buffer_path, 0.3);
+}
+
+}  // namespace

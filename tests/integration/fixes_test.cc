@@ -1,0 +1,110 @@
+// End-to-end regression: the fixes the paper derives from VProfiler's
+// findings must improve (or at minimum not regress) the targeted latency
+// statistics. Margins are generous because these are statistical runs on a
+// shared machine.
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "src/httpd/server.h"
+#include "src/minidb/engine.h"
+#include "src/minipg/engine.h"
+#include "src/statkit/summary.h"
+#include "src/workload/ab.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+// These are statistical comparisons on a shared single-core machine: a rare
+// unlucky run is expected. Each test's comparison is retried once; it fails
+// only if both attempts fail.
+bool CheckWithRetry(const std::function<bool()>& attempt) {
+  return attempt() || attempt();
+}
+
+statkit::Summary RunMinidb(const minidb::EngineConfig& config, int threads,
+                           int txns) {
+  minidb::Engine engine(config);
+  workload::TpccOptions options;
+  options.threads = threads;
+  options.transactions_per_thread = txns;
+  workload::TpccDriver driver(&engine, options);
+  workload::TpccOptions warm = options;
+  warm.transactions_per_thread = 40;
+  workload::TpccDriver(&engine, warm).Run();
+  return statkit::Summarize(driver.Run().latencies_ns);
+}
+
+TEST(FixIntegration, VatsImprovesTailUnderHighContention) {
+  minidb::EngineConfig fcfs = minidb::EngineConfig::MemoryResident();
+  fcfs.warehouses = 2;
+  minidb::EngineConfig vats = fcfs;
+  vats.lock_scheduling = minidb::LockScheduling::kVats;
+  EXPECT_TRUE(CheckWithRetry([&] {
+    const statkit::Summary base = RunMinidb(fcfs, 16, 120);
+    const statkit::Summary treated = RunMinidb(vats, 16, 120);
+    // p99 must improve (small noise allowance); the mean must not blow up
+    // (the paper requires fixes that do not trade mean for variance).
+    return treated.p99 < base.p99 * 1.02 && treated.mean < base.mean * 1.30;
+  }));
+}
+
+TEST(FixIntegration, LazyFlushImprovesMeanAndVariance) {
+  minidb::EngineConfig eager = minidb::EngineConfig::MemoryResident();
+  eager.warehouses = 2;
+  minidb::EngineConfig lazy = eager;
+  lazy.flush_policy = minidb::FlushPolicy::kLazyFlush;
+  EXPECT_TRUE(CheckWithRetry([&] {
+    const statkit::Summary base = RunMinidb(eager, 4, 250);
+    const statkit::Summary treated = RunMinidb(lazy, 4, 250);
+    return treated.mean < base.mean && treated.variance < base.variance;
+  }));
+}
+
+TEST(FixIntegration, DistributedLoggingImprovesPostgres) {
+  auto run = [](int units) {
+    minipg::PgConfig config;
+    config.wal_units = units;
+    minipg::PgEngine engine(config);
+    workload::TpccOptions options;
+    options.threads = 4;
+    options.transactions_per_thread = 400;
+    workload::TpccDriver driver(nullptr, options);
+    const auto result = driver.RunWith(
+        [&engine](const minidb::TxnRequest& request) {
+          return engine.Execute(request);
+        },
+        8);
+    return statkit::Summarize(result.latencies_ns);
+  };
+  EXPECT_TRUE(CheckWithRetry([&] {
+    const statkit::Summary base = run(1);
+    const statkit::Summary treated = run(2);
+    return treated.mean < base.mean * 1.02 &&
+           treated.variance < base.variance * 1.05;
+  }));
+}
+
+TEST(FixIntegration, BulkAllocationShrinksApacheVariance) {
+  auto run = [](bool bulk) {
+    httpd::HttpdConfig config;
+    config.workers = 4;
+    config.bulk_allocation = bulk;
+    config.global_free_blocks = 8;
+    httpd::HttpServer server(config);
+    workload::AbOptions options;
+    options.clients = 4;
+    options.requests_per_client = 2500;
+    workload::AbDriver driver(&server, options);
+    const auto result = driver.Run();
+    server.Shutdown();
+    return statkit::Summarize(result.latencies_ns);
+  };
+  EXPECT_TRUE(CheckWithRetry([&] {
+    const statkit::Summary base = run(false);
+    const statkit::Summary treated = run(true);
+    return treated.variance < base.variance * 0.8 && treated.mean < base.mean;
+  }));
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// End-to-end: VProfiler on minidb must reproduce the paper's Table 4
+// findings — lock waits dominate the memory-resident regime, buffer-pool
+// mutex contention dominates the memory-constrained regime.
+#include <gtest/gtest.h>
+
+#include "src/minidb/engine.h"
+#include "src/vprof/analysis/profiler.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+vprof::ProfileResult ProfileMinidb(const minidb::EngineConfig& config,
+                                   int threads, int txns) {
+  minidb::Engine engine(config);
+  vprof::CallGraph graph;
+  minidb::Engine::RegisterCallGraph(&graph);
+  workload::TpccOptions options;
+  options.threads = threads;
+  options.transactions_per_thread = txns;
+  workload::TpccDriver driver(&engine, options);
+  driver.Run();  // warm-up
+  vprof::Profiler profiler("run_transaction", &graph, [&] { driver.Run(); });
+  vprof::ProfileOptions profile_options;
+  profile_options.top_k = 5;
+  return profiler.Run(profile_options);
+}
+
+double ContributionOf(const vprof::ProfileResult& result,
+                      const std::string& label) {
+  for (const auto& factor : result.all_factors) {
+    if (factor.Label(result.function_names) == label) {
+      return factor.contribution;
+    }
+  }
+  return 0.0;
+}
+
+int RankOf(const vprof::ProfileResult& result, const std::string& label) {
+  int rank = 1;
+  for (const auto& factor : result.all_factors) {
+    if (factor.Label(result.function_names) == label) {
+      return rank;
+    }
+    ++rank;
+  }
+  return 1000;
+}
+
+TEST(MinidbProfileIntegration, LockWaitsDominateMemoryResidentRegime) {
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  config.warehouses = 2;
+  const auto result = ProfileMinidb(config, 8, 200);
+
+  // os_event_wait must be found, ranked within the top factors, and carry a
+  // large share of the overall variance (paper: 59.2%).
+  EXPECT_LE(RankOf(result, "os_event_wait"), 4);
+  EXPECT_GT(ContributionOf(result, "os_event_wait"), 0.25);
+  // Refinement must have reached it (it is three levels below the root).
+  bool instrumented = false;
+  for (const auto& name : result.instrumented) {
+    instrumented |= (name == "os_event_wait");
+  }
+  EXPECT_TRUE(instrumented);
+  EXPECT_GE(result.runs, 3);
+}
+
+TEST(MinidbProfileIntegration, BufferMutexDominatesMemoryConstrainedRegime) {
+  const auto result =
+      ProfileMinidb(minidb::EngineConfig::MemoryConstrained(), 4, 150);
+  EXPECT_LE(RankOf(result, "buf_pool_mutex_enter"), 5);
+  EXPECT_GT(ContributionOf(result, "buf_pool_mutex_enter"), 0.15);
+  // Lock waits must NOT dominate this regime (paper's Table 4, 2-WH rows).
+  EXPECT_LT(ContributionOf(result, "os_event_wait"),
+            ContributionOf(result, "buf_pool_mutex_enter") + 0.4);
+}
+
+TEST(MinidbProfileIntegration, CallSiteSplitMatchesPaperShape) {
+  // The two biggest os_event_wait call sites are under row_upd and row_sel
+  // (the paper's [A] and [B]).
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  config.warehouses = 2;
+  const auto result = ProfileMinidb(config, 8, 200);
+  const auto& analysis = *result.analysis;
+  double upd_contribution = 0.0;
+  double sel_contribution = 0.0;
+  for (size_t i = 1; i < analysis.node_count(); ++i) {
+    const auto id = static_cast<vprof::NodeId>(i);
+    if (analysis.NodeLabel(id) != "os_event_wait") {
+      continue;
+    }
+    // Walk up to the row-operation ancestor.
+    vprof::NodeId ancestor = analysis.node(id).parent;
+    while (ancestor > 0 &&
+           analysis.NodeLabel(ancestor) != "row_upd" &&
+           analysis.NodeLabel(ancestor) != "row_sel") {
+      ancestor = analysis.node(ancestor).parent;
+    }
+    if (ancestor > 0 && analysis.NodeLabel(ancestor) == "row_upd") {
+      upd_contribution += analysis.NodeContribution(id);
+    } else if (ancestor > 0 && analysis.NodeLabel(ancestor) == "row_sel") {
+      sel_contribution += analysis.NodeContribution(id);
+    }
+  }
+  // Paper: [A] (updates) 37.5% > [B] (selects) 21.7% > 0.
+  EXPECT_GT(upd_contribution, sel_contribution);
+  EXPECT_GT(sel_contribution, 0.0);
+}
+
+}  // namespace

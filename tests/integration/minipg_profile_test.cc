@@ -1,0 +1,57 @@
+// End-to-end: VProfiler on minipg must reproduce the paper's Table 6
+// finding — the single WAL write lock (LWLockAcquireOrWait) dominates
+// transaction latency variance.
+#include <gtest/gtest.h>
+
+#include "src/minipg/engine.h"
+#include "src/vprof/analysis/profiler.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+vprof::ProfileResult ProfileMinipg(int wal_units) {
+  minipg::PgConfig config;
+  config.wal_units = wal_units;
+  minipg::PgEngine engine(config);
+  vprof::CallGraph graph;
+  minipg::PgEngine::RegisterCallGraph(&graph);
+  workload::TpccOptions options;
+  options.threads = 4;
+  options.transactions_per_thread = 250;
+  workload::TpccDriver driver(nullptr, options);
+  const auto run = [&] {
+    driver.RunWith(
+        [&engine](const minidb::TxnRequest& request) {
+          return engine.Execute(request);
+        },
+        8);
+  };
+  run();  // warm-up
+  vprof::Profiler profiler("exec_simple_query", &graph, run);
+  vprof::ProfileOptions profile_options;
+  profile_options.top_k = 5;
+  return profiler.Run(profile_options);
+}
+
+TEST(MinipgProfileIntegration, WalWriteLockDominates) {
+  const auto result = ProfileMinipg(1);
+  ASSERT_FALSE(result.all_factors.empty());
+  // LWLockAcquireOrWait must be the #1 ranked factor with a dominant share
+  // (paper: 76.8%).
+  EXPECT_EQ(result.all_factors[0].Label(result.function_names),
+            "LWLockAcquireOrWait");
+  EXPECT_GT(result.all_factors[0].contribution, 0.4);
+}
+
+TEST(MinipgProfileIntegration, RefinementReachesTheLockInFewRuns) {
+  const auto result = ProfileMinipg(1);
+  EXPECT_GE(result.runs, 2);
+  EXPECT_LE(result.runs, 8);
+  bool instrumented = false;
+  for (const auto& name : result.instrumented) {
+    instrumented |= (name == "LWLockAcquireOrWait");
+  }
+  EXPECT_TRUE(instrumented);
+}
+
+}  // namespace

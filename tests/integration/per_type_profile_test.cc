@@ -1,0 +1,79 @@
+// Per-request-type profiles via interval labels: the same trace, analyzed
+// per transaction type, must show type-specific structure (read-only types
+// have no commit-flush component; write types do).
+#include <gtest/gtest.h>
+
+#include "src/minidb/engine.h"
+#include "src/vprof/analysis/variance_tree.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+double NodeMeanByLabel(const vprof::VarianceAnalysis& analysis,
+                       const std::string& label) {
+  double total = 0.0;
+  for (size_t i = 1; i < analysis.node_count(); ++i) {
+    const auto id = static_cast<vprof::NodeId>(i);
+    if (analysis.NodeLabel(id) == label) {
+      total += analysis.NodeMean(id);
+    }
+  }
+  return total;
+}
+
+TEST(PerTypeProfileIntegration, ReadOnlyTypesSkipTheLogPath) {
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  config.warehouses = 2;
+  minidb::Engine engine(config);
+  vprof::CallGraph graph;
+  minidb::Engine::RegisterCallGraph(&graph);
+
+  workload::TpccOptions options;
+  options.threads = 4;
+  options.transactions_per_thread = 150;
+  workload::TpccDriver driver(&engine, options);
+  driver.Run();  // warm-up
+
+  for (vprof::FuncId func : graph.Functions()) {
+    vprof::SetFunctionEnabled(func, true);
+  }
+  vprof::StartTracing();
+  driver.Run();
+  const vprof::Trace trace = vprof::StopTracing();
+  vprof::DisableAllFunctions();
+
+  // Labels: TxnType + 1 (see Engine::Execute).
+  vprof::CriticalPathOptions new_order_only;
+  new_order_only.filter_by_label = true;
+  new_order_only.label_filter =
+      static_cast<vprof::IntervalLabel>(minidb::TxnType::kNewOrder) + 1;
+  vprof::VarianceAnalysis new_order(trace, new_order_only);
+
+  vprof::CriticalPathOptions status_only;
+  status_only.filter_by_label = true;
+  status_only.label_filter =
+      static_cast<vprof::IntervalLabel>(minidb::TxnType::kOrderStatus) + 1;
+  vprof::VarianceAnalysis order_status(trace, status_only);
+
+  ASSERT_GT(new_order.interval_count(), 50u);
+  ASSERT_GT(order_status.interval_count(), 5u);
+
+  // NewOrder commits flush the log; OrderStatus is read-only.
+  EXPECT_GT(NodeMeanByLabel(new_order, "fil_flush") +
+                NodeMeanByLabel(new_order, "log_write_up_to"),
+            0.0);
+  EXPECT_DOUBLE_EQ(NodeMeanByLabel(order_status, "fil_flush"), 0.0);
+
+  // The per-type interval counts sum to the full trace's count.
+  vprof::VarianceAnalysis all(trace);
+  uint64_t sum = 0;
+  for (int type = 0; type < 5; ++type) {
+    vprof::CriticalPathOptions only;
+    only.filter_by_label = true;
+    only.label_filter = static_cast<vprof::IntervalLabel>(type) + 1;
+    sum += vprof::VarianceAnalysis(trace, only).interval_count();
+  }
+  EXPECT_EQ(sum, all.interval_count());
+}
+
+}  // namespace

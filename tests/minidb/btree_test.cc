@@ -1,0 +1,147 @@
+#include "src/minidb/btree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/statkit/rng.h"
+
+namespace minidb {
+namespace {
+
+TEST(BTreeTest, EmptySearch) {
+  BTree tree;
+  EXPECT_FALSE(tree.Search(1).has_value());
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.Height(), 1);
+}
+
+TEST(BTreeTest, InsertAndSearch) {
+  BTree tree;
+  EXPECT_TRUE(tree.Insert(5, 50));
+  EXPECT_TRUE(tree.Insert(3, 30));
+  EXPECT_TRUE(tree.Insert(8, 80));
+  EXPECT_EQ(tree.Search(5), 50u);
+  EXPECT_EQ(tree.Search(3), 30u);
+  EXPECT_EQ(tree.Search(8), 80u);
+  EXPECT_FALSE(tree.Search(4).has_value());
+  EXPECT_EQ(tree.Size(), 3u);
+}
+
+TEST(BTreeTest, DuplicateInsertUpdatesValue) {
+  BTree tree;
+  EXPECT_TRUE(tree.Insert(1, 10));
+  EXPECT_FALSE(tree.Insert(1, 11));  // update, not insert
+  EXPECT_EQ(tree.Search(1), 11u);
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST(BTreeTest, EraseRemovesKey) {
+  BTree tree;
+  tree.Insert(1, 10);
+  tree.Insert(2, 20);
+  EXPECT_TRUE(tree.Erase(1));
+  EXPECT_FALSE(tree.Search(1).has_value());
+  EXPECT_EQ(tree.Search(2), 20u);
+  EXPECT_FALSE(tree.Erase(1));
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  BTree tree(8);
+  for (int64_t i = 0; i < 10000; ++i) {
+    tree.Insert(i, static_cast<uint64_t>(i));
+  }
+  EXPECT_GE(tree.Height(), 3);
+  EXPECT_LE(tree.Height(), 10);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, RangeQuery) {
+  BTree tree(8);
+  for (int64_t i = 0; i < 100; i += 2) {  // even keys
+    tree.Insert(i, static_cast<uint64_t>(i * 10));
+  }
+  const auto range = tree.Range(10, 20);
+  ASSERT_EQ(range.size(), 6u);  // 10,12,14,16,18,20
+  EXPECT_EQ(range.front().first, 10);
+  EXPECT_EQ(range.back().first, 20);
+  for (size_t i = 1; i < range.size(); ++i) {
+    EXPECT_LT(range[i - 1].first, range[i].first);
+  }
+}
+
+TEST(BTreeTest, RangeEmptyAndFull) {
+  BTree tree(8);
+  for (int64_t i = 0; i < 50; ++i) {
+    tree.Insert(i, 0);
+  }
+  EXPECT_TRUE(tree.Range(100, 200).empty());
+  EXPECT_EQ(tree.Range(0, 49).size(), 50u);
+  EXPECT_EQ(tree.Range(-10, 1000).size(), 50u);
+}
+
+// Property sweep: random workloads across fanouts keep invariants and agree
+// with a reference map.
+class BTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeProperty, MatchesReferenceUnderRandomOps) {
+  const int fanout = GetParam();
+  BTree tree(fanout);
+  std::vector<std::pair<int64_t, uint64_t>> reference;
+  statkit::Rng rng(static_cast<uint64_t>(fanout) * 101 + 7);
+  for (int op = 0; op < 5000; ++op) {
+    const int64_t key = rng.NextInRange(0, 800);
+    const auto it = std::find_if(reference.begin(), reference.end(),
+                                 [&](const auto& kv) { return kv.first == key; });
+    if (rng.NextBool(0.7)) {
+      const uint64_t value = rng.Next();
+      tree.Insert(key, value);
+      if (it == reference.end()) {
+        reference.emplace_back(key, value);
+      } else {
+        it->second = value;
+      }
+    } else {
+      const bool erased = tree.Erase(key);
+      EXPECT_EQ(erased, it != reference.end());
+      if (it != reference.end()) {
+        reference.erase(it);
+      }
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.Size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    const auto found = tree.Search(key);
+    ASSERT_TRUE(found.has_value()) << "key " << key;
+    EXPECT_EQ(*found, value);
+  }
+  // Range over everything matches the sorted reference.
+  std::sort(reference.begin(), reference.end());
+  const auto all = tree.Range(INT64_MIN + 1, INT64_MAX - 1);
+  ASSERT_EQ(all.size(), reference.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].first, reference[i].first);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreeProperty,
+                         ::testing::Values(4, 5, 8, 16, 64, 128));
+
+TEST(BTreeTest, SequentialAndReverseInsertionKeepInvariants) {
+  BTree ascending(16);
+  BTree descending(16);
+  for (int64_t i = 0; i < 2000; ++i) {
+    ascending.Insert(i, 1);
+    descending.Insert(2000 - i, 1);
+  }
+  EXPECT_TRUE(ascending.CheckInvariants());
+  EXPECT_TRUE(descending.CheckInvariants());
+  EXPECT_EQ(ascending.Size(), 2000u);
+  EXPECT_EQ(descending.Size(), 2000u);
+}
+
+}  // namespace
+}  // namespace minidb

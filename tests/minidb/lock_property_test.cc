@@ -1,0 +1,114 @@
+// Property tests for the lock manager: mutual exclusion, no lost wakeups,
+// and liveness across scheduling policies, thread counts, and lock modes.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/minidb/lock_manager.h"
+#include "src/minidb/transaction.h"
+#include "src/statkit/rng.h"
+
+namespace minidb {
+namespace {
+
+struct PropertyCase {
+  LockScheduling scheduling;
+  int threads;
+  int objects;
+};
+
+class LockManagerProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(LockManagerProperty, ExclusionAndLiveness) {
+  const PropertyCase param = GetParam();
+  LockManager lm(param.scheduling);
+  std::vector<std::atomic<int>> exclusive_holders(
+      static_cast<size_t>(param.objects));
+  std::vector<std::atomic<int>> any_holders(static_cast<size_t>(param.objects));
+  for (auto& h : exclusive_holders) {
+    h.store(0);
+  }
+  for (auto& h : any_holders) {
+    h.store(0);
+  }
+  std::atomic<bool> violation{false};
+  std::atomic<uint64_t> completed{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < param.threads; ++t) {
+    threads.emplace_back([&, t] {
+      statkit::Rng rng(static_cast<uint64_t>(t) * 7919 + 3);
+      for (int i = 0; i < 150; ++i) {
+        Transaction trx(static_cast<uint64_t>(t * 1000 + i),
+                        static_cast<int64_t>(rng.Next() % 100000));
+        // Acquire 1-3 locks in ascending object order (deadlock freedom).
+        const int count = static_cast<int>(rng.NextInRange(1, 3));
+        int64_t previous = -1;
+        std::vector<std::pair<uint64_t, LockMode>> held;
+        bool ok = true;
+        for (int k = 0; k < count && ok; ++k) {
+          const int64_t object = rng.NextInRange(
+              previous + 1, previous + 1 + param.objects / 3);
+          if (object >= param.objects) {
+            break;
+          }
+          previous = object;
+          const LockMode mode =
+              rng.NextBool(0.5) ? LockMode::kExclusive : LockMode::kShared;
+          ok = lm.Lock(&trx, static_cast<uint64_t>(object), mode);
+          if (ok) {
+            held.emplace_back(static_cast<uint64_t>(object), mode);
+          }
+        }
+        // Validate exclusion invariants on everything we hold.
+        for (const auto& [object, mode] : held) {
+          const size_t idx = static_cast<size_t>(object);
+          any_holders[idx].fetch_add(1);
+          if (mode == LockMode::kExclusive) {
+            if (exclusive_holders[idx].fetch_add(1) != 0) {
+              violation.store(true);  // two exclusive holders
+            }
+            if (any_holders[idx].load() > exclusive_holders[idx].load()) {
+              // Someone else (shared) holds it alongside our exclusive.
+              violation.store(true);
+            }
+          } else if (exclusive_holders[idx].load() != 0) {
+            violation.store(true);  // shared alongside exclusive
+          }
+        }
+        for (auto it = held.rbegin(); it != held.rend(); ++it) {
+          const size_t idx = static_cast<size_t>(it->first);
+          if (it->second == LockMode::kExclusive) {
+            exclusive_holders[idx].fetch_sub(1);
+          }
+          any_holders[idx].fetch_sub(1);
+        }
+        lm.ReleaseAll(&trx);
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(completed.load(),
+            static_cast<uint64_t>(param.threads) * 150u);  // liveness
+  EXPECT_EQ(lm.ActiveObjects(), 0u);
+  EXPECT_EQ(lm.stats().timeouts, 0u);
+  EXPECT_EQ(lm.stats().deadlocks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LockManagerProperty,
+    ::testing::Values(PropertyCase{LockScheduling::kFcfs, 2, 5},
+                      PropertyCase{LockScheduling::kFcfs, 4, 3},
+                      PropertyCase{LockScheduling::kFcfs, 6, 10},
+                      PropertyCase{LockScheduling::kVats, 2, 5},
+                      PropertyCase{LockScheduling::kVats, 4, 3},
+                      PropertyCase{LockScheduling::kVats, 6, 10}));
+
+}  // namespace
+}  // namespace minidb

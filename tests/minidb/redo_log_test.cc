@@ -1,0 +1,107 @@
+#include "src/minidb/redo_log.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace minidb {
+namespace {
+
+simio::DiskConfig FastLogDisk() {
+  simio::DiskConfig config;
+  config.write_mu = 0.5;
+  config.write_sigma = 0.05;
+  config.fsync_mu = 1.5;
+  config.fsync_sigma = 0.05;
+  config.fsync_spike_prob = 0.0;
+  config.serialize_access = false;
+  return config;
+}
+
+TEST(RedoLogTest, LsnsMonotonic) {
+  simio::Disk disk(FastLogDisk());
+  RedoLog log(FlushPolicy::kEager, &disk, 1000.0);
+  const uint64_t a = log.Append(100);
+  const uint64_t b = log.Append(100);
+  EXPECT_LT(a, b);
+}
+
+TEST(RedoLogTest, EagerCommitMakesDurable) {
+  simio::Disk disk(FastLogDisk());
+  RedoLog log(FlushPolicy::kEager, &disk, 1000.0);
+  const uint64_t lsn = log.Append(256);
+  EXPECT_LT(log.flushed_lsn(), lsn);
+  log.CommitUpTo(lsn);
+  EXPECT_GE(log.flushed_lsn(), lsn);
+  EXPECT_GE(disk.fsyncs(), 1u);
+  EXPECT_GE(log.stats().leader_flushes, 1u);
+}
+
+TEST(RedoLogTest, LazyFlushWritesButDoesNotSync) {
+  simio::Disk disk(FastLogDisk());
+  RedoLog log(FlushPolicy::kLazyFlush, &disk, 1e7 /* effectively never */);
+  const uint64_t lsn = log.Append(256);
+  const uint64_t syncs_before = disk.fsyncs();
+  log.CommitUpTo(lsn);
+  EXPECT_GE(log.written_lsn(), lsn);      // data written...
+  EXPECT_EQ(disk.fsyncs(), syncs_before);  // ...but not synced on this path
+}
+
+TEST(RedoLogTest, LazyWriteDefersEverything) {
+  simio::Disk disk(FastLogDisk());
+  RedoLog log(FlushPolicy::kLazyWrite, &disk, 1e7);
+  const uint64_t lsn = log.Append(256);
+  log.CommitUpTo(lsn);
+  EXPECT_LT(log.written_lsn(), lsn);
+  EXPECT_LT(log.flushed_lsn(), lsn);
+}
+
+TEST(RedoLogTest, BackgroundFlusherCatchesUp) {
+  simio::Disk disk(FastLogDisk());
+  RedoLog log(FlushPolicy::kLazyWrite, &disk, 500.0 /* 0.5ms period */);
+  const uint64_t lsn = log.Append(256);
+  log.CommitUpTo(lsn);
+  // Wait for the flusher to run.
+  for (int i = 0; i < 200 && log.flushed_lsn() < lsn; ++i) {
+    simio::SleepUs(1000);
+  }
+  EXPECT_GE(log.flushed_lsn(), lsn);
+  EXPECT_GE(log.stats().background_flushes, 1u);
+}
+
+TEST(RedoLogTest, GroupCommitManyThreads) {
+  simio::Disk disk(FastLogDisk());
+  RedoLog log(FlushPolicy::kEager, &disk, 1000.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const uint64_t lsn = log.Append(128);
+        log.CommitUpTo(lsn);
+        ASSERT_GE(log.flushed_lsn(), lsn);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Group commit must batch: strictly fewer fsyncs than commits.
+  EXPECT_LE(disk.fsyncs(), 200u);
+  EXPECT_GE(disk.fsyncs(), 1u);
+  const auto stats = log.stats();
+  EXPECT_EQ(stats.appends, 200u);
+}
+
+TEST(RedoLogTest, CommitUpToIdempotentWhenAlreadyDurable) {
+  simio::Disk disk(FastLogDisk());
+  RedoLog log(FlushPolicy::kEager, &disk, 1000.0);
+  const uint64_t lsn = log.Append(64);
+  log.CommitUpTo(lsn);
+  const uint64_t syncs = disk.fsyncs();
+  log.CommitUpTo(lsn);  // already durable: no new I/O
+  EXPECT_EQ(disk.fsyncs(), syncs);
+}
+
+}  // namespace
+}  // namespace minidb

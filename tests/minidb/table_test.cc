@@ -1,0 +1,85 @@
+#include "src/minidb/table.h"
+
+#include <gtest/gtest.h>
+
+namespace minidb {
+namespace {
+
+simio::DiskConfig FastDisk() {
+  simio::DiskConfig config;
+  config.read_mu = 0.5;
+  config.write_mu = 0.5;
+  config.serialize_access = false;
+  return config;
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest() : disk_(FastDisk()), pool_(64, BufferPolicy::kBlockingMutex, 8, &disk_),
+                table_("t", 3, 16, &pool_) {}
+  simio::Disk disk_;
+  BufferPool pool_;
+  Table table_;
+};
+
+TEST_F(TableTest, LoadAndRead) {
+  table_.LoadRow(42);
+  Row row;
+  EXPECT_TRUE(table_.ReadRow(42, &row));
+  EXPECT_EQ(row.key, 42);
+  EXPECT_FALSE(table_.ReadRow(43, &row));
+  EXPECT_EQ(table_.row_count(), 1u);
+}
+
+TEST_F(TableTest, UpdateBumpsVersion) {
+  table_.LoadRow(1);
+  Row before;
+  table_.ReadRow(1, &before);
+  EXPECT_TRUE(table_.UpdateRow(1));
+  Row after;
+  table_.ReadRow(1, &after);
+  EXPECT_GT(after.version, before.version);
+}
+
+TEST_F(TableTest, UpdateMissingRowFails) {
+  EXPECT_FALSE(table_.UpdateRow(999));
+}
+
+TEST_F(TableTest, InsertRejectsDuplicates) {
+  EXPECT_TRUE(table_.InsertRow(5));
+  EXPECT_FALSE(table_.InsertRow(5));
+  EXPECT_EQ(table_.row_count(), 1u);
+  EXPECT_EQ(table_.index().Size(), 1u);
+}
+
+TEST_F(TableTest, LockObjectIdsUniquePerTableAndKey) {
+  Table other("o", 4, 16, &pool_);
+  EXPECT_NE(table_.LockObjectId(1), other.LockObjectId(1));
+  EXPECT_NE(table_.LockObjectId(1), table_.LockObjectId(2));
+}
+
+TEST_F(TableTest, RowsShareConfiguredPages) {
+  // rows_per_page = 16: keys 0..15 on one page, 16 on the next.
+  EXPECT_EQ(table_.PageOf(0), table_.PageOf(15));
+  EXPECT_NE(table_.PageOf(15), table_.PageOf(16));
+}
+
+TEST_F(TableTest, AccessGoesThroughBufferPool) {
+  table_.LoadRow(7);
+  const auto before = pool_.stats();
+  table_.ReadRow(7, nullptr);
+  const auto after = pool_.stats();
+  EXPECT_EQ(after.hits + after.misses, before.hits + before.misses + 1);
+}
+
+TEST_F(TableTest, IndexTracksLoadedRows) {
+  for (int64_t k = 0; k < 100; ++k) {
+    table_.LoadRow(k);
+  }
+  EXPECT_EQ(table_.index().Size(), 100u);
+  EXPECT_TRUE(table_.index().Search(50).has_value());
+  EXPECT_TRUE(table_.index().CheckInvariants());
+}
+
+}  // namespace
+}  // namespace minidb

@@ -1,0 +1,120 @@
+#include "src/workload/tpcc.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace workload {
+namespace {
+
+TEST(TpccGeneratorTest, MixMatchesConfiguredPercentages) {
+  TpccOptions options;
+  TpccGenerator generator(options, 4);
+  statkit::Rng rng(1);
+  std::map<minidb::TxnType, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[generator.Next(rng).type];
+  }
+  EXPECT_NEAR(counts[minidb::TxnType::kNewOrder] * 100.0 / n, 45.0, 2.0);
+  EXPECT_NEAR(counts[minidb::TxnType::kPayment] * 100.0 / n, 43.0, 2.0);
+  EXPECT_NEAR(counts[minidb::TxnType::kOrderStatus] * 100.0 / n, 4.0, 1.0);
+  EXPECT_NEAR(counts[minidb::TxnType::kDelivery] * 100.0 / n, 4.0, 1.0);
+  EXPECT_NEAR(counts[minidb::TxnType::kStockLevel] * 100.0 / n, 4.0, 1.0);
+}
+
+TEST(TpccGeneratorTest, RequestsWithinScale) {
+  TpccOptions options;
+  TpccGenerator generator(options, 3);
+  statkit::Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const minidb::TxnRequest request = generator.Next(rng);
+    EXPECT_GE(request.warehouse, 0);
+    EXPECT_LT(request.warehouse, 3);
+    EXPECT_GE(request.district, 0);
+    EXPECT_LT(request.district, minidb::Engine::kDistrictsPerWarehouse);
+    EXPECT_GE(request.customer, 0);
+    EXPECT_LT(request.customer, minidb::Engine::kCustomersPerDistrict);
+    for (int64_t item : request.items) {
+      EXPECT_GE(item, 0);
+      EXPECT_LT(item, minidb::Engine::kItemsPerWarehouse);
+    }
+    if (request.type == minidb::TxnType::kNewOrder) {
+      EXPECT_GE(static_cast<int>(request.items.size()), options.min_items);
+      EXPECT_LE(static_cast<int>(request.items.size()), options.max_items);
+    }
+  }
+}
+
+TEST(TpccGeneratorTest, DeterministicForSeed) {
+  TpccOptions options;
+  TpccGenerator generator(options, 2);
+  statkit::Rng a(7);
+  statkit::Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto ra = generator.Next(a);
+    const auto rb = generator.Next(b);
+    EXPECT_EQ(ra.type, rb.type);
+    EXPECT_EQ(ra.warehouse, rb.warehouse);
+    EXPECT_EQ(ra.items, rb.items);
+  }
+}
+
+TEST(TpccGeneratorTest, ZipfSkewConcentratesCustomers) {
+  TpccOptions skewed;
+  skewed.customer_zipf_theta = 0.99;
+  skewed.item_zipf_theta = 0.99;
+  TpccGenerator generator(skewed, 2);
+  statkit::Rng rng(3);
+  std::map<int64_t, int> customer_counts;
+  std::map<int64_t, int> item_counts;
+  for (int i = 0; i < 20000; ++i) {
+    const auto request = generator.Next(rng);
+    ++customer_counts[request.customer];
+    for (int64_t item : request.items) {
+      ++item_counts[item];
+    }
+  }
+  // Customer 0 (hottest rank) dominates a mid-rank customer heavily.
+  EXPECT_GT(customer_counts[0], customer_counts[150] * 10);
+  EXPECT_GT(item_counts[0], item_counts[1000] * 10);
+}
+
+TEST(TpccGeneratorTest, ZeroThetaStaysUniform) {
+  TpccOptions uniform;  // thetas default to 0
+  TpccGenerator generator(uniform, 2);
+  statkit::Rng rng(4);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[generator.Next(rng).customer];
+  }
+  // No single customer should dominate under the uniform default.
+  int max_count = 0;
+  for (const auto& [customer, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_LT(max_count, 300);  // ~100 expected per customer
+}
+
+TEST(TpccDriverTest, RunWithCustomExecutorCountsResults) {
+  TpccOptions options;
+  options.threads = 2;
+  options.transactions_per_thread = 25;
+  TpccDriver driver(nullptr, options);
+  std::atomic<int> calls{0};
+  const TpccResult result = driver.RunWith(
+      [&](const minidb::TxnRequest&) {
+        const int n = calls.fetch_add(1);
+        return n % 5 != 0;  // every 5th "aborts"
+      },
+      2);
+  EXPECT_EQ(calls.load(), 50);
+  EXPECT_EQ(result.committed, 40u);
+  EXPECT_EQ(result.aborted, 10u);
+  EXPECT_EQ(result.latencies_ns.size(), 40u);
+  EXPECT_GT(result.throughput_tps, 0.0);
+}
+
+}  // namespace
+}  // namespace workload

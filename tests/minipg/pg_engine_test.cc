@@ -1,0 +1,130 @@
+#include "src/minipg/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/tpcc.h"
+
+namespace minipg {
+namespace {
+
+PgConfig FastConfig() {
+  PgConfig config;
+  config.wal_disk.write_mu = 0.5;
+  config.wal_disk.fsync_mu = 1.0;
+  config.wal_disk.fsync_sigma = 0.05;
+  config.wal_disk.fsync_spike_prob = 0.0;
+  config.wal_disk.serialize_access = false;
+  return config;
+}
+
+minidb::TxnRequest Request(minidb::TxnType type) {
+  minidb::TxnRequest request;
+  request.type = type;
+  request.warehouse = 0;
+  request.district = 2;
+  request.customer = 10;
+  request.items = {1, 2, 3, 4};
+  return request;
+}
+
+TEST(ExecutorTest, PlanProducesRowsAndLocks) {
+  PredicateLockManager locks;
+  Executor executor(&locks, /*serializable=*/true);
+  auto plan = PlanNode::Make(PlanNodeType::kAgg, 1, 0);
+  plan->children.push_back(PlanNode::Make(PlanNodeType::kSeqScan, 10, 100));
+  ExecContext context;
+  context.txn_id = 1;
+  statkit::Rng rng(5);
+  context.rng = &rng;
+  EXPECT_EQ(executor.ExecProcNode(*plan, &context), 1);  // Agg emits one row
+  EXPECT_EQ(context.read_objects.size(), 1u);            // relation SIREAD
+  EXPECT_EQ(locks.ActiveLocks(), 1u);
+}
+
+TEST(ExecutorTest, ModifyTableProducesWal) {
+  PredicateLockManager locks;
+  Executor executor(&locks, /*serializable=*/false);
+  auto plan = PlanNode::Make(PlanNodeType::kModifyTable, 3, 200);
+  ExecContext context;
+  context.txn_id = 2;
+  statkit::Rng rng(6);
+  context.rng = &rng;
+  executor.ExecProcNode(*plan, &context);
+  EXPECT_EQ(context.wal_bytes, 3u * 180u);
+  EXPECT_TRUE(context.read_objects.empty());  // not serializable
+}
+
+TEST(ExecutorTest, IndexScanRegistersPerRowLocks) {
+  PredicateLockManager locks;
+  Executor executor(&locks, /*serializable=*/true);
+  auto plan = PlanNode::Make(PlanNodeType::kIndexScan, 4, 300);
+  ExecContext context;
+  context.txn_id = 3;
+  statkit::Rng rng(7);
+  context.rng = &rng;
+  executor.ExecProcNode(*plan, &context);
+  EXPECT_EQ(context.read_objects.size(), 4u);
+}
+
+TEST(PgEngineTest, AllTransactionTypesCommit) {
+  PgEngine engine(FastConfig());
+  for (auto type : {minidb::TxnType::kNewOrder, minidb::TxnType::kPayment,
+                    minidb::TxnType::kOrderStatus, minidb::TxnType::kDelivery,
+                    minidb::TxnType::kStockLevel}) {
+    EXPECT_TRUE(engine.Execute(Request(type)));
+  }
+  EXPECT_EQ(engine.committed_count(), 5u);
+  // Predicate locks fully released after commits.
+  EXPECT_EQ(engine.predicate_locks().ActiveLocks(), 0u);
+}
+
+TEST(PgEngineTest, WriteTransactionsFlushWal) {
+  PgEngine engine(FastConfig());
+  engine.Execute(Request(minidb::TxnType::kPayment));
+  EXPECT_GE(engine.wal().unit(0).stats().flushes_performed, 1u);
+  EXPECT_GT(engine.wal().unit(0).flushed_lsn(), 0u);
+}
+
+TEST(PgEngineTest, ReadOnlyTransactionsSkipWal) {
+  PgEngine engine(FastConfig());
+  engine.Execute(Request(minidb::TxnType::kOrderStatus));
+  engine.Execute(Request(minidb::TxnType::kStockLevel));
+  EXPECT_EQ(engine.wal().unit(0).stats().flush_calls, 0u);
+}
+
+TEST(PgEngineTest, DistributedLoggingConfigRuns) {
+  PgConfig config = FastConfig();
+  config.wal_units = 2;
+  PgEngine engine(config);
+  workload::TpccOptions options;
+  options.threads = 4;
+  options.transactions_per_thread = 40;
+  workload::TpccDriver driver(nullptr, options);
+  const auto result = driver.RunWith(
+      [&](const minidb::TxnRequest& request) { return engine.Execute(request); },
+      2);
+  EXPECT_EQ(result.committed, 160u);
+  EXPECT_EQ(engine.committed_count(), 160u);
+  EXPECT_EQ(engine.predicate_locks().ActiveLocks(), 0u);
+}
+
+TEST(PgEngineTest, NonSerializableSkipsPredicateLocks) {
+  PgConfig config = FastConfig();
+  config.serializable = false;
+  PgEngine engine(config);
+  engine.Execute(Request(minidb::TxnType::kOrderStatus));
+  EXPECT_EQ(engine.predicate_locks().stats().acquired, 0u);
+}
+
+TEST(PgEngineTest, CallGraphShape) {
+  vprof::CallGraph graph;
+  PgEngine::RegisterCallGraph(&graph);
+  const auto root = vprof::RegisterFunction("exec_simple_query");
+  EXPECT_EQ(graph.Children(root).size(), 2u);
+  EXPECT_GE(graph.Height(root), 3);
+  const auto lw = vprof::RegisterFunction("LWLockAcquireOrWait");
+  EXPECT_FALSE(graph.HasChildren(lw));
+}
+
+}  // namespace
+}  // namespace minipg

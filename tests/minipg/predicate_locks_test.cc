@@ -1,0 +1,78 @@
+#include "src/minipg/predicate_locks.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace minipg {
+namespace {
+
+TEST(PredicateLocksTest, AcquireAndRelease) {
+  PredicateLockManager pl;
+  pl.Acquire(1, 100);
+  pl.Acquire(1, 200);
+  EXPECT_EQ(pl.ActiveLocks(), 2u);
+  EXPECT_EQ(pl.ReleaseAll(1, {100, 200}), 2);
+  EXPECT_EQ(pl.ActiveLocks(), 0u);
+}
+
+TEST(PredicateLocksTest, AcquireIdempotentPerTxn) {
+  PredicateLockManager pl;
+  pl.Acquire(1, 100);
+  pl.Acquire(1, 100);
+  EXPECT_EQ(pl.ActiveLocks(), 1u);
+  EXPECT_EQ(pl.stats().acquired, 1u);
+}
+
+TEST(PredicateLocksTest, WriteConflictCountsOtherHolders) {
+  PredicateLockManager pl;
+  pl.Acquire(1, 100);
+  pl.Acquire(2, 100);
+  pl.Acquire(3, 100);
+  // Writer txn 2: conflicts with 1 and 3, not itself.
+  EXPECT_EQ(pl.CheckWriteConflicts(2, 100), 2);
+  // No SIREAD holders elsewhere.
+  EXPECT_EQ(pl.CheckWriteConflicts(2, 999), 0);
+  EXPECT_EQ(pl.stats().conflicts_detected, 2u);
+}
+
+TEST(PredicateLocksTest, ReleaseOnlyOwnLocks) {
+  PredicateLockManager pl;
+  pl.Acquire(1, 100);
+  pl.Acquire(2, 100);
+  EXPECT_EQ(pl.ReleaseAll(1, {100}), 1);
+  EXPECT_EQ(pl.ActiveLocks(), 1u);
+  EXPECT_EQ(pl.CheckWriteConflicts(3, 100), 1);  // txn 2 still holds
+}
+
+TEST(PredicateLocksTest, ReleaseMissingIsZero) {
+  PredicateLockManager pl;
+  EXPECT_EQ(pl.ReleaseAll(1, {5, 6, 7}), 0);
+}
+
+TEST(PredicateLocksTest, ConcurrentAcquireRelease) {
+  PredicateLockManager pl;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pl, t] {
+      for (int i = 0; i < 500; ++i) {
+        const uint64_t txn = static_cast<uint64_t>(t + 1);
+        std::vector<uint64_t> objects;
+        for (int k = 0; k < 5; ++k) {
+          const uint64_t object = static_cast<uint64_t>((i * 5 + k) % 64);
+          pl.Acquire(txn, object);
+          objects.push_back(object);
+        }
+        pl.ReleaseAll(txn, objects);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(pl.ActiveLocks(), 0u);
+}
+
+}  // namespace
+}  // namespace minipg

@@ -1,0 +1,89 @@
+#include "src/statkit/covariance.h"
+
+#include <array>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/statkit/rng.h"
+#include "src/statkit/welford.h"
+
+namespace statkit {
+namespace {
+
+TEST(CovarianceMatrixTest, DiagonalMatchesVariance) {
+  Rng rng(21);
+  CovarianceMatrix mat(3);
+  StreamingMoments m0;
+  StreamingMoments m2;
+  for (int i = 0; i < 2000; ++i) {
+    const std::array<double, 3> x = {rng.NextDouble(), rng.NextDouble() * 2.0,
+                                     rng.NextDouble() * 5.0 - 1.0};
+    mat.Add(x);
+    m0.Add(x[0]);
+    m2.Add(x[2]);
+  }
+  EXPECT_NEAR(mat.Variance(0), m0.variance(), 1e-9);
+  EXPECT_NEAR(mat.Variance(2), m2.variance(), 1e-9);
+}
+
+TEST(CovarianceMatrixTest, Symmetry) {
+  Rng rng(22);
+  CovarianceMatrix mat(4);
+  for (int i = 0; i < 500; ++i) {
+    std::array<double, 4> x;
+    for (double& v : x) {
+      v = rng.NextDouble();
+    }
+    mat.Add(x);
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(mat.Covariance(i, j), mat.Covariance(j, i));
+    }
+  }
+}
+
+TEST(CovarianceMatrixTest, OffDiagonalMatchesPairwise) {
+  Rng rng(23);
+  CovarianceMatrix mat(2);
+  StreamingCovariance pair;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.NextDouble();
+    const double y = 0.7 * x + 0.3 * rng.NextDouble();
+    mat.Add(std::array<double, 2>{x, y});
+    pair.Add(x, y);
+  }
+  EXPECT_NEAR(mat.Covariance(0, 1), pair.covariance(), 1e-9);
+}
+
+// The decomposition identity of paper Equation (2): the variance of the sum
+// equals the sum of variances plus twice the pairwise covariances, for any
+// number of components.
+class VarianceOfSumProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(VarianceOfSumProperty, EquationTwoHolds) {
+  const size_t n = GetParam();
+  Rng rng(100 + n);
+  CovarianceMatrix mat(n);
+  StreamingMoments sum_moments;
+  std::vector<double> x(n);
+  for (int i = 0; i < 2000; ++i) {
+    double common = rng.NextDouble();  // induces cross-correlation
+    double total = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      x[j] = rng.NextDouble() + (j % 2 == 0 ? common : -common);
+      total += x[j];
+    }
+    mat.Add(x);
+    sum_moments.Add(total);
+  }
+  EXPECT_NEAR(mat.VarianceOfSum(), sum_moments.variance(),
+              1e-7 * (1.0 + sum_moments.variance()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VarianceOfSumProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace statkit

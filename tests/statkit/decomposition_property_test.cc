@@ -1,0 +1,70 @@
+// Cross-cutting property: the paper's Equation (2) decomposition holds for
+// arbitrary random decompositions of a total into parts, across scales,
+// correlation structures, and part counts — the mathematical foundation the
+// variance tree rests on.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/statkit/covariance.h"
+#include "src/statkit/distributions.h"
+#include "src/statkit/rng.h"
+#include "src/statkit/welford.h"
+
+namespace statkit {
+namespace {
+
+struct DecompositionCase {
+  size_t parts;
+  double scale;
+  double correlation;  // weight of the shared component
+  uint64_t seed;
+};
+
+class DecompositionProperty
+    : public ::testing::TestWithParam<DecompositionCase> {};
+
+TEST_P(DecompositionProperty, VarianceOfSumEqualsTreeDecomposition) {
+  const DecompositionCase param = GetParam();
+  Rng rng(param.seed);
+  CovarianceMatrix matrix(param.parts);
+  StreamingMoments total_moments;
+  std::vector<double> parts(param.parts);
+  for (int sample = 0; sample < 3000; ++sample) {
+    const double shared = SampleLognormal(rng, 2.0, 0.8) * param.correlation;
+    double total = 0.0;
+    for (size_t i = 0; i < param.parts; ++i) {
+      parts[i] = param.scale * (SampleExponential(rng, 1.0 + static_cast<double>(i)) +
+                                (i % 2 == 0 ? shared : -0.4 * shared));
+      total += parts[i];
+    }
+    matrix.Add(parts);
+    total_moments.Add(total);
+  }
+  // Var(sum) == sum Var + 2 sum Cov, within numerical tolerance.
+  const double lhs = total_moments.variance();
+  double rhs = 0.0;
+  for (size_t i = 0; i < param.parts; ++i) {
+    rhs += matrix.Variance(i);
+  }
+  for (size_t i = 0; i < param.parts; ++i) {
+    for (size_t j = i + 1; j < param.parts; ++j) {
+      rhs += 2.0 * matrix.Covariance(i, j);
+    }
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-6 * (1.0 + lhs));
+  // And VarianceOfSum agrees with the manual expansion.
+  EXPECT_NEAR(matrix.VarianceOfSum(), rhs, 1e-6 * (1.0 + rhs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecompositionProperty,
+    ::testing::Values(DecompositionCase{2, 1.0, 0.0, 11},
+                      DecompositionCase{3, 1.0, 1.0, 12},
+                      DecompositionCase{5, 1000.0, 0.5, 13},
+                      DecompositionCase{8, 1e-3, 2.0, 14},
+                      DecompositionCase{12, 1e6, 0.2, 15},
+                      DecompositionCase{20, 1.0, 3.0, 16}));
+
+}  // namespace
+}  // namespace statkit

@@ -1,0 +1,78 @@
+#include "src/statkit/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/statkit/welford.h"
+
+namespace statkit {
+namespace {
+
+TEST(DistributionsTest, StandardNormalMoments) {
+  Rng rng(31);
+  StreamingMoments m;
+  for (int i = 0; i < 100000; ++i) {
+    m.Add(SampleStandardNormal(rng));
+  }
+  EXPECT_NEAR(m.mean(), 0.0, 0.02);
+  EXPECT_NEAR(m.variance(), 1.0, 0.03);
+}
+
+TEST(DistributionsTest, LognormalMedian) {
+  Rng rng(32);
+  StreamingMoments log_m;
+  for (int i = 0; i < 50000; ++i) {
+    log_m.Add(std::log(SampleLognormal(rng, 3.0, 0.5)));
+  }
+  // log of a lognormal(mu, sigma) is normal(mu, sigma).
+  EXPECT_NEAR(log_m.mean(), 3.0, 0.02);
+  EXPECT_NEAR(log_m.stddev(), 0.5, 0.02);
+}
+
+TEST(DistributionsTest, ExponentialMean) {
+  Rng rng(33);
+  StreamingMoments m;
+  for (int i = 0; i < 50000; ++i) {
+    m.Add(SampleExponential(rng, 4.0));
+  }
+  EXPECT_NEAR(m.mean(), 4.0, 0.1);
+  // Exponential: variance = mean^2.
+  EXPECT_NEAR(m.variance(), 16.0, 1.0);
+}
+
+TEST(DistributionsTest, ParetoLowerBound) {
+  Rng rng(34);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(SamplePareto(rng, 2.0, 1.5), 2.0);
+  }
+}
+
+TEST(ZipfGeneratorTest, RangeAndSkew) {
+  Rng rng(35);
+  ZipfGenerator zipf(100, 0.99);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t x = zipf.Sample(rng);
+    ASSERT_LT(x, 100u);
+    ++counts[x];
+  }
+  // Rank 0 must dominate rank 50 heavily under theta ~ 1.
+  EXPECT_GT(counts[0], counts[50] * 10);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(ZipfGeneratorTest, ThetaZeroIsUniform) {
+  Rng rng(36);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 5000.0, 350.0);
+  }
+}
+
+}  // namespace
+}  // namespace statkit

@@ -1,0 +1,75 @@
+#include "src/statkit/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/statkit/distributions.h"
+#include "src/statkit/rng.h"
+
+namespace statkit {
+namespace {
+
+TEST(LogHistogramTest, EmptyQuantileIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LogHistogramTest, SingleValueQuantiles) {
+  LogHistogram h(1.0, 1e6, 40);
+  h.Add(1000.0);
+  // Every quantile must land in the bucket containing 1000 (within one
+  // bucket's relative width).
+  EXPECT_NEAR(h.Quantile(0.5), 1000.0, 1000.0 * 0.12);
+  EXPECT_NEAR(h.Quantile(0.99), 1000.0, 1000.0 * 0.12);
+}
+
+TEST(LogHistogramTest, ClampsOutOfRangeValues) {
+  LogHistogram h(10.0, 1000.0, 10);
+  h.Add(1.0);     // below min
+  h.Add(1e9);     // above max
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GT(h.bucket_value(0), 0u);
+  EXPECT_GT(h.bucket_value(h.bucket_count() - 1), 0u);
+}
+
+TEST(LogHistogramTest, QuantilesOrdered) {
+  Rng rng(77);
+  LogHistogram h(1.0, 1e7, 30);
+  for (int i = 0; i < 10000; ++i) {
+    h.Add(SampleLognormal(rng, 6.0, 1.0));
+  }
+  const double p50 = h.Quantile(0.50);
+  const double p90 = h.Quantile(0.90);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+}
+
+TEST(LogHistogramTest, UniformMedianAccuracy) {
+  Rng rng(78);
+  LogHistogram h(1.0, 1e5, 50);
+  for (int i = 0; i < 50000; ++i) {
+    h.Add(100.0 + rng.NextDouble() * 900.0);  // uniform [100, 1000)
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 550.0, 60.0);
+}
+
+TEST(LogHistogramTest, MergeAddsCounts) {
+  LogHistogram a(1.0, 1e4, 10);
+  LogHistogram b(1.0, 1e4, 10);
+  a.Add(10.0);
+  b.Add(100.0);
+  b.Add(1000.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(LogHistogramTest, ToStringListsNonEmptyBuckets) {
+  LogHistogram h(1.0, 100.0, 5);
+  h.Add(10.0);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find(": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace statkit

@@ -1,0 +1,68 @@
+#include "src/statkit/p2_quantile.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/statkit/distributions.h"
+#include "src/statkit/rng.h"
+#include "src/statkit/summary.h"
+
+namespace statkit {
+namespace {
+
+TEST(P2QuantileTest, EmptyIsZero) {
+  P2Quantile q(0.99);
+  EXPECT_DOUBLE_EQ(q.Value(), 0.0);
+}
+
+TEST(P2QuantileTest, ExactForSmallSamples) {
+  P2Quantile q(0.5);
+  q.Add(3.0);
+  q.Add(1.0);
+  q.Add(2.0);
+  // Median of {1,2,3} by nearest rank: ceil(0.5*3)=2nd smallest = 2.
+  EXPECT_DOUBLE_EQ(q.Value(), 2.0);
+}
+
+// Accuracy against the exact percentile for several quantiles and
+// distributions.
+struct P2Case {
+  double quantile;
+  double sigma;  // lognormal shape
+};
+
+class P2Accuracy : public ::testing::TestWithParam<P2Case> {};
+
+TEST_P(P2Accuracy, TracksExactPercentile) {
+  const P2Case c = GetParam();
+  Rng rng(static_cast<uint64_t>(c.quantile * 1000) + 5);
+  P2Quantile q(c.quantile);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = SampleLognormal(rng, 5.0, c.sigma);
+    q.Add(x);
+    values.push_back(x);
+  }
+  std::sort(values.begin(), values.end());
+  const double exact = PercentileOfSorted(values, c.quantile * 100.0);
+  EXPECT_NEAR(q.Value(), exact, exact * 0.15)
+      << "quantile=" << c.quantile << " sigma=" << c.sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, P2Accuracy,
+                         ::testing::Values(P2Case{0.5, 0.5}, P2Case{0.9, 0.5},
+                                           P2Case{0.99, 0.5}, P2Case{0.5, 1.2},
+                                           P2Case{0.95, 1.2}));
+
+TEST(P2QuantileTest, MonotoneUnderSortedInput) {
+  P2Quantile q(0.9);
+  for (int i = 1; i <= 1000; ++i) {
+    q.Add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(q.Value(), 900.0, 30.0);
+}
+
+}  // namespace
+}  // namespace statkit

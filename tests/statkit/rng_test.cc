@@ -1,0 +1,83 @@
+#include "src/statkit/rng.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace statkit {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(10);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = rng.NextBelow(7);
+    EXPECT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t x = rng.NextInRange(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBoolFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, MeanOfUniformIsHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace statkit

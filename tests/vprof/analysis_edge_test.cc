@@ -1,0 +1,147 @@
+// Edge cases of the offline analysis: empty traces, degenerate intervals,
+// single samples, and factor aggregation corner cases.
+#include <gtest/gtest.h>
+
+#include "src/vprof/analysis/factor_selection.h"
+#include "src/vprof/analysis/variance_tree.h"
+#include "tests/vprof/trace_builder.h"
+
+namespace vprof {
+namespace {
+
+using vprof_test::TraceBuilder;
+
+TEST(AnalysisEdgeTest, EmptyTraceYieldsEmptyAnalysis) {
+  Trace empty;
+  VarianceAnalysis analysis(empty);
+  EXPECT_EQ(analysis.interval_count(), 0u);
+  EXPECT_DOUBLE_EQ(analysis.overall_variance(), 0.0);
+  EXPECT_EQ(analysis.TreeHeight(), 0);
+}
+
+TEST(AnalysisEdgeTest, SingleIntervalHasZeroVariance) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 1000);
+  tb.Exec(0, 1, 0, 1000);
+  tb.Invoke(0, "ae_only", 0, 800, -1, 1);
+  VarianceAnalysis analysis(tb.Build());
+  EXPECT_EQ(analysis.interval_count(), 1u);
+  EXPECT_DOUBLE_EQ(analysis.overall_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(analysis.overall_mean(), 1000.0);
+}
+
+TEST(AnalysisEdgeTest, ZeroLengthIntervalHandled) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 500).End(0, 1, 500);
+  tb.Exec(0, 1, 0, 1000);
+  VarianceAnalysis analysis(tb.Build());
+  EXPECT_EQ(analysis.interval_count(), 1u);
+  EXPECT_DOUBLE_EQ(analysis.overall_mean(), 0.0);
+}
+
+TEST(AnalysisEdgeTest, IntervalWithNoSegmentsStillCounted) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 100).End(0, 1, 300);
+  // No segments at all: the latency still lands at the root.
+  VarianceAnalysis analysis(tb.Build());
+  EXPECT_EQ(analysis.interval_count(), 1u);
+  EXPECT_DOUBLE_EQ(analysis.overall_mean(), 200.0);
+}
+
+TEST(AnalysisEdgeTest, FactorsOnEmptyAnalysisAreEmpty) {
+  Trace empty;
+  VarianceAnalysis analysis(empty);
+  CallGraph graph;
+  graph.AddFunction("ae_root");
+  const auto factors = AggregateFactors(
+      analysis, graph, RegisterFunction("ae_root"), SpecificityKind::kQuadratic);
+  for (const Factor& factor : factors) {
+    EXPECT_DOUBLE_EQ(factor.contribution, 0.0);
+  }
+}
+
+TEST(AnalysisEdgeTest, NegativeCovarianceReported) {
+  // Two children that perfectly anti-correlate: their covariance factor is
+  // negative and the parent's variance is zero.
+  TraceBuilder tb;
+  const std::vector<TimeNs> first = {100, 400, 250, 350};
+  for (size_t i = 0; i < first.size(); ++i) {
+    const TimeNs base = static_cast<TimeNs>(i) * 10000;
+    const IntervalId sid = static_cast<IntervalId>(i + 1);
+    const TimeNs mid = base + first[i];
+    const TimeNs end = base + 500;  // constant total
+    tb.Begin(0, sid, base).End(0, sid, end);
+    tb.Exec(0, sid, base, end);
+    const int root = tb.Invoke(0, "ae_parent", base, end, -1, sid);
+    tb.Invoke(0, "ae_x", base, mid, root, sid);
+    tb.Invoke(0, "ae_y", mid, end, root, sid);
+  }
+  VarianceAnalysis analysis(tb.Build());
+  EXPECT_DOUBLE_EQ(analysis.overall_variance(), 0.0);
+  bool found_negative = false;
+  for (const SiblingCovariance& cov : analysis.covariances()) {
+    if (cov.covariance < 0.0) {
+      found_negative = true;
+    }
+  }
+  EXPECT_TRUE(found_negative);
+}
+
+TEST(AnalysisEdgeTest, LabelFilterSelectsIntervalClass) {
+  // Two interval classes: label 1 (fast, constant) and label 2 (slow,
+  // variable). Filtering isolates each class's profile.
+  TraceBuilder tb;
+  for (int i = 0; i < 4; ++i) {
+    const TimeNs base = i * 100000;
+    const IntervalId fast_sid = static_cast<IntervalId>(i * 2 + 1);
+    const IntervalId slow_sid = static_cast<IntervalId>(i * 2 + 2);
+    tb.Begin(0, fast_sid, base, /*label=*/1).End(0, fast_sid, base + 100);
+    tb.Exec(0, fast_sid, base, base + 100);
+    const TimeNs slow_base = base + 50000;
+    const TimeNs slow_end = slow_base + 1000 + i * 500;
+    tb.Begin(0, slow_sid, slow_base, /*label=*/2).End(0, slow_sid, slow_end);
+    tb.Exec(0, slow_sid, slow_base, slow_end);
+  }
+  const Trace trace = tb.Build();
+
+  CriticalPathOptions fast_only;
+  fast_only.filter_by_label = true;
+  fast_only.label_filter = 1;
+  VarianceAnalysis fast(trace, fast_only);
+  EXPECT_EQ(fast.interval_count(), 4u);
+  EXPECT_DOUBLE_EQ(fast.overall_mean(), 100.0);
+  EXPECT_DOUBLE_EQ(fast.overall_variance(), 0.0);
+
+  CriticalPathOptions slow_only;
+  slow_only.filter_by_label = true;
+  slow_only.label_filter = 2;
+  VarianceAnalysis slow(trace, slow_only);
+  EXPECT_EQ(slow.interval_count(), 4u);
+  EXPECT_GT(slow.overall_variance(), 0.0);
+
+  VarianceAnalysis all(trace);
+  EXPECT_EQ(all.interval_count(), 8u);
+}
+
+TEST(AnalysisEdgeTest, BackgroundInvocationsOutsideIntervalsIgnored) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 1000).End(0, 1, 2000);
+  tb.Exec(0, 1, 1000, 2000);
+  tb.Invoke(0, "ae_in", 1000, 1500, -1, 1);
+  // Background thread activity entirely outside the interval.
+  tb.Exec(1, 0, 0, 5000);
+  tb.Invoke(1, "ae_background", 0, 5000, -1, 0);
+  VarianceAnalysis analysis(tb.Build());
+  for (size_t i = 1; i < analysis.node_count(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    if (analysis.NodeLabel(id) == "ae_background") {
+      EXPECT_DOUBLE_EQ(analysis.NodeMean(id), 0.0);
+    }
+    if (analysis.NodeLabel(id) == "ae_in") {
+      EXPECT_DOUBLE_EQ(analysis.NodeMean(id), 500.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vprof

@@ -1,0 +1,98 @@
+#include "src/vprof/analysis/chrome_trace.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "tests/vprof/trace_builder.h"
+
+namespace vprof {
+namespace {
+
+using vprof_test::TraceBuilder;
+
+Trace SampleTrace() {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 100).End(0, 1, 900);
+  tb.Exec(0, 1, 100, 400).Blocked(0, 1, 400, 700, 1, 700).Exec(0, 1, 700, 900);
+  const int root = tb.Invoke(0, "ct_root", 100, 880, -1, 1);
+  tb.Invoke(0, "ct_child", 150, 380, root, 1);
+  return tb.Build();
+}
+
+TEST(ChromeTraceTest, ContainsFunctionEvents) {
+  const std::string json = ToChromeTraceJson(SampleTrace());
+  EXPECT_NE(json.find("\"ct_root\""), std::string::npos);
+  EXPECT_NE(json.find("\"ct_child\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, ContainsBlockedSegmentWithWaker) {
+  const std::string json = ToChromeTraceJson(SampleTrace());
+  EXPECT_NE(json.find("\"blocked\""), std::string::npos);
+  EXPECT_NE(json.find("\"waker\":1"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, ContainsIntervalMarkers) {
+  const std::string json = ToChromeTraceJson(SampleTrace());
+  EXPECT_NE(json.find("\"interval 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, OptionsSuppressSections) {
+  ChromeTraceOptions options;
+  options.include_segments = false;
+  options.include_intervals = false;
+  const std::string json = ToChromeTraceJson(SampleTrace(), options);
+  EXPECT_EQ(json.find("\"blocked\""), std::string::npos);
+  EXPECT_EQ(json.find("\"interval 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ct_root\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, BalancedJsonBrackets) {
+  const std::string json = ToChromeTraceJson(SampleTrace());
+  int depth = 0;
+  bool in_string = false;
+  char prev = 0;
+  for (char c : json) {
+    if (c == '"' && prev != '\\') {
+      in_string = !in_string;
+    }
+    if (!in_string) {
+      if (c == '{' || c == '[') {
+        ++depth;
+      }
+      if (c == '}' || c == ']') {
+        --depth;
+      }
+      EXPECT_GE(depth, 0);
+    }
+    prev = c;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ChromeTraceTest, WriteToFileRoundTrips) {
+  const std::string path = std::string(::testing::TempDir()) + "/ct.json";
+  ASSERT_TRUE(WriteChromeTrace(SampleTrace(), path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buffer[16] = {0};
+  ASSERT_GT(std::fread(buffer, 1, sizeof(buffer) - 1, f), 0u);
+  std::fclose(f);
+  EXPECT_EQ(buffer[0], '{');
+}
+
+TEST(ChromeTraceTest, EscapesSpecialCharacters) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 10);
+  tb.Invoke(0, "weird\"name\\x", 0, 5, -1, 1);
+  const std::string json = ToChromeTraceJson(tb.Build());
+  EXPECT_NE(json.find("weird\\\"name\\\\x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vprof

@@ -1,0 +1,231 @@
+#include "src/vprof/analysis/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/vprof/trace_builder.h"
+
+namespace vprof {
+namespace {
+
+using vprof_test::TraceBuilder;
+
+double TotalWindowNs(const IntervalBreakdown& b) {
+  double total = 0.0;
+  for (const PathWindow& w : b.windows) {
+    total += static_cast<double>(w.hi - w.lo);
+  }
+  return total;
+}
+
+TEST(TraceIndexTest, MatchesBeginEndPairs) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 100).End(0, 1, 500);
+  tb.Begin(0, 2, 600);  // never ends: excluded
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  ASSERT_EQ(index.Intervals().size(), 1u);
+  EXPECT_EQ(index.Intervals()[0].sid, 1u);
+  EXPECT_EQ(index.Intervals()[0].begin_time, 100);
+  EXPECT_EQ(index.Intervals()[0].end_time, 500);
+}
+
+TEST(TraceIndexTest, CrossThreadBeginEnd) {
+  TraceBuilder tb;
+  tb.Begin(0, 7, 10).End(3, 7, 90);
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  ASSERT_EQ(index.Intervals().size(), 1u);
+  EXPECT_EQ(index.Intervals()[0].begin_tid, 0);
+  EXPECT_EQ(index.Intervals()[0].end_tid, 3);
+}
+
+TEST(TraceIndexTest, LastSegmentBefore) {
+  TraceBuilder tb;
+  tb.Exec(0, 1, 0, 100).Exec(0, 1, 100, 200).Exec(0, 1, 200, 300);
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  EXPECT_EQ(index.LastSegmentBefore(0, 150), 1);
+  EXPECT_EQ(index.LastSegmentBefore(0, 100), 0);
+  EXPECT_EQ(index.LastSegmentBefore(0, 0), -1);
+  EXPECT_EQ(index.LastSegmentBefore(0, 5000), 2);
+  EXPECT_EQ(index.LastSegmentBefore(9, 5000), -1);  // unknown thread
+}
+
+TEST(CriticalPathTest, SingleThreadSingleSegment) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 100).End(0, 1, 500);
+  tb.Exec(0, 1, 100, 500);
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  const auto breakdowns = BuildBreakdowns(index);
+  ASSERT_EQ(breakdowns.size(), 1u);
+  const IntervalBreakdown& b = breakdowns[0];
+  EXPECT_DOUBLE_EQ(b.latency_ns(), 400.0);
+  EXPECT_DOUBLE_EQ(TotalWindowNs(b), 400.0);
+  EXPECT_DOUBLE_EQ(b.blocked_wait_ns, 0.0);
+}
+
+TEST(CriticalPathTest, WindowsClippedToIntervalBounds) {
+  // The segment extends beyond the interval on both sides; only the interval
+  // span counts.
+  TraceBuilder tb;
+  tb.Begin(0, 1, 100).End(0, 1, 300);
+  tb.Exec(0, 1, 0, 1000);
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  const auto b = BuildBreakdowns(index);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_DOUBLE_EQ(TotalWindowNs(b[0]), 200.0);
+}
+
+TEST(CriticalPathTest, BlockedWithoutWakerCountsAsBlockedWait) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 300);
+  tb.Exec(0, 1, 0, 100).Blocked(0, 1, 100, 250).Exec(0, 1, 250, 300);
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  const auto b = BuildBreakdowns(index);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_DOUBLE_EQ(TotalWindowNs(b[0]), 150.0);
+  EXPECT_DOUBLE_EQ(b[0].blocked_wait_ns, 150.0);
+}
+
+TEST(CriticalPathTest, BlockedFollowsWakerThread) {
+  // Thread 0 blocks [100, 250] on a lock released by thread 1 at t=250.
+  // Thread 1 executes [50, 250] on behalf of another interval; the span
+  // [100, 250] of that execution is on interval 1's critical path.
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 300);
+  tb.Exec(0, 1, 0, 100)
+      .Blocked(0, 1, 100, 250, /*waker=*/1, /*waker_time=*/250)
+      .Exec(0, 1, 250, 300);
+  tb.Exec(1, 2, 50, 250);
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  const auto b = BuildBreakdowns(index);
+  ASSERT_EQ(b.size(), 1u);
+  // Own execution: 100 + 50; waker execution: 150.
+  EXPECT_DOUBLE_EQ(TotalWindowNs(b[0]), 300.0);
+  bool saw_waker_window = false;
+  for (const PathWindow& w : b[0].windows) {
+    if (w.tid == 1) {
+      saw_waker_window = true;
+      EXPECT_EQ(w.lo, 100);
+      EXPECT_EQ(w.hi, 250);
+    }
+  }
+  EXPECT_TRUE(saw_waker_window);
+}
+
+TEST(CriticalPathTest, WakerChainRecursesAcrossThreads) {
+  // 0 waits for 1; within that span 1 itself waited for 2.
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 400);
+  tb.Exec(0, 1, 0, 100)
+      .Blocked(0, 1, 100, 300, /*waker=*/1, /*waker_time=*/300)
+      .Exec(0, 1, 300, 400);
+  tb.Blocked(1, 2, 100, 200, /*waker=*/2, /*waker_time=*/200).Exec(1, 2, 200, 300);
+  tb.Exec(2, 3, 0, 200);
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  const auto b = BuildBreakdowns(index);
+  ASSERT_EQ(b.size(), 1u);
+  bool saw_t2 = false;
+  for (const PathWindow& w : b[0].windows) {
+    if (w.tid == 2) {
+      saw_t2 = true;
+      EXPECT_EQ(w.lo, 100);
+      EXPECT_EQ(w.hi, 200);
+    }
+  }
+  EXPECT_TRUE(saw_t2);
+  // Full path: 0:[0,100] + 2:[100,200] + 1:[200,300] + 0:[300,400] = 400.
+  EXPECT_DOUBLE_EQ(TotalWindowNs(b[0]), 400.0);
+}
+
+TEST(CriticalPathTest, DeschedulingGapCountsAsDescheduled) {
+  // The thread runs another interval's work in the middle of the target's.
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 300);
+  tb.Exec(0, 1, 0, 100).Exec(0, 2, 100, 200).Exec(0, 1, 200, 300);
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  const auto b = BuildBreakdowns(index);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_DOUBLE_EQ(TotalWindowNs(b[0]), 200.0);
+  EXPECT_DOUBLE_EQ(b[0].descheduled_ns, 100.0);
+}
+
+TEST(CriticalPathTest, CreatedByEdgeCrossesToProducer) {
+  // Producer (thread 0) begins the interval and enqueues at t=150. Worker
+  // (thread 1) dequeues at t=200, finishes at t=300 and ends the interval.
+  TraceBuilder tb;
+  tb.Begin(0, 1, 100).End(1, 1, 300);
+  tb.Exec(0, 1, 100, 150);
+  tb.ExecGenerated(1, 1, 200, 300, /*producer=*/0, /*enqueue_time=*/150);
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  const auto b = BuildBreakdowns(index);
+  ASSERT_EQ(b.size(), 1u);
+  // Worker execution 100ns + producer execution 50ns.
+  EXPECT_DOUBLE_EQ(TotalWindowNs(b[0]), 150.0);
+  // Queue wait: enqueue 150 -> dequeue 200.
+  EXPECT_DOUBLE_EQ(b[0].queue_wait_ns, 50.0);
+  bool saw_producer = false;
+  for (const PathWindow& w : b[0].windows) {
+    if (w.tid == 0) {
+      saw_producer = true;
+      EXPECT_EQ(w.lo, 100);
+      EXPECT_EQ(w.hi, 150);
+    }
+  }
+  EXPECT_TRUE(saw_producer);
+}
+
+TEST(CriticalPathTest, QueueWaitSegmentsCount) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 200);
+  tb.Exec(0, 1, 0, 50).QueueWait(0, 1, 50, 150).Exec(0, 1, 150, 200);
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  const auto b = BuildBreakdowns(index);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_DOUBLE_EQ(b[0].queue_wait_ns, 100.0);
+  EXPECT_DOUBLE_EQ(TotalWindowNs(b[0]), 100.0);
+}
+
+TEST(CriticalPathTest, WakerDepthLimitTerminates) {
+  // Two threads that block on each other in alternating windows would
+  // recurse; the depth limit must stop the walk.
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 1000);
+  for (int i = 0; i < 10; ++i) {
+    const TimeNs t0 = i * 100;
+    tb.Blocked(0, 1, t0, t0 + 100, /*waker=*/1, /*waker_time=*/t0 + 100);
+    tb.Blocked(1, 2, t0, t0 + 100, /*waker=*/0, /*waker_time=*/t0 + 100);
+  }
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  CriticalPathOptions options;
+  options.max_waker_depth = 3;
+  const auto b = BuildBreakdowns(index, options);
+  ASSERT_EQ(b.size(), 1u);  // must terminate
+}
+
+TEST(CriticalPathTest, MultipleIntervalsIndependent) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 100);
+  tb.Begin(0, 2, 100).End(0, 2, 400);
+  tb.Exec(0, 1, 0, 100).Exec(0, 2, 100, 400);
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  const auto b = BuildBreakdowns(index);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b[0].latency_ns(), 100.0);
+  EXPECT_DOUBLE_EQ(b[1].latency_ns(), 300.0);
+  EXPECT_DOUBLE_EQ(TotalWindowNs(b[0]), 100.0);
+  EXPECT_DOUBLE_EQ(TotalWindowNs(b[1]), 300.0);
+}
+
+}  // namespace
+}  // namespace vprof

@@ -1,0 +1,95 @@
+#include "src/vprof/analysis/flat_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/vprof/trace_builder.h"
+
+namespace vprof {
+namespace {
+
+using vprof_test::TraceBuilder;
+
+Trace FlatSample() {
+  TraceBuilder tb;
+  // Two intervals, parent fp_a with child fp_b.
+  for (int i = 0; i < 2; ++i) {
+    const TimeNs base = i * 10000;
+    const int a = tb.Invoke(0, "fp_a", base, base + 1000, -1, 0);
+    tb.Invoke(0, "fp_b", base + 100, base + 400, a, 0);
+  }
+  tb.Invoke(1, "fp_b", 50, 250, -1, 0);  // another thread, top-level
+  return tb.Build();
+}
+
+const FunctionStats* Find(const std::vector<FunctionStats>& profile,
+                          const std::string& name) {
+  for (const auto& f : profile) {
+    if (f.name == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+TEST(FlatProfileTest, CountsAndTotals) {
+  const auto profile = ComputeFlatProfile(FlatSample());
+  const FunctionStats* a = Find(profile, "fp_a");
+  const FunctionStats* b = Find(profile, "fp_b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->calls, 2u);
+  EXPECT_EQ(b->calls, 3u);
+  EXPECT_DOUBLE_EQ(a->total_ns, 2000.0);
+  EXPECT_DOUBLE_EQ(b->total_ns, 300.0 + 300.0 + 200.0);
+}
+
+TEST(FlatProfileTest, SelfTimeExcludesChildren) {
+  const auto profile = ComputeFlatProfile(FlatSample());
+  const FunctionStats* a = Find(profile, "fp_a");
+  ASSERT_NE(a, nullptr);
+  // Each fp_a invocation spends 300ns in fp_b.
+  EXPECT_DOUBLE_EQ(a->self_ns, 2000.0 - 600.0);
+}
+
+TEST(FlatProfileTest, SortedByTotalDescending) {
+  const auto profile = ComputeFlatProfile(FlatSample());
+  ASSERT_GE(profile.size(), 2u);
+  for (size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_GE(profile[i - 1].total_ns, profile[i].total_ns);
+  }
+}
+
+TEST(FlatProfileTest, MomentsPerFunction) {
+  const auto profile = ComputeFlatProfile(FlatSample());
+  const FunctionStats* b = Find(profile, "fp_b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_NEAR(b->mean_ns, 800.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(b->min_ns, 200.0);
+  EXPECT_DOUBLE_EQ(b->max_ns, 300.0);
+  EXPECT_GT(b->stddev_ns, 0.0);
+}
+
+TEST(FlatProfileTest, FormatListsFunctions) {
+  const auto profile = ComputeFlatProfile(FlatSample());
+  const std::string text = FormatFlatProfile(profile);
+  EXPECT_NE(text.find("fp_a"), std::string::npos);
+  EXPECT_NE(text.find("fp_b"), std::string::npos);
+  EXPECT_NE(text.find("calls"), std::string::npos);
+}
+
+TEST(FlatProfileTest, MaxRowsTruncates) {
+  const auto profile = ComputeFlatProfile(FlatSample());
+  const std::string text = FormatFlatProfile(profile, 1);
+  // Header + exactly one data row.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(FlatProfileTest, EmptyTrace) {
+  Trace empty;
+  const auto profile = ComputeFlatProfile(empty);
+  EXPECT_TRUE(profile.empty());
+  EXPECT_FALSE(FormatFlatProfile(profile).empty());  // header only
+}
+
+}  // namespace
+}  // namespace vprof

@@ -1,0 +1,131 @@
+// End-to-end test of the iterative refinement driver (Algorithm 3) against a
+// small synthetic application with a known variance culprit.
+#include "src/vprof/analysis/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simio/disk.h"
+#include "src/statkit/rng.h"
+#include "src/vprof/probe.h"
+
+namespace vprof {
+namespace {
+
+// Synthetic app: handle_request -> {parse, execute}; execute -> {lookup,
+// noisy_io}. noisy_io alternates between fast and slow and is the intended
+// culprit.
+statkit::Rng g_rng(17);
+
+void Parse() {
+  VPROF_FUNC("syn_parse");
+  simio::SleepUs(100);
+}
+
+void Lookup() {
+  VPROF_FUNC("syn_lookup");
+  simio::SleepUs(100);
+}
+
+void NoisyIo() {
+  VPROF_FUNC("syn_noisy_io");
+  simio::SleepUs(g_rng.NextBool(0.3) ? 2500.0 : 100.0);
+}
+
+void Execute() {
+  VPROF_FUNC("syn_execute");
+  Lookup();
+  NoisyIo();
+}
+
+void HandleRequest() {
+  VPROF_FUNC("syn_handle_request");
+  const IntervalId sid = BeginInterval();
+  Parse();
+  Execute();
+  EndInterval(sid);
+}
+
+CallGraph BuildGraph() {
+  CallGraph graph;
+  graph.AddEdge("syn_handle_request", "syn_parse");
+  graph.AddEdge("syn_handle_request", "syn_execute");
+  graph.AddEdge("syn_execute", "syn_lookup");
+  graph.AddEdge("syn_execute", "syn_noisy_io");
+  return graph;
+}
+
+TEST(ProfilerTest, FindsTheNoisyLeaf) {
+  const CallGraph graph = BuildGraph();
+  Profiler profiler("syn_handle_request", &graph, [] {
+    for (int i = 0; i < 120; ++i) {
+      HandleRequest();
+    }
+  });
+  ProfileOptions options;
+  options.top_k = 3;
+  options.min_contribution = 0.05;
+  const ProfileResult result = profiler.Run(options);
+
+  ASSERT_FALSE(result.factors.empty());
+  EXPECT_EQ(result.factors[0].Label(result.function_names), "syn_noisy_io");
+  EXPECT_GT(result.factors[0].contribution, 0.5);
+  // Refinement needed at least two runs: root level, then execute's children.
+  EXPECT_GE(result.runs, 2);
+  // The final instrumented set must include the culprit.
+  bool instrumented_noisy = false;
+  for (const auto& name : result.instrumented) {
+    instrumented_noisy |= (name == "syn_noisy_io");
+  }
+  EXPECT_TRUE(instrumented_noisy);
+}
+
+TEST(ProfilerTest, ReportMentionsTopFactor) {
+  const CallGraph graph = BuildGraph();
+  Profiler profiler("syn_handle_request", &graph, [] {
+    for (int i = 0; i < 60; ++i) {
+      HandleRequest();
+    }
+  });
+  const ProfileResult result = profiler.Run();
+  const std::string report = result.Report();
+  EXPECT_NE(report.find("syn_noisy_io"), std::string::npos);
+  EXPECT_NE(report.find("overall"), std::string::npos);
+}
+
+TEST(ProfilerTest, ShouldExpandVetoStopsRefinement) {
+  const CallGraph graph = BuildGraph();
+  Profiler profiler("syn_handle_request", &graph, [] {
+    for (int i = 0; i < 40; ++i) {
+      HandleRequest();
+    }
+  });
+  ProfileOptions options;
+  options.should_expand = [](const Factor&) { return false; };
+  const ProfileResult result = profiler.Run(options);
+  EXPECT_EQ(result.runs, 1);  // no factor approved for break-down
+  // Only root-level functions were instrumented.
+  for (const auto& name : result.instrumented) {
+    EXPECT_NE(name, "syn_lookup");
+    EXPECT_NE(name, "syn_noisy_io");
+  }
+}
+
+TEST(ProfilerTest, StatsPopulated) {
+  const CallGraph graph = BuildGraph();
+  Profiler profiler("syn_handle_request", &graph, [] {
+    for (int i = 0; i < 50; ++i) {
+      HandleRequest();
+    }
+  });
+  const ProfileResult result = profiler.Run();
+  EXPECT_EQ(result.latencies_ns.size(), 50u);
+  EXPECT_GT(result.overall_mean_ns, 0.0);
+  EXPECT_GT(result.overall_variance, 0.0);
+  EXPECT_GE(result.tree_height, 2);
+  EXPECT_GT(result.tree_breadth, 0u);
+  ASSERT_NE(result.analysis, nullptr);
+  EXPECT_EQ(result.analysis->interval_count(), 50u);
+}
+
+}  // namespace
+}  // namespace vprof

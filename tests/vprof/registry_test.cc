@@ -1,0 +1,87 @@
+#include "src/vprof/registry.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vprof {
+namespace {
+
+TEST(RegistryTest, RegisterIsIdempotent) {
+  const FuncId a = RegisterFunction("reg_alpha");
+  const FuncId b = RegisterFunction("reg_alpha");
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistryTest, DistinctNamesDistinctIds) {
+  const FuncId a = RegisterFunction("reg_one");
+  const FuncId b = RegisterFunction("reg_two");
+  EXPECT_NE(a, b);
+}
+
+TEST(RegistryTest, LookupFindsRegistered) {
+  const FuncId a = RegisterFunction("reg_lookup");
+  EXPECT_EQ(LookupFunction("reg_lookup"), a);
+  EXPECT_EQ(LookupFunction("reg_never_registered_xyz"), kInvalidFunc);
+}
+
+TEST(RegistryTest, NameRoundTrip) {
+  const FuncId a = RegisterFunction("reg_name_rt");
+  EXPECT_EQ(FunctionName(a), "reg_name_rt");
+  EXPECT_EQ(FunctionName(kInvalidFunc), "");
+}
+
+TEST(RegistryTest, EnableDisable) {
+  const FuncId a = RegisterFunction("reg_toggle");
+  SetFunctionEnabled(a, true);
+  EXPECT_TRUE(IsFunctionEnabled(a));
+  SetFunctionEnabled(a, false);
+  EXPECT_FALSE(IsFunctionEnabled(a));
+}
+
+TEST(RegistryTest, DisableAllClearsEverything) {
+  const FuncId a = RegisterFunction("reg_d1");
+  const FuncId b = RegisterFunction("reg_d2");
+  SetFunctionEnabled(a, true);
+  SetFunctionEnabled(b, true);
+  DisableAllFunctions();
+  EXPECT_FALSE(IsFunctionEnabled(a));
+  EXPECT_FALSE(IsFunctionEnabled(b));
+  EXPECT_TRUE(EnabledFunctions().empty());
+}
+
+TEST(RegistryTest, EnabledFunctionsLists) {
+  DisableAllFunctions();
+  const FuncId a = RegisterFunction("reg_e1");
+  SetFunctionEnabled(a, true);
+  const auto enabled = EnabledFunctions();
+  ASSERT_EQ(enabled.size(), 1u);
+  EXPECT_EQ(enabled[0], a);
+  DisableAllFunctions();
+}
+
+TEST(RegistryTest, ConcurrentRegistrationSameName) {
+  std::vector<std::thread> threads;
+  std::vector<FuncId> ids(8, kInvalidFunc);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back(
+        [&ids, i] { ids[static_cast<size_t>(i)] = RegisterFunction("reg_race"); });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (FuncId id : ids) {
+    EXPECT_EQ(id, ids[0]);
+  }
+}
+
+TEST(RegistryTest, AllFunctionNamesIndexable) {
+  const FuncId a = RegisterFunction("reg_index_check");
+  const auto names = AllFunctionNames();
+  ASSERT_GT(names.size(), a);
+  EXPECT_EQ(names[a], "reg_index_check");
+}
+
+}  // namespace
+}  // namespace vprof

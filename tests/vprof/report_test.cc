@@ -1,0 +1,86 @@
+#include "src/vprof/analysis/report.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/vprof/trace_builder.h"
+
+namespace vprof {
+namespace {
+
+using vprof_test::TraceBuilder;
+
+Trace ReportSampleTrace() {
+  TraceBuilder tb;
+  const std::vector<TimeNs> slow = {10000, 50000, 30000, 90000};
+  for (size_t i = 0; i < slow.size(); ++i) {
+    const TimeNs base = static_cast<TimeNs>(i) * 1000000;
+    const IntervalId sid = static_cast<IntervalId>(i + 1);
+    const TimeNs end = base + 20000 + slow[i];
+    tb.Begin(0, sid, base).End(0, sid, end);
+    tb.Exec(0, sid, base, end);
+    const int root = tb.Invoke(0, "rp_txn", base, end, -1, sid);
+    tb.Invoke(0, "rp_fast", base, base + 20000, root, sid);
+    tb.Invoke(0, "rp_slow", base + 20000, end, root, sid);
+  }
+  return tb.Build();
+}
+
+TEST(ReportTest, FactorTableListsRankedFactors) {
+  const Trace trace = ReportSampleTrace();
+  VarianceAnalysis analysis(trace);
+  CallGraph graph;
+  graph.AddEdge("rp_txn", "rp_fast");
+  graph.AddEdge("rp_txn", "rp_slow");
+  const auto factors =
+      AggregateFactors(analysis, graph, RegisterFunction("rp_txn"),
+                       SpecificityKind::kQuadratic);
+  const std::string table =
+      FormatFactorTable(factors, trace.function_names, 5, 0.001);
+  EXPECT_NE(table.find("rp_slow"), std::string::npos);
+  EXPECT_NE(table.find("rank"), std::string::npos);
+  // rp_fast has zero variance: excluded by the contribution floor.
+  EXPECT_EQ(table.find("rp_fast\n"), std::string::npos);
+}
+
+TEST(ReportTest, CallTreeShowsHierarchy) {
+  const Trace trace = ReportSampleTrace();
+  VarianceAnalysis analysis(trace);
+  const std::string tree = FormatCallTree(analysis, 0.0, 0.0);
+  EXPECT_NE(tree.find("(interval)"), std::string::npos);
+  EXPECT_NE(tree.find("rp_txn"), std::string::npos);
+  EXPECT_NE(tree.find("rp_slow"), std::string::npos);
+  // Child lines are indented under the parent.
+  const size_t txn_pos = tree.find("rp_txn");
+  const size_t slow_pos = tree.find("rp_slow");
+  EXPECT_LT(txn_pos, slow_pos);
+}
+
+TEST(ReportTest, CallTreePrunesNegligibleNodes) {
+  const Trace trace = ReportSampleTrace();
+  VarianceAnalysis analysis(trace);
+  const std::string tree = FormatCallTree(analysis, /*min_contribution=*/0.5,
+                                          /*min_mean_ns=*/1e12);
+  EXPECT_EQ(tree.find("rp_fast"), std::string::npos);
+  EXPECT_NE(tree.find("rp_slow"), std::string::npos);
+}
+
+TEST(ReportTest, WaitBreakdownMentionsCategories) {
+  const Trace trace = ReportSampleTrace();
+  VarianceAnalysis analysis(trace);
+  const std::string report = FormatWaitBreakdown(analysis);
+  EXPECT_NE(report.find("queue wait"), std::string::npos);
+  EXPECT_NE(report.find("blocked"), std::string::npos);
+  EXPECT_NE(report.find("descheduled"), std::string::npos);
+}
+
+TEST(ReportTest, LatencySummaryHasMoments) {
+  const Trace trace = ReportSampleTrace();
+  VarianceAnalysis analysis(trace);
+  const std::string report = FormatLatencySummary(analysis);
+  EXPECT_NE(report.find("intervals: 4"), std::string::npos);
+  EXPECT_NE(report.find("p99="), std::string::npos);
+  EXPECT_NE(report.find("cv="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vprof

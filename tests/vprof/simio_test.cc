@@ -1,0 +1,118 @@
+#include "src/simio/disk.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/statkit/summary.h"
+
+namespace simio {
+namespace {
+
+double ElapsedUs(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+TEST(DiskTest, CountsOperations) {
+  DiskConfig config;
+  config.read_mu = 1.0;  // keep the test fast
+  config.write_mu = 1.0;
+  config.fsync_mu = 1.0;
+  Disk disk(config);
+  disk.Read(100);
+  disk.Write(100);
+  disk.Write(100);
+  disk.Fsync();
+  EXPECT_EQ(disk.reads(), 1u);
+  EXPECT_EQ(disk.writes(), 2u);
+  EXPECT_EQ(disk.fsyncs(), 1u);
+}
+
+TEST(DiskTest, FsyncSlowerThanWrite) {
+  DiskConfig config;
+  config.fsync_spike_prob = 0.0;
+  Disk disk(config);
+  double write_total = 0.0;
+  double fsync_total = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    write_total += ElapsedUs([&] { disk.Write(256); });
+    fsync_total += ElapsedUs([&] { disk.Fsync(); });
+  }
+  EXPECT_GT(fsync_total, write_total);
+}
+
+TEST(DiskTest, TransferTimeScalesWithBytes) {
+  DiskConfig config;
+  config.read_mu = 1.0;
+  config.read_sigma = 0.01;
+  config.bytes_per_us = 100.0;
+  config.serialize_access = false;
+  Disk disk(config);
+  double small = 0.0;
+  double large = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    small += ElapsedUs([&] { disk.Read(100); });
+    large += ElapsedUs([&] { disk.Read(100000); });  // +1000us transfer
+  }
+  EXPECT_GT(large, small + 5000.0);
+}
+
+TEST(DiskTest, DeterministicSeedGivesSameCounts) {
+  // The RNG stream is seed-driven: two disks with the same seed spike on the
+  // same fsyncs. We can't observe spikes directly, so compare total time
+  // loosely: identical op sequences should take similar simulated service
+  // time (sampled identically).
+  DiskConfig config;
+  config.fsync_mu = 2.0;
+  config.seed = 7;
+  Disk a(config);
+  Disk b(config);
+  double ta = 0.0;
+  double tb = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    ta += ElapsedUs([&] { a.Fsync(); });
+  }
+  for (int i = 0; i < 10; ++i) {
+    tb += ElapsedUs([&] { b.Fsync(); });
+  }
+  EXPECT_NEAR(ta, tb, 0.5 * std::max(ta, tb) + 2000.0);
+}
+
+TEST(DiskTest, SerializedAccessQueues) {
+  DiskConfig config;
+  config.fsync_mu = 6.2;  // ~500us median
+  config.fsync_sigma = 0.05;
+  config.fsync_spike_prob = 0.0;
+  config.serialize_access = true;
+  Disk disk(config);
+  // Two threads fsync concurrently: with a single spindle, total wall time
+  // must be at least ~2 service times.
+  const double elapsed = ElapsedUs([&] {
+    std::thread t1([&] { disk.Fsync(); });
+    std::thread t2([&] { disk.Fsync(); });
+    t1.join();
+    t2.join();
+  });
+  EXPECT_GT(elapsed, 800.0);
+}
+
+TEST(SleepUsTest, SleepsAtLeastRequested) {
+  const double elapsed = ElapsedUs([] { SleepUs(2000.0); });
+  EXPECT_GE(elapsed, 1800.0);
+}
+
+TEST(SleepUsTest, NonPositiveIsNoop) {
+  const double elapsed = ElapsedUs([] {
+    SleepUs(0.0);
+    SleepUs(-5.0);
+  });
+  EXPECT_LT(elapsed, 1000.0);
+}
+
+}  // namespace
+}  // namespace simio

@@ -1,0 +1,100 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/vprof/trace.h"
+#include "tests/vprof/trace_builder.h"
+
+namespace vprof {
+namespace {
+
+using vprof_test::TraceBuilder;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 10, /*label=*/7).End(0, 1, 500);
+  tb.Exec(0, 1, 10, 200).Blocked(0, 1, 200, 400, 1, 400).Exec(0, 1, 400, 500);
+  const int parent = tb.Invoke(0, "io_root", 10, 490, -1, 1);
+  tb.Invoke(0, "io_child", 20, 120, parent, 1);
+  tb.ExecGenerated(1, 1, 0, 10, 0, 5);
+  const Trace original = tb.Build(12345);
+
+  const std::string path = TempPath("trace_roundtrip.bin");
+  ASSERT_TRUE(SaveTrace(original, path));
+  Trace loaded;
+  ASSERT_TRUE(LoadTrace(path, &loaded));
+
+  EXPECT_EQ(loaded.duration, original.duration);
+  EXPECT_EQ(loaded.function_names, original.function_names);
+  ASSERT_EQ(loaded.threads.size(), original.threads.size());
+  for (size_t i = 0; i < loaded.threads.size(); ++i) {
+    const ThreadTrace& a = loaded.threads[i];
+    const ThreadTrace& b = original.threads[i];
+    EXPECT_EQ(a.tid, b.tid);
+    ASSERT_EQ(a.invocations.size(), b.invocations.size());
+    for (size_t j = 0; j < a.invocations.size(); ++j) {
+      EXPECT_EQ(a.invocations[j].start, b.invocations[j].start);
+      EXPECT_EQ(a.invocations[j].end, b.invocations[j].end);
+      EXPECT_EQ(a.invocations[j].func, b.invocations[j].func);
+      EXPECT_EQ(a.invocations[j].parent, b.invocations[j].parent);
+      EXPECT_EQ(a.invocations[j].sid, b.invocations[j].sid);
+    }
+    ASSERT_EQ(a.segments.size(), b.segments.size());
+    for (size_t j = 0; j < a.segments.size(); ++j) {
+      EXPECT_EQ(a.segments[j].start, b.segments[j].start);
+      EXPECT_EQ(a.segments[j].state, b.segments[j].state);
+      EXPECT_EQ(a.segments[j].waker_tid, b.segments[j].waker_tid);
+      EXPECT_EQ(a.segments[j].generator_tid, b.segments[j].generator_tid);
+    }
+    ASSERT_EQ(a.interval_events.size(), b.interval_events.size());
+    for (size_t j = 0; j < a.interval_events.size(); ++j) {
+      EXPECT_EQ(a.interval_events[j].sid, b.interval_events[j].sid);
+      EXPECT_EQ(a.interval_events[j].label, b.interval_events[j].label);
+    }
+  }
+}
+
+TEST(TraceIoTest, LoadRejectsMissingFile) {
+  Trace trace;
+  EXPECT_FALSE(LoadTrace(TempPath("does_not_exist.bin"), &trace));
+}
+
+TEST(TraceIoTest, LoadRejectsGarbage) {
+  const std::string path = TempPath("garbage.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a trace", f);
+  std::fclose(f);
+  Trace trace;
+  EXPECT_FALSE(LoadTrace(path, &trace));
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  Trace empty;
+  empty.duration = 7;
+  const std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(SaveTrace(empty, path));
+  Trace loaded;
+  ASSERT_TRUE(LoadTrace(path, &loaded));
+  EXPECT_EQ(loaded.duration, 7);
+  EXPECT_TRUE(loaded.threads.empty());
+}
+
+TEST(TraceCountsTest, CountsSumAcrossThreads) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 10);
+  tb.Begin(1, 2, 0).End(1, 2, 10);
+  tb.Exec(0, 1, 0, 10).Exec(1, 2, 0, 10);
+  tb.Invoke(0, "c_f", 0, 5);
+  const Trace trace = tb.Build();
+  EXPECT_EQ(trace.invocation_count(), 1u);
+  EXPECT_EQ(trace.segment_count(), 2u);
+  EXPECT_EQ(trace.interval_count(), 2u);
+}
+
+}  // namespace
+}  // namespace vprof

@@ -1,0 +1,178 @@
+#include "src/vprof/analysis/variance_tree.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tests/vprof/trace_builder.h"
+
+namespace vprof {
+namespace {
+
+using vprof_test::TraceBuilder;
+
+// Builds n single-thread intervals, each spanned by one invocation of `txn`
+// with children `a` (constant 100ns) and `b` (duration supplied per interval).
+// Layout of interval i (base = i * 10000):
+//   txn: [base, base + 100 + b_i + 50]
+//     a: [base, base + 100]
+//     b: [base + 100, base + 100 + b_i]
+//   trailing 50ns is txn body.
+Trace BuildTwoChildTrace(const std::vector<TimeNs>& b_durations) {
+  TraceBuilder tb;
+  for (size_t i = 0; i < b_durations.size(); ++i) {
+    const TimeNs base = static_cast<TimeNs>(i) * 10000;
+    const TimeNs b_end = base + 100 + b_durations[i];
+    const TimeNs end = b_end + 50;
+    const IntervalId sid = static_cast<IntervalId>(i + 1);
+    tb.Begin(0, sid, base).End(0, sid, end);
+    tb.Exec(0, sid, base, end);
+    const int txn = tb.Invoke(0, "txn", base, end, -1, sid);
+    tb.Invoke(0, "a", base, base + 100, txn, sid);
+    tb.Invoke(0, "b", base + 100, b_end, txn, sid);
+  }
+  return tb.Build();
+}
+
+NodeId FindNode(const VarianceAnalysis& va, const std::string& label) {
+  for (size_t i = 0; i < va.node_count(); ++i) {
+    if (va.NodeLabel(static_cast<NodeId>(i)) == label) {
+      return static_cast<NodeId>(i);
+    }
+  }
+  return -1;
+}
+
+TEST(VarianceAnalysisTest, ConstantChildHasZeroVariance) {
+  const Trace trace = BuildTwoChildTrace({500, 1000, 1500, 2000});
+  VarianceAnalysis va(trace);
+  const NodeId a = FindNode(va, "a");
+  ASSERT_GE(a, 0);
+  EXPECT_DOUBLE_EQ(va.NodeVariance(a), 0.0);
+  EXPECT_DOUBLE_EQ(va.NodeMean(a), 100.0);
+}
+
+TEST(VarianceAnalysisTest, VaryingChildCarriesAllVariance) {
+  const Trace trace = BuildTwoChildTrace({500, 1000, 1500, 2000});
+  VarianceAnalysis va(trace);
+  const NodeId b = FindNode(va, "b");
+  ASSERT_GE(b, 0);
+  // b values: 500,1000,1500,2000 -> population variance 312500.
+  EXPECT_NEAR(va.NodeVariance(b), 312500.0, 1e-6);
+  // Latency = 150 + b, so overall variance equals b's variance.
+  EXPECT_NEAR(va.overall_variance(), 312500.0, 1e-6);
+  EXPECT_NEAR(va.NodeContribution(b), 1.0, 1e-9);
+}
+
+TEST(VarianceAnalysisTest, BodyNodeIsResidual) {
+  const Trace trace = BuildTwoChildTrace({500, 1000});
+  VarianceAnalysis va(trace);
+  const NodeId body = FindNode(va, "txn(body)");
+  ASSERT_GE(body, 0);
+  EXPECT_NEAR(va.NodeMean(body), 50.0, 1e-9);
+  EXPECT_NEAR(va.NodeVariance(body), 0.0, 1e-9);
+}
+
+TEST(VarianceAnalysisTest, EquationTwoDecomposition) {
+  // Var(txn) must equal the sum of child variances plus twice the pairwise
+  // covariances of {a, b, body}.
+  const Trace trace = BuildTwoChildTrace({100, 900, 400, 1600, 250});
+  VarianceAnalysis va(trace);
+  const NodeId txn = FindNode(va, "txn");
+  ASSERT_GE(txn, 0);
+  const auto& children = va.node(txn).children;
+  ASSERT_EQ(children.size(), 3u);  // a, b, txn(body)
+  double sum = 0.0;
+  for (NodeId c : children) {
+    sum += va.NodeVariance(c);
+  }
+  for (const SiblingCovariance& cov : va.covariances()) {
+    if (cov.parent == txn) {
+      sum += 2.0 * cov.covariance;
+    }
+  }
+  EXPECT_NEAR(va.NodeVariance(txn), sum, 1e-6 * (1.0 + sum));
+}
+
+TEST(VarianceAnalysisTest, TreeStructure) {
+  const Trace trace = BuildTwoChildTrace({500, 600});
+  VarianceAnalysis va(trace);
+  const NodeId txn = FindNode(va, "txn");
+  const NodeId a = FindNode(va, "a");
+  ASSERT_GE(txn, 0);
+  ASSERT_GE(a, 0);
+  EXPECT_EQ(va.node(a).parent, txn);
+  EXPECT_EQ(va.node(txn).parent, kRootNode);
+  EXPECT_EQ(va.node(txn).depth, 1);
+  EXPECT_EQ(va.node(a).depth, 2);
+  EXPECT_EQ(va.TreeHeight(), 2);  // deepest: a, b, txn(body) at depth 2
+}
+
+TEST(VarianceAnalysisTest, RecursiveCallsGetDistinctNodes) {
+  // f -> f (recursion): the inner call is a distinct tree position.
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 1000);
+  tb.Exec(0, 1, 0, 1000);
+  const int outer = tb.Invoke(0, "f", 0, 1000, -1, 1);
+  tb.Invoke(0, "f", 200, 700, outer, 1);
+  const Trace trace = tb.Build();
+  VarianceAnalysis va(trace);
+  int f_nodes = 0;
+  for (size_t i = 0; i < va.node_count(); ++i) {
+    if (va.NodeLabel(static_cast<NodeId>(i)) == "f") {
+      ++f_nodes;
+    }
+  }
+  EXPECT_EQ(f_nodes, 2);
+}
+
+TEST(VarianceAnalysisTest, SameFunctionTwoCallSitesAggregatesPerInterval) {
+  // Two invocations of `g` under txn in one interval: the node's per-interval
+  // time is their sum.
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 1000);
+  tb.Exec(0, 1, 0, 1000);
+  const int txn = tb.Invoke(0, "txn", 0, 1000, -1, 1);
+  tb.Invoke(0, "g", 0, 300, txn, 1);
+  tb.Invoke(0, "g", 500, 800, txn, 1);
+  const Trace trace = tb.Build();
+  VarianceAnalysis va(trace);
+  const NodeId g = FindNode(va, "g");
+  ASSERT_GE(g, 0);
+  EXPECT_DOUBLE_EQ(va.NodeMean(g), 600.0);
+}
+
+TEST(VarianceAnalysisTest, OverallMeanMatchesLatencies) {
+  const Trace trace = BuildTwoChildTrace({500, 1000, 1500});
+  VarianceAnalysis va(trace);
+  // Latencies: 650, 1150, 1650.
+  EXPECT_NEAR(va.overall_mean(), 1150.0, 1e-9);
+  ASSERT_EQ(va.latencies().size(), 3u);
+  EXPECT_DOUBLE_EQ(va.latencies()[0], 650.0);
+}
+
+TEST(VarianceAnalysisTest, WaitTimeLandsInRootBody) {
+  // A blocked span with no waker inside the interval: no function covers it,
+  // so it shows up in the synthetic root's body "(other)".
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 1000);
+  tb.Exec(0, 1, 0, 400).Blocked(0, 1, 400, 900).Exec(0, 1, 900, 1000);
+  tb.Invoke(0, "work", 0, 400, -1, 1);
+  const Trace trace = tb.Build();
+  VarianceAnalysis va(trace);
+  const NodeId other = FindNode(va, "(other)");
+  ASSERT_GE(other, 0);
+  // Latency 1000, work 400 -> other 600 (blocked 500 + trailing 100).
+  EXPECT_DOUBLE_EQ(va.NodeMean(other), 600.0);
+  EXPECT_DOUBLE_EQ(va.total_blocked_wait_ns(), 500.0);
+}
+
+TEST(VarianceAnalysisTest, BreadthIsSquaredWidestFanout) {
+  const Trace trace = BuildTwoChildTrace({500, 600});
+  VarianceAnalysis va(trace);
+  // txn has children {a, b, body} -> breadth 9.
+  EXPECT_EQ(va.TreeBreadth(), 9u);
+}
+
+}  // namespace
+}  // namespace vprof
