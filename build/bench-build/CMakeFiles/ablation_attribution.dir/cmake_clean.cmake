@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_attribution"
+  "../bench/ablation_attribution.pdb"
+  "CMakeFiles/ablation_attribution.dir/ablation_attribution.cc.o"
+  "CMakeFiles/ablation_attribution.dir/ablation_attribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_specificity"
+  "../bench/ablation_specificity.pdb"
+  "CMakeFiles/ablation_specificity.dir/ablation_specificity.cc.o"
+  "CMakeFiles/ablation_specificity.dir/ablation_specificity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_specificity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

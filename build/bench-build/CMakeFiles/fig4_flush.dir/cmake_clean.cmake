@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_flush"
+  "../bench/fig4_flush.pdb"
+  "CMakeFiles/fig4_flush.dir/fig4_flush.cc.o"
+  "CMakeFiles/fig4_flush.dir/fig4_flush.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_llu"
+  "../bench/fig4_llu.pdb"
+  "CMakeFiles/fig4_llu.dir/fig4_llu.cc.o"
+  "CMakeFiles/fig4_llu.dir/fig4_llu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_llu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

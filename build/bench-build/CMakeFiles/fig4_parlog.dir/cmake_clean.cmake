@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_parlog"
+  "../bench/fig4_parlog.pdb"
+  "CMakeFiles/fig4_parlog.dir/fig4_parlog.cc.o"
+  "CMakeFiles/fig4_parlog.dir/fig4_parlog.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_parlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_fixes"
+  "../bench/table1_fixes.pdb"
+  "CMakeFiles/table1_fixes.dir/table1_fixes.cc.o"
+  "CMakeFiles/table1_fixes.dir/table1_fixes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_effort"
+  "../bench/table2_effort.pdb"
+  "CMakeFiles/table2_effort.dir/table2_effort.cc.o"
+  "CMakeFiles/table2_effort.dir/table2_effort.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

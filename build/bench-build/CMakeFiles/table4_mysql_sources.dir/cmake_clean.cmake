@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_mysql_sources"
+  "../bench/table4_mysql_sources.pdb"
+  "CMakeFiles/table4_mysql_sources.dir/table4_mysql_sources.cc.o"
+  "CMakeFiles/table4_mysql_sources.dir/table4_mysql_sources.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_mysql_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

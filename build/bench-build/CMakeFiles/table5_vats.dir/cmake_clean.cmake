@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_vats"
+  "../bench/table5_vats.pdb"
+  "CMakeFiles/table5_vats.dir/table5_vats.cc.o"
+  "CMakeFiles/table5_vats.dir/table5_vats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_vats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_pg_sources"
+  "../bench/table6_pg_sources.pdb"
+  "CMakeFiles/table6_pg_sources.dir/table6_pg_sources.cc.o"
+  "CMakeFiles/table6_pg_sources.dir/table6_pg_sources.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_pg_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

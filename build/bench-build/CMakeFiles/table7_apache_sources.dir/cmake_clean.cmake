@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_apache_sources"
+  "../bench/table7_apache_sources.pdb"
+  "CMakeFiles/table7_apache_sources.dir/table7_apache_sources.cc.o"
+  "CMakeFiles/table7_apache_sources.dir/table7_apache_sources.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_apache_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

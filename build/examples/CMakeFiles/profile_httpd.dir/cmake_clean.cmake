@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_httpd.dir/profile_httpd.cpp.o"
+  "CMakeFiles/profile_httpd.dir/profile_httpd.cpp.o.d"
+  "profile_httpd"
+  "profile_httpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_httpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

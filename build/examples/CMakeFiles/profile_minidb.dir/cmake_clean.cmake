@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_minidb.dir/profile_minidb.cpp.o"
+  "CMakeFiles/profile_minidb.dir/profile_minidb.cpp.o.d"
+  "profile_minidb"
+  "profile_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_minipg.dir/profile_minipg.cpp.o"
+  "CMakeFiles/profile_minipg.dir/profile_minipg.cpp.o.d"
+  "profile_minipg"
+  "profile_minipg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_minipg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

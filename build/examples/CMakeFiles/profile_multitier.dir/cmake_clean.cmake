@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_multitier.dir/profile_multitier.cpp.o"
+  "CMakeFiles/profile_multitier.dir/profile_multitier.cpp.o.d"
+  "profile_multitier"
+  "profile_multitier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_multitier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_and_inspect.dir/record_and_inspect.cpp.o"
+  "CMakeFiles/record_and_inspect.dir/record_and_inspect.cpp.o.d"
+  "record_and_inspect"
+  "record_and_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_and_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/httpd/bucket_alloc.cc" "src/httpd/CMakeFiles/httpd.dir/bucket_alloc.cc.o" "gcc" "src/httpd/CMakeFiles/httpd.dir/bucket_alloc.cc.o.d"
+  "/root/repo/src/httpd/filters.cc" "src/httpd/CMakeFiles/httpd.dir/filters.cc.o" "gcc" "src/httpd/CMakeFiles/httpd.dir/filters.cc.o.d"
+  "/root/repo/src/httpd/server.cc" "src/httpd/CMakeFiles/httpd.dir/server.cc.o" "gcc" "src/httpd/CMakeFiles/httpd.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vprof/CMakeFiles/vprof.dir/DependInfo.cmake"
+  "/root/repo/build/src/simio/CMakeFiles/simio.dir/DependInfo.cmake"
+  "/root/repo/build/src/statkit/CMakeFiles/statkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/httpd.dir/bucket_alloc.cc.o"
+  "CMakeFiles/httpd.dir/bucket_alloc.cc.o.d"
+  "CMakeFiles/httpd.dir/filters.cc.o"
+  "CMakeFiles/httpd.dir/filters.cc.o.d"
+  "CMakeFiles/httpd.dir/server.cc.o"
+  "CMakeFiles/httpd.dir/server.cc.o.d"
+  "libhttpd.a"
+  "libhttpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/httpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minidb/btree.cc" "src/minidb/CMakeFiles/minidb.dir/btree.cc.o" "gcc" "src/minidb/CMakeFiles/minidb.dir/btree.cc.o.d"
+  "/root/repo/src/minidb/buffer_pool.cc" "src/minidb/CMakeFiles/minidb.dir/buffer_pool.cc.o" "gcc" "src/minidb/CMakeFiles/minidb.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/minidb/engine.cc" "src/minidb/CMakeFiles/minidb.dir/engine.cc.o" "gcc" "src/minidb/CMakeFiles/minidb.dir/engine.cc.o.d"
+  "/root/repo/src/minidb/lock_manager.cc" "src/minidb/CMakeFiles/minidb.dir/lock_manager.cc.o" "gcc" "src/minidb/CMakeFiles/minidb.dir/lock_manager.cc.o.d"
+  "/root/repo/src/minidb/redo_log.cc" "src/minidb/CMakeFiles/minidb.dir/redo_log.cc.o" "gcc" "src/minidb/CMakeFiles/minidb.dir/redo_log.cc.o.d"
+  "/root/repo/src/minidb/table.cc" "src/minidb/CMakeFiles/minidb.dir/table.cc.o" "gcc" "src/minidb/CMakeFiles/minidb.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vprof/CMakeFiles/vprof.dir/DependInfo.cmake"
+  "/root/repo/build/src/simio/CMakeFiles/simio.dir/DependInfo.cmake"
+  "/root/repo/build/src/statkit/CMakeFiles/statkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

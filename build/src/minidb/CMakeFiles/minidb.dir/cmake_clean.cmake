@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb.dir/btree.cc.o"
+  "CMakeFiles/minidb.dir/btree.cc.o.d"
+  "CMakeFiles/minidb.dir/buffer_pool.cc.o"
+  "CMakeFiles/minidb.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/minidb.dir/engine.cc.o"
+  "CMakeFiles/minidb.dir/engine.cc.o.d"
+  "CMakeFiles/minidb.dir/lock_manager.cc.o"
+  "CMakeFiles/minidb.dir/lock_manager.cc.o.d"
+  "CMakeFiles/minidb.dir/redo_log.cc.o"
+  "CMakeFiles/minidb.dir/redo_log.cc.o.d"
+  "CMakeFiles/minidb.dir/table.cc.o"
+  "CMakeFiles/minidb.dir/table.cc.o.d"
+  "libminidb.a"
+  "libminidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minipg.dir/engine.cc.o"
+  "CMakeFiles/minipg.dir/engine.cc.o.d"
+  "CMakeFiles/minipg.dir/executor.cc.o"
+  "CMakeFiles/minipg.dir/executor.cc.o.d"
+  "CMakeFiles/minipg.dir/predicate_locks.cc.o"
+  "CMakeFiles/minipg.dir/predicate_locks.cc.o.d"
+  "CMakeFiles/minipg.dir/wal.cc.o"
+  "CMakeFiles/minipg.dir/wal.cc.o.d"
+  "libminipg.a"
+  "libminipg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minipg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simio.dir/disk.cc.o"
+  "CMakeFiles/simio.dir/disk.cc.o.d"
+  "libsimio.a"
+  "libsimio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statkit/histogram.cc" "src/statkit/CMakeFiles/statkit.dir/histogram.cc.o" "gcc" "src/statkit/CMakeFiles/statkit.dir/histogram.cc.o.d"
+  "/root/repo/src/statkit/p2_quantile.cc" "src/statkit/CMakeFiles/statkit.dir/p2_quantile.cc.o" "gcc" "src/statkit/CMakeFiles/statkit.dir/p2_quantile.cc.o.d"
+  "/root/repo/src/statkit/summary.cc" "src/statkit/CMakeFiles/statkit.dir/summary.cc.o" "gcc" "src/statkit/CMakeFiles/statkit.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

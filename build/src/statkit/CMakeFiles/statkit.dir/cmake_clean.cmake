@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statkit.dir/histogram.cc.o"
+  "CMakeFiles/statkit.dir/histogram.cc.o.d"
+  "CMakeFiles/statkit.dir/p2_quantile.cc.o"
+  "CMakeFiles/statkit.dir/p2_quantile.cc.o.d"
+  "CMakeFiles/statkit.dir/summary.cc.o"
+  "CMakeFiles/statkit.dir/summary.cc.o.d"
+  "libstatkit.a"
+  "libstatkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

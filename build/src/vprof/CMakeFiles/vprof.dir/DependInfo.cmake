@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vprof/analysis/call_graph.cc" "src/vprof/CMakeFiles/vprof.dir/analysis/call_graph.cc.o" "gcc" "src/vprof/CMakeFiles/vprof.dir/analysis/call_graph.cc.o.d"
+  "/root/repo/src/vprof/analysis/chrome_trace.cc" "src/vprof/CMakeFiles/vprof.dir/analysis/chrome_trace.cc.o" "gcc" "src/vprof/CMakeFiles/vprof.dir/analysis/chrome_trace.cc.o.d"
+  "/root/repo/src/vprof/analysis/critical_path.cc" "src/vprof/CMakeFiles/vprof.dir/analysis/critical_path.cc.o" "gcc" "src/vprof/CMakeFiles/vprof.dir/analysis/critical_path.cc.o.d"
+  "/root/repo/src/vprof/analysis/factor_selection.cc" "src/vprof/CMakeFiles/vprof.dir/analysis/factor_selection.cc.o" "gcc" "src/vprof/CMakeFiles/vprof.dir/analysis/factor_selection.cc.o.d"
+  "/root/repo/src/vprof/analysis/flat_profile.cc" "src/vprof/CMakeFiles/vprof.dir/analysis/flat_profile.cc.o" "gcc" "src/vprof/CMakeFiles/vprof.dir/analysis/flat_profile.cc.o.d"
+  "/root/repo/src/vprof/analysis/profiler.cc" "src/vprof/CMakeFiles/vprof.dir/analysis/profiler.cc.o" "gcc" "src/vprof/CMakeFiles/vprof.dir/analysis/profiler.cc.o.d"
+  "/root/repo/src/vprof/analysis/report.cc" "src/vprof/CMakeFiles/vprof.dir/analysis/report.cc.o" "gcc" "src/vprof/CMakeFiles/vprof.dir/analysis/report.cc.o.d"
+  "/root/repo/src/vprof/analysis/variance_tree.cc" "src/vprof/CMakeFiles/vprof.dir/analysis/variance_tree.cc.o" "gcc" "src/vprof/CMakeFiles/vprof.dir/analysis/variance_tree.cc.o.d"
+  "/root/repo/src/vprof/full_tracer.cc" "src/vprof/CMakeFiles/vprof.dir/full_tracer.cc.o" "gcc" "src/vprof/CMakeFiles/vprof.dir/full_tracer.cc.o.d"
+  "/root/repo/src/vprof/registry.cc" "src/vprof/CMakeFiles/vprof.dir/registry.cc.o" "gcc" "src/vprof/CMakeFiles/vprof.dir/registry.cc.o.d"
+  "/root/repo/src/vprof/runtime.cc" "src/vprof/CMakeFiles/vprof.dir/runtime.cc.o" "gcc" "src/vprof/CMakeFiles/vprof.dir/runtime.cc.o.d"
+  "/root/repo/src/vprof/sync.cc" "src/vprof/CMakeFiles/vprof.dir/sync.cc.o" "gcc" "src/vprof/CMakeFiles/vprof.dir/sync.cc.o.d"
+  "/root/repo/src/vprof/trace.cc" "src/vprof/CMakeFiles/vprof.dir/trace.cc.o" "gcc" "src/vprof/CMakeFiles/vprof.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/statkit/CMakeFiles/statkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

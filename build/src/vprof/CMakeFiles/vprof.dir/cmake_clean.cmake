@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof.dir/analysis/call_graph.cc.o"
+  "CMakeFiles/vprof.dir/analysis/call_graph.cc.o.d"
+  "CMakeFiles/vprof.dir/analysis/chrome_trace.cc.o"
+  "CMakeFiles/vprof.dir/analysis/chrome_trace.cc.o.d"
+  "CMakeFiles/vprof.dir/analysis/critical_path.cc.o"
+  "CMakeFiles/vprof.dir/analysis/critical_path.cc.o.d"
+  "CMakeFiles/vprof.dir/analysis/factor_selection.cc.o"
+  "CMakeFiles/vprof.dir/analysis/factor_selection.cc.o.d"
+  "CMakeFiles/vprof.dir/analysis/flat_profile.cc.o"
+  "CMakeFiles/vprof.dir/analysis/flat_profile.cc.o.d"
+  "CMakeFiles/vprof.dir/analysis/profiler.cc.o"
+  "CMakeFiles/vprof.dir/analysis/profiler.cc.o.d"
+  "CMakeFiles/vprof.dir/analysis/report.cc.o"
+  "CMakeFiles/vprof.dir/analysis/report.cc.o.d"
+  "CMakeFiles/vprof.dir/analysis/variance_tree.cc.o"
+  "CMakeFiles/vprof.dir/analysis/variance_tree.cc.o.d"
+  "CMakeFiles/vprof.dir/full_tracer.cc.o"
+  "CMakeFiles/vprof.dir/full_tracer.cc.o.d"
+  "CMakeFiles/vprof.dir/registry.cc.o"
+  "CMakeFiles/vprof.dir/registry.cc.o.d"
+  "CMakeFiles/vprof.dir/runtime.cc.o"
+  "CMakeFiles/vprof.dir/runtime.cc.o.d"
+  "CMakeFiles/vprof.dir/sync.cc.o"
+  "CMakeFiles/vprof.dir/sync.cc.o.d"
+  "CMakeFiles/vprof.dir/trace.cc.o"
+  "CMakeFiles/vprof.dir/trace.cc.o.d"
+  "libvprof.a"
+  "libvprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

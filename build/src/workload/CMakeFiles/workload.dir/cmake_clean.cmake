@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload.dir/ab.cc.o"
+  "CMakeFiles/workload.dir/ab.cc.o.d"
+  "CMakeFiles/workload.dir/tpcc.cc.o"
+  "CMakeFiles/workload.dir/tpcc.cc.o.d"
+  "libworkload.a"
+  "libworkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

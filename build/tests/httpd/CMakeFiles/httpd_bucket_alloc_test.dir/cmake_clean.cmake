@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/httpd_bucket_alloc_test.dir/bucket_alloc_test.cc.o"
+  "CMakeFiles/httpd_bucket_alloc_test.dir/bucket_alloc_test.cc.o.d"
+  "httpd_bucket_alloc_test"
+  "httpd_bucket_alloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/httpd_bucket_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

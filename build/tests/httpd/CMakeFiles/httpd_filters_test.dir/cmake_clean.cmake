@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/httpd_filters_test.dir/filters_test.cc.o"
+  "CMakeFiles/httpd_filters_test.dir/filters_test.cc.o.d"
+  "httpd_filters_test"
+  "httpd_filters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/httpd_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

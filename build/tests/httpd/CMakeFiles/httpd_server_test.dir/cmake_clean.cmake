@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/httpd_server_test.dir/server_test.cc.o"
+  "CMakeFiles/httpd_server_test.dir/server_test.cc.o.d"
+  "httpd_server_test"
+  "httpd_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/httpd_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/httpd
+# Build directory: /root/repo/build/tests/httpd
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(httpd_bucket_alloc_test "/root/repo/build/tests/httpd/httpd_bucket_alloc_test")
+set_tests_properties(httpd_bucket_alloc_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/httpd/CMakeLists.txt;1;vp_add_test;/root/repo/tests/httpd/CMakeLists.txt;0;")
+add_test(httpd_server_test "/root/repo/build/tests/httpd/httpd_server_test")
+set_tests_properties(httpd_server_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/httpd/CMakeLists.txt;2;vp_add_test;/root/repo/tests/httpd/CMakeLists.txt;0;")
+add_test(httpd_filters_test "/root/repo/build/tests/httpd/httpd_filters_test")
+set_tests_properties(httpd_filters_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/httpd/CMakeLists.txt;3;vp_add_test;/root/repo/tests/httpd/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_fixes_test.dir/fixes_test.cc.o"
+  "CMakeFiles/integration_fixes_test.dir/fixes_test.cc.o.d"
+  "integration_fixes_test"
+  "integration_fixes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_fixes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

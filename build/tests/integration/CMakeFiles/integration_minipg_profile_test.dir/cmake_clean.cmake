@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_minipg_profile_test.dir/minipg_profile_test.cc.o"
+  "CMakeFiles/integration_minipg_profile_test.dir/minipg_profile_test.cc.o.d"
+  "integration_minipg_profile_test"
+  "integration_minipg_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_minipg_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_per_type_profile_test.dir/per_type_profile_test.cc.o"
+  "CMakeFiles/integration_per_type_profile_test.dir/per_type_profile_test.cc.o.d"
+  "integration_per_type_profile_test"
+  "integration_per_type_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_per_type_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

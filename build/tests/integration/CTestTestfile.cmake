@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(integration_minidb_profile_test "/root/repo/build/tests/integration/integration_minidb_profile_test")
+set_tests_properties(integration_minidb_profile_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/integration/CMakeLists.txt;1;vp_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(integration_minipg_profile_test "/root/repo/build/tests/integration/integration_minipg_profile_test")
+set_tests_properties(integration_minipg_profile_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/integration/CMakeLists.txt;2;vp_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(integration_httpd_profile_test "/root/repo/build/tests/integration/integration_httpd_profile_test")
+set_tests_properties(integration_httpd_profile_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/integration/CMakeLists.txt;3;vp_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(integration_fixes_test "/root/repo/build/tests/integration/integration_fixes_test")
+set_tests_properties(integration_fixes_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/integration/CMakeLists.txt;4;vp_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(integration_failure_injection_test "/root/repo/build/tests/integration/integration_failure_injection_test")
+set_tests_properties(integration_failure_injection_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/integration/CMakeLists.txt;5;vp_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(integration_per_type_profile_test "/root/repo/build/tests/integration/integration_per_type_profile_test")
+set_tests_properties(integration_per_type_profile_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/integration/CMakeLists.txt;6;vp_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_btree_test.dir/btree_test.cc.o"
+  "CMakeFiles/minidb_btree_test.dir/btree_test.cc.o.d"
+  "minidb_btree_test"
+  "minidb_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

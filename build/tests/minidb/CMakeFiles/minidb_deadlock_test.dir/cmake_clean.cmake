@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_deadlock_test.dir/deadlock_test.cc.o"
+  "CMakeFiles/minidb_deadlock_test.dir/deadlock_test.cc.o.d"
+  "minidb_deadlock_test"
+  "minidb_deadlock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_deadlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

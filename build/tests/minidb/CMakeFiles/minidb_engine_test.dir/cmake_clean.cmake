@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_engine_test.dir/engine_test.cc.o"
+  "CMakeFiles/minidb_engine_test.dir/engine_test.cc.o.d"
+  "minidb_engine_test"
+  "minidb_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_lock_manager_test.dir/lock_manager_test.cc.o"
+  "CMakeFiles/minidb_lock_manager_test.dir/lock_manager_test.cc.o.d"
+  "minidb_lock_manager_test"
+  "minidb_lock_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_lock_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_redo_log_test.dir/redo_log_test.cc.o"
+  "CMakeFiles/minidb_redo_log_test.dir/redo_log_test.cc.o.d"
+  "minidb_redo_log_test"
+  "minidb_redo_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_redo_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_table_test.dir/table_test.cc.o"
+  "CMakeFiles/minidb_table_test.dir/table_test.cc.o.d"
+  "minidb_table_test"
+  "minidb_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/minidb
+# Build directory: /root/repo/build/tests/minidb
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(minidb_btree_test "/root/repo/build/tests/minidb/minidb_btree_test")
+set_tests_properties(minidb_btree_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/minidb/CMakeLists.txt;1;vp_add_test;/root/repo/tests/minidb/CMakeLists.txt;0;")
+add_test(minidb_buffer_pool_test "/root/repo/build/tests/minidb/minidb_buffer_pool_test")
+set_tests_properties(minidb_buffer_pool_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/minidb/CMakeLists.txt;2;vp_add_test;/root/repo/tests/minidb/CMakeLists.txt;0;")
+add_test(minidb_lock_manager_test "/root/repo/build/tests/minidb/minidb_lock_manager_test")
+set_tests_properties(minidb_lock_manager_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/minidb/CMakeLists.txt;3;vp_add_test;/root/repo/tests/minidb/CMakeLists.txt;0;")
+add_test(minidb_redo_log_test "/root/repo/build/tests/minidb/minidb_redo_log_test")
+set_tests_properties(minidb_redo_log_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/minidb/CMakeLists.txt;4;vp_add_test;/root/repo/tests/minidb/CMakeLists.txt;0;")
+add_test(minidb_table_test "/root/repo/build/tests/minidb/minidb_table_test")
+set_tests_properties(minidb_table_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/minidb/CMakeLists.txt;5;vp_add_test;/root/repo/tests/minidb/CMakeLists.txt;0;")
+add_test(minidb_engine_test "/root/repo/build/tests/minidb/minidb_engine_test")
+set_tests_properties(minidb_engine_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/minidb/CMakeLists.txt;6;vp_add_test;/root/repo/tests/minidb/CMakeLists.txt;0;")
+add_test(workload_tpcc_test "/root/repo/build/tests/minidb/workload_tpcc_test")
+set_tests_properties(workload_tpcc_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/minidb/CMakeLists.txt;7;vp_add_test;/root/repo/tests/minidb/CMakeLists.txt;0;")
+add_test(minidb_redo_property_test "/root/repo/build/tests/minidb/minidb_redo_property_test")
+set_tests_properties(minidb_redo_property_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/minidb/CMakeLists.txt;8;vp_add_test;/root/repo/tests/minidb/CMakeLists.txt;0;")
+add_test(minidb_lock_property_test "/root/repo/build/tests/minidb/minidb_lock_property_test")
+set_tests_properties(minidb_lock_property_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/minidb/CMakeLists.txt;9;vp_add_test;/root/repo/tests/minidb/CMakeLists.txt;0;")
+add_test(minidb_deadlock_test "/root/repo/build/tests/minidb/minidb_deadlock_test")
+set_tests_properties(minidb_deadlock_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/minidb/CMakeLists.txt;10;vp_add_test;/root/repo/tests/minidb/CMakeLists.txt;0;")

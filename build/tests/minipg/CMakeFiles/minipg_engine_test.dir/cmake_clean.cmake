@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minipg_engine_test.dir/pg_engine_test.cc.o"
+  "CMakeFiles/minipg_engine_test.dir/pg_engine_test.cc.o.d"
+  "minipg_engine_test"
+  "minipg_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minipg_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

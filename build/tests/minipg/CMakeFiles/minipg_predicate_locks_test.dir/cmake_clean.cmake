@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minipg_predicate_locks_test.dir/predicate_locks_test.cc.o"
+  "CMakeFiles/minipg_predicate_locks_test.dir/predicate_locks_test.cc.o.d"
+  "minipg_predicate_locks_test"
+  "minipg_predicate_locks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minipg_predicate_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

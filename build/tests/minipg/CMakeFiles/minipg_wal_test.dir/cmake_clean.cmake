@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minipg_wal_test.dir/wal_test.cc.o"
+  "CMakeFiles/minipg_wal_test.dir/wal_test.cc.o.d"
+  "minipg_wal_test"
+  "minipg_wal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minipg_wal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/minipg
+# Build directory: /root/repo/build/tests/minipg
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(minipg_wal_test "/root/repo/build/tests/minipg/minipg_wal_test")
+set_tests_properties(minipg_wal_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/minipg/CMakeLists.txt;1;vp_add_test;/root/repo/tests/minipg/CMakeLists.txt;0;")
+add_test(minipg_predicate_locks_test "/root/repo/build/tests/minipg/minipg_predicate_locks_test")
+set_tests_properties(minipg_predicate_locks_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/minipg/CMakeLists.txt;2;vp_add_test;/root/repo/tests/minipg/CMakeLists.txt;0;")
+add_test(minipg_engine_test "/root/repo/build/tests/minipg/minipg_engine_test")
+set_tests_properties(minipg_engine_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/minipg/CMakeLists.txt;3;vp_add_test;/root/repo/tests/minipg/CMakeLists.txt;0;")

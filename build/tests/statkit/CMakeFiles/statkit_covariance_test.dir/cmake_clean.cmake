@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statkit_covariance_test.dir/covariance_test.cc.o"
+  "CMakeFiles/statkit_covariance_test.dir/covariance_test.cc.o.d"
+  "statkit_covariance_test"
+  "statkit_covariance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statkit_covariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statkit_decomposition_property_test.dir/decomposition_property_test.cc.o"
+  "CMakeFiles/statkit_decomposition_property_test.dir/decomposition_property_test.cc.o.d"
+  "statkit_decomposition_property_test"
+  "statkit_decomposition_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statkit_decomposition_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statkit_distributions_test.dir/distributions_test.cc.o"
+  "CMakeFiles/statkit_distributions_test.dir/distributions_test.cc.o.d"
+  "statkit_distributions_test"
+  "statkit_distributions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statkit_distributions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

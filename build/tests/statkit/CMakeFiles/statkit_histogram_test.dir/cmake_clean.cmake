@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statkit_histogram_test.dir/histogram_test.cc.o"
+  "CMakeFiles/statkit_histogram_test.dir/histogram_test.cc.o.d"
+  "statkit_histogram_test"
+  "statkit_histogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statkit_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

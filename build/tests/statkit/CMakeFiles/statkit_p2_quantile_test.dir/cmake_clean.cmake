@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statkit_p2_quantile_test.dir/p2_quantile_test.cc.o"
+  "CMakeFiles/statkit_p2_quantile_test.dir/p2_quantile_test.cc.o.d"
+  "statkit_p2_quantile_test"
+  "statkit_p2_quantile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statkit_p2_quantile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

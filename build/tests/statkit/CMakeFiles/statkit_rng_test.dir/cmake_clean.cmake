@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statkit_rng_test.dir/rng_test.cc.o"
+  "CMakeFiles/statkit_rng_test.dir/rng_test.cc.o.d"
+  "statkit_rng_test"
+  "statkit_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statkit_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/statkit/summary_test.cc" "tests/statkit/CMakeFiles/statkit_summary_test.dir/summary_test.cc.o" "gcc" "tests/statkit/CMakeFiles/statkit_summary_test.dir/summary_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vprof/CMakeFiles/vprof.dir/DependInfo.cmake"
+  "/root/repo/build/src/statkit/CMakeFiles/statkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/simio/CMakeFiles/simio.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/minipg/CMakeFiles/minipg.dir/DependInfo.cmake"
+  "/root/repo/build/src/httpd/CMakeFiles/httpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

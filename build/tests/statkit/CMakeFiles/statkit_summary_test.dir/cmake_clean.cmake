@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statkit_summary_test.dir/summary_test.cc.o"
+  "CMakeFiles/statkit_summary_test.dir/summary_test.cc.o.d"
+  "statkit_summary_test"
+  "statkit_summary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statkit_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statkit_welford_test.dir/welford_test.cc.o"
+  "CMakeFiles/statkit_welford_test.dir/welford_test.cc.o.d"
+  "statkit_welford_test"
+  "statkit_welford_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statkit_welford_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

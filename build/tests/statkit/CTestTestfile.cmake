@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/statkit
+# Build directory: /root/repo/build/tests/statkit
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(statkit_welford_test "/root/repo/build/tests/statkit/statkit_welford_test")
+set_tests_properties(statkit_welford_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/statkit/CMakeLists.txt;1;vp_add_test;/root/repo/tests/statkit/CMakeLists.txt;0;")
+add_test(statkit_covariance_test "/root/repo/build/tests/statkit/statkit_covariance_test")
+set_tests_properties(statkit_covariance_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/statkit/CMakeLists.txt;2;vp_add_test;/root/repo/tests/statkit/CMakeLists.txt;0;")
+add_test(statkit_histogram_test "/root/repo/build/tests/statkit/statkit_histogram_test")
+set_tests_properties(statkit_histogram_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/statkit/CMakeLists.txt;3;vp_add_test;/root/repo/tests/statkit/CMakeLists.txt;0;")
+add_test(statkit_p2_quantile_test "/root/repo/build/tests/statkit/statkit_p2_quantile_test")
+set_tests_properties(statkit_p2_quantile_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/statkit/CMakeLists.txt;4;vp_add_test;/root/repo/tests/statkit/CMakeLists.txt;0;")
+add_test(statkit_summary_test "/root/repo/build/tests/statkit/statkit_summary_test")
+set_tests_properties(statkit_summary_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/statkit/CMakeLists.txt;5;vp_add_test;/root/repo/tests/statkit/CMakeLists.txt;0;")
+add_test(statkit_rng_test "/root/repo/build/tests/statkit/statkit_rng_test")
+set_tests_properties(statkit_rng_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/statkit/CMakeLists.txt;6;vp_add_test;/root/repo/tests/statkit/CMakeLists.txt;0;")
+add_test(statkit_distributions_test "/root/repo/build/tests/statkit/statkit_distributions_test")
+set_tests_properties(statkit_distributions_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/statkit/CMakeLists.txt;7;vp_add_test;/root/repo/tests/statkit/CMakeLists.txt;0;")
+add_test(statkit_decomposition_property_test "/root/repo/build/tests/statkit/statkit_decomposition_property_test")
+set_tests_properties(statkit_decomposition_property_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/statkit/CMakeLists.txt;8;vp_add_test;/root/repo/tests/statkit/CMakeLists.txt;0;")

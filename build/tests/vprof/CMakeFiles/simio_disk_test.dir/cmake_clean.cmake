@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simio_disk_test.dir/simio_test.cc.o"
+  "CMakeFiles/simio_disk_test.dir/simio_test.cc.o.d"
+  "simio_disk_test"
+  "simio_disk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simio_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

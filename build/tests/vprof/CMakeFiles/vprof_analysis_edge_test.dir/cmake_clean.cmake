@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_analysis_edge_test.dir/analysis_edge_test.cc.o"
+  "CMakeFiles/vprof_analysis_edge_test.dir/analysis_edge_test.cc.o.d"
+  "vprof_analysis_edge_test"
+  "vprof_analysis_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_analysis_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_chrome_trace_test.dir/chrome_trace_test.cc.o"
+  "CMakeFiles/vprof_chrome_trace_test.dir/chrome_trace_test.cc.o.d"
+  "vprof_chrome_trace_test"
+  "vprof_chrome_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_chrome_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

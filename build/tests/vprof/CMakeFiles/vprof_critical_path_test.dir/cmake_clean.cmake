@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_critical_path_test.dir/critical_path_test.cc.o"
+  "CMakeFiles/vprof_critical_path_test.dir/critical_path_test.cc.o.d"
+  "vprof_critical_path_test"
+  "vprof_critical_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_critical_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

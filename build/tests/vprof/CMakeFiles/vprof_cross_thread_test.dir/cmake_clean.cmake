@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_cross_thread_test.dir/cross_thread_test.cc.o"
+  "CMakeFiles/vprof_cross_thread_test.dir/cross_thread_test.cc.o.d"
+  "vprof_cross_thread_test"
+  "vprof_cross_thread_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_cross_thread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

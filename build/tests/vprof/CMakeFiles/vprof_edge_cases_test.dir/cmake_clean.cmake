@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_edge_cases_test.dir/sync_timeout_test.cc.o"
+  "CMakeFiles/vprof_edge_cases_test.dir/sync_timeout_test.cc.o.d"
+  "vprof_edge_cases_test"
+  "vprof_edge_cases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

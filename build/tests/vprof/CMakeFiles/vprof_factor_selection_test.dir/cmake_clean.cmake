@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_factor_selection_test.dir/factor_selection_test.cc.o"
+  "CMakeFiles/vprof_factor_selection_test.dir/factor_selection_test.cc.o.d"
+  "vprof_factor_selection_test"
+  "vprof_factor_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_factor_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_flat_profile_test.dir/flat_profile_test.cc.o"
+  "CMakeFiles/vprof_flat_profile_test.dir/flat_profile_test.cc.o.d"
+  "vprof_flat_profile_test"
+  "vprof_flat_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_flat_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_profiler_edge_test.dir/profiler_edge_test.cc.o"
+  "CMakeFiles/vprof_profiler_edge_test.dir/profiler_edge_test.cc.o.d"
+  "vprof_profiler_edge_test"
+  "vprof_profiler_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_profiler_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

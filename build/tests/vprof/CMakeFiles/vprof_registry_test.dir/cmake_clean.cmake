@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_registry_test.dir/registry_test.cc.o"
+  "CMakeFiles/vprof_registry_test.dir/registry_test.cc.o.d"
+  "vprof_registry_test"
+  "vprof_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_report_test.dir/report_test.cc.o"
+  "CMakeFiles/vprof_report_test.dir/report_test.cc.o.d"
+  "vprof_report_test"
+  "vprof_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_runtime_test.dir/runtime_test.cc.o"
+  "CMakeFiles/vprof_runtime_test.dir/runtime_test.cc.o.d"
+  "vprof_runtime_test"
+  "vprof_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

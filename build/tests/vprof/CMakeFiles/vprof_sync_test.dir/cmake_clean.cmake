@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_sync_test.dir/sync_test.cc.o"
+  "CMakeFiles/vprof_sync_test.dir/sync_test.cc.o.d"
+  "vprof_sync_test"
+  "vprof_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_task_queue_test.dir/task_queue_test.cc.o"
+  "CMakeFiles/vprof_task_queue_test.dir/task_queue_test.cc.o.d"
+  "vprof_task_queue_test"
+  "vprof_task_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_task_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_trace_io_test.dir/trace_io_test.cc.o"
+  "CMakeFiles/vprof_trace_io_test.dir/trace_io_test.cc.o.d"
+  "vprof_trace_io_test"
+  "vprof_trace_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_trace_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprof_variance_tree_test.dir/variance_tree_test.cc.o"
+  "CMakeFiles/vprof_variance_tree_test.dir/variance_tree_test.cc.o.d"
+  "vprof_variance_tree_test"
+  "vprof_variance_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprof_variance_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
