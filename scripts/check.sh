@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-command verification: the tier-1 build+test cycle, then a
+# ThreadSanitizer build of the vprof runtime tests so the lock-free probe
+# hot path (epoch handshake, chunked buffers, full-tracer rings) is
+# race-checked on every run. Usage: scripts/check.sh [--tsan-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+if [[ "${1:-}" != "--tsan-only" ]]; then
+  echo "== tier-1: build + ctest =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}"
+  (cd build && ctest --output-on-failure -j "${JOBS}")
+fi
+
+echo "== tsan: vprof runtime tests =="
+cmake -B build-tsan -S . -DVPROF_TSAN=ON >/dev/null
+TSAN_TARGETS=(vprof_runtime_test vprof_stress_test vprof_registry_test
+              vprof_sync_test vprof_task_queue_test)
+cmake --build build-tsan -j "${JOBS}" --target "${TSAN_TARGETS[@]}"
+(cd build-tsan &&
+ TSAN_OPTIONS="halt_on_error=1" \
+ ctest --output-on-failure -R 'vprof_(runtime|stress|registry|sync|task_queue)_test')
+
+echo "== check.sh: all green =="

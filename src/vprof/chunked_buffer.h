@@ -1,0 +1,111 @@
+// Append-only chunked arena for per-thread trace records.
+//
+// std::vector doubles by reallocating and copying, so an unlucky probe pays
+// for moving every record captured so far — a latency spike injected by the
+// measurement layer itself, exactly the observer effect a variance profiler
+// must not have. This buffer grows by linking fixed-size chunks: an append is
+// a bump-pointer store, existing records never move, and the only allocation
+// is one chunk per kChunkCapacity records. Chunks are retained across
+// clear(), so steady-state runs after the first allocate nothing at all.
+//
+// Single-writer: only the owning thread appends. The runtime's quiescence
+// handshake (see runtime.cc) guarantees no append is in flight when another
+// thread reads via CopyTo/operator[].
+#ifndef SRC_VPROF_CHUNKED_BUFFER_H_
+#define SRC_VPROF_CHUNKED_BUFFER_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace vprof {
+
+template <typename T, size_t kChunkCapacity = 4096>
+class ChunkedBuffer {
+  static_assert((kChunkCapacity & (kChunkCapacity - 1)) == 0,
+                "chunk capacity must be a power of two");
+
+ public:
+  // Appends a value and returns its stable index.
+  size_t Append(const T& value) {
+    const size_t index = size_;
+    T* slot = SlotFor(index);
+    *slot = value;
+    ++size_;
+    return index;
+  }
+
+  // Appends a default-constructed record and returns it for in-place fill.
+  T* AppendSlot() {
+    T* slot = SlotFor(size_);
+    *slot = T();
+    ++size_;
+    return slot;
+  }
+
+  // Appends a record without initializing it: chunks are recycled across
+  // runs, so the slot holds stale bytes and the caller must store every
+  // field. Hot-path variant for records written in full anyway.
+  T* AppendUninit() {
+    T* slot = SlotFor(size_);
+    ++size_;
+    return slot;
+  }
+
+  T& operator[](size_t index) {
+    return chunks_[index >> kShift]->items[index & kMask];
+  }
+  const T& operator[](size_t index) const {
+    return chunks_[index >> kShift]->items[index & kMask];
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Drops all records but keeps the chunks for reuse by the next run.
+  void clear() { size_ = 0; }
+
+  // Stitches the chunks into one contiguous vector.
+  void CopyTo(std::vector<T>* out) const {
+    out->clear();
+    out->reserve(size_);
+    size_t remaining = size_;
+    for (const auto& chunk : chunks_) {
+      if (remaining == 0) {
+        break;
+      }
+      const size_t n = remaining < kChunkCapacity ? remaining : kChunkCapacity;
+      out->insert(out->end(), chunk->items, chunk->items + n);
+      remaining -= n;
+    }
+  }
+
+ private:
+  struct Chunk {
+    T items[kChunkCapacity];
+  };
+
+  static constexpr size_t kShift = [] {
+    size_t shift = 0;
+    for (size_t c = kChunkCapacity; c > 1; c >>= 1) {
+      ++shift;
+    }
+    return shift;
+  }();
+  static constexpr size_t kMask = kChunkCapacity - 1;
+
+  T* SlotFor(size_t index) {
+    const size_t chunk = index >> kShift;
+    if (chunk == chunks_.size()) [[unlikely]] {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    return &chunks_[chunk]->items[index & kMask];
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  size_t size_ = 0;
+};
+
+}  // namespace vprof
+
+#endif  // SRC_VPROF_CHUNKED_BUFFER_H_

@@ -1,70 +1,126 @@
 #include "src/vprof/full_tracer.h"
 
-#include <chrono>
+#include <algorithm>
+#include <memory>
 #include <mutex>
-#include <unordered_map>
+#include <vector>
 
+#include "src/vprof/fastclock.h"
 #include "src/vprof/registry.h"
 
 namespace vprof {
 
 namespace {
 
-struct FullEvent {
-  uint64_t name_hash;
-  int64_t time_ns;
-  bool entry;
+// Per-thread event ring. 2^15 events * 24B ≈ 0.75 MiB per recording thread.
+constexpr size_t kRingCapacity = 1u << 15;
+
+struct alignas(kCacheLineSize) Ring {
+  // Monotonic count of events ever pushed; slot = head % capacity. Only the
+  // owner thread writes slots; collectors read `head` (and the seen-bitmap)
+  // through atomics, and read slots only under external quiescence.
+  std::atomic<uint64_t> head{0};
+  // Bitmap of FuncIds recorded by this thread, for lock-free distinct-symbol
+  // stats even while recording continues.
+  std::atomic<uint64_t> seen[kMaxFunctions / 64]{};
+  FullTraceEvent events[kRingCapacity];
+
+  void Push(FuncId func, bool entry) {
+    const uint64_t n = head.load(std::memory_order_relaxed);
+    FullTraceEvent& slot = events[n % kRingCapacity];
+    slot.name_hash = FunctionNameHash(func);
+    slot.time = fastclock::NowNs();
+    slot.func = func;
+    slot.entry = entry;
+    head.store(n + 1, std::memory_order_release);
+    if (func < kMaxFunctions) {
+      const uint64_t bit = 1ull << (func & 63);
+      // Avoid the RMW when the bit is already set (the common case).
+      if ((seen[func >> 6].load(std::memory_order_relaxed) & bit) == 0) {
+        seen[func >> 6].fetch_or(bit, std::memory_order_relaxed);
+      }
+    }
+  }
 };
 
-struct FullTracerState {
-  std::mutex mu;
-  std::vector<FullEvent> events;
-  std::unordered_map<std::string, uint64_t> per_function_counts;
+struct TracerState {
+  std::mutex mu;  // guards `rings` growth only; never taken on the hot path
+  std::vector<std::unique_ptr<Ring>> rings;
 };
 
-FullTracerState& State() {
-  static FullTracerState* state = new FullTracerState();
+TracerState& State() {
+  static TracerState* state = new TracerState();
   return *state;
 }
 
-void Record(FuncId func, bool entry) {
-  // Symbol lookup by name, as a binary tracer would key its aggregation.
-  const std::string name = FunctionName(func);
-  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                          std::chrono::steady_clock::now().time_since_epoch())
-                          .count();
-  FullTracerState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
-  state.events.push_back(
-      FullEvent{std::hash<std::string>{}(name), now, entry});
-  ++state.per_function_counts[name];
-  // Bound memory: generic tracers stream to a consumer; we emulate by
-  // discarding the oldest half when the buffer grows large.
-  if (state.events.size() > (1u << 20)) {
-    state.events.erase(state.events.begin(),
-                       state.events.begin() + state.events.size() / 2);
+thread_local Ring* tls_ring = nullptr;
+
+Ring* CurrentRing() {
+  if (tls_ring == nullptr) {
+    TracerState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.rings.push_back(std::make_unique<Ring>());
+    tls_ring = state.rings.back().get();
   }
+  return tls_ring;
 }
 
 }  // namespace
 
-void FullTracerOnEntry(FuncId func) { Record(func, true); }
-void FullTracerOnExit(FuncId func) { Record(func, false); }
+void FullTracerOnEntry(FuncId func) { CurrentRing()->Push(func, true); }
+void FullTracerOnExit(FuncId func) { CurrentRing()->Push(func, false); }
 
 FullTraceStats GetFullTracerStats() {
-  FullTracerState& state = State();
+  TracerState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
   FullTraceStats stats;
-  stats.events = state.events.size();
-  stats.distinct_functions = state.per_function_counts.size();
+  uint64_t distinct[kMaxFunctions / 64] = {};
+  for (const auto& ring : state.rings) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    if (head == 0) {
+      continue;
+    }
+    ++stats.threads;
+    stats.events += head;
+    stats.dropped += head > kRingCapacity ? head - kRingCapacity : 0;
+    for (size_t w = 0; w < kMaxFunctions / 64; ++w) {
+      distinct[w] |= ring->seen[w].load(std::memory_order_relaxed);
+    }
+  }
+  for (const uint64_t word : distinct) {
+    stats.distinct_functions += static_cast<uint64_t>(__builtin_popcountll(word));
+  }
   return stats;
 }
 
-void ResetFullTracer() {
-  FullTracerState& state = State();
+std::vector<FullTraceEvent> CollectFullTraceEvents() {
+  TracerState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
-  state.events.clear();
-  state.per_function_counts.clear();
+  std::vector<FullTraceEvent> out;
+  for (const auto& ring : state.rings) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t n = std::min<uint64_t>(head, kRingCapacity);
+    const uint64_t first = head - n;
+    for (uint64_t i = 0; i < n; ++i) {
+      out.push_back(ring->events[(first + i) % kRingCapacity]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FullTraceEvent& a, const FullTraceEvent& b) {
+              return a.time < b.time;
+            });
+  return out;
+}
+
+void ResetFullTracer() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& ring : state.rings) {
+    ring->head.store(0, std::memory_order_relaxed);
+    for (auto& word : ring->seen) {
+      word.store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 }  // namespace vprof

@@ -1,10 +1,13 @@
 // Function-entry probes.
 //
-// VPROF_FUNC("name") at the top of a function body registers the function
-// once (thread-safe static init) and creates a scoped probe. The probe is a
-// few relaxed atomic loads when the function is not selected for the current
-// refinement iteration, which is what keeps VProfiler's overhead an order of
-// magnitude below binary-injection tracers (paper Section 4.1).
+// VPROF_FUNC("name") at the top of a function body declares a
+// constant-initialized probe site (no static-init guard on entry) and
+// creates a scoped probe. The probe is one relaxed load when tracing is off,
+// and a relaxed load plus one bitmap-bit test when the function is not
+// selected for the current refinement iteration — which is what keeps
+// VProfiler's overhead an order of magnitude below binary-injection tracers
+// (paper Section 4.1). The site's FuncId is resolved through the registry
+// lazily, the first time the site is reached with tracing active.
 #ifndef SRC_VPROF_PROBE_H_
 #define SRC_VPROF_PROBE_H_
 
@@ -19,31 +22,25 @@ class ScopedProbe {
     if (!IsTracing()) {
       return;
     }
-    if (IsFullTrace()) {
-      // DTrace-like comparison mode: record every function, the slow way.
-      FullTracerOnEntry(func);
-      full_ = true;
-      func_ = func;
+    Enter(func);
+  }
+
+  explicit ScopedProbe(ProbeSite& site) {
+    if (!IsTracing()) {
       return;
     }
-    if (!IsFunctionEnabled(func)) {
-      return;
-    }
-    thread_ = CurrentThread();
-    epoch_ = thread_->run_epoch();
-    record_index_ = thread_->OpenInvocation(func, Now());
+    Enter(site.id());
   }
 
   ~ScopedProbe() {
     if (thread_ != nullptr) {
-      // Drop the close if tracing restarted underneath this probe.
-      if (thread_->run_epoch() == epoch_) {
-        thread_->CloseInvocation(record_index_, Now());
-      }
+      // CloseInvocation drops the close if tracing restarted underneath
+      // this probe (the handle's epoch no longer matches).
+      thread_->CloseInvocation(handle_);
       return;
     }
-    if (full_) {
-      FullTracerOnExit(func_);
+    if (full_ != kInvalidFunc) {
+      FullTracerOnExit(full_);
     }
   }
 
@@ -51,18 +48,36 @@ class ScopedProbe {
   ScopedProbe& operator=(const ScopedProbe&) = delete;
 
  private:
+  void Enter(FuncId func) {
+    if (IsFullTrace()) [[unlikely]] {
+      // DTrace-like comparison mode: record every function unconditionally.
+      FullTracerOnEntry(func);
+      full_ = func;
+      return;
+    }
+    if (!IsFunctionEnabled(func)) {
+      return;
+    }
+    ThreadState* thread = CurrentThread();
+    const ThreadState::OpenHandle handle = thread->OpenInvocation(func);
+    if (handle.slot != nullptr) {
+      thread_ = thread;
+      handle_ = handle;
+    }
+  }
+
   ThreadState* thread_ = nullptr;
-  uint64_t epoch_ = 0;
-  uint32_t record_index_ = 0;
-  bool full_ = false;
-  FuncId func_ = kInvalidFunc;
+  ThreadState::OpenHandle handle_;
+  FuncId full_ = kInvalidFunc;
 };
 
 }  // namespace vprof
 
-// Instruments the enclosing function under the given profile name.
-#define VPROF_FUNC(name)                                                      \
-  static const ::vprof::FuncId vprof_local_fid = ::vprof::RegisterFunction(name); \
-  ::vprof::ScopedProbe vprof_local_probe(vprof_local_fid)
+// Instruments the enclosing function under the given profile name. The site
+// is constant-initialized (constexpr constructor), so entering the function
+// costs no thread-safe-static guard check.
+#define VPROF_FUNC(name)                                \
+  static ::vprof::ProbeSite vprof_local_site{name};     \
+  ::vprof::ScopedProbe vprof_local_probe(vprof_local_site)
 
 #endif  // SRC_VPROF_PROBE_H_

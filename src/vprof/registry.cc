@@ -2,12 +2,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 
 namespace vprof {
 
-std::atomic<uint8_t> g_func_enabled[kMaxFunctions];
+std::atomic<uint64_t> g_func_enabled_bits[kFuncBitmapWords];
+std::atomic<uint64_t> g_func_name_hash[kMaxFunctions];
 
 namespace {
 
@@ -39,6 +41,10 @@ FuncId RegisterFunction(std::string_view name) {
   const FuncId id = static_cast<FuncId>(state.names.size());
   state.names.emplace_back(name);
   state.by_name.emplace(std::string(name), id);
+  // Published before the id escapes this call, so any probe holding a valid
+  // id can read the hash without the lock.
+  g_func_name_hash[id].store(std::hash<std::string_view>{}(name),
+                             std::memory_order_relaxed);
   return id;
 }
 
@@ -71,24 +77,35 @@ std::vector<std::string> AllFunctionNames() {
 }
 
 void SetFunctionEnabled(FuncId id, bool enabled) {
-  if (id < kMaxFunctions) {
-    g_func_enabled[id].store(enabled ? 1 : 0, std::memory_order_relaxed);
+  if (id >= kMaxFunctions) {
+    return;
+  }
+  const uint64_t bit = 1ull << (id & 63);
+  if (enabled) {
+    g_func_enabled_bits[id >> 6].fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    g_func_enabled_bits[id >> 6].fetch_and(~bit, std::memory_order_relaxed);
   }
 }
 
 void DisableAllFunctions() {
-  const size_t n = RegisteredFunctionCount();
-  for (size_t i = 0; i < n; ++i) {
-    g_func_enabled[i].store(0, std::memory_order_relaxed);
+  for (size_t w = 0; w < kFuncBitmapWords; ++w) {
+    g_func_enabled_bits[w].store(0, std::memory_order_relaxed);
   }
 }
 
 std::vector<FuncId> EnabledFunctions() {
   std::vector<FuncId> out;
   const size_t n = RegisteredFunctionCount();
-  for (size_t i = 0; i < n; ++i) {
-    if (g_func_enabled[i].load(std::memory_order_relaxed) != 0) {
-      out.push_back(static_cast<FuncId>(i));
+  for (size_t w = 0; w * 64 < n; ++w) {
+    uint64_t bits = g_func_enabled_bits[w].load(std::memory_order_relaxed);
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      const size_t id = w * 64 + static_cast<size_t>(b);
+      if (id < n) {
+        out.push_back(static_cast<FuncId>(id));
+      }
     }
   }
   return out;

@@ -3,8 +3,14 @@
 // The paper's tool rewrites source to instrument only the currently selected
 // functions, recompiling between refinement iterations (Section 3.3.4). We
 // get the same selectivity without recompiling: every instrumentable function
-// carries a compiled-in probe that checks one relaxed atomic flag; the
-// refinement driver flips flags between runs.
+// carries a compiled-in probe that checks one bit of a packed enable bitmap;
+// the refinement driver flips bits between runs.
+//
+// The bitmap is words of 64 flags rather than one atomic byte per function:
+// a probe's flag check touches 1/64th the memory, 512 adjacent flags share a
+// cache line read-only (flag writes happen only between runs, so there is no
+// flag-to-flag false sharing while measuring), and a whole-registry snapshot
+// is 64 word loads instead of 4096 byte loads.
 #ifndef SRC_VPROF_REGISTRY_H_
 #define SRC_VPROF_REGISTRY_H_
 
@@ -18,10 +24,16 @@
 namespace vprof {
 
 inline constexpr size_t kMaxFunctions = 4096;
+inline constexpr size_t kFuncBitmapWords = kMaxFunctions / 64;
 
-// Per-function enable flags, indexed by FuncId. Exposed for the inline probe
-// fast path only; use SetFunctionEnabled to mutate.
-extern std::atomic<uint8_t> g_func_enabled[kMaxFunctions];
+// Packed per-function enable bits, indexed by FuncId / 64. Exposed for the
+// inline probe fast path only; use SetFunctionEnabled to mutate.
+extern std::atomic<uint64_t> g_func_enabled_bits[kFuncBitmapWords];
+
+// Hash of each registered function's name, written once at registration.
+// Lets the full tracer key events by symbol (as a binary tracer does)
+// without taking the registry lock on its hot path.
+extern std::atomic<uint64_t> g_func_name_hash[kMaxFunctions];
 
 // Registers (or finds) a function by name and returns its dense id.
 // Thread-safe; idempotent per name. Aborts if kMaxFunctions is exceeded.
@@ -49,8 +61,44 @@ void DisableAllFunctions();
 std::vector<FuncId> EnabledFunctions();
 
 inline bool IsFunctionEnabled(FuncId id) {
-  return g_func_enabled[id].load(std::memory_order_relaxed) != 0;
+  return (g_func_enabled_bits[id >> 6].load(std::memory_order_relaxed) >>
+          (id & 63)) &
+         1;
 }
+
+// Lock-free symbol-hash lookup for the full tracer's hot path.
+inline uint64_t FunctionNameHash(FuncId id) {
+  return id < kMaxFunctions
+             ? g_func_name_hash[id].load(std::memory_order_relaxed)
+             : 0;
+}
+
+// Lazily-registered probe site. A constexpr constructor makes function-local
+// statics constant-initialized, so VPROF_FUNC pays no init guard on entry;
+// the id is resolved through the registry the first time the site is hit
+// with tracing active.
+class ProbeSite {
+ public:
+  constexpr explicit ProbeSite(const char* name) : name_(name) {}
+
+  FuncId id() {
+    const FuncId cached = id_.load(std::memory_order_relaxed);
+    if (cached != kInvalidFunc) [[likely]] {
+      return cached;
+    }
+    return Resolve();
+  }
+
+ private:
+  FuncId Resolve() {
+    const FuncId id = RegisterFunction(name_);
+    id_.store(id, std::memory_order_relaxed);
+    return id;
+  }
+
+  const char* name_;
+  std::atomic<FuncId> id_{kInvalidFunc};
+};
 
 }  // namespace vprof
 

@@ -1,27 +1,68 @@
 #include "src/vprof/runtime.h"
 
-#include <chrono>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/vprof/full_tracer.h"
+
+#if defined(__linux__) && !defined(__SANITIZE_THREAD__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#define VPROF_HAVE_MEMBARRIER 1
+#endif
 
 namespace vprof {
 
 std::atomic<bool> g_tracing{false};
 std::atomic<bool> g_full_trace{false};
 
+namespace detail {
+std::atomic<bool> g_asymmetric_quiesce{false};
+}  // namespace detail
+
 namespace {
 
-using Clock = std::chrono::steady_clock;
+#ifdef VPROF_HAVE_MEMBARRIER
+// Raw values from linux/membarrier.h, inlined so the build does not depend
+// on kernel headers being installed.
+constexpr long kMembarrierRegisterPrivateExpedited = 1 << 4;
+constexpr long kMembarrierPrivateExpedited = 1 << 3;
+
+bool RegisterQuiesceBarrier() {
+  return syscall(__NR_membarrier, kMembarrierRegisterPrivateExpedited, 0, 0) ==
+         0;
+}
+
+// Runs before main(), before any worker thread can exist, so every thread
+// agrees on the handshake mode for the whole process lifetime.
+struct EnableAsymmetricQuiesce {
+  EnableAsymmetricQuiesce() {
+    if (RegisterQuiesceBarrier()) {
+      detail::g_asymmetric_quiesce.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+EnableAsymmetricQuiesce g_enable_asymmetric_quiesce;
+#endif
+
+// Control-side StoreLoad fence for the asymmetric handshake: forces a full
+// barrier on every core running a thread of this process. No-op (and not
+// needed — both sides are seq_cst) when asymmetric mode is off.
+void QuiesceBarrier() {
+#ifdef VPROF_HAVE_MEMBARRIER
+  if (detail::g_asymmetric_quiesce.load(std::memory_order_relaxed)) {
+    syscall(__NR_membarrier, kMembarrierPrivateExpedited, 0, 0);
+  }
+#endif
+}
 
 struct RuntimeState {
   std::mutex mu;
   std::vector<std::unique_ptr<ThreadState>> threads;
   std::atomic<uint64_t> next_interval{1};
-  std::atomic<uint64_t> run_epoch{0};
-  Clock::time_point epoch = Clock::now();
+  uint64_t run_epoch = 0;  // guarded by mu
 };
 
 RuntimeState& State() {
@@ -31,13 +72,17 @@ RuntimeState& State() {
 
 thread_local ThreadState* tls_thread = nullptr;
 
-}  // namespace
-
-TimeNs Now() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                              State().epoch)
-      .count();
+// Stops recording and drains every in-flight op. Callers hold state.mu, so
+// no new ThreadState can appear while the drain runs.
+void QuiesceLocked(RuntimeState& state) {
+  g_tracing.store(false, std::memory_order_seq_cst);
+  QuiesceBarrier();
+  for (auto& thread : state.threads) {
+    thread->WaitQuiescent();
+  }
 }
+
+}  // namespace
 
 ThreadState* CurrentThread() {
   if (tls_thread == nullptr) {
@@ -45,7 +90,7 @@ ThreadState* CurrentThread() {
     std::lock_guard<std::mutex> lock(state.mu);
     auto owned =
         std::make_unique<ThreadState>(static_cast<ThreadId>(state.threads.size()));
-    owned->ResetForRun(state.run_epoch.load(std::memory_order_relaxed));
+    owned->ResetForRun(state.run_epoch);
     tls_thread = owned.get();
     state.threads.push_back(std::move(owned));
   }
@@ -71,6 +116,17 @@ void ThreadState::ResetForRun(uint64_t run_epoch) {
   pending_waker_time_ = -1;
 }
 
+void ThreadState::WaitQuiescent() const {
+  int spins = 0;
+  while (busy_.load(std::memory_order_seq_cst) != 0) {
+    // Ops never block, so this resolves within one append — unless the owner
+    // was preempted mid-op, in which case yield the core to it.
+    if (++spins > 256) {
+      std::this_thread::yield();
+    }
+  }
+}
+
 void ThreadState::EnsureSegmentOpen(TimeNs now) {
   if (seg_start_ >= 0) {
     return;
@@ -84,69 +140,53 @@ void ThreadState::CloseSegment(TimeNs now) {
   if (seg_start_ < 0) {
     return;
   }
-  Segment seg;
-  seg.start = seg_start_;
-  seg.end = now;
-  seg.sid = seg_sid_;
-  seg.state = seg_state_;
-  seg.generator_tid = pending_gen_tid_;
-  seg.generator_time = pending_gen_time_;
-  segments_.push_back(seg);
+  Segment* seg = segments_.AppendSlot();
+  seg->start = seg_start_;
+  seg->end = now;
+  seg->sid = seg_sid_;
+  seg->state = seg_state_;
+  seg->generator_tid = pending_gen_tid_;
+  seg->generator_time = pending_gen_time_;
   seg_start_ = -1;
   pending_gen_tid_ = kNoThread;
   pending_gen_time_ = -1;
 }
 
-uint32_t ThreadState::OpenInvocation(FuncId func, TimeNs now) {
-  EnsureSegmentOpen(now);
-  const uint32_t index = static_cast<uint32_t>(invocations_.size());
-  Invocation inv;
-  inv.start = now;
-  inv.func = func;
-  inv.sid = current_sid_;
-  inv.parent = depth_ > 0 ? static_cast<int32_t>(stack_[depth_ - 1].record_index) : -1;
-  invocations_.push_back(inv);
-  if (depth_ < kMaxProbeDepth) {
-    stack_[depth_] = Frame{func, index};
-  }
-  ++depth_;
-  return index;
-}
-
-void ThreadState::CloseInvocation(uint32_t index, TimeNs now) {
-  if (depth_ > 0) {
-    --depth_;
-  }
-  if (index < invocations_.size()) {
-    invocations_[index].end = now;
-  }
-}
-
 void ThreadState::SwitchInterval(IntervalId sid, TimeNs now) {
-  if (sid == current_sid_ && seg_start_ >= 0) {
+  if (!BeginOp()) {
     return;
   }
-  CloseSegment(now);
-  current_sid_ = sid;
-  EnsureSegmentOpen(now);
+  if (sid != current_sid_ || seg_start_ < 0) {
+    CloseSegment(now);
+    current_sid_ = sid;
+    EnsureSegmentOpen(now);
+  }
+  EndOp();
 }
 
 void ThreadState::BeginBlocked(SegmentState state, TimeNs now) {
-  if (block_depth_++ > 0) {
+  if (!BeginOp()) {
     return;
   }
-  CloseSegment(now);
-  seg_start_ = now;
-  seg_sid_ = current_sid_;
-  seg_state_ = state;
+  if (block_depth_++ == 0) {
+    CloseSegment(now);
+    seg_start_ = now;
+    seg_sid_ = current_sid_;
+    seg_state_ = state;
+  }
+  EndOp();
 }
 
 void ThreadState::EndBlocked(TimeNs now, ThreadId waker_tid, TimeNs waker_time) {
+  if (!BeginOp()) {
+    return;
+  }
   if (block_depth_ > 0 && --block_depth_ > 0) {
     // Inner waits keep the outermost blocked segment open, but remember the
     // most recent waker: it is the event that actually freed the thread.
     pending_waker_tid_ = waker_tid;
     pending_waker_time_ = waker_time;
+    EndOp();
     return;
   }
   if (waker_tid == kNoThread && pending_waker_tid_ != kNoThread) {
@@ -156,39 +196,47 @@ void ThreadState::EndBlocked(TimeNs now, ThreadId waker_tid, TimeNs waker_time) 
   pending_waker_tid_ = kNoThread;
   pending_waker_time_ = -1;
   if (seg_start_ >= 0) {
-    Segment seg;
-    seg.start = seg_start_;
-    seg.end = now;
-    seg.sid = seg_sid_;
-    seg.state = seg_state_;
-    seg.waker_tid = waker_tid;
-    seg.waker_time = waker_time;
-    segments_.push_back(seg);
+    Segment* seg = segments_.AppendSlot();
+    seg->start = seg_start_;
+    seg->end = now;
+    seg->sid = seg_sid_;
+    seg->state = seg_state_;
+    seg->waker_tid = waker_tid;
+    seg->waker_time = waker_time;
     seg_start_ = -1;
   }
   EnsureSegmentOpen(now);
+  EndOp();
 }
 
 void ThreadState::AttachGeneratorEdge(ThreadId producer_tid, TimeNs enqueue_time,
                                       TimeNs now) {
+  if (!BeginOp()) {
+    return;
+  }
   CloseSegment(now);
   pending_gen_tid_ = producer_tid;
   pending_gen_time_ = enqueue_time;
   EnsureSegmentOpen(now);
+  EndOp();
 }
 
 void ThreadState::RecordIntervalEvent(IntervalId sid, IntervalEventKind kind,
                                       TimeNs now, IntervalLabel label) {
-  interval_events_.push_back(IntervalEvent{sid, now, kind, label});
+  if (!BeginOp()) {
+    return;
+  }
+  *interval_events_.AppendSlot() = IntervalEvent{sid, now, kind, label};
+  EndOp();
 }
 
 ThreadTrace ThreadState::Collect(TimeNs end_time) {
   CloseSegment(end_time);
   ThreadTrace out;
   out.tid = tid_;
-  out.invocations = invocations_;
-  out.segments = segments_;
-  out.interval_events = interval_events_;
+  invocations_.CopyTo(&out.invocations);
+  segments_.CopyTo(&out.segments);
+  interval_events_.CopyTo(&out.interval_events);
   // Clamp invocations still open at stop time.
   for (Invocation& inv : out.invocations) {
     if (inv.end < 0) {
@@ -203,21 +251,21 @@ ThreadTrace ThreadState::Collect(TimeNs end_time) {
 void StartTracing() {
   RuntimeState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
-  state.run_epoch.fetch_add(1, std::memory_order_relaxed);
-  const uint64_t epoch = state.run_epoch.load(std::memory_order_relaxed);
+  QuiesceLocked(state);
+  ++state.run_epoch;
   for (auto& thread : state.threads) {
-    thread->ResetForRun(epoch);
+    thread->ResetForRun(state.run_epoch);
   }
   state.next_interval.store(1, std::memory_order_relaxed);
-  state.epoch = Clock::now();
+  fastclock::ResetEpoch();
   ResetFullTracer();
   g_tracing.store(true, std::memory_order_seq_cst);
 }
 
 Trace StopTracing() {
-  g_tracing.store(false, std::memory_order_seq_cst);
   RuntimeState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
+  QuiesceLocked(state);
   const TimeNs end_time = Now();
   Trace trace;
   trace.duration = end_time;

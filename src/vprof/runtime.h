@@ -1,12 +1,25 @@
 // The VProfiler online runtime: tracing control, per-thread record buffers,
 // semantic-interval annotations, and the hooks used by probes and the
 // instrumented synchronization primitives.
+//
+// Concurrency model (the "epoch handshake"): every mutation of a
+// ThreadState happens inside a BeginOp/EndOp window, a Dekker-style
+// handshake against the control thread. The owner publishes busy_=1
+// (seq_cst) and then re-checks g_tracing (seq_cst); the control thread
+// stores g_tracing=false (seq_cst) and then spins until busy_==0. Sequential
+// consistency guarantees at least one side observes the other, so once
+// WaitQuiescent returns, no recording op is in flight and none can start —
+// StartTracing can reset buffers and StopTracing can collect them without
+// locking the probe hot path. Ops are tiny (no blocking inside a window),
+// so the spin is bounded by an append, not by application code.
 #ifndef SRC_VPROF_RUNTIME_H_
 #define SRC_VPROF_RUNTIME_H_
 
 #include <atomic>
 #include <cstdint>
 
+#include "src/vprof/chunked_buffer.h"
+#include "src/vprof/fastclock.h"
 #include "src/vprof/registry.h"
 #include "src/vprof/trace.h"
 #include "src/vprof/types.h"
@@ -21,26 +34,88 @@ inline constexpr int kMaxProbeDepth = 128;
 extern std::atomic<bool> g_tracing;
 extern std::atomic<bool> g_full_trace;
 
+namespace detail {
+// True when sys_membarrier(PRIVATE_EXPEDITED) is registered: the handshake
+// runs asymmetrically — probes use relaxed stores (no fence instruction) and
+// the control thread pays for the StoreLoad ordering with one syscall per
+// quiesce. False (no membarrier, or under TSan where the kernel barrier is
+// invisible to the race detector) falls back to seq_cst on both sides.
+// Set once at static init, before any worker thread can exist.
+extern std::atomic<bool> g_asymmetric_quiesce;
+}  // namespace detail
+
 inline bool IsTracing() { return g_tracing.load(std::memory_order_relaxed); }
 inline bool IsFullTrace() { return g_full_trace.load(std::memory_order_relaxed); }
 
-// Nanoseconds since the current run's epoch (monotonic clock).
-TimeNs Now();
+// Nanoseconds since the current run's epoch (TSC fast clock; see fastclock.h).
+inline TimeNs Now() { return fastclock::NowNs(); }
 
 // All per-thread recording state. One instance per OS thread that touches the
 // runtime while tracing; owned by the global runtime, reset between runs.
-class ThreadState {
+// Cache-line-aligned so two threads' hot state never shares a line.
+class alignas(kCacheLineSize) ThreadState {
  public:
+  // Ticket for CloseInvocation: the record's slot (stable — chunks never
+  // move) and the run that owns it. `slot == nullptr` means the op lost the
+  // handshake (tracing off) and nothing was recorded.
+  struct OpenHandle {
+    Invocation* slot = nullptr;
+    uint64_t epoch = 0;
+  };
+
   explicit ThreadState(ThreadId tid) : tid_(tid) {}
 
   ThreadId tid() const { return tid_; }
   IntervalId current_sid() const { return current_sid_; }
-
-  // --- probe hooks -----------------------------------------------------
-  // Opens an invocation record; returns its index for CloseInvocation.
-  uint32_t OpenInvocation(FuncId func, TimeNs now);
-  void CloseInvocation(uint32_t index, TimeNs now);
   uint64_t run_epoch() const { return run_epoch_; }
+
+  // --- probe hooks (hot path, inline) ----------------------------------
+  // Opens an invocation record; timestamps internally off the fast clock.
+  OpenHandle OpenInvocation(FuncId func) {
+    if (!BeginOp()) {
+      return OpenHandle{};
+    }
+    const TimeNs now = fastclock::NowNs();
+    EnsureSegmentOpen(now);
+    const uint32_t index = static_cast<uint32_t>(invocations_.size());
+    // Uninitialized append: every field is stored below.
+    Invocation* inv = invocations_.AppendUninit();
+    inv->start = now;
+    inv->end = -1;
+    inv->func = func;
+    inv->sid = current_sid_;
+    if (depth_ > 0) {
+      // Frames past kMaxProbeDepth are not stored; attribute them to the
+      // deepest tracked ancestor instead of reading past the stack.
+      const int parent =
+          depth_ <= kMaxProbeDepth ? depth_ - 1 : kMaxProbeDepth - 1;
+      inv->parent = static_cast<int32_t>(stack_[parent].record_index);
+    } else {
+      inv->parent = -1;
+    }
+    if (depth_ < kMaxProbeDepth) {
+      stack_[depth_] = Frame{func, index};
+    }
+    ++depth_;
+    const OpenHandle handle{inv, run_epoch_};
+    EndOp();
+    return handle;
+  }
+
+  void CloseInvocation(OpenHandle handle) {
+    if (!BeginOp()) {
+      return;
+    }
+    // Drop the close if tracing restarted underneath the probe scope: the
+    // slot belongs to the previous run's arena (possibly recycled already).
+    if (handle.epoch == run_epoch_) {
+      if (depth_ > 0) {
+        --depth_;
+      }
+      handle.slot->end = fastclock::NowNs();
+    }
+    EndOp();
+  }
 
   // --- segment / interval transitions ----------------------------------
   // Switches the interval this thread works on behalf of (segment split).
@@ -62,29 +137,53 @@ class ThreadState {
   void RecordIntervalEvent(IntervalId sid, IntervalEventKind kind, TimeNs now,
                            IntervalLabel label = kNoLabel);
 
-  // --- run lifecycle ----------------------------------------------------
+  // --- run lifecycle (control thread; requires quiescence) --------------
   void ResetForRun(uint64_t run_epoch);
-  // Closes any open segment and copies buffers out.
+  // Closes any open segment and stitches the chunked buffers out.
   ThreadTrace Collect(TimeNs end_time);
+  // Spins until no recording op is in flight on this thread. Must be called
+  // after g_tracing was stored false (or before it is stored true), so no
+  // new op can win the handshake.
+  void WaitQuiescent() const;
 
  private:
+  // Owner-side half of the epoch handshake; see file header. Returns false
+  // (leaving busy_ clear) when tracing is off, i.e. recording must not touch
+  // this state because the control thread may be reading it.
+  //
+  // Asymmetric mode moves the StoreLoad fence off the hot path: the probe
+  // issues only plain stores/loads (with a compiler barrier), and the
+  // control thread's sys_membarrier forces the ordering on every core
+  // before it reads busy_. The acquire load of g_tracing still pairs with
+  // StartTracing's release store, so buffer resets happen-before any op
+  // that observes tracing on.
+  bool BeginOp() {
+    if (detail::g_asymmetric_quiesce.load(std::memory_order_relaxed)) {
+      busy_.store(1, std::memory_order_relaxed);
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+      if (g_tracing.load(std::memory_order_acquire)) [[likely]] {
+        return true;
+      }
+    } else {
+      busy_.store(1, std::memory_order_seq_cst);
+      if (g_tracing.load(std::memory_order_seq_cst)) [[likely]] {
+        return true;
+      }
+    }
+    busy_.store(0, std::memory_order_release);
+    return false;
+  }
+  void EndOp() { busy_.store(0, std::memory_order_release); }
+
   void EnsureSegmentOpen(TimeNs now);
   void CloseSegment(TimeNs now);
 
-  ThreadId tid_;
+  // Hot fields, ordered to keep the probe path in the first cache lines.
+  std::atomic<uint32_t> busy_{0};
+  int depth_ = 0;
   uint64_t run_epoch_ = 0;
   IntervalId current_sid_ = kNoInterval;
-
-  std::vector<Invocation> invocations_;
-  std::vector<Segment> segments_;
-  std::vector<IntervalEvent> interval_events_;
-
-  struct Frame {
-    FuncId func;
-    uint32_t record_index;
-  };
-  Frame stack_[kMaxProbeDepth];
-  int depth_ = 0;
+  ThreadId tid_;
   int block_depth_ = 0;
 
   // Open segment (start < 0 when none).
@@ -98,6 +197,18 @@ class ThreadState {
   // EndBlocked.
   ThreadId pending_waker_tid_ = kNoThread;
   TimeNs pending_waker_time_ = -1;
+
+  // Append-only chunked arenas: no reallocation or copying on growth, so a
+  // probe never pays a buffer-resize latency spike (see chunked_buffer.h).
+  ChunkedBuffer<Invocation> invocations_;
+  ChunkedBuffer<Segment> segments_;
+  ChunkedBuffer<IntervalEvent> interval_events_;
+
+  struct Frame {
+    FuncId func;
+    uint32_t record_index;
+  };
+  Frame stack_[kMaxProbeDepth];
 };
 
 // Returns this thread's state, creating and registering it on first use.

@@ -2,6 +2,7 @@
 #ifndef SRC_VPROF_TYPES_H_
 #define SRC_VPROF_TYPES_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace vprof {
@@ -26,6 +27,13 @@ inline constexpr FuncId kInvalidFunc = 0xffffffffu;
 // Dense per-run thread identifier.
 using ThreadId = int32_t;
 inline constexpr ThreadId kNoThread = -1;
+
+// Alignment used to keep per-thread hot state (ThreadState, full-trace
+// rings) on private cache lines. 64 bytes covers x86-64 and most ARM parts;
+// destructive interference is what matters, so err on the hardware constant
+// rather than std::hardware_destructive_interference_size, which GCC warns
+// about being ABI-unstable.
+inline constexpr size_t kCacheLineSize = 64;
 
 // State of an execution segment (paper Section 3.3.1, segment 5-tuple).
 enum class SegmentState : uint8_t {

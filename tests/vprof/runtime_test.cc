@@ -209,6 +209,34 @@ TEST_F(RuntimeTest, IntervalScopeJoinsEnclosingInterval) {
   EXPECT_EQ(trace.interval_count(), 1u);
 }
 
+void DeepNest(int remaining) {
+  VPROF_FUNC("rt_deep");
+  if (remaining > 0) {
+    DeepNest(remaining - 1);
+  }
+}
+
+TEST_F(RuntimeTest, NestingBeyondMaxProbeDepthIsSafe) {
+  // Regression: the parent lookup used to read stack_[depth_ - 1] past the
+  // frame array once depth_ exceeded kMaxProbeDepth.
+  SetFunctionEnabled(RegisterFunction("rt_deep"), true);
+  StartTracing();
+  const int kCalls = kMaxProbeDepth + 32;
+  DeepNest(kCalls - 1);
+  const Trace trace = StopTracing();
+  EXPECT_EQ(trace.invocation_count(), static_cast<uint64_t>(kCalls));
+  for (const ThreadTrace& t : trace.threads) {
+    for (size_t i = 0; i < t.invocations.size(); ++i) {
+      const Invocation& inv = t.invocations[i];
+      EXPECT_GE(inv.end, inv.start);
+      // Parents must reference an earlier, in-bounds record; frames deeper
+      // than the stack clamp to the deepest tracked ancestor.
+      EXPECT_GE(inv.parent, -1);
+      EXPECT_LT(inv.parent, static_cast<int32_t>(i));
+    }
+  }
+}
+
 TEST_F(RuntimeTest, FullTraceModeRecordsEverything) {
   // No functions enabled, but full-trace mode captures all probes.
   EnableFullTrace(true);

@@ -1,0 +1,139 @@
+// Multi-threaded stress for the runtime's epoch handshake: worker threads
+// hammer probes, interval annotations, and lazy registration while a control
+// loop flips the run epoch with StartTracing/StopTracing. Guards the chunked
+// buffers, the quiescence protocol, and the lazy ThreadState/ring creation
+// paths. Run it under -fsanitize=thread (scripts/check.sh, VPROF_TSAN=ON)
+// to turn any missing happens-before edge into a hard failure.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/vprof/probe.h"
+#include "src/vprof/registry.h"
+#include "src/vprof/runtime.h"
+
+namespace vprof {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr int kEpochFlips = 20;
+
+void ProbedLeaf() {
+  VPROF_FUNC("stress_leaf");
+}
+
+void ProbedParent() {
+  VPROF_FUNC("stress_parent");
+  ProbedLeaf();
+}
+
+// Every record in a collected trace must be internally consistent no matter
+// where the epoch flip caught the workers.
+void CheckTraceInvariants(const Trace& trace) {
+  for (const ThreadTrace& t : trace.threads) {
+    for (size_t i = 0; i < t.invocations.size(); ++i) {
+      const Invocation& inv = t.invocations[i];
+      ASSERT_GE(inv.start, 0);
+      ASSERT_GE(inv.end, inv.start);
+      ASSERT_LT(inv.parent, static_cast<int32_t>(i));
+      ASSERT_GE(inv.parent, -1);
+    }
+    for (const Segment& seg : t.segments) {
+      ASSERT_GE(seg.start, 0);
+      ASSERT_GE(seg.end, seg.start);
+    }
+  }
+}
+
+TEST(RuntimeStressTest, ProbesRaceRunEpochFlips) {
+  // The names the workers touch, pre-registered so the per-run enables
+  // below always hit. Workers still race RegisterFunction via the
+  // idempotent lookups and their own per-thread names.
+  SetFunctionEnabled(RegisterFunction("stress_parent"), true);
+  SetFunctionEnabled(RegisterFunction("stress_leaf"), true);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([w, &stop] {
+      const std::string own_name = "stress_own_" + std::to_string(w);
+      uint64_t spins = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Lazy registration racing the epoch flip (idempotent per name).
+        const FuncId own = RegisterFunction(own_name);
+        SetFunctionEnabled(own, true);
+        // ThreadState creation/lookup racing Start/StopTracing.
+        CurrentThread();
+        for (int i = 0; i < 16; ++i) {
+          ProbedParent();
+        }
+        if (spins++ % 8 == 0) {
+          const IntervalId sid = BeginInterval(/*label=*/1);
+          ProbedParent();
+          EndInterval(sid);
+        }
+      }
+    });
+  }
+
+  for (int flip = 0; flip < kEpochFlips; ++flip) {
+    StartTracing();
+    // Let the workers record for a moment mid-epoch.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const Trace trace = StopTracing();
+    CheckTraceInvariants(trace);
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& worker : workers) {
+    worker.join();
+  }
+
+  // One final clean run after the churn: the runtime must still record.
+  StartTracing();
+  ProbedParent();
+  const Trace trace = StopTracing();
+  CheckTraceInvariants(trace);
+  EXPECT_GE(trace.invocation_count(), 2u);
+  DisableAllFunctions();
+}
+
+TEST(RuntimeStressTest, FullTracerRaceWithReset) {
+  // Lock-free rings racing ResetFullTracer through StartTracing, plus
+  // concurrent stats reads. Counts are only checked after quiescence.
+  SetFunctionEnabled(RegisterFunction("stress_parent"), true);
+  std::atomic<bool> stop{false};
+  EnableFullTrace(true);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ProbedParent();
+        GetFullTracerStats();  // atomic reads racing ring pushes
+      }
+    });
+  }
+  for (int flip = 0; flip < 8; ++flip) {
+    StartTracing();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    StopTracing();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EnableFullTrace(false);
+
+  // Quiesced: a fresh run must count exactly what it records.
+  StartTracing();
+  EXPECT_EQ(GetFullTracerStats().events, 0u);
+  StopTracing();
+  DisableAllFunctions();
+}
+
+}  // namespace
+}  // namespace vprof
