@@ -2,26 +2,44 @@
 # One-command verification: the tier-1 build+test cycle, then a
 # ThreadSanitizer build of the vprof runtime tests so the lock-free probe
 # hot path (epoch handshake, chunked buffers, full-tracer rings) is
-# race-checked on every run. Usage: scripts/check.sh [--tsan-only]
+# race-checked on every run, then an ASan+UBSan build of the fault-injection
+# suite (crash recovery, torn tails, arena-cap overflow, quarantine).
+# Usage: scripts/check.sh [--tsan-only|--asan-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc)"
+MODE="${1:-}"
 
-if [[ "${1:-}" != "--tsan-only" ]]; then
+if [[ -z "${MODE}" ]]; then
   echo "== tier-1: build + ctest =="
   cmake -B build -S . >/dev/null
   cmake --build build -j "${JOBS}"
   (cd build && ctest --output-on-failure -j "${JOBS}")
 fi
 
-echo "== tsan: vprof runtime tests =="
-cmake -B build-tsan -S . -DVPROF_TSAN=ON >/dev/null
-TSAN_TARGETS=(vprof_runtime_test vprof_stress_test vprof_registry_test
-              vprof_sync_test vprof_task_queue_test)
-cmake --build build-tsan -j "${JOBS}" --target "${TSAN_TARGETS[@]}"
-(cd build-tsan &&
- TSAN_OPTIONS="halt_on_error=1" \
- ctest --output-on-failure -R 'vprof_(runtime|stress|registry|sync|task_queue)_test')
+if [[ "${MODE}" != "--asan-only" ]]; then
+  echo "== tsan: vprof runtime tests =="
+  cmake -B build-tsan -S . -DVPROF_TSAN=ON >/dev/null
+  TSAN_TARGETS=(vprof_runtime_test vprof_stress_test vprof_registry_test
+                vprof_sync_test vprof_task_queue_test)
+  cmake --build build-tsan -j "${JOBS}" --target "${TSAN_TARGETS[@]}"
+  (cd build-tsan &&
+   TSAN_OPTIONS="halt_on_error=1" \
+   ctest --output-on-failure -R 'vprof_(runtime|stress|registry|sync|task_queue)_test')
+fi
+
+if [[ "${MODE}" != "--tsan-only" ]]; then
+  echo "== asan+ubsan: fault-injection suite =="
+  cmake -B build-asan -S . -DVPROF_ASAN=ON >/dev/null
+  ASAN_TARGETS=(fault_failpoint_test simio_disk_test vprof_runtime_test
+                minidb_redo_crash_test minipg_wal_crash_test
+                httpd_server_test integration_failure_injection_test)
+  cmake --build build-asan -j "${JOBS}" --target "${ASAN_TARGETS[@]}"
+  (cd build-asan &&
+   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+   ctest --output-on-failure -R \
+     '^(fault_failpoint|simio_disk|vprof_runtime|minidb_redo_crash|minipg_wal_crash|httpd_server|integration_failure_injection)_test$')
+fi
 
 echo "== check.sh: all green =="

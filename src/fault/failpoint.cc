@@ -1,0 +1,144 @@
+#include "src/fault/failpoint.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "src/statkit/rng.h"
+
+namespace fault {
+
+namespace detail {
+std::atomic<uint32_t> g_active_count{0};
+}  // namespace detail
+
+namespace {
+
+struct Failpoint {
+  bool armed = false;
+  Trigger trigger;
+  uint64_t activation_hits = 0;  // evaluations since the last Activate
+  bool fired = false;            // kOneShot latch
+  statkit::Rng rng{1};
+  // Lifetime counters; survive Deactivate so tests can assert afterwards.
+  uint64_t hits = 0;
+  uint64_t triggers = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  // Keyed by name. Entries persist after Deactivate to keep counters.
+  std::unordered_map<std::string, Failpoint> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool Evaluate(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(std::string(name));
+  if (it == registry.points.end() || !it->second.armed) {
+    return false;
+  }
+  Failpoint& fp = it->second;
+  const uint64_t hit = fp.activation_hits++;
+  ++fp.hits;
+  bool fire = false;
+  switch (fp.trigger.kind) {
+    case Trigger::Kind::kAlways:
+      fire = true;
+      break;
+    case Trigger::Kind::kOneShot:
+      if (!fp.fired && hit >= fp.trigger.skip) {
+        fp.fired = true;
+        fire = true;
+      }
+      break;
+    case Trigger::Kind::kEveryNth:
+      fire = (hit + 1) % fp.trigger.n == 0;
+      break;
+    case Trigger::Kind::kProbability:
+      fire = fp.rng.NextBool(fp.trigger.p);
+      break;
+  }
+  if (fire) {
+    ++fp.triggers;
+  }
+  return fire;
+}
+
+}  // namespace detail
+
+void Activate(std::string_view name, Trigger trigger) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  Failpoint& fp = registry.points[std::string(name)];
+  if (!fp.armed) {
+    detail::g_active_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  fp.armed = true;
+  fp.trigger = trigger;
+  fp.activation_hits = 0;
+  fp.fired = false;
+  fp.rng.Seed(trigger.seed);
+}
+
+void Deactivate(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(std::string(name));
+  if (it == registry.points.end() || !it->second.armed) {
+    return;
+  }
+  it->second.armed = false;
+  detail::g_active_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DeactivateAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [name, fp] : registry.points) {
+    if (fp.armed) {
+      fp.armed = false;
+      detail::g_active_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool IsActive(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(std::string(name));
+  return it != registry.points.end() && it->second.armed;
+}
+
+uint64_t HitCount(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(std::string(name));
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+uint64_t TriggerCount(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(std::string(name));
+  return it == registry.points.end() ? 0 : it->second.triggers;
+}
+
+void ResetCounters() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [name, fp] : registry.points) {
+    fp.hits = 0;
+    fp.triggers = 0;
+  }
+}
+
+}  // namespace fault

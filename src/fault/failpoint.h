@@ -1,0 +1,121 @@
+// Deterministic fault-injection framework.
+//
+// A failpoint is a named site in production code where a test (or a chaos
+// experiment) can inject a failure. Sites evaluate to "fire" or "pass" via
+// fault::Triggered("component/fault"); tests arm them with a Trigger —
+// one-shot, every-Nth, or seeded probability — optionally scoped to a block
+// via ScopedFailpoint. Everything is deterministic: a probability trigger
+// draws from its own statkit::Rng seeded at activation, and hit/trigger
+// counters make the firing sequence observable and replayable.
+//
+// Cost model: the framework sits on hot paths (disk ops, the probe runtime),
+// so the inactive case must be near-free. fault::AnyActive() is one relaxed
+// atomic load; Triggered() checks it before touching the registry, and every
+// call site is expected to be reached with zero failpoints armed in normal
+// operation. The armed path takes a global mutex — acceptable, since a run
+// with failpoints armed is by definition a failure experiment.
+#ifndef SRC_FAULT_FAILPOINT_H_
+#define SRC_FAULT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fault {
+
+// When and how often an armed failpoint fires.
+struct Trigger {
+  enum class Kind : uint8_t {
+    kAlways,       // every hit fires
+    kOneShot,      // fires exactly once, on hit number `skip` (0-based)
+    kEveryNth,     // fires on hits n-1, 2n-1, ... (every n-th evaluation)
+    kProbability,  // fires with probability p, drawn from a seeded Rng
+  };
+
+  Kind kind = Kind::kAlways;
+  uint64_t n = 1;        // kEveryNth period
+  uint64_t skip = 0;     // kOneShot: hits to let pass before firing
+  double p = 1.0;        // kProbability
+  uint64_t seed = 1;     // kProbability Rng seed
+
+  static Trigger Always() { return Trigger{}; }
+  static Trigger OneShot(uint64_t skip_hits = 0) {
+    Trigger t;
+    t.kind = Kind::kOneShot;
+    t.skip = skip_hits;
+    return t;
+  }
+  static Trigger EveryNth(uint64_t nth) {
+    Trigger t;
+    t.kind = Kind::kEveryNth;
+    t.n = nth == 0 ? 1 : nth;
+    return t;
+  }
+  static Trigger Probability(double p, uint64_t seed) {
+    Trigger t;
+    t.kind = Kind::kProbability;
+    t.p = p;
+    t.seed = seed;
+    return t;
+  }
+};
+
+namespace detail {
+// Count of currently armed failpoints; the fast-path gate.
+extern std::atomic<uint32_t> g_active_count;
+
+// Slow path of Triggered(): registry lookup + trigger evaluation.
+bool Evaluate(std::string_view name);
+}  // namespace detail
+
+// True when at least one failpoint is armed anywhere in the process.
+inline bool AnyActive() {
+  return detail::g_active_count.load(std::memory_order_relaxed) != 0;
+}
+
+// Arms `name` with `trigger` (re-arming replaces the trigger and resets its
+// per-activation state; lifetime counters survive).
+void Activate(std::string_view name, Trigger trigger);
+
+// Disarms `name`. No-op if not armed.
+void Deactivate(std::string_view name);
+
+// Disarms everything (test teardown).
+void DeactivateAll();
+
+// True while `name` is armed.
+bool IsActive(std::string_view name);
+
+// Lifetime counters (across re-activations, until ResetCounters).
+uint64_t HitCount(std::string_view name);      // evaluations while armed
+uint64_t TriggerCount(std::string_view name);  // evaluations that fired
+void ResetCounters();
+
+// The injection site: true when `name` is armed and its trigger fires.
+inline bool Triggered(std::string_view name) {
+  if (!AnyActive()) [[likely]] {
+    return false;
+  }
+  return detail::Evaluate(name);
+}
+
+// RAII activation for test scopes: arms on construction, disarms on
+// destruction.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string_view name, Trigger trigger) : name_(name) {
+    Activate(name_, trigger);
+  }
+  ~ScopedFailpoint() { Deactivate(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace fault
+
+#endif  // SRC_FAULT_FAILPOINT_H_

@@ -39,12 +39,26 @@ void HttpServer::Shutdown() {
   }
 }
 
-void HttpServer::HandleRequestBlocking(uint64_t file_id) {
+RequestStatus HttpServer::HandleRequestBlocking(uint64_t file_id) {
   const vprof::IntervalId sid = vprof::BeginInterval();
   vprof::Event done;
-  queue_.Push(PendingRequest{sid, file_id, &done});
+  bool accepted = true;
+  if (config_.max_queue_depth > 0) {
+    accepted = queue_.PushIfBelow(PendingRequest{sid, file_id, &done},
+                                  static_cast<size_t>(config_.max_queue_depth));
+  } else {
+    queue_.Push(PendingRequest{sid, file_id, &done});
+  }
+  if (!accepted) {
+    // Shed: answer 503 immediately rather than deepening the backlog. The
+    // interval still closes so the profiler sees the (short) rejection.
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    vprof::EndInterval(sid);
+    return RequestStatus::kServiceUnavailable;
+  }
   done.Wait();
   vprof::EndInterval(sid);
+  return RequestStatus::kOk;
 }
 
 void HttpServer::WorkerLoop() {
@@ -100,6 +114,7 @@ void HttpServer::ProcessRequest(const PendingRequest& request,
 HttpdStats HttpServer::stats() const {
   HttpdStats stats;
   stats.requests_served = requests_served_.load(std::memory_order_relaxed);
+  stats.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
   stats.system_allocs = global_list_.system_allocs();
   return stats;
 }

@@ -46,12 +46,24 @@ struct HttpdConfig {
   uint64_t page_bytes = 169;   // the paper's 169-byte static page
   int page_cache_files = 1024; // effectively everything stays cached
 
+  // When > 0, a submission finding this many requests already queued is
+  // rejected with 503 instead of deepening the backlog (load shedding).
+  // 0 keeps the historical unbounded queue.
+  int max_queue_depth = 0;
+
   simio::DiskConfig file_disk;
 };
 
 struct HttpdStats {
   uint64_t requests_served = 0;
+  uint64_t requests_rejected = 0;  // shed with 503 at submission
   uint64_t system_allocs = 0;
+};
+
+// Submission outcome, named after the HTTP status the client would see.
+enum class RequestStatus : uint8_t {
+  kOk,                  // 200: executed by a worker
+  kServiceUnavailable,  // 503: shed because the worker queue was full
 };
 
 class HttpServer {
@@ -63,8 +75,9 @@ class HttpServer {
   HttpServer& operator=(const HttpServer&) = delete;
 
   // Client-side entry point: begins a semantic interval, enqueues the
-  // request, and blocks until a worker completes it. Thread-safe.
-  void HandleRequestBlocking(uint64_t file_id);
+  // request, and blocks until a worker completes it — or sheds it with 503
+  // when the queue is at max_queue_depth. Thread-safe.
+  RequestStatus HandleRequestBlocking(uint64_t file_id);
 
   void Shutdown();
 
@@ -92,6 +105,7 @@ class HttpServer {
   vprof::TaskQueue<PendingRequest> queue_;
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
   std::atomic<bool> shut_down_{false};
 };
 

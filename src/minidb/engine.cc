@@ -65,10 +65,32 @@ void Engine::LoadInitialData() {
   }
 }
 
+bool Engine::AcquireLock(Transaction* trx, uint64_t object_id, LockMode mode) {
+  switch (locks_.LockEx(trx, object_id, mode)) {
+    case LockResult::kGranted:
+      return true;
+    case LockResult::kTimeout:
+      trx->set_error(TxnError::kLockTimeout);
+      return false;
+    case LockResult::kDeadlock:
+      trx->set_error(TxnError::kDeadlock);
+      return false;
+  }
+  return false;
+}
+
+bool Engine::AppendRedo(Transaction* trx, uint64_t bytes) {
+  if (log_->Append(bytes) == 0) {
+    trx->set_error(TxnError::kLogCrashed);
+    return false;
+  }
+  return true;
+}
+
 bool Engine::RowSelect(Transaction* trx, Table& table, int64_t key,
                        LockMode mode) {
   VPROF_FUNC("row_sel");
-  if (!locks_.Lock(trx, table.LockObjectId(key), mode)) {
+  if (!AcquireLock(trx, table.LockObjectId(key), mode)) {
     return false;
   }
   const auto found = table.index().Search(key);
@@ -80,7 +102,7 @@ bool Engine::RowSelect(Transaction* trx, Table& table, int64_t key,
 
 bool Engine::RowUpdate(Transaction* trx, Table& table, int64_t key) {
   VPROF_FUNC("row_upd");
-  if (!locks_.Lock(trx, table.LockObjectId(key), LockMode::kExclusive)) {
+  if (!AcquireLock(trx, table.LockObjectId(key), LockMode::kExclusive)) {
     return false;
   }
   const auto found = table.index().Search(key);
@@ -90,13 +112,12 @@ bool Engine::RowUpdate(Transaction* trx, Table& table, int64_t key) {
   if (!table.UpdateRow(key)) {
     return true;
   }
-  log_->Append(kRedoBytesPerUpdate);
-  return true;
+  return AppendRedo(trx, kRedoBytesPerUpdate);
 }
 
 bool Engine::RowInsert(Transaction* trx, Table& table, int64_t key) {
   VPROF_FUNC("row_ins_clust_index_entry_low");
-  if (!locks_.Lock(trx, table.LockObjectId(key), LockMode::kExclusive)) {
+  if (!AcquireLock(trx, table.LockObjectId(key), LockMode::kExclusive)) {
     return false;
   }
   // Uniqueness probe, then the actual insert — the varying code paths of the
@@ -108,18 +129,27 @@ bool Engine::RowInsert(Transaction* trx, Table& table, int64_t key) {
   if (!table.InsertRow(key)) {
     return true;
   }
-  log_->Append(kRedoBytesPerInsert);
-  return true;
+  return AppendRedo(trx, kRedoBytesPerInsert);
 }
 
-void Engine::Commit(Transaction* trx, bool needs_log_flush) {
+bool Engine::Commit(Transaction* trx, bool needs_log_flush) {
   VPROF_FUNC("trx_commit");
   if (needs_log_flush) {
     const uint64_t lsn = log_->next_lsn() - 1;
-    log_->CommitUpTo(lsn);
+    switch (log_->CommitUpTo(lsn)) {
+      case LogStatus::kOk:
+        break;
+      case LogStatus::kIoError:
+        trx->set_error(TxnError::kIoError);
+        return false;
+      case LogStatus::kCrashed:
+        trx->set_error(TxnError::kLogCrashed);
+        return false;
+    }
   }
   locks_.ReleaseAll(trx);
   committed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void Engine::Abort(Transaction* trx) {
@@ -274,14 +304,15 @@ TxnOutcome Engine::Execute(const TxnRequest& request) {
   }
 
   if (ok) {
-    Commit(&trx, needs_log_flush);
-  } else {
+    ok = Commit(&trx, needs_log_flush);
+  }
+  if (!ok) {
     Abort(&trx);
   }
   if (!enclosed) {
     vprof::EndInterval(sid);
   }
-  return TxnOutcome{ok, trx.id()};
+  return TxnOutcome{ok, trx.id(), ok ? TxnError::kNone : trx.error()};
 }
 
 void Engine::RegisterCallGraph(vprof::CallGraph* graph) {

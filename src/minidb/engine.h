@@ -53,6 +53,12 @@ struct TxnRequest {
 struct TxnOutcome {
   bool committed = false;
   uint64_t trx_id = 0;
+  // Why the transaction aborted (kNone when committed). Lock timeouts,
+  // deadlocks and log I/O errors are retryable; a crashed log is not until
+  // someone calls redo_log().Recover().
+  TxnError error = TxnError::kNone;
+
+  bool retryable() const { return !committed && IsRetryable(error); }
 };
 
 class Engine {
@@ -71,6 +77,8 @@ class Engine {
   static void RegisterCallGraph(vprof::CallGraph* graph);
 
   const EngineConfig& config() const { return config_; }
+  simio::Disk& data_disk() { return data_disk_; }
+  simio::Disk& log_disk() { return log_disk_; }
   BufferPool& buffer_pool() { return *pool_; }
   LockManager& lock_manager() { return locks_; }
   RedoLog& redo_log() { return *log_; }
@@ -105,13 +113,20 @@ class Engine {
  private:
   void LoadInitialData();
 
-  // Instrumented row operations (InnoDB naming).
+  // Instrumented row operations (InnoDB naming). On failure the cause is
+  // recorded on the transaction (trx->error()).
   bool RowSelect(Transaction* trx, Table& table, int64_t key, LockMode mode);
   bool RowUpdate(Transaction* trx, Table& table, int64_t key);
   bool RowInsert(Transaction* trx, Table& table, int64_t key);
 
-  // Commit/abort; commit forces the redo log per the flush policy.
-  void Commit(Transaction* trx, bool needs_log_flush);
+  // Takes a lock, converting a typed failure into trx->error().
+  bool AcquireLock(Transaction* trx, uint64_t object_id, LockMode mode);
+  // Appends redo, converting a crashed log into trx->error().
+  bool AppendRedo(Transaction* trx, uint64_t bytes);
+
+  // Commit forces the redo log per the flush policy; returns false (with
+  // trx->error() set) when the log fails, in which case the caller aborts.
+  bool Commit(Transaction* trx, bool needs_log_flush);
   void Abort(Transaction* trx);
 
   bool RunNewOrder(Transaction* trx, const TxnRequest& request);

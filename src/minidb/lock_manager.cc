@@ -84,7 +84,8 @@ bool LockManager::Holds(const Transaction* trx, uint64_t object_id,
   return false;
 }
 
-bool LockManager::Lock(Transaction* trx, uint64_t object_id, LockMode mode) {
+LockResult LockManager::LockEx(Transaction* trx, uint64_t object_id,
+                               LockMode mode) {
   VPROF_FUNC("lock_rec_lock");
   Shard& shard = ShardFor(object_id);
   OsEvent* wait_event = nullptr;
@@ -98,14 +99,14 @@ bool LockManager::Lock(Transaction* trx, uint64_t object_id, LockMode mode) {
         continue;
       }
       if (r.mode == LockMode::kExclusive || mode == LockMode::kShared) {
-        return true;  // already strong enough
+        return LockResult::kGranted;  // already strong enough
       }
       // Shared held, exclusive requested: upgrade in place if we are alone.
       if (queue.granted.size() == 1) {
         r.mode = LockMode::kExclusive;
         std::lock_guard<std::mutex> stats_lock(stats_mu_);
         ++stats_.upgrades;
-        return true;
+        return LockResult::kGranted;
       }
       break;  // must wait for the other holders
     }
@@ -124,7 +125,7 @@ bool LockManager::Lock(Transaction* trx, uint64_t object_id, LockMode mode) {
       trx->AddLock(object_id);
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       ++stats_.immediate_grants;
-      return true;
+      return LockResult::kGranted;
     }
 
     Request waiter;
@@ -162,7 +163,7 @@ bool LockManager::Lock(Transaction* trx, uint64_t object_id, LockMode mode) {
   }
   if (granted) {
     trx->AddLock(object_id);
-    return true;
+    return LockResult::kGranted;
   }
 
   // Deadlock or timeout: withdraw the waiting request (it may have been
@@ -178,12 +179,12 @@ bool LockManager::Lock(Transaction* trx, uint64_t object_id, LockMode mode) {
       } else {
         ++stats_.timeouts;
       }
-      return false;
+      return deadlocked ? LockResult::kDeadlock : LockResult::kTimeout;
     }
   }
   // Already granted between the failure and here.
   trx->AddLock(object_id);
-  return true;
+  return LockResult::kGranted;
 }
 
 void LockManager::GrantWaiters(Queue& queue) {

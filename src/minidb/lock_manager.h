@@ -27,6 +27,14 @@ enum class LockMode : uint8_t {
   kExclusive,
 };
 
+// Typed outcome of a lock request, so callers can distinguish the two
+// abort causes (both retryable, but with different client-visible meaning).
+enum class LockResult : uint8_t {
+  kGranted,
+  kTimeout,   // waited wait_timeout_ns without a grant
+  kDeadlock,  // aborted by the deadlock detector
+};
+
 struct LockStats {
   uint64_t immediate_grants = 0;
   uint64_t waits = 0;
@@ -52,8 +60,14 @@ class LockManager {
   LockManager& operator=(const LockManager&) = delete;
 
   // Acquires (or upgrades) a lock on `object_id` for `trx`. Blocks until
-  // granted; returns false on timeout (caller must abort the transaction).
-  bool Lock(Transaction* trx, uint64_t object_id, LockMode mode);
+  // granted; returns false on timeout or deadlock (caller must abort the
+  // transaction). Convenience wrapper over LockEx.
+  bool Lock(Transaction* trx, uint64_t object_id, LockMode mode) {
+    return LockEx(trx, object_id, mode) == LockResult::kGranted;
+  }
+
+  // As Lock, but reports which failure occurred.
+  LockResult LockEx(Transaction* trx, uint64_t object_id, LockMode mode);
 
   // Releases every lock held by `trx`, waking newly-grantable waiters.
   void ReleaseAll(Transaction* trx);

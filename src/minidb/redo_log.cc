@@ -1,12 +1,33 @@
 #include "src/minidb/redo_log.h"
 
+#include <algorithm>
+
+#include "src/fault/failpoint.h"
+#include "src/statkit/rng.h"
 #include "src/vprof/probe.h"
 
 namespace minidb {
 
 namespace {
 constexpr uint64_t kLogBlockBytes = 512;
+constexpr uint32_t kTornChecksumMask = 0xA5A5A5A5u;
+
+constexpr const char kFpCrashBeforeWrite[] = "redo/crash_before_write";
+constexpr const char kFpCrashAfterWrite[] = "redo/crash_after_write";
+constexpr const char kFpCrashAfterFsync[] = "redo/crash_after_fsync";
+
+uint64_t RoundToBlocks(uint64_t bytes) {
+  return ((bytes + kLogBlockBytes - 1) / kLogBlockBytes) * kLogBlockBytes;
+}
 }  // namespace
+
+uint32_t LogRecordChecksum(uint64_t end_lsn, uint64_t bytes) {
+  // FNV-1a over the two header fields.
+  uint64_t h = 1469598103934665603ull;
+  h = (h ^ end_lsn) * 1099511628211ull;
+  h = (h ^ bytes) * 1099511628211ull;
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
 
 RedoLog::RedoLog(FlushPolicy policy, simio::Disk* disk, double flusher_period_us)
     : policy_(policy), disk_(disk), flusher_period_us_(flusher_period_us) {
@@ -24,35 +45,114 @@ RedoLog::~RedoLog() {
 
 uint64_t RedoLog::Append(uint64_t bytes) {
   std::lock_guard<vprof::Mutex> lock(mu_);
+  if (crashed_.load(std::memory_order_acquire)) {
+    return 0;
+  }
   pending_bytes_ += bytes;
+  const uint64_t end_lsn =
+      next_lsn_.fetch_add(bytes, std::memory_order_acq_rel) + bytes - 1;
+  buffer_records_.push_back(
+      LogRecord{end_lsn, bytes, LogRecordChecksum(end_lsn, bytes)});
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.appends;
   }
-  return next_lsn_.fetch_add(bytes, std::memory_order_acq_rel) + bytes - 1;
+  return end_lsn;
 }
 
-void RedoLog::WriteAndFlush(uint64_t target_lsn, bool background) {
-  // Snapshot and write the pending bytes, then sync. fil_flush is the
-  // function whose inherent I/O variance the paper's Table 4 surfaces.
+void RedoLog::AppendBatchToDevice(const std::vector<LogRecord>& batch,
+                                  uint64_t intact_bytes) {
+  // Records wholly within the transferred prefix land intact; the record
+  // crossing the tear point lands with a bad checksum; anything beyond it
+  // never reached the device.
+  uint64_t offset = 0;
+  for (const LogRecord& rec : batch) {
+    if (offset + rec.bytes <= intact_bytes) {
+      device_records_.push_back(rec);
+    } else if (offset < intact_bytes) {
+      LogRecord torn = rec;
+      torn.checksum ^= kTornChecksumMask;
+      device_records_.push_back(torn);
+      break;
+    } else {
+      break;
+    }
+    offset += rec.bytes;
+  }
+}
+
+LogStatus RedoLog::WriteAndMaybeFlush(bool do_fsync, bool background) {
+  // fil_flush — the fsync below — is the function whose inherent I/O
+  // variance the paper's Table 4 surfaces. The whole write+fsync section is
+  // serialized: there is one log file, so device records stay in LSN order
+  // and the durable prefix is well defined.
+  std::lock_guard<std::mutex> io_lock(write_io_mu_);
+  if (crashed_.load(std::memory_order_acquire)) {
+    return LogStatus::kCrashed;
+  }
+  std::vector<LogRecord> batch;
   uint64_t to_write = 0;
-  uint64_t batch_end = 0;
   {
     std::lock_guard<vprof::Mutex> lock(mu_);
+    batch.swap(buffer_records_);
     to_write = pending_bytes_;
     pending_bytes_ = 0;
-    batch_end = next_lsn_.load(std::memory_order_acquire) - 1;
   }
+  const uint64_t batch_end =
+      batch.empty() ? written_lsn_.load(std::memory_order_acquire)
+                    : batch.back().end_lsn;
+
+  auto restore_batch = [&] {
+    std::lock_guard<vprof::Mutex> lock(mu_);
+    buffer_records_.insert(buffer_records_.begin(), batch.begin(), batch.end());
+    pending_bytes_ += to_write;
+  };
+
+  if (fault::Triggered(kFpCrashBeforeWrite)) [[unlikely]] {
+    restore_batch();  // dies in the buffer; Crash() accounts it as lost
+    CrashLocked(crash_seed_.load(std::memory_order_relaxed));
+    return LogStatus::kCrashed;
+  }
+
   if (to_write > 0) {
-    disk_->Write(((to_write + kLogBlockBytes - 1) / kLogBlockBytes) *
-                 kLogBlockBytes);
+    const simio::IoResult w = disk_->Write(RoundToBlocks(to_write));
+    if (!w.ok()) {
+      restore_batch();  // nothing reached the device; the caller may retry
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.io_errors;
+      return LogStatus::kIoError;
+    }
+    AppendBatchToDevice(batch, std::min<uint64_t>(w.bytes, to_write));
   }
   written_lsn_.store(batch_end, std::memory_order_release);
+
+  if (fault::Triggered(kFpCrashAfterWrite)) [[unlikely]] {
+    CrashLocked(crash_seed_.load(std::memory_order_relaxed));
+    return LogStatus::kCrashed;
+  }
+
+  if (!do_fsync) {
+    return LogStatus::kOk;
+  }
   {
     VPROF_FUNC("fil_flush");
-    disk_->Fsync();
+    const simio::IoResult s = disk_->Fsync();
+    if (!s.ok()) {
+      // Records are on the device but not stable; they stay at risk until a
+      // later fsync succeeds.
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.io_errors;
+      return LogStatus::kIoError;
+    }
   }
+  durable_records_ = device_records_.size();
   flushed_lsn_.store(batch_end, std::memory_order_release);
+
+  if (fault::Triggered(kFpCrashAfterFsync)) [[unlikely]] {
+    // The batch is already durable; the caller just never hears the ack.
+    CrashLocked(crash_seed_.load(std::memory_order_relaxed));
+    return LogStatus::kCrashed;
+  }
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     if (background) {
@@ -61,44 +161,41 @@ void RedoLog::WriteAndFlush(uint64_t target_lsn, bool background) {
       ++stats_.leader_flushes;
     }
   }
-  (void)target_lsn;
+  return LogStatus::kOk;
 }
 
-void RedoLog::CommitUpTo(uint64_t lsn) {
+LogStatus RedoLog::CommitUpTo(uint64_t lsn) {
   VPROF_FUNC("log_write_up_to");
+  if (crashed_.load(std::memory_order_acquire)) {
+    return LogStatus::kCrashed;
+  }
   switch (policy_) {
     case FlushPolicy::kLazyWrite:
       // Nothing on the commit path; the flusher writes and syncs.
-      return;
-    case FlushPolicy::kLazyFlush: {
+      return LogStatus::kOk;
+    case FlushPolicy::kLazyFlush:
       // Write (cheap) on the commit path, defer the fsync.
-      uint64_t to_write = 0;
-      uint64_t batch_end = 0;
-      {
-        std::lock_guard<vprof::Mutex> lock(mu_);
-        to_write = pending_bytes_;
-        pending_bytes_ = 0;
-        batch_end = next_lsn_.load(std::memory_order_acquire) - 1;
-      }
-      if (to_write > 0) {
-        disk_->Write(((to_write + kLogBlockBytes - 1) / kLogBlockBytes) *
-                     kLogBlockBytes);
-        written_lsn_.store(batch_end, std::memory_order_release);
-      }
-      return;
-    }
+      return WriteAndMaybeFlush(/*do_fsync=*/false, /*background=*/false);
     case FlushPolicy::kEager:
       break;
   }
 
   // Eager group commit: one leader flushes per batch; followers wait until
-  // their LSN is durable.
+  // their LSN is durable. kOk here is the durability acknowledgment.
   while (flushed_lsn_.load(std::memory_order_acquire) < lsn) {
+    if (crashed_.load(std::memory_order_acquire)) {
+      return LogStatus::kCrashed;
+    }
+    if (lsn >= next_lsn_.load(std::memory_order_acquire)) {
+      // No such record: it was appended before a crash and lost. The caller
+      // must treat the transaction as failed.
+      return LogStatus::kCrashed;
+    }
     bool leader = false;
     {
       std::lock_guard<vprof::Mutex> lock(mu_);
       if (flushed_lsn_.load(std::memory_order_acquire) >= lsn) {
-        return;
+        return LogStatus::kOk;
       }
       if (!flush_in_progress_) {
         flush_in_progress_ = true;
@@ -106,12 +203,16 @@ void RedoLog::CommitUpTo(uint64_t lsn) {
       }
     }
     if (leader) {
-      WriteAndFlush(lsn, /*background=*/false);
+      const LogStatus status =
+          WriteAndMaybeFlush(/*do_fsync=*/true, /*background=*/false);
       {
         std::lock_guard<vprof::Mutex> lock(mu_);
         flush_in_progress_ = false;
       }
       flushed_cv_.NotifyAll();
+      if (status != LogStatus::kOk) {
+        return status;
+      }
     } else {
       {
         std::lock_guard<std::mutex> stats_lock(stats_mu_);
@@ -119,11 +220,87 @@ void RedoLog::CommitUpTo(uint64_t lsn) {
       }
       std::lock_guard<vprof::Mutex> lock(mu_);
       if (flush_in_progress_ &&
-          flushed_lsn_.load(std::memory_order_acquire) < lsn) {
+          flushed_lsn_.load(std::memory_order_acquire) < lsn &&
+          !crashed_.load(std::memory_order_acquire)) {
         flushed_cv_.WaitFor(mu_, 100LL * 1000 * 1000);
       }
     }
   }
+  return LogStatus::kOk;
+}
+
+void RedoLog::Crash(uint64_t seed) {
+  std::lock_guard<std::mutex> io_lock(write_io_mu_);
+  if (crashed_.load(std::memory_order_acquire)) {
+    return;
+  }
+  CrashLocked(seed);
+}
+
+void RedoLog::CrashLocked(uint64_t seed) {
+  uint64_t lost = 0;
+  {
+    std::lock_guard<vprof::Mutex> lock(mu_);
+    crashed_.store(true, std::memory_order_release);
+    lost = buffer_records_.size();
+    buffer_records_.clear();
+    pending_bytes_ = 0;
+  }
+  // The written-but-unsynced tail survives only partially: a seeded-random
+  // count of records made it intact, the next one may be torn mid-record,
+  // the rest never left the device cache.
+  const size_t at_risk = device_records_.size() - durable_records_;
+  if (at_risk > 0) {
+    statkit::Rng rng(seed);
+    const uint64_t keep = rng.NextBelow(at_risk + 1);
+    if (keep < at_risk) {
+      device_records_[durable_records_ + keep].checksum ^= kTornChecksumMask;
+      lost += at_risk - keep - 1;
+      device_records_.resize(durable_records_ + keep + 1);
+    }
+  }
+  crash_lost_records_ += lost;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.crashes;
+  }
+  // Wake eager followers so they observe crashed_ instead of timing out.
+  flushed_cv_.NotifyAll();
+}
+
+RecoveryResult RedoLog::Recover() {
+  std::lock_guard<std::mutex> io_lock(write_io_mu_);
+  RecoveryResult result;
+  if (!crashed_.load(std::memory_order_acquire)) {
+    result.recovered_lsn = flushed_lsn_.load(std::memory_order_acquire);
+    result.records_recovered = device_records_.size();
+    return result;
+  }
+  size_t good = 0;
+  for (const LogRecord& rec : device_records_) {
+    if (rec.checksum != LogRecordChecksum(rec.end_lsn, rec.bytes)) {
+      break;  // torn tail starts here
+    }
+    result.recovered_lsn = rec.end_lsn;
+    ++good;
+  }
+  result.torn_truncated = device_records_.size() - good;
+  result.records_recovered = good;
+  result.records_lost = crash_lost_records_ + result.torn_truncated;
+  device_records_.resize(good);
+  durable_records_ = good;
+  crash_lost_records_ = 0;
+  {
+    std::lock_guard<vprof::Mutex> lock(mu_);
+    buffer_records_.clear();
+    pending_bytes_ = 0;
+    flush_in_progress_ = false;
+    next_lsn_.store(result.recovered_lsn + 1, std::memory_order_release);
+    written_lsn_.store(result.recovered_lsn, std::memory_order_release);
+    flushed_lsn_.store(result.recovered_lsn, std::memory_order_release);
+    crashed_.store(false, std::memory_order_release);
+  }
+  return result;
 }
 
 void RedoLog::FlusherLoop() {
@@ -138,11 +315,24 @@ void RedoLog::FlusherLoop() {
     if (stop_.load(std::memory_order_acquire)) {
       return;
     }
+    if (crashed_.load(std::memory_order_acquire)) {
+      continue;  // idle until Recover()
+    }
     const uint64_t target = next_lsn_.load(std::memory_order_acquire) - 1;
     if (flushed_lsn_.load(std::memory_order_acquire) < target) {
-      WriteAndFlush(target, /*background=*/true);
+      WriteAndMaybeFlush(/*do_fsync=*/true, /*background=*/true);
     }
   }
+}
+
+size_t RedoLog::device_record_count() const {
+  std::lock_guard<std::mutex> io_lock(write_io_mu_);
+  return device_records_.size();
+}
+
+size_t RedoLog::durable_record_count() const {
+  std::lock_guard<std::mutex> io_lock(write_io_mu_);
+  return durable_records_;
 }
 
 RedoLogStats RedoLog::stats() const {

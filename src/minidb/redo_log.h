@@ -8,12 +8,24 @@
 //   kLazyFlush: commits write the log buffer but leave the fsync to the
 //               background flusher thread (risking recent commits on crash).
 //   kLazyWrite: commits return immediately; the flusher writes and syncs.
+//
+// Fault model: every record carries a checksum, and the log can Crash() and
+// Recover(). A crash (explicit, or injected via the commit-path failpoints
+// "redo/crash_before_write", "redo/crash_after_write",
+// "redo/crash_after_fsync") freezes the log: buffered records are lost, and
+// the written-but-unsynced tail survives only as a seeded-random prefix whose
+// last record may be torn (bad checksum). Recover() scans the device image,
+// truncates at the first checksum mismatch, and re-opens the log at the
+// recovered LSN. Durability contract per policy: under kEager an
+// acknowledged CommitUpTo(lsn) == kOk is never lost; under the lazy policies
+// at most the records since the last background flush are lost.
 #ifndef SRC_MINIDB_REDO_LOG_H_
 #define SRC_MINIDB_REDO_LOG_H_
 
 #include <atomic>
 #include <cstdint>
 #include <thread>
+#include <vector>
 
 #include "src/minidb/config.h"
 #include "src/simio/disk.h"
@@ -26,6 +38,33 @@ struct RedoLogStats {
   uint64_t commit_waits = 0;   // commits that waited for another's flush
   uint64_t leader_flushes = 0;
   uint64_t background_flushes = 0;
+  uint64_t io_errors = 0;      // disk errors surfaced on the flush path
+  uint64_t crashes = 0;
+};
+
+// Outcome of a durability request.
+enum class LogStatus : uint8_t {
+  kOk,       // durable per the active policy
+  kIoError,  // the log device failed the write or fsync; retryable
+  kCrashed,  // the log crashed; Recover() required
+};
+
+// One log record as recovery sees it.
+struct LogRecord {
+  uint64_t end_lsn = 0;  // LSN of the record's last byte
+  uint64_t bytes = 0;
+  uint32_t checksum = 0;
+};
+
+// Checksum over a record's header fields; recovery verifies it to detect
+// torn tails.
+uint32_t LogRecordChecksum(uint64_t end_lsn, uint64_t bytes);
+
+struct RecoveryResult {
+  uint64_t recovered_lsn = 0;        // log tail after truncation
+  uint64_t records_recovered = 0;    // records that passed checksum
+  uint64_t torn_truncated = 0;       // device-tail records dropped by checksum
+  uint64_t records_lost = 0;         // records that never survived the crash
 };
 
 class RedoLog {
@@ -37,23 +76,53 @@ class RedoLog {
   RedoLog& operator=(const RedoLog&) = delete;
 
   // Appends `bytes` of redo to the log buffer; returns the record's LSN.
+  // Returns 0 (no record) while the log is crashed.
   uint64_t Append(uint64_t bytes);
 
   // Makes the log durable up to `lsn` according to the policy
-  // (log_write_up_to). Blocks only under kEager.
-  void CommitUpTo(uint64_t lsn);
+  // (log_write_up_to). Blocks only under kEager. kOk from the eager policy
+  // is the durability acknowledgment the recovery invariants protect.
+  LogStatus CommitUpTo(uint64_t lsn);
+
+  // Simulates a process/device crash: freezes the log (subsequent Append
+  // returns 0 and CommitUpTo returns kCrashed), drops buffered records, and
+  // keeps only a `seed`-deterministic prefix of the written-but-unsynced
+  // tail, possibly ending in a torn (bad-checksum) record.
+  void Crash(uint64_t seed);
+
+  // Replays the device image: verifies checksums, truncates the torn tail,
+  // and re-opens the log at the recovered LSN. Requires crashed().
+  RecoveryResult Recover();
+
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  // Seed for crashes injected via the redo/crash_* failpoints.
+  void set_crash_seed(uint64_t seed) {
+    crash_seed_.store(seed, std::memory_order_relaxed);
+  }
 
   uint64_t flushed_lsn() const { return flushed_lsn_.load(std::memory_order_acquire); }
   uint64_t written_lsn() const { return written_lsn_.load(std::memory_order_acquire); }
   uint64_t next_lsn() const { return next_lsn_.load(std::memory_order_acquire); }
 
+  // Device-image introspection for recovery tests.
+  size_t device_record_count() const;
+  size_t durable_record_count() const;
+
   RedoLogStats stats() const;
 
  private:
   void FlusherLoop();
-  // Writes pending bytes and fsyncs up to `target_lsn`; called with mu_ NOT
-  // held. Returns after flushed_lsn_ >= target_lsn.
-  void WriteAndFlush(uint64_t target_lsn, bool background);
+  // Writes the pending batch and (optionally) fsyncs. Serialized on
+  // write_io_mu_ so device records land in LSN order. Called with mu_ NOT
+  // held.
+  LogStatus WriteAndMaybeFlush(bool do_fsync, bool background);
+  // Appends the batch to the device image, tearing the record that crosses
+  // `intact_bytes` (short write). Requires write_io_mu_ held.
+  void AppendBatchToDevice(const std::vector<LogRecord>& batch,
+                           uint64_t intact_bytes);
+  // Crash bookkeeping; requires write_io_mu_ held.
+  void CrashLocked(uint64_t seed);
 
   const FlushPolicy policy_;
   simio::Disk* disk_;
@@ -65,7 +134,18 @@ class RedoLog {
   std::atomic<uint64_t> written_lsn_{0};
   std::atomic<uint64_t> flushed_lsn_{0};
   uint64_t pending_bytes_ = 0;  // bytes appended but not yet written
+  std::vector<LogRecord> buffer_records_;  // guarded by mu_
   bool flush_in_progress_ = false;
+
+  // Serializes the write+fsync path (one log file) and guards the device
+  // image below.
+  mutable std::mutex write_io_mu_;
+  std::vector<LogRecord> device_records_;
+  size_t durable_records_ = 0;    // prefix of device_records_ fsync'd
+  uint64_t crash_lost_records_ = 0;
+
+  std::atomic<bool> crashed_{false};
+  std::atomic<uint64_t> crash_seed_{0x5EED5EEDull};
 
   mutable std::mutex stats_mu_;
   RedoLogStats stats_;

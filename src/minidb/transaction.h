@@ -8,6 +8,22 @@
 
 namespace minidb {
 
+// Why a transaction failed. Lock timeouts, deadlocks and I/O errors are
+// transient — the client may retry the transaction; a crashed log needs
+// recovery first.
+enum class TxnError : uint8_t {
+  kNone,
+  kLockTimeout,
+  kDeadlock,
+  kIoError,      // log device failed the write/fsync
+  kLogCrashed,   // redo log is down until Recover()
+};
+
+inline bool IsRetryable(TxnError error) {
+  return error == TxnError::kLockTimeout || error == TxnError::kDeadlock ||
+         error == TxnError::kIoError;
+}
+
 class Transaction {
  public:
   Transaction(uint64_t id, int64_t start_ts) : id_(id), start_ts_(start_ts) {}
@@ -25,11 +41,15 @@ class Transaction {
   void MarkAborted() { aborted_ = true; }
   bool aborted() const { return aborted_; }
 
+  void set_error(TxnError error) { error_ = error; }
+  TxnError error() const { return error_; }
+
  private:
   uint64_t id_;
   int64_t start_ts_;
   std::vector<uint64_t> lock_set_;
   bool aborted_ = false;
+  TxnError error_ = TxnError::kNone;
 };
 
 }  // namespace minidb

@@ -73,18 +73,23 @@ std::unique_ptr<PlanNode> PgEngine::BuildPlan(const minidb::TxnRequest& request,
   return PlanNode::Make(PlanNodeType::kSeqScan, 1, kStockBase);
 }
 
-void PgEngine::CommitTransaction(ExecContext* context) {
+bool PgEngine::CommitTransaction(ExecContext* context) {
   VPROF_FUNC("CommitTransaction");
   if (context->wal_bytes > 0) {
     // Insert a commit record and flush up to it. A transaction logs to one
     // unit, chosen by current waiter counts (distributed logging).
     const Wal::Position position = wal_.Insert(context->wal_bytes + 32);
-    wal_.Flush(position);
+    if (position.lsn == 0 || wal_.Flush(position) != WalStatus::kOk) {
+      // Crashed or erroring WAL: the transaction is not durable.
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
   }
   if (config_.serializable) {
     predicate_locks_.ReleaseAll(context->txn_id, context->read_objects);
   }
   committed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 bool PgEngine::Execute(const minidb::TxnRequest& request) {
@@ -101,12 +106,12 @@ bool PgEngine::Execute(const minidb::TxnRequest& request) {
 
   const std::unique_ptr<PlanNode> plan = BuildPlan(request, rng);
   executor_.ExecProcNode(*plan, &context);
-  CommitTransaction(&context);
+  const bool committed = CommitTransaction(&context);
 
   if (!enclosed) {
     vprof::EndInterval(sid);
   }
-  return true;
+  return committed;
 }
 
 void PgEngine::RegisterCallGraph(vprof::CallGraph* graph) {

@@ -57,11 +57,15 @@ class PgEngine {
   uint64_t committed_count() const {
     return committed_.load(std::memory_order_relaxed);
   }
+  uint64_t aborted_count() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::unique_ptr<PlanNode> BuildPlan(const minidb::TxnRequest& request,
                                       statkit::Rng& rng) const;
-  void CommitTransaction(ExecContext* context);
+  // Returns false when the WAL refuses the commit (crash or I/O error).
+  bool CommitTransaction(ExecContext* context);
 
   PgConfig config_;
   Wal wal_;
@@ -69,6 +73,7 @@ class PgEngine {
   Executor executor_;
   std::atomic<uint64_t> next_txn_id_{1};
   std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
 };
 
 }  // namespace minipg

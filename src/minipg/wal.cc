@@ -1,30 +1,61 @@
 #include "src/minipg/wal.h"
 
 #include <algorithm>
+#include <string>
 
+#include "src/fault/failpoint.h"
+#include "src/statkit/rng.h"
 #include "src/vprof/probe.h"
 
 namespace minipg {
 
 namespace {
 constexpr uint64_t kWalBlockBytes = 8192;
+constexpr uint32_t kTornChecksumMask = 0xA5A5A5A5u;
+
+constexpr const char kFpCrashBeforeWrite[] = "wal/crash_before_write";
+constexpr const char kFpCrashAfterWrite[] = "wal/crash_after_write";
+constexpr const char kFpCrashAfterFsync[] = "wal/crash_after_fsync";
+
+uint64_t RoundToBlocks(uint64_t bytes) {
+  return ((bytes + kWalBlockBytes - 1) / kWalBlockBytes) * kWalBlockBytes;
+}
 }  // namespace
+
+uint32_t WalRecordChecksum(uint64_t end_lsn, uint64_t bytes) {
+  // FNV-1a over the two header fields.
+  uint64_t h = 1469598103934665603ull;
+  h = (h ^ end_lsn) * 1099511628211ull;
+  h = (h ^ bytes) * 1099511628211ull;
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
 
 WalUnit::WalUnit(const simio::DiskConfig& disk_config) : disk_(disk_config) {}
 
 uint64_t WalUnit::Insert(uint64_t bytes) {
   VPROF_FUNC("XLogInsert");
-  pending_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(records_mu_);
+  if (crashed_.load(std::memory_order_acquire)) {
+    return 0;
+  }
+  pending_bytes_ += bytes;
+  const uint64_t end_lsn =
+      next_lsn_.fetch_add(bytes, std::memory_order_acq_rel) + bytes - 1;
+  buffer_records_.push_back(
+      WalRecord{end_lsn, bytes, WalRecordChecksum(end_lsn, bytes)});
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.inserts;
   }
-  return next_lsn_.fetch_add(bytes, std::memory_order_acq_rel) + bytes - 1;
+  return end_lsn;
 }
 
 bool WalUnit::AcquireOrWait(uint64_t lsn) {
   VPROF_FUNC("LWLockAcquireOrWait");
   std::lock_guard<vprof::Mutex> lock(mu_);
+  if (crashed_.load(std::memory_order_acquire)) {
+    return false;  // caller re-checks and observes the crash
+  }
   if (!write_lock_held_) {
     write_lock_held_ = true;
     return true;
@@ -37,11 +68,12 @@ bool WalUnit::AcquireOrWait(uint64_t lsn) {
     ++stats_.flush_waits;
   }
   while (write_lock_held_ &&
-         flushed_lsn_.load(std::memory_order_acquire) < lsn) {
+         flushed_lsn_.load(std::memory_order_acquire) < lsn &&
+         !crashed_.load(std::memory_order_acquire)) {
     released_cv_.WaitFor(mu_, 50LL * 1000 * 1000);
   }
   waiters_.fetch_sub(1, std::memory_order_relaxed);
-  if (!write_lock_held_ &&
+  if (!write_lock_held_ && !crashed_.load(std::memory_order_acquire) &&
       flushed_lsn_.load(std::memory_order_acquire) < lsn) {
     // Lock free and our data still not durable: take it.
     write_lock_held_ = true;
@@ -58,34 +90,222 @@ void WalUnit::ReleaseAndWake() {
   released_cv_.NotifyAll();
 }
 
-void WalUnit::Flush(uint64_t lsn) {
+void WalUnit::AppendBatchToDevice(const std::vector<WalRecord>& batch,
+                                  uint64_t intact_bytes) {
+  // Records wholly within the transferred prefix land intact; the record
+  // crossing the tear point lands with a bad checksum; anything beyond it
+  // never reached the device.
+  uint64_t offset = 0;
+  for (const WalRecord& rec : batch) {
+    if (offset + rec.bytes <= intact_bytes) {
+      device_records_.push_back(rec);
+    } else if (offset < intact_bytes) {
+      WalRecord torn = rec;
+      torn.checksum ^= kTornChecksumMask;
+      device_records_.push_back(torn);
+      break;
+    } else {
+      break;
+    }
+    offset += rec.bytes;
+  }
+}
+
+WalStatus WalUnit::WriteAndSync() {
+  // Called with the write lock held: flushers are serialized, so device
+  // records land in LSN order and the durable prefix is well defined.
+  std::vector<WalRecord> batch;
+  uint64_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(records_mu_);
+    batch.swap(buffer_records_);
+    bytes = pending_bytes_;
+    pending_bytes_ = 0;
+  }
+  const uint64_t target = batch.empty()
+                              ? flushed_lsn_.load(std::memory_order_acquire)
+                              : batch.back().end_lsn;
+
+  auto restore_batch = [&] {
+    std::lock_guard<std::mutex> lock(records_mu_);
+    buffer_records_.insert(buffer_records_.begin(), batch.begin(), batch.end());
+    pending_bytes_ += bytes;
+  };
+
+  if (fault::Triggered(kFpCrashBeforeWrite)) [[unlikely]] {
+    restore_batch();  // dies in the buffer; Crash() accounts it as lost
+    CrashInternal(crash_seed_.load(std::memory_order_relaxed));
+    return WalStatus::kCrashed;
+  }
+
+  {
+    VPROF_FUNC("issue_xlog_fsync");
+    if (bytes > 0) {
+      const simio::IoResult w = disk_.Write(RoundToBlocks(bytes));
+      if (!w.ok()) {
+        restore_batch();
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.io_errors;
+        return WalStatus::kIoError;
+      }
+      {
+        std::lock_guard<std::mutex> lock(device_mu_);
+        if (crashed_.load(std::memory_order_acquire)) {
+          // Crashed mid-write: the batch vanished with the device cache.
+          crash_lost_records_ += batch.size();
+          return WalStatus::kCrashed;
+        }
+        AppendBatchToDevice(batch, std::min<uint64_t>(w.bytes, bytes));
+      }
+    }
+    if (fault::Triggered(kFpCrashAfterWrite)) [[unlikely]] {
+      CrashInternal(crash_seed_.load(std::memory_order_relaxed));
+      return WalStatus::kCrashed;
+    }
+    const simio::IoResult s = disk_.Fsync();
+    if (!s.ok()) {
+      // Records are on the device but not stable; at risk until a later
+      // fsync succeeds.
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.io_errors;
+      return WalStatus::kIoError;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(device_mu_);
+    if (crashed_.load(std::memory_order_acquire)) {
+      return WalStatus::kCrashed;
+    }
+    durable_records_ = device_records_.size();
+  }
+  flushed_lsn_.store(target, std::memory_order_release);
+
+  if (fault::Triggered(kFpCrashAfterFsync)) [[unlikely]] {
+    // The batch is already durable; the caller just never hears the ack.
+    CrashInternal(crash_seed_.load(std::memory_order_relaxed));
+    return WalStatus::kCrashed;
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.flushes_performed;
+  }
+  return WalStatus::kOk;
+}
+
+WalStatus WalUnit::Flush(uint64_t lsn) {
   VPROF_FUNC("XLogFlush");
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.flush_calls;
   }
   while (flushed_lsn_.load(std::memory_order_acquire) < lsn) {
+    if (crashed_.load(std::memory_order_acquire)) {
+      return WalStatus::kCrashed;
+    }
+    if (lsn >= next_lsn_.load(std::memory_order_acquire)) {
+      // No such record: it was reserved before a crash and lost. The caller
+      // must treat the transaction as failed.
+      return WalStatus::kCrashed;
+    }
     if (!AcquireOrWait(lsn)) {
       continue;  // re-check the flushed position
     }
     // We hold the write lock: write out everything inserted so far.
-    const uint64_t target = next_lsn_.load(std::memory_order_acquire) - 1;
-    const uint64_t bytes = pending_bytes_.exchange(0, std::memory_order_acq_rel);
-    {
-      VPROF_FUNC("issue_xlog_fsync");
-      if (bytes > 0) {
-        disk_.Write(((bytes + kWalBlockBytes - 1) / kWalBlockBytes) *
-                    kWalBlockBytes);
-      }
-      disk_.Fsync();
-    }
-    flushed_lsn_.store(target, std::memory_order_release);
-    {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.flushes_performed;
-    }
+    const WalStatus status = WriteAndSync();
     ReleaseAndWake();
+    if (status != WalStatus::kOk) {
+      return status;
+    }
   }
+  return WalStatus::kOk;
+}
+
+void WalUnit::Crash(uint64_t seed) {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return;
+  }
+  CrashInternal(seed);
+}
+
+void WalUnit::CrashInternal(uint64_t seed) {
+  uint64_t lost = 0;
+  {
+    std::lock_guard<std::mutex> lock(records_mu_);
+    crashed_.store(true, std::memory_order_release);
+    lost = buffer_records_.size();
+    buffer_records_.clear();
+    pending_bytes_ = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(device_mu_);
+    const size_t at_risk = device_records_.size() - durable_records_;
+    if (at_risk > 0) {
+      statkit::Rng rng(seed);
+      const uint64_t keep = rng.NextBelow(at_risk + 1);
+      if (keep < at_risk) {
+        device_records_[durable_records_ + keep].checksum ^= kTornChecksumMask;
+        lost += at_risk - keep - 1;
+        device_records_.resize(durable_records_ + keep + 1);
+      }
+    }
+    crash_lost_records_ += lost;
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.crashes;
+  }
+  // Wake backends sleeping in AcquireOrWait so they observe the crash.
+  released_cv_.NotifyAll();
+}
+
+WalRecoveryResult WalUnit::Recover() {
+  WalRecoveryResult result;
+  if (!crashed_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(device_mu_);
+    result.recovered_lsn = flushed_lsn_.load(std::memory_order_acquire);
+    result.records_recovered = device_records_.size();
+    return result;
+  }
+  {
+    std::lock_guard<std::mutex> lock(device_mu_);
+    size_t good = 0;
+    for (const WalRecord& rec : device_records_) {
+      if (rec.checksum != WalRecordChecksum(rec.end_lsn, rec.bytes)) {
+        break;  // torn tail starts here
+      }
+      result.recovered_lsn = rec.end_lsn;
+      ++good;
+    }
+    result.torn_truncated = device_records_.size() - good;
+    result.records_recovered = good;
+    result.records_lost = crash_lost_records_ + result.torn_truncated;
+    device_records_.resize(good);
+    durable_records_ = good;
+    crash_lost_records_ = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(records_mu_);
+    buffer_records_.clear();
+    pending_bytes_ = 0;
+    next_lsn_.store(result.recovered_lsn + 1, std::memory_order_release);
+    flushed_lsn_.store(result.recovered_lsn, std::memory_order_release);
+  }
+  {
+    std::lock_guard<vprof::Mutex> lock(mu_);
+    write_lock_held_ = false;
+  }
+  crashed_.store(false, std::memory_order_release);
+  return result;
+}
+
+size_t WalUnit::device_record_count() const {
+  std::lock_guard<std::mutex> lock(device_mu_);
+  return device_records_.size();
+}
+
+size_t WalUnit::durable_record_count() const {
+  std::lock_guard<std::mutex> lock(device_mu_);
+  return durable_records_;
 }
 
 WalStats WalUnit::stats() const {
@@ -97,6 +317,7 @@ Wal::Wal(int units, const simio::DiskConfig& disk_config) {
   for (int i = 0; i < std::max(1, units); ++i) {
     simio::DiskConfig config = disk_config;
     config.seed = disk_config.seed + static_cast<uint64_t>(i) * 7919;
+    config.fault_scope = disk_config.fault_scope + "." + std::to_string(i);
     units_.push_back(std::make_unique<WalUnit>(config));
   }
 }
@@ -121,8 +342,23 @@ Wal::Position Wal::InsertAt(int unit, uint64_t bytes) {
   return position;
 }
 
-void Wal::Flush(const Position& position) {
-  units_[static_cast<size_t>(position.unit)]->Flush(position.lsn);
+WalStatus Wal::Flush(const Position& position) {
+  return units_[static_cast<size_t>(position.unit)]->Flush(position.lsn);
+}
+
+void Wal::CrashAll(uint64_t seed) {
+  for (int i = 0; i < unit_count(); ++i) {
+    units_[static_cast<size_t>(i)]->Crash(seed + static_cast<uint64_t>(i));
+  }
+}
+
+std::vector<WalRecoveryResult> Wal::RecoverAll() {
+  std::vector<WalRecoveryResult> results;
+  results.reserve(units_.size());
+  for (auto& unit : units_) {
+    results.push_back(unit->Recover());
+  }
+  return results;
 }
 
 }  // namespace minipg

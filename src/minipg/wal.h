@@ -7,12 +7,23 @@
 // LWLockAcquireOrWait through exactly this call site; the paper's fix
 // (Figure 4 right) is distributed logging across two disks, implemented here
 // as multiple WalUnits with waiter-count-based placement.
+//
+// Fault model (mirrors minidb::RedoLog): every record carries a checksum and
+// each unit can Crash() and Recover(). A crash — explicit or injected via the
+// flush-path failpoints "wal/crash_before_write", "wal/crash_after_write",
+// "wal/crash_after_fsync" — loses buffered records and keeps only a
+// seeded-random prefix of the written-but-unsynced tail, possibly ending in a
+// torn (bad checksum) record that Recover() truncates. Because XLogFlush is
+// always synchronous, a Flush() that returned kOk is never lost. Each unit's
+// disk gets failpoint scope "<base>.<unit>" so one log device can be faulted
+// independently.
 #ifndef SRC_MINIPG_WAL_H_
 #define SRC_MINIPG_WAL_H_
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/simio/disk.h"
@@ -25,6 +36,31 @@ struct WalStats {
   uint64_t flush_calls = 0;
   uint64_t flushes_performed = 0;  // times a backend actually held the lock
   uint64_t flush_waits = 0;        // times a backend slept on the write lock
+  uint64_t io_errors = 0;          // disk errors surfaced on the flush path
+  uint64_t crashes = 0;
+};
+
+// Outcome of a flush request.
+enum class WalStatus : uint8_t {
+  kOk,       // durable
+  kIoError,  // the log device failed the write or fsync; retryable
+  kCrashed,  // this unit crashed; Recover() required
+};
+
+// One WAL record as recovery sees it.
+struct WalRecord {
+  uint64_t end_lsn = 0;
+  uint64_t bytes = 0;
+  uint32_t checksum = 0;
+};
+
+uint32_t WalRecordChecksum(uint64_t end_lsn, uint64_t bytes);
+
+struct WalRecoveryResult {
+  uint64_t recovered_lsn = 0;
+  uint64_t records_recovered = 0;
+  uint64_t torn_truncated = 0;
+  uint64_t records_lost = 0;
 };
 
 // One log: an insert position, a flushed position, and the write lock.
@@ -32,12 +68,30 @@ class WalUnit {
  public:
   explicit WalUnit(const simio::DiskConfig& disk_config);
 
-  // Reserves log space (XLogInsert); returns the record's end LSN.
+  // Reserves log space (XLogInsert); returns the record's end LSN, or 0
+  // while the unit is crashed.
   uint64_t Insert(uint64_t bytes);
 
   // Makes the log durable up to `lsn` (XLogFlush): acquire-or-wait on the
   // write lock; holders write + fsync a batch, waiters re-check on wakeup.
-  void Flush(uint64_t lsn);
+  // kOk is the durability acknowledgment the recovery invariants protect.
+  WalStatus Flush(uint64_t lsn);
+
+  // Simulates a crash: freezes the unit, drops buffered records, keeps a
+  // seed-deterministic prefix of the written-but-unsynced tail (last record
+  // possibly torn).
+  void Crash(uint64_t seed);
+
+  // Scans the device image, truncates at the first checksum mismatch, and
+  // re-opens the unit at the recovered LSN.
+  WalRecoveryResult Recover();
+
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  // Seed for crashes injected via the wal/crash_* failpoints.
+  void set_crash_seed(uint64_t seed) {
+    crash_seed_.store(seed, std::memory_order_relaxed);
+  }
 
   uint64_t flushed_lsn() const {
     return flushed_lsn_.load(std::memory_order_acquire);
@@ -47,6 +101,10 @@ class WalUnit {
   }
   int waiters() const { return waiters_.load(std::memory_order_relaxed); }
 
+  // Device-image introspection for recovery tests.
+  size_t device_record_count() const;
+  size_t durable_record_count() const;
+
   WalStats stats() const;
   const simio::Disk& disk() const { return disk_; }
 
@@ -55,12 +113,31 @@ class WalUnit {
   // the write lock; false if it slept and should re-check flushed_lsn.
   bool AcquireOrWait(uint64_t lsn);
   void ReleaseAndWake();
+  // The batch write + fsync, called with the write lock held (the lock is
+  // what serializes flushers, so device records land in LSN order).
+  WalStatus WriteAndSync();
+  // Appends the batch to the device image, tearing the record that crosses
+  // `intact_bytes`. Requires device_mu_ held.
+  void AppendBatchToDevice(const std::vector<WalRecord>& batch,
+                           uint64_t intact_bytes);
+  void CrashInternal(uint64_t seed);
 
   simio::Disk disk_;
   std::atomic<uint64_t> next_lsn_{1};
   std::atomic<uint64_t> flushed_lsn_{0};
-  std::atomic<uint64_t> pending_bytes_{0};
   std::atomic<int> waiters_{0};
+
+  std::mutex records_mu_;  // guards the insert buffer
+  uint64_t pending_bytes_ = 0;
+  std::vector<WalRecord> buffer_records_;
+
+  mutable std::mutex device_mu_;  // guards the device image
+  std::vector<WalRecord> device_records_;
+  size_t durable_records_ = 0;
+  uint64_t crash_lost_records_ = 0;
+
+  std::atomic<bool> crashed_{false};
+  std::atomic<uint64_t> crash_seed_{0x5EED5EEDull};
 
   vprof::Mutex mu_;
   vprof::CondVar released_cv_;
@@ -87,7 +164,11 @@ class Wal {
   // Inserts into a specific unit (follow-up records of the same txn).
   Position InsertAt(int unit, uint64_t bytes);
 
-  void Flush(const Position& position);
+  WalStatus Flush(const Position& position);
+
+  // Crashes / recovers every unit (unit i crashes with seed + i).
+  void CrashAll(uint64_t seed);
+  std::vector<WalRecoveryResult> RecoverAll();
 
   int unit_count() const { return static_cast<int>(units_.size()); }
   WalUnit& unit(int i) { return *units_[static_cast<size_t>(i)]; }

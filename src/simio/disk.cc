@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "src/fault/failpoint.h"
 #include "src/statkit/distributions.h"
 
 namespace simio {
@@ -15,7 +16,14 @@ void SleepUs(double us) {
       std::chrono::nanoseconds(static_cast<int64_t>(us * 1000.0)));
 }
 
-Disk::Disk(const DiskConfig& config) : config_(config), rng_(config.seed) {}
+Disk::Disk(const DiskConfig& config)
+    : config_(config),
+      fp_read_error_(config.fault_scope + "/read_error"),
+      fp_write_error_(config.fault_scope + "/write_error"),
+      fp_fsync_error_(config.fault_scope + "/fsync_error"),
+      fp_torn_write_(config.fault_scope + "/torn_write"),
+      fp_stall_(config.fault_scope + "/stall"),
+      rng_(config.seed) {}
 
 double Disk::SampleServiceUs(double mu, double sigma, uint64_t bytes) {
   std::lock_guard<std::mutex> lock(rng_mu_);
@@ -33,18 +41,56 @@ void Disk::Service(double service_us) {
   }
 }
 
-void Disk::Read(uint64_t bytes) {
+double Disk::StallUs() {
+  if (fault::Triggered(fp_stall_)) [[unlikely]] {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    return config_.stall_us;
+  }
+  return 0.0;
+}
+
+IoResult Disk::Read(uint64_t bytes) {
   reads_.fetch_add(1, std::memory_order_relaxed);
-  Service(SampleServiceUs(config_.read_mu, config_.read_sigma, bytes));
+  const double stall = StallUs();
+  if (fault::Triggered(fp_read_error_)) [[unlikely]] {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    Service(config_.error_latency_us + stall);
+    return IoResult{IoStatus::kError, 0};
+  }
+  Service(SampleServiceUs(config_.read_mu, config_.read_sigma, bytes) + stall);
+  return IoResult{IoStatus::kOk, bytes};
 }
 
-void Disk::Write(uint64_t bytes) {
+IoResult Disk::Write(uint64_t bytes) {
   writes_.fetch_add(1, std::memory_order_relaxed);
-  Service(SampleServiceUs(config_.write_mu, config_.write_sigma, bytes));
+  const double stall = StallUs();
+  if (fault::Triggered(fp_write_error_)) [[unlikely]] {
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    Service(config_.error_latency_us + stall);
+    return IoResult{IoStatus::kError, 0};
+  }
+  uint64_t transferred = bytes;
+  if (bytes > 0 && fault::Triggered(fp_torn_write_)) [[unlikely]] {
+    // The device accepted only a prefix; which prefix is seed-deterministic.
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    transferred = rng_.NextBelow(bytes);
+    torn_writes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  buffered_bytes_.fetch_add(transferred, std::memory_order_relaxed);
+  Service(SampleServiceUs(config_.write_mu, config_.write_sigma, transferred) +
+          stall);
+  return IoResult{IoStatus::kOk, transferred};
 }
 
-void Disk::Fsync() {
+IoResult Disk::Fsync() {
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  const double stall = StallUs();
+  if (fault::Triggered(fp_fsync_error_)) [[unlikely]] {
+    // The buffer stays dirty: nothing reached stable storage.
+    fsync_errors_.fetch_add(1, std::memory_order_relaxed);
+    Service(config_.error_latency_us + stall);
+    return IoResult{IoStatus::kError, 0};
+  }
   double service = SampleServiceUs(config_.fsync_mu, config_.fsync_sigma, 0);
   {
     std::lock_guard<std::mutex> lock(rng_mu_);
@@ -52,7 +98,19 @@ void Disk::Fsync() {
       service *= config_.fsync_spike_scale;
     }
   }
-  Service(service);
+  const uint64_t flushed = buffered_bytes_.exchange(0, std::memory_order_relaxed);
+  Service(service + stall);
+  return IoResult{IoStatus::kOk, flushed};
+}
+
+DiskFaultStats Disk::fault_stats() const {
+  DiskFaultStats stats;
+  stats.read_errors = read_errors_.load(std::memory_order_relaxed);
+  stats.write_errors = write_errors_.load(std::memory_order_relaxed);
+  stats.fsync_errors = fsync_errors_.load(std::memory_order_relaxed);
+  stats.torn_writes = torn_writes_.load(std::memory_order_relaxed);
+  stats.stalls = stalls_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace simio

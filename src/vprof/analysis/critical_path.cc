@@ -25,14 +25,20 @@ TraceIndex::TraceIndex(const Trace& trace) : trace_(&trace) {
         info.begin_time = e.time;
         info.begin_tid = t.tid;
         info.label = e.label;
+        info.has_begin = true;
       } else {
         info.end_time = e.time;
         info.end_tid = t.tid;
+        info.has_end = true;
       }
     }
   }
+  // Only fully observed intervals are analyzable. Filtering on the event
+  // flags (not on end_time > 0) keeps an end-without-begin orphan — whose
+  // zero-initialized begin_time would misattribute the whole run prefix —
+  // out of the index when the trace is truncated.
   for (auto& [sid, info] : open) {
-    if (info.end_time > 0 && info.end_time >= info.begin_time) {
+    if (info.has_begin && info.has_end && info.end_time >= info.begin_time) {
       intervals_.push_back(info);
     }
   }
@@ -96,10 +102,13 @@ class Walker {
         ProcessSegment(tid, seg, clip_lo, clip_hi, target_thread, depth);
       }
       // Jump across a created-by edge: the target's task began here; the
-      // remaining path continues on the producer thread.
-      if (target_thread && seg.sid == out_->sid &&
-          seg.generator_tid != kNoThread && seg.generator_time >= 0 &&
-          seg.generator_time < clip_lo) {
+      // remaining path continues on the producer thread. Also taken on waker
+      // chains: when the interval ends on the submitting thread, the walk
+      // reaches the worker through the completion wake-up, and the span
+      // between enqueue and the task's first segment is queueing delay, not
+      // execution the worker did for someone else.
+      if (seg.sid == out_->sid && seg.generator_tid != kNoThread &&
+          seg.generator_time >= 0 && seg.generator_time < clip_lo) {
         out_->queue_wait_ns += static_cast<double>(clip_lo - std::max(seg.generator_time, lo));
         Walk(seg.generator_tid, std::max(seg.generator_time, lo), lo, true,
              depth);

@@ -80,12 +80,17 @@ class TraceIndex {
   // All semantic intervals that have both begin and end events, ordered by
   // interval id.
   struct IntervalInfo {
-    IntervalId sid;
-    TimeNs begin_time;
-    TimeNs end_time;
-    ThreadId begin_tid;
-    ThreadId end_tid;
-    IntervalLabel label;
+    IntervalId sid = kNoInterval;
+    TimeNs begin_time = 0;
+    TimeNs end_time = 0;
+    ThreadId begin_tid = kNoThread;
+    ThreadId end_tid = kNoThread;
+    IntervalLabel label = kNoLabel;
+    // Which annotations were actually observed. A truncated trace (arena
+    // cap, quarantined thread) can contain either event alone; only
+    // intervals with both are analyzable.
+    bool has_begin = false;
+    bool has_end = false;
   };
   const std::vector<IntervalInfo>& Intervals() const { return intervals_; }
 

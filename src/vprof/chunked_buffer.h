@@ -28,6 +28,11 @@ class ChunkedBuffer {
  public:
   // Appends a value and returns its stable index.
   size_t Append(const T& value) {
+    if (AtCap()) [[unlikely]] {
+      ++dropped_;
+      scratch_ = value;
+      return size_;  // scratch pseudo-index; never stored in the arena
+    }
     const size_t index = size_;
     T* slot = SlotFor(index);
     *slot = value;
@@ -37,6 +42,11 @@ class ChunkedBuffer {
 
   // Appends a default-constructed record and returns it for in-place fill.
   T* AppendSlot() {
+    if (AtCap()) [[unlikely]] {
+      ++dropped_;
+      scratch_ = T();
+      return &scratch_;
+    }
     T* slot = SlotFor(size_);
     *slot = T();
     ++size_;
@@ -47,6 +57,10 @@ class ChunkedBuffer {
   // runs, so the slot holds stale bytes and the caller must store every
   // field. Hot-path variant for records written in full anyway.
   T* AppendUninit() {
+    if (AtCap()) [[unlikely]] {
+      ++dropped_;
+      return &scratch_;
+    }
     T* slot = SlotFor(size_);
     ++size_;
     return slot;
@@ -62,8 +76,18 @@ class ChunkedBuffer {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  // Optional memory cap: at most `cap` records are retained (0 = unbounded).
+  // Appends past the cap land in a reusable scratch slot — the caller's
+  // pointer stays valid to write through, but the record is dropped and
+  // counted instead of growing the arena.
+  void set_max_records(size_t cap) { max_records_ = cap; }
+  uint64_t dropped() const { return dropped_; }
+
   // Drops all records but keeps the chunks for reuse by the next run.
-  void clear() { size_ = 0; }
+  void clear() {
+    size_ = 0;
+    dropped_ = 0;
+  }
 
   // Stitches the chunks into one contiguous vector.
   void CopyTo(std::vector<T>* out) const {
@@ -102,8 +126,13 @@ class ChunkedBuffer {
     return &chunks_[chunk]->items[index & kMask];
   }
 
+  bool AtCap() const { return max_records_ != 0 && size_ >= max_records_; }
+
   std::vector<std::unique_ptr<Chunk>> chunks_;
   size_t size_ = 0;
+  size_t max_records_ = 0;
+  uint64_t dropped_ = 0;
+  T scratch_{};
 };
 
 }  // namespace vprof

@@ -1,5 +1,8 @@
 #include "src/vprof/runtime.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -20,6 +23,16 @@ std::atomic<bool> g_full_trace{false};
 
 namespace detail {
 std::atomic<bool> g_asymmetric_quiesce{false};
+
+void MaybeWedgeProbe() {
+  if (fault::Triggered("vprof/probe_wedge")) {
+    // Hold the op window (busy_ stays set) until the test disarms the
+    // failpoint, simulating a probe stuck mid-record.
+    while (fault::IsActive("vprof/probe_wedge")) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
 }  // namespace detail
 
 namespace {
@@ -65,6 +78,10 @@ struct RuntimeState {
   uint64_t run_epoch = 0;  // guarded by mu
 };
 
+constexpr TimeNs kDefaultQuiesceTimeoutNs = 250'000'000;  // 250 ms
+std::atomic<TimeNs> g_quiesce_timeout_ns{kDefaultQuiesceTimeoutNs};
+std::atomic<size_t> g_arena_record_cap{0};
+
 RuntimeState& State() {
   static RuntimeState* state = new RuntimeState();
   return *state;
@@ -72,14 +89,31 @@ RuntimeState& State() {
 
 thread_local ThreadState* tls_thread = nullptr;
 
-// Stops recording and drains every in-flight op. Callers hold state.mu, so
-// no new ThreadState can appear while the drain runs.
-void QuiesceLocked(RuntimeState& state) {
+// Stops recording and drains every in-flight op, waiting at most the
+// configured bound per thread. A thread still mid-op after the bound is
+// quarantined — its buffers may be written behind our back, so the control
+// thread must neither read nor reset them. Returns the still-busy threads.
+// Callers hold state.mu, so no new ThreadState can appear during the drain.
+std::vector<ThreadState*> QuiesceLocked(RuntimeState& state) {
   g_tracing.store(false, std::memory_order_seq_cst);
   QuiesceBarrier();
+  const TimeNs bound = g_quiesce_timeout_ns.load(std::memory_order_relaxed);
+  std::vector<ThreadState*> wedged;
   for (auto& thread : state.threads) {
-    thread->WaitQuiescent();
+    if (thread->WaitQuiescentFor(bound)) {
+      continue;
+    }
+    if (!thread->quarantined()) {
+      thread->set_quarantined(true);
+      std::fprintf(stderr,
+                   "vprof: thread %d failed to quiesce within %lld ms; "
+                   "quarantining its records\n",
+                   static_cast<int>(thread->tid()),
+                   static_cast<long long>(bound / 1'000'000));
+    }
+    wedged.push_back(thread.get());
   }
+  return wedged;
 }
 
 }  // namespace
@@ -102,6 +136,10 @@ ThreadState* CurrentThread() {
 void ThreadState::ResetForRun(uint64_t run_epoch) {
   run_epoch_ = run_epoch;
   current_sid_ = kNoInterval;
+  const size_t cap = g_arena_record_cap.load(std::memory_order_relaxed);
+  invocations_.set_max_records(cap);
+  segments_.set_max_records(cap);
+  interval_events_.set_max_records(cap);
   invocations_.clear();
   segments_.clear();
   interval_events_.clear();
@@ -127,6 +165,24 @@ void ThreadState::WaitQuiescent() const {
   }
 }
 
+bool ThreadState::WaitQuiescentFor(TimeNs timeout_ns) const {
+  if (busy_.load(std::memory_order_seq_cst) == 0) {
+    return true;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(timeout_ns);
+  int spins = 0;
+  while (busy_.load(std::memory_order_seq_cst) != 0) {
+    if (++spins > 256) {
+      std::this_thread::yield();
+      if ((spins & 63) == 0 && std::chrono::steady_clock::now() >= deadline) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 void ThreadState::EnsureSegmentOpen(TimeNs now) {
   if (seg_start_ >= 0) {
     return;
@@ -145,11 +201,20 @@ void ThreadState::CloseSegment(TimeNs now) {
   seg->end = now;
   seg->sid = seg_sid_;
   seg->state = seg_state_;
-  seg->generator_tid = pending_gen_tid_;
-  seg->generator_time = pending_gen_time_;
+  // A pending created-by edge belongs to the dequeued task's execution, which
+  // is the first *interval-labeled* segment after the dequeue. The consumer
+  // relabels via WorkOnBehalf after Pop, so the unlabeled sliver between the
+  // two must not consume the edge.
+  if (seg_sid_ != kNoInterval) {
+    seg->generator_tid = pending_gen_tid_;
+    seg->generator_time = pending_gen_time_;
+    pending_gen_tid_ = kNoThread;
+    pending_gen_time_ = -1;
+  } else {
+    seg->generator_tid = kNoThread;
+    seg->generator_time = -1;
+  }
   seg_start_ = -1;
-  pending_gen_tid_ = kNoThread;
-  pending_gen_time_ = -1;
 }
 
 void ThreadState::SwitchInterval(IntervalId sid, TimeNs now) {
@@ -237,6 +302,8 @@ ThreadTrace ThreadState::Collect(TimeNs end_time) {
   invocations_.CopyTo(&out.invocations);
   segments_.CopyTo(&out.segments);
   interval_events_.CopyTo(&out.interval_events);
+  out.dropped_records = invocations_.dropped() + segments_.dropped() +
+                        interval_events_.dropped();
   // Clamp invocations still open at stop time.
   for (Invocation& inv : out.invocations) {
     if (inv.end < 0) {
@@ -251,9 +318,16 @@ ThreadTrace ThreadState::Collect(TimeNs end_time) {
 void StartTracing() {
   RuntimeState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
-  QuiesceLocked(state);
+  const std::vector<ThreadState*> wedged = QuiesceLocked(state);
   ++state.run_epoch;
   for (auto& thread : state.threads) {
+    if (std::find(wedged.begin(), wedged.end(), thread.get()) !=
+        wedged.end()) {
+      // Still mid-op: leave its buffers alone; it stays quarantined and its
+      // records are ignored until a later StartTracing finds it quiescent.
+      continue;
+    }
+    thread->set_quarantined(false);
     thread->ResetForRun(state.run_epoch);
   }
   state.next_interval.store(1, std::memory_order_relaxed);
@@ -271,6 +345,10 @@ Trace StopTracing() {
   trace.duration = end_time;
   trace.function_names = AllFunctionNames();
   for (auto& thread : state.threads) {
+    if (thread->quarantined()) {
+      trace.stuck_threads.push_back(thread->tid());
+      continue;
+    }
     ThreadTrace tt = thread->Collect(end_time);
     if (!tt.invocations.empty() || !tt.segments.empty() ||
         !tt.interval_events.empty()) {
@@ -278,6 +356,15 @@ Trace StopTracing() {
     }
   }
   return trace;
+}
+
+void SetQuiesceTimeoutNs(int64_t ns) {
+  g_quiesce_timeout_ns.store(ns <= 0 ? kDefaultQuiesceTimeoutNs : ns,
+                             std::memory_order_relaxed);
+}
+
+void SetArenaRecordCap(size_t cap) {
+  g_arena_record_cap.store(cap, std::memory_order_relaxed);
 }
 
 void EnableFullTrace(bool enabled) {

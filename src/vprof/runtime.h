@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/fault/failpoint.h"
 #include "src/vprof/chunked_buffer.h"
 #include "src/vprof/fastclock.h"
 #include "src/vprof/registry.h"
@@ -42,6 +43,11 @@ namespace detail {
 // invisible to the race detector) falls back to seq_cst on both sides.
 // Set once at static init, before any worker thread can exist.
 extern std::atomic<bool> g_asymmetric_quiesce;
+
+// "vprof/probe_wedge" failpoint: parks the calling probe inside its op
+// window until the failpoint is disarmed, simulating a thread stuck
+// mid-record. Reached only when at least one failpoint is armed.
+void MaybeWedgeProbe();
 }  // namespace detail
 
 inline bool IsTracing() { return g_tracing.load(std::memory_order_relaxed); }
@@ -75,11 +81,18 @@ class alignas(kCacheLineSize) ThreadState {
     if (!BeginOp()) {
       return OpenHandle{};
     }
+    if (fault::AnyActive()) [[unlikely]] {
+      detail::MaybeWedgeProbe();
+    }
     const TimeNs now = fastclock::NowNs();
     EnsureSegmentOpen(now);
     const uint32_t index = static_cast<uint32_t>(invocations_.size());
-    // Uninitialized append: every field is stored below.
+    // Uninitialized append: every field is stored below. Under an arena cap
+    // the append may land in the scratch slot (record dropped); the slot is
+    // still written — and CloseInvocation can write its end — but nothing
+    // may link to its never-stored index.
     Invocation* inv = invocations_.AppendUninit();
+    const bool dropped = invocations_.size() == index;
     inv->start = now;
     inv->end = -1;
     inv->func = func;
@@ -89,12 +102,15 @@ class alignas(kCacheLineSize) ThreadState {
       // deepest tracked ancestor instead of reading past the stack.
       const int parent =
           depth_ <= kMaxProbeDepth ? depth_ - 1 : kMaxProbeDepth - 1;
-      inv->parent = static_cast<int32_t>(stack_[parent].record_index);
+      const uint32_t parent_index = stack_[parent].record_index;
+      inv->parent = parent_index == kDroppedRecord
+                        ? -1
+                        : static_cast<int32_t>(parent_index);
     } else {
       inv->parent = -1;
     }
     if (depth_ < kMaxProbeDepth) {
-      stack_[depth_] = Frame{func, index};
+      stack_[depth_] = Frame{func, dropped ? kDroppedRecord : index};
     }
     ++depth_;
     const OpenHandle handle{inv, run_epoch_};
@@ -146,6 +162,18 @@ class alignas(kCacheLineSize) ThreadState {
   // new op can win the handshake.
   void WaitQuiescent() const;
 
+  // Bounded variant: gives up after `timeout_ns` and returns false if the
+  // owner is still mid-op (wedged or indefinitely preempted).
+  bool WaitQuiescentFor(TimeNs timeout_ns) const;
+
+  // Quarantine flag, owned by the control thread (under the runtime mutex).
+  // A quarantined thread failed to quiesce: its buffers may be written at
+  // any time and its contents may mix runs, so the control thread neither
+  // collects nor resets them until the thread is observed quiescent at a
+  // later StartTracing.
+  bool quarantined() const { return quarantined_; }
+  void set_quarantined(bool value) { quarantined_ = value; }
+
  private:
   // Owner-side half of the epoch handshake; see file header. Returns false
   // (leaving busy_ clear) when tracing is off, i.e. recording must not touch
@@ -178,6 +206,10 @@ class alignas(kCacheLineSize) ThreadState {
   void EnsureSegmentOpen(TimeNs now);
   void CloseSegment(TimeNs now);
 
+  // Sentinel record_index for a stack frame whose invocation record was
+  // dropped by the arena cap: descendants must not link to it.
+  static constexpr uint32_t kDroppedRecord = 0xFFFFFFFFu;
+
   // Hot fields, ordered to keep the probe path in the first cache lines.
   std::atomic<uint32_t> busy_{0};
   int depth_ = 0;
@@ -204,6 +236,8 @@ class alignas(kCacheLineSize) ThreadState {
   ChunkedBuffer<Segment> segments_;
   ChunkedBuffer<IntervalEvent> interval_events_;
 
+  bool quarantined_ = false;
+
   struct Frame {
     FuncId func;
     uint32_t record_index;
@@ -220,7 +254,20 @@ ThreadState* CurrentThread();
 void StartTracing();
 
 // Stops recording and returns everything captured since StartTracing.
+// Returns within the quiesce bound even if a probe thread is wedged mid-op:
+// the wedged thread is quarantined (its records dropped, its tid reported in
+// Trace::stuck_threads with a stderr diagnostic) and rejoins automatically
+// at the first StartTracing that finds it quiescent again.
 Trace StopTracing();
+
+// Bounds how long Start/StopTracing wait for an unresponsive probe thread
+// before quarantining it. ns <= 0 restores the default (250 ms).
+void SetQuiesceTimeoutNs(int64_t ns);
+
+// Caps each per-thread record arena (invocations, segments, interval events
+// separately) at `cap` records for subsequent runs; 0 = unbounded.
+// Overflowing records are dropped and counted on the resulting Trace.
+void SetArenaRecordCap(size_t cap);
 
 // Enables the DTrace-like always-on heavyweight tracer (see full_tracer.h).
 // Used only by the overhead-comparison experiment.

@@ -2,9 +2,11 @@
 //
 // Push records the producer thread and enqueue time; Pop attaches the
 // "created-by" edge <producer_tid, t_enqueue, consumer_tid, t_dequeue> to the
-// consumer's next segment, letting the analysis distinguish queueing delay
-// from execution (paper Sections 3.1 and 3.3.2). A worker that dequeues a
-// task for a semantic interval should follow Pop with WorkOnBehalf(sid).
+// consumer's next interval-labeled segment, letting the analysis distinguish
+// queueing delay from execution (paper Sections 3.1 and 3.3.2). A worker that
+// dequeues a task for a semantic interval must follow Pop with
+// WorkOnBehalf(sid): the edge is held pending until the relabeled segment so
+// the unlabeled sliver between Pop and WorkOnBehalf cannot swallow it.
 #ifndef SRC_VPROF_TASK_QUEUE_H_
 #define SRC_VPROF_TASK_QUEUE_H_
 
@@ -34,6 +36,24 @@ class TaskQueue {
       entries_.push_back(Entry{std::move(item), producer, enqueue_time});
     }
     cv_.NotifyOne();
+  }
+
+  // Enqueues only while the queue holds fewer than `limit` entries; returns
+  // false (dropping the task) otherwise. The bounded variant producers use
+  // to shed load instead of building an unbounded backlog.
+  bool PushIfBelow(T item, size_t limit) {
+    const ThreadId producer =
+        IsTracing() ? CurrentThread()->tid() : kNoThread;
+    const TimeNs enqueue_time = IsTracing() ? Now() : -1;
+    {
+      std::lock_guard<Mutex> lock(mu_);
+      if (entries_.size() >= limit) {
+        return false;
+      }
+      entries_.push_back(Entry{std::move(item), producer, enqueue_time});
+    }
+    cv_.NotifyOne();
+    return true;
   }
 
   // Blocks until a task is available or the queue is closed. Returns

@@ -23,6 +23,14 @@ uint64_t Trace::segment_count() const {
   return n;
 }
 
+uint64_t Trace::dropped_record_count() const {
+  uint64_t n = 0;
+  for (const ThreadTrace& t : threads) {
+    n += t.dropped_records;
+  }
+  return n;
+}
+
 uint64_t Trace::interval_count() const {
   uint64_t n = 0;
   for (const ThreadTrace& t : threads) {

@@ -62,6 +62,9 @@ struct ThreadTrace {
   std::vector<Invocation> invocations;    // ordered by start time
   std::vector<Segment> segments;          // ordered, non-overlapping
   std::vector<IntervalEvent> interval_events;
+  // Records lost to the optional arena cap (see SetArenaRecordCap): the
+  // trace for this thread is truncated, not complete.
+  uint64_t dropped_records = 0;
 };
 
 // A complete tracing run.
@@ -72,12 +75,18 @@ struct Trace {
   // StopTracing so a Trace is self-describing.
   std::vector<std::string> function_names;
 
+  // Diagnostics (in-memory only; not serialized by SaveTrace): threads whose
+  // records were quarantined because they failed to quiesce at StopTracing.
+  // Their data is absent from `threads`.
+  std::vector<ThreadId> stuck_threads;
+
   const std::string& FunctionName(FuncId f) const { return function_names[f]; }
 
   // Total record counts, for tests and reporting.
   uint64_t invocation_count() const;
   uint64_t segment_count() const;
   uint64_t interval_count() const;  // number of kEnd events
+  uint64_t dropped_record_count() const;  // lost to arena caps, all threads
 };
 
 // Binary (de)serialization for storing traces on disk. Returns false on I/O

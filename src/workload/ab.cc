@@ -23,12 +23,19 @@ AbResult AbDriver::Run() {
       statkit::Rng rng(options_.seed * 7907 + static_cast<uint64_t>(c));
       std::vector<double> local;
       local.reserve(static_cast<size_t>(options_.requests_per_client));
+      uint64_t local_rejected = 0;
       for (int i = 0; i < options_.requests_per_client; ++i) {
         const uint64_t file_id = rng.NextBelow(server_->config().file_count);
         const auto t0 = std::chrono::steady_clock::now();
-        server_->HandleRequestBlocking(file_id);
+        const httpd::RequestStatus status =
+            server_->HandleRequestBlocking(file_id);
         const auto t1 = std::chrono::steady_clock::now();
-        local.push_back(std::chrono::duration<double, std::nano>(t1 - t0).count());
+        if (status == httpd::RequestStatus::kOk) {
+          local.push_back(
+              std::chrono::duration<double, std::nano>(t1 - t0).count());
+        } else {
+          ++local_rejected;
+        }
         if (options_.think_time_us > 0.0) {
           simio::SleepUs(options_.think_time_us);
         }
@@ -37,6 +44,7 @@ AbResult AbDriver::Run() {
       result.latencies_ns.insert(result.latencies_ns.end(), local.begin(),
                                  local.end());
       result.completed += local.size();
+      result.rejected += local_rejected;
     });
   }
   for (auto& client : clients) {

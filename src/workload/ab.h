@@ -18,8 +18,9 @@ struct AbOptions {
 };
 
 struct AbResult {
-  std::vector<double> latencies_ns;
+  std::vector<double> latencies_ns;  // served (200) requests only
   uint64_t completed = 0;
+  uint64_t rejected = 0;  // shed by the server with 503
   double duration_s = 0.0;
   double requests_per_s = 0.0;
 };

@@ -1,5 +1,6 @@
 #include "src/workload/tpcc.h"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 #include <thread>
@@ -71,14 +72,26 @@ TpccDriver::TpccDriver(minidb::Engine* engine, const TpccOptions& options)
     : engine_(engine), options_(options) {}
 
 TpccResult TpccDriver::Run() {
-  return RunWith(
-      [this](const TxnRequest& request) {
-        return engine_->Execute(request).committed;
-      },
+  const uint64_t engine_aborts_before = engine_->aborted_count();
+  TpccResult result = RunTyped(
+      [this](const TxnRequest& request) { return engine_->Execute(request); },
       engine_->config().warehouses);
+  result.engine_aborts = engine_->aborted_count() - engine_aborts_before;
+  return result;
 }
 
 TpccResult TpccDriver::RunWith(const Executor& executor, int warehouses) {
+  // A bool executor carries no error type, so every failure is final.
+  return RunTyped(
+      [&executor](const TxnRequest& request) {
+        minidb::TxnOutcome outcome;
+        outcome.committed = executor(request);
+        return outcome;
+      },
+      warehouses);
+}
+
+TpccResult TpccDriver::RunTyped(const TypedExecutor& executor, int warehouses) {
   TpccResult result;
   std::mutex result_mu;
   const TpccGenerator generator(options_, warehouses);
@@ -93,17 +106,45 @@ TpccResult TpccDriver::RunWith(const Executor& executor, int warehouses) {
       local_latencies.reserve(static_cast<size_t>(options_.transactions_per_thread));
       uint64_t local_committed = 0;
       uint64_t local_aborted = 0;
+      uint64_t local_retries = 0;
+      uint64_t local_exhausted = 0;
+      uint64_t local_non_retryable = 0;
+      double local_backoff_us = 0.0;
       for (int i = 0; i < options_.transactions_per_thread; ++i) {
         const TxnRequest request = generator.Next(rng);
         const auto t0 = std::chrono::steady_clock::now();
-        const bool committed = executor(request);
+        minidb::TxnOutcome outcome;
+        int attempt = 0;
+        for (;;) {
+          outcome = executor(request);
+          if (outcome.committed || !outcome.retryable() ||
+              attempt >= options_.max_retries) {
+            break;
+          }
+          // Capped exponential backoff with deterministic jitter in
+          // [0.5, 1.0) of the nominal delay.
+          const double nominal =
+              std::min(options_.backoff_cap_us,
+                       options_.backoff_base_us *
+                           static_cast<double>(1ull << std::min(attempt, 20)));
+          const double backoff = nominal * (0.5 + 0.5 * rng.NextDouble());
+          local_backoff_us += backoff;
+          simio::SleepUs(backoff);
+          ++attempt;
+          ++local_retries;
+        }
         const auto t1 = std::chrono::steady_clock::now();
-        if (committed) {
+        if (outcome.committed) {
           ++local_committed;
           local_latencies.push_back(
               std::chrono::duration<double, std::nano>(t1 - t0).count());
         } else {
           ++local_aborted;
+          if (outcome.retryable()) {
+            ++local_exhausted;  // retryable, but attempts ran out
+          } else {
+            ++local_non_retryable;
+          }
         }
         if (options_.think_time_us > 0.0) {
           simio::SleepUs(options_.think_time_us);
@@ -114,6 +155,10 @@ TpccResult TpccDriver::RunWith(const Executor& executor, int warehouses) {
                                  local_latencies.begin(), local_latencies.end());
       result.committed += local_committed;
       result.aborted += local_aborted;
+      result.retries += local_retries;
+      result.retries_exhausted += local_exhausted;
+      result.non_retryable_aborts += local_non_retryable;
+      result.backoff_time_us += local_backoff_us;
     });
   }
   for (auto& thread : threads) {

@@ -39,13 +39,25 @@ struct TpccOptions {
   // Optional client think time between transactions (us).
   double think_time_us = 0.0;
 
+  // Retry policy for retryable aborts (lock timeout, deadlock, log I/O
+  // error): up to max_retries re-executions with capped exponential backoff
+  // and deterministic per-thread jitter. 0 disables retries.
+  int max_retries = 3;
+  double backoff_base_us = 50.0;
+  double backoff_cap_us = 2000.0;
+
   uint64_t seed = 99;
 };
 
 struct TpccResult {
-  std::vector<double> latencies_ns;  // committed transactions only
-  uint64_t committed = 0;
-  uint64_t aborted = 0;
+  std::vector<double> latencies_ns;  // committed requests, incl. retry time
+  uint64_t committed = 0;            // requests that eventually committed
+  uint64_t aborted = 0;              // requests that ultimately failed
+  uint64_t retries = 0;              // re-executions after retryable aborts
+  uint64_t retries_exhausted = 0;    // requests that failed all attempts
+  uint64_t non_retryable_aborts = 0; // requests aborted with no retry
+  uint64_t engine_aborts = 0;        // engine aborted_count() delta (Run only)
+  double backoff_time_us = 0.0;      // total time slept backing off
   double duration_s = 0.0;
   double throughput_tps = 0.0;
 };
@@ -73,9 +85,16 @@ class TpccDriver {
   TpccResult Run();
 
   // Runs the workload through an arbitrary executor (used by minipg, which
-  // shares the request shape). The executor returns true on commit.
+  // shares the request shape). The executor returns true on commit; failures
+  // are treated as non-retryable since a bool carries no error type.
   using Executor = std::function<bool(const minidb::TxnRequest&)>;
   TpccResult RunWith(const Executor& executor, int warehouses);
+
+  // As RunWith, but with typed outcomes so retryable aborts go through the
+  // driver's backoff-and-retry loop.
+  using TypedExecutor =
+      std::function<minidb::TxnOutcome(const minidb::TxnRequest&)>;
+  TpccResult RunTyped(const TypedExecutor& executor, int warehouses);
 
  private:
   minidb::Engine* engine_;

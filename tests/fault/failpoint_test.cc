@@ -1,0 +1,122 @@
+#include "src/fault/failpoint.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fault {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DeactivateAll();
+    ResetCounters();
+  }
+  void TearDown() override { DeactivateAll(); }
+};
+
+TEST_F(FailpointTest, InactiveNeverFires) {
+  EXPECT_FALSE(AnyActive());
+  EXPECT_FALSE(Triggered("test/nothing"));
+  EXPECT_EQ(HitCount("test/nothing"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresWhileArmed) {
+  Activate("test/always", Trigger::Always());
+  EXPECT_TRUE(AnyActive());
+  EXPECT_TRUE(Triggered("test/always"));
+  EXPECT_TRUE(Triggered("test/always"));
+  Deactivate("test/always");
+  EXPECT_FALSE(Triggered("test/always"));
+  EXPECT_EQ(HitCount("test/always"), 2u);
+  EXPECT_EQ(TriggerCount("test/always"), 2u);
+}
+
+TEST_F(FailpointTest, OneShotFiresExactlyOnceAfterSkip) {
+  Activate("test/oneshot", Trigger::OneShot(/*skip_hits=*/2));
+  EXPECT_FALSE(Triggered("test/oneshot"));
+  EXPECT_FALSE(Triggered("test/oneshot"));
+  EXPECT_TRUE(Triggered("test/oneshot"));
+  EXPECT_FALSE(Triggered("test/oneshot"));
+  EXPECT_EQ(TriggerCount("test/oneshot"), 1u);
+}
+
+TEST_F(FailpointTest, EveryNthFiresPeriodically) {
+  Activate("test/nth", Trigger::EveryNth(3));
+  std::vector<bool> fires;
+  for (int i = 0; i < 9; ++i) {
+    fires.push_back(Triggered("test/nth"));
+  }
+  const std::vector<bool> expected = {false, false, true, false, false,
+                                      true,  false, false, true};
+  EXPECT_EQ(fires, expected);
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeedDeterministic) {
+  Activate("test/prob", Trigger::Probability(0.5, /*seed=*/1234));
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(Triggered("test/prob"));
+  }
+  // Re-arming with the same seed replays the identical firing sequence.
+  Activate("test/prob", Trigger::Probability(0.5, /*seed=*/1234));
+  std::vector<bool> second;
+  for (int i = 0; i < 64; ++i) {
+    second.push_back(Triggered("test/prob"));
+  }
+  EXPECT_EQ(first, second);
+  // And the rate is in the right ballpark.
+  const auto fired = static_cast<int>(
+      std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fired, 16);
+  EXPECT_LT(fired, 48);
+}
+
+TEST_F(FailpointTest, ReArmingResetsActivationStateButKeepsCounters) {
+  Activate("test/rearm", Trigger::OneShot());
+  EXPECT_TRUE(Triggered("test/rearm"));
+  Activate("test/rearm", Trigger::OneShot());
+  EXPECT_TRUE(Triggered("test/rearm"));  // one-shot latch was reset
+  EXPECT_EQ(TriggerCount("test/rearm"), 2u);
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  {
+    ScopedFailpoint scoped("test/scoped", Trigger::Always());
+    EXPECT_TRUE(Triggered("test/scoped"));
+    EXPECT_TRUE(IsActive("test/scoped"));
+  }
+  EXPECT_FALSE(IsActive("test/scoped"));
+  EXPECT_FALSE(Triggered("test/scoped"));
+}
+
+TEST_F(FailpointTest, DistinctNamesAreIndependent) {
+  Activate("test/a", Trigger::Always());
+  EXPECT_TRUE(Triggered("test/a"));
+  EXPECT_FALSE(Triggered("test/b"));
+  EXPECT_EQ(HitCount("test/b"), 0u);
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluationCountsEveryHit) {
+  Activate("test/mt", Trigger::EveryNth(2));
+  constexpr int kThreads = 4;
+  constexpr int kHitsPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        Triggered("test/mt");
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(HitCount("test/mt"), kThreads * kHitsPerThread);
+  EXPECT_EQ(TriggerCount("test/mt"), kThreads * kHitsPerThread / 2);
+}
+
+}  // namespace
+}  // namespace fault

@@ -1,7 +1,10 @@
 #include "src/httpd/server.h"
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
+#include "src/fault/failpoint.h"
 #include "src/httpd/brigade.h"
 #include "src/workload/ab.h"
 
@@ -83,7 +86,68 @@ TEST(HttpServerTest, ServesManyConcurrentClients) {
   EXPECT_EQ(result.completed, 200u);
   EXPECT_EQ(result.latencies_ns.size(), 200u);
   EXPECT_EQ(server.stats().requests_served, 200u);
+  // The default queue is unbounded: nothing is ever shed.
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_EQ(server.stats().requests_rejected, 0u);
   EXPECT_GT(result.requests_per_s, 0.0);
+  server.Shutdown();
+}
+
+TEST(HttpServerTest, ShedsLoadWhenQueueSaturates) {
+  fault::DeactivateAll();
+  HttpdConfig config = FastConfig();
+  config.workers = 1;
+  config.max_queue_depth = 1;
+  config.file_disk.fault_scope = "httpd_shed";
+  config.file_disk.stall_us = 30000.0;  // every read stalls ~30 ms
+  HttpServer server(config);
+  fault::ScopedFailpoint stall("httpd_shed/stall", fault::Trigger::Always());
+  // Two background clients retry until actually served, keeping the single
+  // worker and the single queue slot occupied.
+  auto persistent_client = [&](uint64_t file_id) {
+    while (server.HandleRequestBlocking(file_id) != RequestStatus::kOk) {
+    }
+  };
+  std::thread busy1(persistent_client, 0);
+  std::thread busy2(persistent_client, 1);
+  // With 1 worker + 1 queue slot there is capacity for 2 in-flight
+  // requests; a third concurrent submission must eventually be shed.
+  RequestStatus status = RequestStatus::kOk;
+  for (int i = 0; i < 200 && status == RequestStatus::kOk; ++i) {
+    status = server.HandleRequestBlocking(2);
+  }
+  EXPECT_EQ(status, RequestStatus::kServiceUnavailable);
+  busy1.join();
+  busy2.join();
+  EXPECT_GE(server.stats().requests_rejected, 1u);
+  server.Shutdown();
+}
+
+TEST(HttpServerTest, SaturatedServerAccountsEveryRequest) {
+  fault::DeactivateAll();
+  HttpdConfig config = FastConfig();
+  config.workers = 1;
+  config.max_queue_depth = 2;
+  config.file_disk.fault_scope = "httpd_account";
+  config.file_disk.stall_us = 20000.0;
+  HttpServer server(config);
+  workload::AbResult result;
+  {
+    fault::ScopedFailpoint stall("httpd_account/stall",
+                                 fault::Trigger::Always());
+    workload::AbOptions options;
+    options.clients = 6;
+    options.requests_per_client = 25;
+    workload::AbDriver driver(&server, options);
+    result = driver.Run();
+  }
+  // Every submission is either served or shed — none silently vanish.
+  EXPECT_EQ(result.completed + result.rejected, 150u);
+  EXPECT_GT(result.rejected, 0u);  // 6 clients vs. capacity for 3
+  EXPECT_EQ(result.latencies_ns.size(), result.completed);
+  const HttpdStats stats = server.stats();
+  EXPECT_EQ(stats.requests_served, result.completed);
+  EXPECT_EQ(stats.requests_rejected, result.rejected);
   server.Shutdown();
 }
 

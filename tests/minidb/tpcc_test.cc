@@ -1,9 +1,12 @@
 #include "src/workload/tpcc.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 
 #include <gtest/gtest.h>
+
+#include "src/fault/failpoint.h"
 
 namespace workload {
 namespace {
@@ -114,6 +117,137 @@ TEST(TpccDriverTest, RunWithCustomExecutorCountsResults) {
   EXPECT_EQ(result.aborted, 10u);
   EXPECT_EQ(result.latencies_ns.size(), 40u);
   EXPECT_GT(result.throughput_tps, 0.0);
+  // Bool executors carry no error type: failures are final, never retried.
+  EXPECT_EQ(result.retries, 0u);
+  EXPECT_EQ(result.non_retryable_aborts, 10u);
+  EXPECT_EQ(result.retries_exhausted, 0u);
+}
+
+TEST(TpccDriverTest, RetryableAbortsAreRetriedWithBackoff) {
+  TpccOptions options;
+  options.threads = 1;
+  options.transactions_per_thread = 10;
+  options.max_retries = 3;
+  options.backoff_base_us = 10.0;
+  options.backoff_cap_us = 100.0;
+  TpccDriver driver(nullptr, options);
+  // Every request fails once with a retryable error, then commits.
+  std::atomic<int> attempts{0};
+  int attempts_this_request = 0;
+  const TpccResult result = driver.RunTyped(
+      [&](const minidb::TxnRequest&) {
+        attempts.fetch_add(1);
+        minidb::TxnOutcome outcome;
+        if (attempts_this_request == 0) {
+          ++attempts_this_request;
+          outcome.committed = false;
+          outcome.error = minidb::TxnError::kLockTimeout;
+        } else {
+          attempts_this_request = 0;
+          outcome.committed = true;
+        }
+        return outcome;
+      },
+      2);
+  EXPECT_EQ(attempts.load(), 20);  // each request: 1 failure + 1 retry
+  EXPECT_EQ(result.committed, 10u);
+  EXPECT_EQ(result.aborted, 0u);
+  EXPECT_EQ(result.retries, 10u);
+  EXPECT_EQ(result.retries_exhausted, 0u);
+  EXPECT_GT(result.backoff_time_us, 0.0);
+}
+
+TEST(TpccDriverTest, RetriesExhaustedAfterMaxAttempts) {
+  TpccOptions options;
+  options.threads = 1;
+  options.transactions_per_thread = 4;
+  options.max_retries = 2;
+  options.backoff_base_us = 5.0;
+  options.backoff_cap_us = 20.0;
+  TpccDriver driver(nullptr, options);
+  std::atomic<int> attempts{0};
+  const TpccResult result = driver.RunTyped(
+      [&](const minidb::TxnRequest&) {
+        attempts.fetch_add(1);
+        minidb::TxnOutcome outcome;
+        outcome.committed = false;
+        outcome.error = minidb::TxnError::kDeadlock;  // always retryable
+        return outcome;
+      },
+      2);
+  EXPECT_EQ(attempts.load(), 4 * 3);  // initial attempt + 2 retries each
+  EXPECT_EQ(result.committed, 0u);
+  EXPECT_EQ(result.aborted, 4u);
+  EXPECT_EQ(result.retries, 8u);
+  EXPECT_EQ(result.retries_exhausted, 4u);
+  EXPECT_EQ(result.non_retryable_aborts, 0u);
+}
+
+TEST(TpccDriverTest, LogCrashIsNotRetried) {
+  TpccOptions options;
+  options.threads = 1;
+  options.transactions_per_thread = 3;
+  TpccDriver driver(nullptr, options);
+  std::atomic<int> attempts{0};
+  const TpccResult result = driver.RunTyped(
+      [&](const minidb::TxnRequest&) {
+        attempts.fetch_add(1);
+        minidb::TxnOutcome outcome;
+        outcome.committed = false;
+        outcome.error = minidb::TxnError::kLogCrashed;
+        return outcome;
+      },
+      2);
+  EXPECT_EQ(attempts.load(), 3);  // a crashed log needs recovery, not retries
+  EXPECT_EQ(result.retries, 0u);
+  EXPECT_EQ(result.non_retryable_aborts, 3u);
+}
+
+// End to end: injected log-device fsync errors abort commits with a
+// retryable kIoError; the driver retries them into eventual commits, and the
+// engine's aborted_count() delta is surfaced in the stats.
+TEST(TpccDriverTest, DriverRetriesInjectedLogIoErrors) {
+  fault::DeactivateAll();
+  fault::ResetCounters();
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  config.warehouses = 2;
+  config.data_disk.read_mu = 0.5;
+  config.data_disk.write_mu = 0.5;
+  config.data_disk.serialize_access = false;
+  config.log_disk.write_mu = 0.5;
+  config.log_disk.fsync_mu = 1.0;
+  config.log_disk.fsync_sigma = 0.05;
+  config.log_disk.fsync_spike_prob = 0.0;
+  config.log_disk.serialize_access = false;
+  config.log_disk.error_latency_us = 5.0;
+  config.log_disk.fault_scope = "tpcc_retry_log";
+  minidb::Engine engine(config);
+
+  TpccOptions options;
+  options.threads = 1;
+  options.transactions_per_thread = 40;
+  options.max_retries = 4;
+  options.backoff_base_us = 10.0;
+  options.backoff_cap_us = 50.0;
+  options.seed = 42;
+  TpccDriver driver(&engine, options);
+  TpccResult result;
+  {
+    fault::ScopedFailpoint fp("tpcc_retry_log/fsync_error",
+                              fault::Trigger::EveryNth(5));
+    result = driver.Run();
+  }
+  EXPECT_EQ(result.committed + result.aborted, 40u);
+  EXPECT_GT(result.retries, 0u);  // some commits hit the failing fsync
+  // Every driver-level retry corresponds to an engine-level abort, as do
+  // exhausted and non-retryable failures.
+  EXPECT_EQ(result.engine_aborts, engine.aborted_count());
+  EXPECT_GE(result.engine_aborts, result.retries);
+  // Retried transactions eventually committed: the error storm cost
+  // throughput, not correctness.
+  EXPECT_GT(result.committed, 30u);
+  fault::DeactivateAll();
+  fault::ResetCounters();
 }
 
 }  // namespace

@@ -29,6 +29,22 @@ TEST(TraceIndexTest, MatchesBeginEndPairs) {
   EXPECT_EQ(index.Intervals()[0].end_time, 500);
 }
 
+TEST(TraceIndexTest, EndWithoutBeginIsExcluded) {
+  // Regression: a truncated trace (arena cap, quarantined thread) can hold
+  // an end annotation whose begin was lost. The orphan's zero-initialized
+  // begin_time used to pass the end_time > 0 filter and misattribute the
+  // whole run prefix to the interval.
+  TraceBuilder tb;
+  tb.Begin(0, 1, 100).End(0, 1, 500);  // complete
+  tb.End(0, 2, 900);                   // begin lost to truncation
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  ASSERT_EQ(index.Intervals().size(), 1u);
+  EXPECT_EQ(index.Intervals()[0].sid, 1u);
+  EXPECT_TRUE(index.Intervals()[0].has_begin);
+  EXPECT_TRUE(index.Intervals()[0].has_end);
+}
+
 TEST(TraceIndexTest, CrossThreadBeginEnd) {
   TraceBuilder tb;
   tb.Begin(0, 7, 10).End(3, 7, 90);
@@ -180,6 +196,34 @@ TEST(CriticalPathTest, CreatedByEdgeCrossesToProducer) {
     }
   }
   EXPECT_TRUE(saw_producer);
+}
+
+TEST(CriticalPathTest, CreatedByEdgeTakenOnWakerChain) {
+  // The interval ends on the submitting thread (client), which blocks until
+  // the worker signals completion: the walk reaches the worker through the
+  // wake-up edge. The span between enqueue (t=100) and the task's first
+  // worker segment (t=800) is queueing delay behind the worker's other work,
+  // not execution on the interval's behalf.
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 1000);
+  tb.Exec(0, 1, 0, 100)  // submit path; enqueues at t=100
+      .Blocked(0, 1, 100, 950, /*waker=*/1, /*waker_time=*/900)
+      .Exec(0, 1, 950, 1000);
+  tb.Exec(1, 2, 100, 800);  // worker busy with a queued-ahead task
+  tb.ExecGenerated(1, 1, 800, 900, /*producer=*/0, /*enqueue_time=*/100);
+  const Trace trace = tb.Build();
+  TraceIndex index(trace);
+  const auto b = BuildBreakdowns(index);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_DOUBLE_EQ(b[0].queue_wait_ns, 700.0);
+  // Path: client [0,100] + worker task [800,900] + client [950,1000]; the
+  // other task's window [100,800] must NOT be on the path.
+  EXPECT_DOUBLE_EQ(TotalWindowNs(b[0]), 250.0);
+  for (const PathWindow& w : b[0].windows) {
+    if (w.tid == 1) {
+      EXPECT_GE(w.lo, 800);
+    }
+  }
 }
 
 TEST(CriticalPathTest, QueueWaitSegmentsCount) {

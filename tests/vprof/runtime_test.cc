@@ -1,7 +1,11 @@
 #include "src/vprof/runtime.h"
 
+#include <chrono>
+#include <thread>
+
 #include <gtest/gtest.h>
 
+#include "src/fault/failpoint.h"
 #include "src/vprof/probe.h"
 #include "src/vprof/registry.h"
 
@@ -235,6 +239,76 @@ TEST_F(RuntimeTest, NestingBeyondMaxProbeDepthIsSafe) {
       EXPECT_LT(inv.parent, static_cast<int32_t>(i));
     }
   }
+}
+
+void CappedLeaf() {
+  VPROF_FUNC("rt_capped");
+}
+
+TEST_F(RuntimeTest, ArenaCapDropsAndCountsOverflow) {
+  SetFunctionEnabled(RegisterFunction("rt_capped"), true);
+  SetArenaRecordCap(16);
+  StartTracing();
+  for (int i = 0; i < 200; ++i) {
+    CappedLeaf();
+  }
+  const Trace trace = StopTracing();
+  EXPECT_EQ(trace.invocation_count(), 16u);
+  EXPECT_GE(trace.dropped_record_count(), 184u);
+  // Dropped records must never be linked to: every stored parent index is
+  // in bounds.
+  for (const ThreadTrace& t : trace.threads) {
+    for (const Invocation& inv : t.invocations) {
+      EXPECT_GE(inv.parent, -1);
+      EXPECT_LT(inv.parent, static_cast<int32_t>(t.invocations.size()));
+    }
+  }
+  // Lifting the cap restores unbounded recording on the next run.
+  SetArenaRecordCap(0);
+  StartTracing();
+  for (int i = 0; i < 20; ++i) {
+    CappedLeaf();
+  }
+  const Trace uncapped = StopTracing();
+  EXPECT_EQ(uncapped.invocation_count(), 20u);
+  EXPECT_EQ(uncapped.dropped_record_count(), 0u);
+}
+
+TEST_F(RuntimeTest, StopTracingBoundedWhenProbeWedges) {
+  fault::DeactivateAll();
+  fault::ResetCounters();
+  SetFunctionEnabled(RegisterFunction("rt_wedge"), true);
+  SetQuiesceTimeoutNs(50'000'000);  // 50 ms bound for the test
+  StartTracing();
+  fault::Activate("vprof/probe_wedge", fault::Trigger::OneShot());
+  std::thread victim([] {
+    VPROF_FUNC("rt_wedge");  // wedges inside the probe's op window
+  });
+  while (fault::TriggerCount("vprof/probe_wedge") == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const Trace trace = StopTracing();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Without the bound this would hang forever on the wedged thread.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  ASSERT_EQ(trace.stuck_threads.size(), 1u);
+  fault::Deactivate("vprof/probe_wedge");  // releases the victim
+  victim.join();
+  // Recovery: the next run finds the thread quiescent, clears the
+  // quarantine, and records it normally again.
+  SetFunctionEnabled(RegisterFunction("rt_wedge"), true);
+  StartTracing();
+  std::thread healthy([] {
+    VPROF_FUNC("rt_wedge");
+  });
+  healthy.join();
+  const Trace recovered = StopTracing();
+  EXPECT_TRUE(recovered.stuck_threads.empty());
+  EXPECT_GE(recovered.invocation_count(), 1u);
+  SetQuiesceTimeoutNs(0);  // restore the default bound
+  fault::DeactivateAll();
+  fault::ResetCounters();
 }
 
 TEST_F(RuntimeTest, FullTraceModeRecordsEverything) {

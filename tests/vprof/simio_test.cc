@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/fault/failpoint.h"
 #include "src/statkit/summary.h"
 
 namespace simio {
@@ -99,6 +100,152 @@ TEST(DiskTest, SerializedAccessQueues) {
     t2.join();
   });
   EXPECT_GT(elapsed, 800.0);
+}
+
+TEST(DiskTest, ZeroByteOpsSucceed) {
+  DiskConfig config;
+  config.read_mu = 1.0;
+  config.write_mu = 1.0;
+  Disk disk(config);
+  const IoResult read = disk.Read(0);
+  const IoResult write = disk.Write(0);
+  EXPECT_TRUE(read.ok());
+  EXPECT_EQ(read.bytes, 0u);
+  EXPECT_TRUE(write.ok());
+  EXPECT_EQ(write.bytes, 0u);
+  EXPECT_EQ(disk.buffered_bytes(), 0u);
+  EXPECT_EQ(disk.reads(), 1u);
+  EXPECT_EQ(disk.writes(), 1u);
+}
+
+TEST(DiskTest, FsyncWithEmptyWriteBufferSucceeds) {
+  DiskConfig config;
+  config.fsync_mu = 1.0;
+  config.fsync_spike_prob = 0.0;
+  Disk disk(config);
+  const IoResult result = disk.Fsync();
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.bytes, 0u);  // nothing was buffered
+  EXPECT_EQ(disk.fsyncs(), 1u);
+}
+
+TEST(DiskTest, BufferedBytesTrackWritesUntilFsync) {
+  DiskConfig config;
+  config.write_mu = 1.0;
+  config.fsync_mu = 1.0;
+  config.fsync_spike_prob = 0.0;
+  Disk disk(config);
+  disk.Write(100);
+  disk.Write(28);
+  EXPECT_EQ(disk.buffered_bytes(), 128u);
+  const IoResult result = disk.Fsync();
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.bytes, 128u);
+  EXPECT_EQ(disk.buffered_bytes(), 0u);
+}
+
+TEST(DiskTest, ConcurrentOpsWithoutSerialization) {
+  DiskConfig config;
+  config.read_mu = 1.0;
+  config.write_mu = 1.0;
+  config.serialize_access = false;
+  Disk disk(config);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&disk] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        EXPECT_TRUE(disk.Read(64).ok());
+        EXPECT_TRUE(disk.Write(64).ok());
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(disk.reads(), kThreads * kOpsPerThread);
+  EXPECT_EQ(disk.writes(), kThreads * kOpsPerThread);
+  EXPECT_EQ(disk.buffered_bytes(), kThreads * kOpsPerThread * 64u);
+}
+
+TEST(DiskFaultTest, InjectedReadAndWriteErrors) {
+  DiskConfig config;
+  config.read_mu = 1.0;
+  config.write_mu = 1.0;
+  config.error_latency_us = 1.0;
+  config.fault_scope = "disk_err_test";
+  Disk disk(config);
+  {
+    fault::ScopedFailpoint read_fp("disk_err_test/read_error",
+                                   fault::Trigger::EveryNth(2));
+    fault::ScopedFailpoint write_fp("disk_err_test/write_error",
+                                    fault::Trigger::OneShot());
+    EXPECT_TRUE(disk.Read(10).ok());    // 1st hit passes
+    EXPECT_FALSE(disk.Read(10).ok());   // 2nd fires
+    EXPECT_FALSE(disk.Write(10).ok());  // one-shot fires immediately
+    EXPECT_TRUE(disk.Write(10).ok());
+  }
+  EXPECT_TRUE(disk.Read(10).ok());  // disarmed
+  const DiskFaultStats stats = disk.fault_stats();
+  EXPECT_EQ(stats.read_errors, 1u);
+  EXPECT_EQ(stats.write_errors, 1u);
+  // The failed write transferred nothing into the buffer.
+  EXPECT_EQ(disk.buffered_bytes(), 10u);
+}
+
+TEST(DiskFaultTest, FsyncErrorKeepsBufferDirty) {
+  DiskConfig config;
+  config.write_mu = 1.0;
+  config.fsync_mu = 1.0;
+  config.fsync_spike_prob = 0.0;
+  config.error_latency_us = 1.0;
+  config.fault_scope = "disk_fsync_test";
+  Disk disk(config);
+  disk.Write(512);
+  {
+    fault::ScopedFailpoint fp("disk_fsync_test/fsync_error",
+                              fault::Trigger::OneShot());
+    EXPECT_FALSE(disk.Fsync().ok());
+    EXPECT_EQ(disk.buffered_bytes(), 512u);  // still dirty
+    const IoResult retry = disk.Fsync();     // one-shot consumed: retry works
+    EXPECT_TRUE(retry.ok());
+    EXPECT_EQ(retry.bytes, 512u);
+  }
+  EXPECT_EQ(disk.buffered_bytes(), 0u);
+  EXPECT_EQ(disk.fault_stats().fsync_errors, 1u);
+}
+
+TEST(DiskFaultTest, TornWriteTransfersDeterministicPrefix) {
+  DiskConfig config;
+  config.write_mu = 1.0;
+  config.seed = 2024;
+  config.fault_scope = "disk_torn_test";
+  Disk a(config);
+  Disk b(config);
+  fault::ScopedFailpoint fp("disk_torn_test/torn_write",
+                            fault::Trigger::Always());
+  const IoResult ra = a.Write(1000);
+  const IoResult rb = b.Write(1000);
+  EXPECT_TRUE(ra.ok());
+  EXPECT_LT(ra.bytes, 1000u);          // short write
+  EXPECT_EQ(ra.bytes, rb.bytes);       // same seed, same tear point
+  EXPECT_EQ(a.buffered_bytes(), ra.bytes);
+  EXPECT_EQ(a.fault_stats().torn_writes, 1u);
+}
+
+TEST(DiskFaultTest, StallFaultAddsLatency) {
+  DiskConfig config;
+  config.read_mu = 1.0;
+  config.read_sigma = 0.01;
+  config.stall_us = 3000.0;
+  config.fault_scope = "disk_stall_test";
+  Disk disk(config);
+  const double base = ElapsedUs([&] { disk.Read(16); });
+  fault::ScopedFailpoint fp("disk_stall_test/stall", fault::Trigger::Always());
+  const double stalled = ElapsedUs([&] { disk.Read(16); });
+  EXPECT_GT(stalled, base + 2000.0);
+  EXPECT_EQ(disk.fault_stats().stalls, 1u);
 }
 
 TEST(SleepUsTest, SleepsAtLeastRequested) {

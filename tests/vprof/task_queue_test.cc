@@ -36,6 +36,18 @@ TEST_F(TaskQueueTest, TryPopEmptyReturnsNullopt) {
   EXPECT_EQ(q.TryPop(), 9);
 }
 
+TEST_F(TaskQueueTest, PushIfBelowRejectsAtLimit) {
+  TaskQueue<int> q;
+  EXPECT_TRUE(q.PushIfBelow(1, 2));
+  EXPECT_TRUE(q.PushIfBelow(2, 2));
+  EXPECT_FALSE(q.PushIfBelow(3, 2));  // queue holds 2 already
+  EXPECT_EQ(q.Size(), 2u);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_TRUE(q.PushIfBelow(3, 2));  // slot freed by the Pop
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), 3);
+}
+
 TEST_F(TaskQueueTest, CloseWakesBlockedConsumer) {
   TaskQueue<int> q;
   std::optional<int> result = 42;
@@ -95,9 +107,11 @@ TEST_F(TaskQueueTest, PopAttachesCreatedByEdge) {
   std::thread consumer([&] {
     const auto item = q.Pop();
     ASSERT_TRUE(item.has_value());
-    // Give the runtime a moment of executing time so the segment is closed
-    // with content.
+    // The dequeue protocol: the edge attaches to the task's interval-labeled
+    // execution, so the consumer relabels before doing the work.
+    WorkOnBehalf(7);
     simio::SleepUs(1000);
+    WorkOnBehalf(kNoInterval);
   });
   simio::SleepUs(5000);  // let the consumer block on the empty queue
   q.Push(1);
