@@ -4,12 +4,31 @@
 # hot path (epoch handshake, chunked buffers, full-tracer rings) is
 # race-checked on every run, then an ASan+UBSan build of the fault-injection
 # suite (crash recovery, torn tails, arena-cap overflow, quarantine).
-# Usage: scripts/check.sh [--tsan-only|--asan-only]
+# --online runs only the vprofd service suite (harvester, streaming tree,
+# controller, convergence) under ThreadSanitizer — the epoch rotation and
+# snapshot paths are all cross-thread.
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--online]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc)"
 MODE="${1:-}"
+
+if [[ "${MODE}" == "--online" ]]; then
+  echo "== tsan: online profiling service suite =="
+  # The minidb-backed convergence test is tier-1 only: minidb's single-writer
+  # btree latching is not TSan-clean under concurrent TPC-C, independent of
+  # the service layer under test here.
+  cmake -B build-tsan -S . -DVPROF_TSAN=ON >/dev/null
+  ONLINE_TARGETS=(statkit_decay_test vprof_online_tree_test vprof_service_test)
+  cmake --build build-tsan -j "${JOBS}" --target "${ONLINE_TARGETS[@]}"
+  (cd build-tsan &&
+   TSAN_OPTIONS="halt_on_error=1" \
+   ctest --output-on-failure -R \
+     '^(statkit_decay|vprof_online_tree|vprof_service)_test$')
+  echo "== check.sh --online: all green =="
+  exit 0
+fi
 
 if [[ -z "${MODE}" ]]; then
   echo "== tier-1: build + ctest =="

@@ -134,4 +134,19 @@ void HttpServer::RegisterCallGraph(vprof::CallGraph* graph) {
   graph->AddEdge("apr_bucket_alloc", "apr_allocator_alloc");
 }
 
+std::unique_ptr<vprof::Vprofd> HttpServer::StartOnlineProfiler(
+    vprof::VprofdOptions options) {
+  if (options.root_function.empty()) {
+    options.root_function = "process_request";
+  }
+  if (options.graph == nullptr) {
+    auto graph = std::make_shared<vprof::CallGraph>();
+    RegisterCallGraph(graph.get());
+    options.graph = std::move(graph);
+  }
+  auto daemon = std::make_unique<vprof::Vprofd>(std::move(options));
+  daemon->Start();
+  return daemon;
+}
+
 }  // namespace httpd

@@ -27,6 +27,7 @@
 #include "src/httpd/filters.h"
 #include "src/simio/disk.h"
 #include "src/vprof/analysis/call_graph.h"
+#include "src/vprof/service/vprofd.h"
 #include "src/vprof/sync.h"
 #include "src/vprof/task_queue.h"
 
@@ -82,6 +83,11 @@ class HttpServer {
   void Shutdown();
 
   static void RegisterCallGraph(vprof::CallGraph* graph);
+
+  // Starts the always-on profiling service (vprofd) rooted at
+  // "process_request"; see minidb::Engine::StartOnlineProfiler.
+  static std::unique_ptr<vprof::Vprofd> StartOnlineProfiler(
+      vprof::VprofdOptions options = {});
 
   HttpdStats stats() const;
   const HttpdConfig& config() const { return config_; }

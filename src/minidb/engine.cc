@@ -336,4 +336,19 @@ void Engine::RegisterCallGraph(vprof::CallGraph* graph) {
   graph->AddEdge("log_write_up_to", "fil_flush");
 }
 
+std::unique_ptr<vprof::Vprofd> Engine::StartOnlineProfiler(
+    vprof::VprofdOptions options) {
+  if (options.root_function.empty()) {
+    options.root_function = "run_transaction";
+  }
+  if (options.graph == nullptr) {
+    auto graph = std::make_shared<vprof::CallGraph>();
+    RegisterCallGraph(graph.get());
+    options.graph = std::move(graph);
+  }
+  auto daemon = std::make_unique<vprof::Vprofd>(std::move(options));
+  daemon->Start();
+  return daemon;
+}
+
 }  // namespace minidb

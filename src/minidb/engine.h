@@ -31,6 +31,7 @@
 #include "src/minidb/table.h"
 #include "src/minidb/transaction.h"
 #include "src/vprof/analysis/call_graph.h"
+#include "src/vprof/service/vprofd.h"
 
 namespace minidb {
 
@@ -75,6 +76,13 @@ class Engine {
   // Declares the engine's static call graph (instrumentable functions and
   // caller/callee edges) for the profiler's refinement and specificity.
   static void RegisterCallGraph(vprof::CallGraph* graph);
+
+  // Starts the always-on profiling service (vprofd) rooted at this engine's
+  // semantic interval. Unset options default to "run_transaction" and the
+  // engine's registered call graph; the returned daemon is already running
+  // and stops when destroyed.
+  static std::unique_ptr<vprof::Vprofd> StartOnlineProfiler(
+      vprof::VprofdOptions options = {});
 
   const EngineConfig& config() const { return config_; }
   simio::Disk& data_disk() { return data_disk_; }

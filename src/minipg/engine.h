@@ -24,6 +24,7 @@
 #include "src/minipg/predicate_locks.h"
 #include "src/minipg/wal.h"
 #include "src/vprof/analysis/call_graph.h"
+#include "src/vprof/service/vprofd.h"
 
 namespace minipg {
 
@@ -50,6 +51,11 @@ class PgEngine {
   bool Execute(const minidb::TxnRequest& request);
 
   static void RegisterCallGraph(vprof::CallGraph* graph);
+
+  // Starts the always-on profiling service (vprofd) rooted at
+  // "exec_simple_query"; see minidb::Engine::StartOnlineProfiler.
+  static std::unique_ptr<vprof::Vprofd> StartOnlineProfiler(
+      vprof::VprofdOptions options = {});
 
   Wal& wal() { return wal_; }
   PredicateLockManager& predicate_locks() { return predicate_locks_; }

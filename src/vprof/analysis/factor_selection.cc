@@ -38,7 +38,7 @@ double SpecificityOf(int root_height, int height, SpecificityKind kind) {
 
 }  // namespace
 
-std::vector<Factor> AggregateFactors(const VarianceAnalysis& analysis,
+std::vector<Factor> AggregateFactors(const VarianceTreeView& view,
                                      const CallGraph& graph, FuncId root,
                                      SpecificityKind specificity) {
   const int root_height = graph.Height(root) + 1;  // +1: synthetic tree root
@@ -46,8 +46,8 @@ std::vector<Factor> AggregateFactors(const VarianceAnalysis& analysis,
 
   // Variance factors: every real node in the tree (skip the synthetic root;
   // its variance is the overall variance being decomposed).
-  for (size_t id = 1; id < analysis.node_count(); ++id) {
-    const TreeNode& n = analysis.node(static_cast<NodeId>(id));
+  for (size_t id = 1; id < view.nodes.size(); ++id) {
+    const TreeNode& n = view.nodes[id];
     if (n.func == kInvalidFunc) {
       continue;  // synthetic root's body ("(other)") is reported separately
     }
@@ -55,15 +55,15 @@ std::vector<Factor> AggregateFactors(const VarianceAnalysis& analysis,
     Factor& f = by_key[key];
     f.func_a = n.func;
     f.body_a = n.is_body;
-    f.total += analysis.NodeVariance(static_cast<NodeId>(id));
+    f.total += view.node_variance[id];
     f.height = n.is_body ? 0 : graph.Height(n.func);
   }
 
   // Covariance factors: sibling pairs under each expanded parent, counted
   // with the factor 2 from Equation (2).
-  for (const SiblingCovariance& cov : analysis.covariances()) {
-    const TreeNode& na = analysis.node(cov.a);
-    const TreeNode& nb = analysis.node(cov.b);
+  for (const SiblingCovariance& cov : view.covariances) {
+    const TreeNode& na = view.nodes[static_cast<size_t>(cov.a)];
+    const TreeNode& nb = view.nodes[static_cast<size_t>(cov.b)];
     if (na.func == kInvalidFunc || nb.func == kInvalidFunc) {
       continue;
     }
@@ -85,7 +85,7 @@ std::vector<Factor> AggregateFactors(const VarianceAnalysis& analysis,
     f.height = std::max(ba ? 0 : graph.Height(fa), bb ? 0 : graph.Height(fb));
   }
 
-  const double overall = analysis.overall_variance();
+  const double overall = view.overall_variance;
   std::vector<Factor> out;
   out.reserve(by_key.size());
   for (auto& [key, f] : by_key) {
@@ -99,11 +99,17 @@ std::vector<Factor> AggregateFactors(const VarianceAnalysis& analysis,
   return out;
 }
 
-std::vector<Factor> SelectFactors(const VarianceAnalysis& analysis,
+std::vector<Factor> AggregateFactors(const VarianceAnalysis& analysis,
+                                     const CallGraph& graph, FuncId root,
+                                     SpecificityKind specificity) {
+  return AggregateFactors(analysis.View(), graph, root, specificity);
+}
+
+std::vector<Factor> SelectFactors(const VarianceTreeView& view,
                                   const CallGraph& graph, FuncId root,
                                   const FactorSelectionOptions& options) {
   std::vector<Factor> all =
-      AggregateFactors(analysis, graph, root, options.specificity);
+      AggregateFactors(view, graph, root, options.specificity);
   std::vector<Factor> selected;
   for (const Factor& f : all) {
     if (static_cast<int>(selected.size()) >= options.top_k) {
@@ -114,6 +120,12 @@ std::vector<Factor> SelectFactors(const VarianceAnalysis& analysis,
     }
   }
   return selected;
+}
+
+std::vector<Factor> SelectFactors(const VarianceAnalysis& analysis,
+                                  const CallGraph& graph, FuncId root,
+                                  const FactorSelectionOptions& options) {
+  return SelectFactors(analysis.View(), graph, root, options);
 }
 
 }  // namespace vprof

@@ -52,11 +52,20 @@ struct FactorSelectionOptions {
 };
 
 // Aggregates all factors in the variance tree (unfiltered, sorted by score).
+// The view form is the primitive: it works for any tree that can project a
+// VarianceTreeView (the batch analysis or the online service's streaming
+// tree); the VarianceAnalysis overloads forward through View().
+std::vector<Factor> AggregateFactors(const VarianceTreeView& view,
+                                     const CallGraph& graph, FuncId root,
+                                     SpecificityKind specificity);
 std::vector<Factor> AggregateFactors(const VarianceAnalysis& analysis,
                                      const CallGraph& graph, FuncId root,
                                      SpecificityKind specificity);
 
 // Algorithm 1: the top-k factors with contribution >= d.
+std::vector<Factor> SelectFactors(const VarianceTreeView& view,
+                                  const CallGraph& graph, FuncId root,
+                                  const FactorSelectionOptions& options);
 std::vector<Factor> SelectFactors(const VarianceAnalysis& analysis,
                                   const CallGraph& graph, FuncId root,
                                   const FactorSelectionOptions& options);

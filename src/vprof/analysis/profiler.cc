@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "src/vprof/analysis/report.h"
 #include "src/vprof/registry.h"
 #include "src/vprof/runtime.h"
 
@@ -104,6 +105,9 @@ std::string ProfileResult::Report() const {
     out << rank++ << " | " << f.Label(function_names) << " | "
         << f.contribution * 100.0 << "% | " << f.score << "\n";
   }
+  // Surface capture-quality caveats so a partial trace is never mistaken
+  // for a clean run.
+  out << FormatTraceHealth(trace);
   return out.str();
 }
 

@@ -101,4 +101,32 @@ std::string FormatLatencySummary(const VarianceAnalysis& analysis) {
   return out.str();
 }
 
+std::string FormatTraceHealth(const Trace& trace) {
+  const uint64_t dropped = trace.dropped_record_count();
+  if (trace.stuck_threads.empty() && dropped == 0) {
+    return "";
+  }
+  std::ostringstream out;
+  out << "trace health:\n";
+  if (!trace.stuck_threads.empty()) {
+    out << "  stuck threads (records quarantined): "
+        << trace.stuck_threads.size() << " [tid";
+    for (ThreadId tid : trace.stuck_threads) {
+      out << " " << tid;
+    }
+    out << "]\n";
+  }
+  if (dropped > 0) {
+    uint64_t affected = 0;
+    for (const ThreadTrace& t : trace.threads) {
+      if (t.dropped_records > 0) {
+        ++affected;
+      }
+    }
+    out << "  dropped records (arena cap): " << dropped << " across "
+        << affected << " thread" << (affected == 1 ? "" : "s") << "\n";
+  }
+  return out.str();
+}
+
 }  // namespace vprof

@@ -10,6 +10,7 @@
 
 #include "src/vprof/analysis/factor_selection.h"
 #include "src/vprof/analysis/variance_tree.h"
+#include "src/vprof/trace.h"
 
 namespace vprof {
 
@@ -31,6 +32,12 @@ std::string FormatWaitBreakdown(const VarianceAnalysis& analysis);
 
 // Mean / variance / percentiles of the interval latencies.
 std::string FormatLatencySummary(const VarianceAnalysis& analysis);
+
+// Capture-quality caveats for a trace: threads quarantined because they
+// failed to quiesce at StopTracing, and records lost to the arena cap.
+// Empty string when the trace is complete, so callers can append it
+// unconditionally.
+std::string FormatTraceHealth(const Trace& trace);
 
 }  // namespace vprof
 

@@ -45,6 +45,18 @@ struct SiblingCovariance {
   double covariance = 0.0;
 };
 
+// Structure-plus-statistics view of a variance tree, decoupling the factor
+// aggregation (factor_selection.h) from how the tree was computed: the batch
+// VarianceAnalysis below and the service's streaming OnlineVarianceTree both
+// project into this shape. Spans reference the producer's storage and are
+// valid only while it is alive and unmodified.
+struct VarianceTreeView {
+  std::span<const TreeNode> nodes;
+  std::span<const double> node_variance;  // parallel to nodes
+  std::span<const SiblingCovariance> covariances;
+  double overall_variance = 0.0;
+};
+
 // Builds the variance tree for one tracing run: runs the critical-path
 // analysis, attributes clipped function time per interval to call-tree nodes,
 // and computes per-node variances and sibling covariances.
@@ -73,6 +85,12 @@ class VarianceAnalysis {
   double overall_mean() const { return NodeMean(kRootNode); }
   double overall_variance() const { return NodeVariance(kRootNode); }
   std::span<const double> latencies() const { return Series(kRootNode); }
+
+  // Projection used by factor selection; valid while this analysis lives.
+  VarianceTreeView View() const {
+    return VarianceTreeView{nodes_, node_variance_, covariances_,
+                            overall_variance()};
+  }
 
   // Aggregate critical-path wait composition (ns, summed over intervals).
   double total_queue_wait_ns() const { return total_queue_wait_ns_; }

@@ -1,0 +1,78 @@
+#include "src/vprof/service/harvester.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/vprof/runtime.h"
+
+namespace vprof {
+
+EpochHarvester::EpochHarvester(HarvesterOptions options)
+    : options_(std::move(options)) {}
+
+EpochHarvester::~EpochHarvester() { Stop(); }
+
+void EpochHarvester::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&EpochHarvester::Loop, this);
+}
+
+void EpochHarvester::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    thread_ = std::thread();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+namespace {
+
+// Gap timing must not use the tracing fastclock: StartTracing re-anchors it
+// to zero, so differences spanning a rotation would be meaningless.
+TimeNs WallNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void EpochHarvester::Loop() {
+  const auto epoch = std::chrono::nanoseconds(options_.epoch_ns);
+  bool stopping = false;
+  while (!stopping) {
+    const TimeNs rotation_begin = WallNs();
+    StartTracing();
+    // The gap spans from the previous StopTracing to this StartTracing
+    // returning: the sink's latency plus both quiesce handshakes.
+    if (epochs_.load(std::memory_order_relaxed) > 0) {
+      const TimeNs gap = WallNs() - rotation_begin + last_stop_cost_;
+      last_gap_ns_.store(gap, std::memory_order_relaxed);
+      total_gap_ns_.fetch_add(gap, std::memory_order_relaxed);
+      if (gap > max_gap_ns_.load(std::memory_order_relaxed)) {
+        max_gap_ns_.store(gap, std::memory_order_relaxed);
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping = cv_.wait_for(lock, epoch, [this] { return stop_requested_; });
+    }
+    const TimeNs stop_begin = WallNs();
+    Trace trace = StopTracing();
+    if (options_.sink) options_.sink(std::move(trace));
+    last_stop_cost_ = WallNs() - stop_begin;
+    epochs_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace vprof

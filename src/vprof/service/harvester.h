@@ -1,0 +1,99 @@
+// Epoch harvesting for the always-on profiling service.
+//
+// A background thread rotates the global tracing runtime in fixed epochs:
+// StartTracing -> sleep(epoch) -> StopTracing, then hands the harvested
+// Trace to a sink callback and immediately begins the next epoch. The
+// workload threads are never paused — rotation rides the runtime's
+// membarrier quiesce, and the per-thread chunked arenas are recycled by
+// StartTracing (chunks are retained across clear()), so steady-state epochs
+// allocate nothing on the probe path.
+//
+// The sink runs on the harvester thread while tracing is OFF: flipping the
+// probe-enable bitmap there (the refinement controller does) takes effect
+// atomically at the next epoch boundary, so every epoch is recorded under
+// one consistent instrumentation set. The tracing-off gap per rotation is
+// the sink's latency plus the quiesce; it is measured and exported so
+// operators can see the coverage duty cycle.
+//
+// The tracing runtime is process-global: run at most one harvester at a
+// time, and do not run the batch Profiler concurrently with it.
+#ifndef SRC_VPROF_SERVICE_HARVESTER_H_
+#define SRC_VPROF_SERVICE_HARVESTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "src/vprof/trace.h"
+#include "src/vprof/types.h"
+
+namespace vprof {
+
+struct HarvesterOptions {
+  // Epoch length. Shorter epochs converge the controller faster but pay the
+  // rotation quiesce (a membarrier syscall per registered thread) more often.
+  TimeNs epoch_ns = 100'000'000;  // 100 ms
+
+  // Receives each completed epoch's trace on the harvester thread, with
+  // tracing off. May mutate the probe-enable bitmap; changes apply from the
+  // next epoch.
+  std::function<void(Trace&&)> sink;
+};
+
+class EpochHarvester {
+ public:
+  explicit EpochHarvester(HarvesterOptions options);
+  ~EpochHarvester();
+
+  EpochHarvester(const EpochHarvester&) = delete;
+  EpochHarvester& operator=(const EpochHarvester&) = delete;
+
+  // Begins rotating epochs. No-op if already running.
+  void Start();
+
+  // Stops after harvesting the current (partial) epoch; the final trace is
+  // delivered to the sink before this returns. Tracing is left off.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Completed epochs handed to the sink.
+  uint64_t epochs() const { return epochs_.load(std::memory_order_relaxed); }
+
+  // Tracing-off time of the most recent / worst rotation (sink + quiesce),
+  // 0 until the second epoch starts.
+  TimeNs last_gap_ns() const {
+    return last_gap_ns_.load(std::memory_order_relaxed);
+  }
+  TimeNs max_gap_ns() const {
+    return max_gap_ns_.load(std::memory_order_relaxed);
+  }
+
+  // Cumulative tracing-off time across all rotations; together with
+  // epochs() * epoch_ns this gives the coverage duty cycle.
+  TimeNs total_gap_ns() const {
+    return total_gap_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  HarvesterOptions options_;
+  TimeNs last_stop_cost_ = 0;  // harvester thread only
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  // guarded by mu_
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> epochs_{0};
+  std::atomic<TimeNs> last_gap_ns_{0};
+  std::atomic<TimeNs> max_gap_ns_{0};
+  std::atomic<TimeNs> total_gap_ns_{0};
+};
+
+}  // namespace vprof
+
+#endif  // SRC_VPROF_SERVICE_HARVESTER_H_

@@ -1,0 +1,94 @@
+#include "src/vprof/service/vprofd.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/vprof/registry.h"
+
+namespace vprof {
+
+namespace {
+
+HarvesterOptions MakeHarvesterOptions(Vprofd* daemon, TimeNs epoch_ns,
+                                      void (Vprofd::*handler)(Trace&&)) {
+  HarvesterOptions options;
+  options.epoch_ns = epoch_ns;
+  options.sink = [daemon, handler](Trace&& trace) {
+    (daemon->*handler)(std::move(trace));
+  };
+  return options;
+}
+
+}  // namespace
+
+Vprofd::Vprofd(VprofdOptions options)
+    : options_(std::move(options)),
+      root_(RegisterFunction(options_.root_function)),
+      tree_(options_.tree),
+      controller_(root_, options_.graph.get(), options_.controller),
+      harvester_(MakeHarvesterOptions(this, options_.epoch_ns,
+                                      &Vprofd::HandleEpoch)) {
+  // Without a call graph the controller has nothing to descend into; run
+  // as a pure aggregator instead of crashing on the first step.
+  if (!options_.graph) options_.enable_controller = false;
+}
+
+Vprofd::~Vprofd() { Stop(); }
+
+void Vprofd::Start() {
+  if (harvester_.running()) return;
+  if (options_.enable_controller) controller_.ApplyInstrumentation();
+  harvester_.Start();
+}
+
+void Vprofd::Stop() { harvester_.Stop(); }
+
+void Vprofd::HandleEpoch(Trace&& trace) {
+  tree_.Fold(trace);
+  if (options_.enable_controller) controller_.Step(tree_.Snapshot());
+}
+
+std::string Vprofd::MetricsText() const {
+  const OnlineTreeSnapshot snapshot = Snapshot();
+  const ControllerStatus status = controller_status();
+  std::ostringstream out;
+  out << snapshot.ToPromText();
+  out << "# HELP vprofd_harvest_epochs_total Epochs rotated by the "
+         "harvester.\n"
+      << "# TYPE vprofd_harvest_epochs_total counter\n"
+      << "vprofd_harvest_epochs_total " << epochs() << "\n";
+  out << "# HELP vprofd_rotation_gap_ns Tracing-off time of the latest "
+         "epoch rotation.\n"
+      << "# TYPE vprofd_rotation_gap_ns gauge\n"
+      << "vprofd_rotation_gap_ns " << last_gap_ns() << "\n";
+  out << "# HELP vprofd_rotation_gap_max_ns Worst tracing-off rotation "
+         "gap seen.\n"
+      << "# TYPE vprofd_rotation_gap_max_ns gauge\n"
+      << "vprofd_rotation_gap_max_ns " << max_gap_ns() << "\n";
+  out << "# HELP vprofd_rotation_gap_total_ns Cumulative tracing-off time "
+         "across all rotations.\n"
+      << "# TYPE vprofd_rotation_gap_total_ns counter\n"
+      << "vprofd_rotation_gap_total_ns " << total_gap_ns() << "\n";
+  out << "# HELP vprofd_controller_steps_total Refinement steps taken.\n"
+      << "# TYPE vprofd_controller_steps_total counter\n"
+      << "vprofd_controller_steps_total " << status.steps << "\n";
+  out << "# HELP vprofd_controller_expansions_total Factors expanded into "
+         "their callees.\n"
+      << "# TYPE vprofd_controller_expansions_total counter\n"
+      << "vprofd_controller_expansions_total " << status.expansions << "\n";
+  out << "# HELP vprofd_controller_retirements_total Expanded functions "
+         "retired for low contribution.\n"
+      << "# TYPE vprofd_controller_retirements_total counter\n"
+      << "vprofd_controller_retirements_total " << status.retirements << "\n";
+  out << "# HELP vprofd_controller_stable_steps Consecutive steps with no "
+         "instrumentation change.\n"
+      << "# TYPE vprofd_controller_stable_steps gauge\n"
+      << "vprofd_controller_stable_steps " << status.stable_steps << "\n";
+  out << "# HELP vprofd_instrumented_probes Probes currently enabled by "
+         "the controller.\n"
+      << "# TYPE vprofd_instrumented_probes gauge\n"
+      << "vprofd_instrumented_probes " << status.instrumented.size() << "\n";
+  return out.str();
+}
+
+}  // namespace vprof

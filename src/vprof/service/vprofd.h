@@ -1,0 +1,96 @@
+// vprofd: the always-on profiling service facade.
+//
+// Composes the three service pieces — epoch harvesting, the streaming
+// variance tree, and the refinement controller — behind one object a server
+// embeds next to its request loop:
+//
+//   vprof::VprofdOptions opts;
+//   opts.root_function = "run_transaction";
+//   opts.graph = graph;                       // static call graph
+//   vprof::Vprofd daemon(opts);
+//   daemon.Start();                           // workload keeps running
+//   ... daemon.Snapshot(), daemon.MetricsText() from any thread ...
+//   daemon.Stop();
+//
+// Each epoch the harvester hands the trace to the tree's Fold and then (if
+// enabled) the controller's Step, which reshapes the probe bitmap before
+// the next epoch starts — Algorithm 3 running unattended against live
+// traffic, starting from top-level probes only.
+#ifndef SRC_VPROF_SERVICE_VPROFD_H_
+#define SRC_VPROF_SERVICE_VPROFD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/vprof/analysis/call_graph.h"
+#include "src/vprof/service/controller.h"
+#include "src/vprof/service/harvester.h"
+#include "src/vprof/service/online_tree.h"
+#include "src/vprof/types.h"
+
+namespace vprof {
+
+struct VprofdOptions {
+  // Function whose invocations delimit the semantic interval (the root of
+  // every variance tree). Registered with the probe registry if needed.
+  std::string root_function;
+
+  // Static call graph used for specificity heights and controller descent.
+  // Shared so the embedding server and the service can hold it jointly.
+  std::shared_ptr<const CallGraph> graph;
+
+  TimeNs epoch_ns = 100'000'000;  // 100 ms
+  OnlineTreeOptions tree;
+  ControllerOptions controller;
+
+  // When false the probe bitmap is left alone and vprofd only aggregates
+  // whatever the current instrumentation produces (used by the overhead
+  // bench and by operators who want a fixed probe set).
+  bool enable_controller = true;
+};
+
+class Vprofd {
+ public:
+  explicit Vprofd(VprofdOptions options);
+  ~Vprofd();
+
+  Vprofd(const Vprofd&) = delete;
+  Vprofd& operator=(const Vprofd&) = delete;
+
+  // Applies the initial instrumentation (root + direct callees) and begins
+  // harvesting. No-op if already running.
+  void Start();
+
+  // Harvests the final partial epoch and stops. Tracing is left off; the
+  // aggregated tree remains queryable.
+  void Stop();
+
+  bool running() const { return harvester_.running(); }
+  uint64_t epochs() const { return harvester_.epochs(); }
+  TimeNs last_gap_ns() const { return harvester_.last_gap_ns(); }
+  TimeNs max_gap_ns() const { return harvester_.max_gap_ns(); }
+  TimeNs total_gap_ns() const { return harvester_.total_gap_ns(); }
+
+  OnlineTreeSnapshot Snapshot() const { return tree_.Snapshot(); }
+  ControllerStatus controller_status() const { return controller_.status(); }
+  bool Converged(int stable_needed = 3) const {
+    return controller_.Converged(stable_needed);
+  }
+
+  // Prometheus text exposition: the tree's node metrics plus vprofd_*
+  // service gauges (epochs, rotation gap, controller progress).
+  std::string MetricsText() const;
+
+ private:
+  void HandleEpoch(Trace&& trace);
+
+  VprofdOptions options_;
+  FuncId root_ = kInvalidFunc;
+  OnlineVarianceTree tree_;
+  RefinementController controller_;
+  EpochHarvester harvester_;
+};
+
+}  // namespace vprof
+
+#endif  // SRC_VPROF_SERVICE_VPROFD_H_

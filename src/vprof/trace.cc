@@ -80,29 +80,159 @@ bool WriteString(std::FILE* f, const std::string& s) {
   return WritePod(f, size) && WriteBytes(f, s.data(), s.size());
 }
 
-bool ReadString(std::FILE* f, std::string* s) {
-  uint64_t size = 0;
-  if (!ReadPod(f, &size) || size > (1ull << 20)) {
-    return false;
-  }
-  s->resize(size);
-  return ReadBytes(f, s->data(), size);
-}
-
 template <typename T>
 bool WriteVector(std::FILE* f, const std::vector<T>& v) {
   const uint64_t size = v.size();
   return WritePod(f, size) && WriteBytes(f, v.data(), v.size() * sizeof(T));
 }
 
-template <typename T>
-bool ReadVector(std::FILE* f, std::vector<T>* v) {
+// Bytes left between the cursor and EOF; bounds every length-prefixed read
+// so a corrupt size field cannot trigger a huge allocation.
+uint64_t RemainingBytes(std::FILE* f, uint64_t file_size) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || static_cast<uint64_t>(pos) > file_size) {
+    return 0;
+  }
+  return file_size - static_cast<uint64_t>(pos);
+}
+
+TraceLoadStatus ReadStringChecked(std::FILE* f, uint64_t file_size,
+                                  std::string* s) {
   uint64_t size = 0;
-  if (!ReadPod(f, &size) || size > (1ull << 32)) {
-    return false;
+  if (!ReadPod(f, &size)) {
+    return TraceLoadStatus::kTruncated;
+  }
+  if (size > (1ull << 20)) {
+    return TraceLoadStatus::kCorrupt;
+  }
+  if (size > RemainingBytes(f, file_size)) {
+    return TraceLoadStatus::kTruncated;
+  }
+  s->resize(size);
+  return ReadBytes(f, s->data(), size) ? TraceLoadStatus::kOk
+                                       : TraceLoadStatus::kTruncated;
+}
+
+template <typename T>
+TraceLoadStatus ReadVectorChecked(std::FILE* f, uint64_t file_size,
+                                  std::vector<T>* v) {
+  uint64_t size = 0;
+  if (!ReadPod(f, &size)) {
+    return TraceLoadStatus::kTruncated;
+  }
+  if (size > (1ull << 32)) {
+    return TraceLoadStatus::kCorrupt;
+  }
+  if (size * sizeof(T) > RemainingBytes(f, file_size)) {
+    return TraceLoadStatus::kTruncated;
   }
   v->resize(size);
-  return ReadBytes(f, v->data(), v->size() * sizeof(T));
+  return ReadBytes(f, v->data(), v->size() * sizeof(T))
+             ? TraceLoadStatus::kOk
+             : TraceLoadStatus::kTruncated;
+}
+
+// Field-level validation of one thread's records. Everything checked here
+// is indexed or switched on by the analysis layer without further guards.
+TraceLoadStatus ValidateThread(const ThreadTrace& t, uint64_t name_count) {
+  for (size_t i = 0; i < t.invocations.size(); ++i) {
+    const Invocation& inv = t.invocations[i];
+    if (inv.func == kInvalidFunc ||
+        static_cast<uint64_t>(inv.func) >= name_count) {
+      return TraceLoadStatus::kCorrupt;
+    }
+    // Parents are earlier records on the same thread; a forward or self
+    // reference would make the analysis chase a cycle.
+    if (inv.parent < -1 || inv.parent >= static_cast<int32_t>(i)) {
+      return TraceLoadStatus::kCorrupt;
+    }
+  }
+  for (const Segment& seg : t.segments) {
+    if (seg.state != SegmentState::kExecuting &&
+        seg.state != SegmentState::kBlocked &&
+        seg.state != SegmentState::kQueueWait) {
+      return TraceLoadStatus::kCorrupt;
+    }
+  }
+  for (const IntervalEvent& e : t.interval_events) {
+    if (e.kind != IntervalEventKind::kBegin &&
+        e.kind != IntervalEventKind::kEnd) {
+      return TraceLoadStatus::kCorrupt;
+    }
+  }
+  return TraceLoadStatus::kOk;
+}
+
+TraceLoadStatus LoadTraceImpl(std::FILE* f, Trace* trace) {
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return TraceLoadStatus::kOpenFailed;
+  }
+  const long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    return TraceLoadStatus::kOpenFailed;
+  }
+  const uint64_t file_size = static_cast<uint64_t>(end);
+
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadPod(f, &magic)) {
+    return TraceLoadStatus::kTruncated;
+  }
+  if (magic != kMagic) {
+    return TraceLoadStatus::kBadMagic;
+  }
+  if (!ReadPod(f, &version)) {
+    return TraceLoadStatus::kTruncated;
+  }
+  if (version != kVersion) {
+    return TraceLoadStatus::kBadVersion;
+  }
+  if (!ReadPod(f, &trace->duration)) {
+    return TraceLoadStatus::kTruncated;
+  }
+
+  uint64_t name_count = 0;
+  if (!ReadPod(f, &name_count)) {
+    return TraceLoadStatus::kTruncated;
+  }
+  if (name_count > kMaxFunctions) {
+    return TraceLoadStatus::kCorrupt;
+  }
+  trace->function_names.resize(name_count);
+  for (std::string& name : trace->function_names) {
+    const TraceLoadStatus status = ReadStringChecked(f, file_size, &name);
+    if (status != TraceLoadStatus::kOk) {
+      return status;
+    }
+  }
+
+  uint64_t thread_count = 0;
+  if (!ReadPod(f, &thread_count)) {
+    return TraceLoadStatus::kTruncated;
+  }
+  if (thread_count > (1u << 20)) {
+    return TraceLoadStatus::kCorrupt;
+  }
+  trace->threads.resize(thread_count);
+  for (ThreadTrace& t : trace->threads) {
+    if (!ReadPod(f, &t.tid)) {
+      return TraceLoadStatus::kTruncated;
+    }
+    TraceLoadStatus status = ReadVectorChecked(f, file_size, &t.invocations);
+    if (status == TraceLoadStatus::kOk) {
+      status = ReadVectorChecked(f, file_size, &t.segments);
+    }
+    if (status == TraceLoadStatus::kOk) {
+      status = ReadVectorChecked(f, file_size, &t.interval_events);
+    }
+    if (status == TraceLoadStatus::kOk) {
+      status = ValidateThread(t, name_count);
+    }
+    if (status != TraceLoadStatus::kOk) {
+      return status;
+    }
+  }
+  return TraceLoadStatus::kOk;
 }
 
 }  // namespace
@@ -139,41 +269,38 @@ bool SaveTrace(const Trace& trace, const std::string& path) {
   return true;
 }
 
-bool LoadTrace(const std::string& path, Trace* trace) {
+const char* TraceLoadStatusName(TraceLoadStatus status) {
+  switch (status) {
+    case TraceLoadStatus::kOk:
+      return "ok";
+    case TraceLoadStatus::kOpenFailed:
+      return "open_failed";
+    case TraceLoadStatus::kBadMagic:
+      return "bad_magic";
+    case TraceLoadStatus::kBadVersion:
+      return "bad_version";
+    case TraceLoadStatus::kTruncated:
+      return "truncated";
+    case TraceLoadStatus::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+TraceLoadStatus LoadTraceChecked(const std::string& path, Trace* trace) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
-    return false;
+    return TraceLoadStatus::kOpenFailed;
   }
-  uint32_t magic = 0;
-  uint32_t version = 0;
-  if (!ReadPod(f.get(), &magic) || magic != kMagic ||
-      !ReadPod(f.get(), &version) || version != kVersion ||
-      !ReadPod(f.get(), &trace->duration)) {
-    return false;
+  const TraceLoadStatus status = LoadTraceImpl(f.get(), trace);
+  if (status != TraceLoadStatus::kOk) {
+    *trace = Trace{};
   }
-  uint64_t name_count = 0;
-  if (!ReadPod(f.get(), &name_count) || name_count > kMaxFunctions) {
-    return false;
-  }
-  trace->function_names.resize(name_count);
-  for (std::string& name : trace->function_names) {
-    if (!ReadString(f.get(), &name)) {
-      return false;
-    }
-  }
-  uint64_t thread_count = 0;
-  if (!ReadPod(f.get(), &thread_count) || thread_count > (1u << 20)) {
-    return false;
-  }
-  trace->threads.resize(thread_count);
-  for (ThreadTrace& t : trace->threads) {
-    if (!ReadPod(f.get(), &t.tid) || !ReadVector(f.get(), &t.invocations) ||
-        !ReadVector(f.get(), &t.segments) ||
-        !ReadVector(f.get(), &t.interval_events)) {
-      return false;
-    }
-  }
-  return true;
+  return status;
+}
+
+bool LoadTrace(const std::string& path, Trace* trace) {
+  return LoadTraceChecked(path, trace) == TraceLoadStatus::kOk;
 }
 
 }  // namespace vprof

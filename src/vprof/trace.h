@@ -94,6 +94,27 @@ struct Trace {
 bool SaveTrace(const Trace& trace, const std::string& path);
 bool LoadTrace(const std::string& path, Trace* trace);
 
+// Why loading a trace file failed. Downstream analysis indexes straight
+// into the loaded vectors (parent links, FuncIds, enum states), so the
+// loader must reject anything structurally invalid rather than let a
+// corrupt file turn into out-of-bounds reads.
+enum class TraceLoadStatus {
+  kOk = 0,
+  kOpenFailed,   // file missing or unreadable
+  kBadMagic,     // not a VPRF trace file
+  kBadVersion,   // VPRF file from an incompatible format version
+  kTruncated,    // file ends mid-record (or a length field overruns the file)
+  kCorrupt,      // a field holds a value the format forbids
+};
+
+// Stable name for logs/tests, e.g. "truncated".
+const char* TraceLoadStatusName(TraceLoadStatus status);
+
+// As LoadTrace, but reports what went wrong. On any non-kOk status `*trace`
+// is left cleared, never partially filled. LoadTrace() is equivalent to
+// LoadTraceChecked() == kOk.
+TraceLoadStatus LoadTraceChecked(const std::string& path, Trace* trace);
+
 }  // namespace vprof
 
 #endif  // SRC_VPROF_TRACE_H_

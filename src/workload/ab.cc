@@ -12,7 +12,13 @@ namespace workload {
 AbDriver::AbDriver(httpd::HttpServer* server, const AbOptions& options)
     : server_(server), options_(options) {}
 
-AbResult AbDriver::Run() {
+AbResult AbDriver::Run() { return RunLoop(nullptr); }
+
+AbResult AbDriver::RunUntil(const std::atomic<bool>& stop) {
+  return RunLoop(&stop);
+}
+
+AbResult AbDriver::RunLoop(const std::atomic<bool>* stop) {
   AbResult result;
   std::mutex result_mu;
   const auto run_start = std::chrono::steady_clock::now();
@@ -24,7 +30,10 @@ AbResult AbDriver::Run() {
       std::vector<double> local;
       local.reserve(static_cast<size_t>(options_.requests_per_client));
       uint64_t local_rejected = 0;
-      for (int i = 0; i < options_.requests_per_client; ++i) {
+      for (int i = 0; stop != nullptr
+                          ? !stop->load(std::memory_order_acquire)
+                          : i < options_.requests_per_client;
+           ++i) {
         const uint64_t file_id = rng.NextBelow(server_->config().file_count);
         const auto t0 = std::chrono::steady_clock::now();
         const httpd::RequestStatus status =

@@ -3,6 +3,7 @@
 #ifndef SRC_WORKLOAD_AB_H_
 #define SRC_WORKLOAD_AB_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -31,7 +32,13 @@ class AbDriver {
 
   AbResult Run();
 
+  // Open-ended variant for long-running servers: clients keep issuing
+  // requests until `stop` becomes true; requests_per_client is ignored.
+  AbResult RunUntil(const std::atomic<bool>& stop);
+
  private:
+  AbResult RunLoop(const std::atomic<bool>* stop);
+
   httpd::HttpServer* server_;
   AbOptions options_;
 };

@@ -91,7 +91,27 @@ TpccResult TpccDriver::RunWith(const Executor& executor, int warehouses) {
       warehouses);
 }
 
+TpccResult TpccDriver::RunUntil(const std::atomic<bool>& stop) {
+  const uint64_t engine_aborts_before = engine_->aborted_count();
+  TpccResult result = RunTypedUntil(
+      [this](const TxnRequest& request) { return engine_->Execute(request); },
+      engine_->config().warehouses, stop);
+  result.engine_aborts = engine_->aborted_count() - engine_aborts_before;
+  return result;
+}
+
 TpccResult TpccDriver::RunTyped(const TypedExecutor& executor, int warehouses) {
+  return RunLoop(executor, warehouses, nullptr);
+}
+
+TpccResult TpccDriver::RunTypedUntil(const TypedExecutor& executor,
+                                     int warehouses,
+                                     const std::atomic<bool>& stop) {
+  return RunLoop(executor, warehouses, &stop);
+}
+
+TpccResult TpccDriver::RunLoop(const TypedExecutor& executor, int warehouses,
+                               const std::atomic<bool>* stop) {
   TpccResult result;
   std::mutex result_mu;
   const TpccGenerator generator(options_, warehouses);
@@ -110,7 +130,12 @@ TpccResult TpccDriver::RunTyped(const TypedExecutor& executor, int warehouses) {
       uint64_t local_exhausted = 0;
       uint64_t local_non_retryable = 0;
       double local_backoff_us = 0.0;
-      for (int i = 0; i < options_.transactions_per_thread; ++i) {
+      // Bounded run by default; open-ended (until `stop`) for long-running
+      // server modes.
+      for (int i = 0; stop != nullptr
+                          ? !stop->load(std::memory_order_acquire)
+                          : i < options_.transactions_per_thread;
+           ++i) {
         const TxnRequest request = generator.Next(rng);
         const auto t0 = std::chrono::steady_clock::now();
         minidb::TxnOutcome outcome;

@@ -7,6 +7,7 @@
 #ifndef SRC_WORKLOAD_TPCC_H_
 #define SRC_WORKLOAD_TPCC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -96,7 +97,17 @@ class TpccDriver {
       std::function<minidb::TxnOutcome(const minidb::TxnRequest&)>;
   TpccResult RunTyped(const TypedExecutor& executor, int warehouses);
 
+  // Open-ended variants for long-running servers (the online profiling
+  // service): each thread keeps issuing transactions until `stop` becomes
+  // true; transactions_per_thread is ignored.
+  TpccResult RunUntil(const std::atomic<bool>& stop);
+  TpccResult RunTypedUntil(const TypedExecutor& executor, int warehouses,
+                           const std::atomic<bool>& stop);
+
  private:
+  TpccResult RunLoop(const TypedExecutor& executor, int warehouses,
+                     const std::atomic<bool>* stop);
+
   minidb::Engine* engine_;
   TpccOptions options_;
 };

@@ -1,0 +1,142 @@
+// End-to-end for the online profiling service: run TPC-C on minidb under the
+// epoch harvester for a bounded number of epochs and require the refinement
+// controller — starting from top-level probes only — to converge to the same
+// top variance factors, with comparable variance shares, as the offline
+// iterative profiler (the paper's Table 4 workflow).
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/minidb/engine.h"
+#include "src/vprof/analysis/factor_selection.h"
+#include "src/vprof/analysis/profiler.h"
+#include "src/vprof/service/vprofd.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+constexpr int kWorkloadThreads = 2;
+constexpr int kOfflineTxns = 80;
+constexpr uint64_t kMaxEpochs = 14;
+constexpr vprof::TimeNs kEpochNs = 60'000'000;  // 60 ms
+#else
+constexpr int kWorkloadThreads = 4;
+constexpr int kOfflineTxns = 150;
+constexpr uint64_t kMaxEpochs = 30;
+constexpr vprof::TimeNs kEpochNs = 80'000'000;  // 80 ms
+#endif
+
+// Labels of the top-k non-covariance factors, in ranking order.
+std::vector<std::string> TopVarianceLabels(
+    const std::vector<vprof::Factor>& factors,
+    const std::vector<std::string>& names, size_t k) {
+  std::vector<std::string> top;
+  for (const vprof::Factor& factor : factors) {
+    if (factor.func_b != vprof::kInvalidFunc) {
+      continue;  // compare single-function factors across the two modes
+    }
+    top.push_back(factor.Label(names));
+    if (top.size() == k) {
+      break;
+    }
+  }
+  return top;
+}
+
+double ContributionOf(const std::vector<vprof::Factor>& factors,
+                      const std::vector<std::string>& names,
+                      const std::string& label) {
+  for (const vprof::Factor& factor : factors) {
+    if (factor.func_b == vprof::kInvalidFunc &&
+        factor.Label(names) == label) {
+      return factor.contribution;
+    }
+  }
+  return 0.0;
+}
+
+TEST(OnlineConvergenceIntegration, ControllerMatchesOfflineTopFactors) {
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  config.warehouses = 2;
+  minidb::Engine engine(config);
+  auto graph = std::make_shared<vprof::CallGraph>();
+  minidb::Engine::RegisterCallGraph(graph.get());
+
+  workload::TpccOptions workload_options;
+  workload_options.threads = kWorkloadThreads;
+  workload_options.transactions_per_thread = kOfflineTxns;
+  workload::TpccDriver driver(&engine, workload_options);
+  driver.Run();  // warm-up
+
+  // Offline reference: the iterative profiler with human-free refinement.
+  vprof::Profiler profiler("run_transaction", graph.get(),
+                           [&] { driver.Run(); });
+  vprof::ProfileOptions profile_options;
+  profile_options.top_k = 3;
+  const vprof::ProfileResult offline = profiler.Run(profile_options);
+  ASSERT_GT(offline.overall_variance, 0.0);
+
+  // Online: same engine and workload running continuously under vprofd.
+  std::atomic<bool> stop_workload{false};
+  std::thread workload_thread([&] { driver.RunUntil(stop_workload); });
+
+  vprof::VprofdOptions options;
+  options.root_function = "run_transaction";
+  options.graph = graph;
+  options.epoch_ns = kEpochNs;
+  options.controller.top_k = 3;
+  vprof::Vprofd daemon(std::move(options));
+  daemon.Start();
+  while (daemon.epochs() < kMaxEpochs && !daemon.Converged(3)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  daemon.Stop();
+  stop_workload.store(true, std::memory_order_release);
+  workload_thread.join();
+
+  const vprof::OnlineTreeSnapshot snapshot = daemon.Snapshot();
+  const vprof::ControllerStatus status = daemon.controller_status();
+  ASSERT_GT(snapshot.weight, 0.0);
+  ASSERT_FALSE(status.selection.empty());
+  // The controller must actually have descended below the top level.
+  EXPECT_GE(status.expansions, 1u);
+
+  const std::vector<std::string> online_top =
+      TopVarianceLabels(status.selection, snapshot.function_names, 3);
+  const std::vector<std::string> offline_top =
+      TopVarianceLabels(offline.all_factors, offline.function_names, 3);
+  ASSERT_FALSE(online_top.empty());
+  ASSERT_FALSE(offline_top.empty());
+
+  // Top-3 factor sets must overlap in at least two entries.
+  int overlap = 0;
+  const std::set<std::string> offline_set(offline_top.begin(),
+                                          offline_top.end());
+  for (const std::string& label : online_top) {
+    overlap += offline_set.count(label) ? 1 : 0;
+  }
+  EXPECT_GE(overlap, 2) << "online top-3 diverged from offline";
+
+  // Shared factors must agree on variance share within a loose tolerance
+  // (the online window decays and the workload keeps mutating state).
+  for (const std::string& label : online_top) {
+    if (!offline_set.count(label)) {
+      continue;
+    }
+    const double online_share =
+        ContributionOf(status.selection, snapshot.function_names, label);
+    const double offline_share =
+        ContributionOf(offline.all_factors, offline.function_names, label);
+    EXPECT_NEAR(online_share, offline_share, 0.35)
+        << "share mismatch for " << label;
+  }
+}
+
+}  // namespace

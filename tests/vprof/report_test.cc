@@ -82,5 +82,22 @@ TEST(ReportTest, LatencySummaryHasMoments) {
   EXPECT_NE(report.find("cv="), std::string::npos);
 }
 
+TEST(ReportTest, TraceHealthIsEmptyForCleanTrace) {
+  EXPECT_EQ(FormatTraceHealth(ReportSampleTrace()), "");
+}
+
+TEST(ReportTest, TraceHealthListsStuckThreadsAndDrops) {
+  Trace trace = ReportSampleTrace();
+  trace.stuck_threads.push_back(7);
+  trace.stuck_threads.push_back(9);
+  trace.threads[0].dropped_records = 12;
+  const std::string health = FormatTraceHealth(trace);
+  EXPECT_NE(health.find("trace health:"), std::string::npos);
+  EXPECT_NE(health.find("stuck threads (records quarantined): 2 [tid 7 9]"),
+            std::string::npos);
+  EXPECT_NE(health.find("dropped records (arena cap): 12 across 1 thread"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace vprof

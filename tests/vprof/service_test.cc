@@ -1,0 +1,354 @@
+// Tests for the vprofd service pieces: epoch harvesting, the refinement
+// controller's expand/retire policy, and the composed daemon.
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/vprof/analysis/call_graph.h"
+#include "src/vprof/probe.h"
+#include "src/vprof/registry.h"
+#include "src/vprof/runtime.h"
+#include "src/vprof/service/controller.h"
+#include "src/vprof/service/harvester.h"
+#include "src/vprof/service/online_tree.h"
+#include "src/vprof/service/vprofd.h"
+#include "tests/vprof/trace_builder.h"
+
+namespace vprof {
+namespace {
+
+using vprof_test::TraceBuilder;
+
+// ---------------------------------------------------------------------------
+// RefinementController
+// ---------------------------------------------------------------------------
+
+// Interval layout: txn spans the interval with children a ([base, base+a_i]),
+// b (constant 200ns) and a 50ns txn body tail. Function names are
+// parameterized so each test owns a disjoint slice of the global registry.
+Trace BuildControllerTrace(const std::string& prefix,
+                           const std::vector<TimeNs>& a_durations,
+                           TimeNs b_duration = 200) {
+  TraceBuilder tb;
+  for (size_t i = 0; i < a_durations.size(); ++i) {
+    const TimeNs base = static_cast<TimeNs>(i) * 100000;
+    const TimeNs a_end = base + a_durations[i];
+    const TimeNs b_end = a_end + b_duration;
+    const TimeNs end = b_end + 50;
+    const IntervalId sid = static_cast<IntervalId>(i + 1);
+    tb.Begin(0, sid, base).End(0, sid, end);
+    tb.Exec(0, sid, base, end);
+    const int txn = tb.Invoke(0, prefix + "_txn", base, end, -1, sid);
+    tb.Invoke(0, prefix + "_a", base, a_end, txn, sid);
+    tb.Invoke(0, prefix + "_b", a_end, b_end, txn, sid);
+  }
+  return tb.Build();
+}
+
+// txn -> {a, b}, a -> a_leaf, b -> b_leaf.
+CallGraph BuildControllerGraph(const std::string& prefix) {
+  CallGraph graph;
+  graph.AddEdge(prefix + "_txn", prefix + "_a");
+  graph.AddEdge(prefix + "_txn", prefix + "_b");
+  graph.AddEdge(prefix + "_a", prefix + "_a_leaf");
+  graph.AddEdge(prefix + "_b", prefix + "_b_leaf");
+  return graph;
+}
+
+TEST(RefinementControllerTest, InitialSetIsRootPlusDirectCallees) {
+  const std::string p = "ctl_init";
+  const CallGraph graph = BuildControllerGraph(p);
+  const FuncId root = RegisterFunction(p + "_txn");
+  RefinementController controller(root, &graph);
+
+  const int flips = controller.ApplyInstrumentation();
+  EXPECT_EQ(flips, 3);  // txn, a, b enabled; leaves untouched (off)
+  EXPECT_TRUE(IsFunctionEnabled(root));
+  EXPECT_TRUE(IsFunctionEnabled(RegisterFunction(p + "_a")));
+  EXPECT_TRUE(IsFunctionEnabled(RegisterFunction(p + "_b")));
+  EXPECT_FALSE(IsFunctionEnabled(RegisterFunction(p + "_a_leaf")));
+  EXPECT_FALSE(IsFunctionEnabled(RegisterFunction(p + "_b_leaf")));
+
+  const ControllerStatus status = controller.status();
+  EXPECT_EQ(status.instrumented.size(), 3u);
+  // Idempotent: a second apply flips nothing.
+  EXPECT_EQ(controller.ApplyInstrumentation(), 0);
+}
+
+TEST(RefinementControllerTest, ExpandsSelectedHighVarianceFactor) {
+  const std::string p = "ctl_expand";
+  const CallGraph graph = BuildControllerGraph(p);
+  const FuncId root = RegisterFunction(p + "_txn");
+  ControllerOptions options;
+  options.min_weight = 1.0;
+  RefinementController controller(root, &graph, options);
+  controller.ApplyInstrumentation();
+
+  OnlineVarianceTree tree;
+  tree.Fold(BuildControllerTrace(p, {100, 900, 300, 1500, 500, 2100}));
+  const int flips = controller.Step(tree.Snapshot());
+
+  // `a` carries all the variance and has a callee -> its subtree is entered.
+  EXPECT_EQ(flips, 1);
+  EXPECT_TRUE(IsFunctionEnabled(RegisterFunction(p + "_a_leaf")));
+  EXPECT_FALSE(IsFunctionEnabled(RegisterFunction(p + "_b_leaf")));
+
+  const ControllerStatus status = controller.status();
+  EXPECT_EQ(status.steps, 1u);
+  EXPECT_EQ(status.expansions, 1u);
+  EXPECT_EQ(status.last_changes, 1);
+  ASSERT_FALSE(status.selection.empty());
+  EXPECT_EQ(status.selection[0].func_a, RegisterFunction(p + "_a"));
+}
+
+TEST(RefinementControllerTest, RetiresFunctionAfterSustainedLowContribution) {
+  const std::string p = "ctl_retire";
+  const CallGraph graph = BuildControllerGraph(p);
+  const FuncId root = RegisterFunction(p + "_txn");
+  ControllerOptions options;
+  options.min_weight = 1.0;
+  options.retire_patience = 2;
+  RefinementController controller(root, &graph, options);
+  controller.ApplyInstrumentation();
+
+  OnlineTreeOptions tree_options;
+  tree_options.decay_half_life_epochs = 1.0;  // forget the old regime fast
+  OnlineVarianceTree tree(tree_options);
+
+  // Regime 1: `a` varies -> expanded.
+  tree.Fold(BuildControllerTrace(p, {100, 900, 300, 1500, 500, 2100}));
+  controller.Step(tree.Snapshot());
+  ASSERT_TRUE(IsFunctionEnabled(RegisterFunction(p + "_a_leaf")));
+
+  // Regime 2: `a` goes flat while `b` varies. As the window decays, every
+  // factor involving `a` drops under the retirement floor and its subtree
+  // is de-instrumented again.
+  for (int epoch = 0; epoch < 15; ++epoch) {
+    TraceBuilder tb;
+    for (int i = 0; i < 6; ++i) {
+      const TimeNs base = static_cast<TimeNs>(i) * 100000;
+      const TimeNs b_dur = 200 + 400 * ((i + epoch) % 3);
+      const TimeNs a_end = base + 100;
+      const TimeNs b_end = a_end + b_dur;
+      const TimeNs end = b_end + 50;
+      const IntervalId sid = static_cast<IntervalId>(i + 1);
+      tb.Begin(0, sid, base).End(0, sid, end);
+      tb.Exec(0, sid, base, end);
+      const int txn = tb.Invoke(0, p + "_txn", base, end, -1, sid);
+      tb.Invoke(0, p + "_a", base, a_end, txn, sid);
+      tb.Invoke(0, p + "_b", a_end, b_end, txn, sid);
+    }
+    tree.Fold(tb.Build());
+    controller.Step(tree.Snapshot());
+  }
+
+  EXPECT_FALSE(IsFunctionEnabled(RegisterFunction(p + "_a_leaf")));
+  EXPECT_GE(controller.status().retirements, 1u);
+  // `b` took over the variance and was expanded in turn.
+  EXPECT_TRUE(IsFunctionEnabled(RegisterFunction(p + "_b_leaf")));
+}
+
+TEST(RefinementControllerTest, SkipsStepsBelowMinWeight) {
+  const std::string p = "ctl_skip";
+  const CallGraph graph = BuildControllerGraph(p);
+  const FuncId root = RegisterFunction(p + "_txn");
+  RefinementController controller(root, &graph);  // default min_weight = 30
+  controller.ApplyInstrumentation();
+
+  OnlineVarianceTree tree;
+  tree.Fold(BuildControllerTrace(p, {100, 900, 300}));  // weight 3 < 30
+  EXPECT_EQ(controller.Step(tree.Snapshot()), 0);
+
+  const ControllerStatus status = controller.status();
+  EXPECT_EQ(status.steps, 1u);
+  EXPECT_EQ(status.skipped, 1u);
+  EXPECT_FALSE(IsFunctionEnabled(RegisterFunction(p + "_a_leaf")));
+}
+
+TEST(RefinementControllerTest, ConvergesWhenInstrumentationStopsChanging) {
+  const std::string p = "ctl_conv";
+  const CallGraph graph = BuildControllerGraph(p);
+  const FuncId root = RegisterFunction(p + "_txn");
+  ControllerOptions options;
+  options.min_weight = 1.0;
+  RefinementController controller(root, &graph, options);
+  controller.ApplyInstrumentation();
+  EXPECT_FALSE(controller.Converged(1));
+
+  OnlineVarianceTree tree;
+  tree.Fold(BuildControllerTrace(p, {100, 900, 300, 1500, 500, 2100}));
+  controller.Step(tree.Snapshot());  // expands `a`: not yet stable
+
+  for (int i = 0; i < 3; ++i) {
+    tree.Fold(BuildControllerTrace(p, {100, 900, 300, 1500, 500, 2100}));
+    EXPECT_EQ(controller.Step(tree.Snapshot()), 0);
+  }
+  EXPECT_TRUE(controller.Converged(3));
+  EXPECT_EQ(controller.status().stable_steps, 3);
+}
+
+// ---------------------------------------------------------------------------
+// EpochHarvester
+// ---------------------------------------------------------------------------
+
+void HarvestedWork() {
+  VPROF_FUNC("service_test_fn");
+}
+
+TEST(EpochHarvesterTest, RotatesEpochsAndDeliversEveryTrace) {
+  const FuncId fn = RegisterFunction("service_test_fn");
+  SetFunctionEnabled(fn, true);
+
+  std::atomic<bool> stop_worker{false};
+  std::thread worker([&] {
+    while (!stop_worker.load(std::memory_order_acquire)) {
+      const IntervalId sid = BeginInterval();
+      for (int i = 0; i < 50; ++i) {
+        HarvestedWork();
+      }
+      EndInterval(sid);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::atomic<uint64_t> sink_calls{0};
+  std::atomic<uint64_t> invocations{0};
+  HarvesterOptions options;
+  options.epoch_ns = 15'000'000;  // 15 ms
+  options.sink = [&](Trace&& trace) {
+    sink_calls.fetch_add(1);
+    for (const ThreadTrace& t : trace.threads) {
+      invocations.fetch_add(t.invocations.size());
+    }
+  };
+
+  EpochHarvester harvester(std::move(options));
+  EXPECT_FALSE(harvester.running());
+  harvester.Start();
+  EXPECT_TRUE(harvester.running());
+  harvester.Start();  // no-op while running
+
+  while (harvester.epochs() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  harvester.Stop();
+  EXPECT_FALSE(harvester.running());
+  harvester.Stop();  // idempotent
+
+  stop_worker.store(true, std::memory_order_release);
+  worker.join();
+
+  // The final partial epoch is harvested too, so every epoch reached a sink.
+  EXPECT_EQ(sink_calls.load(), harvester.epochs());
+  EXPECT_GE(harvester.epochs(), 3u);
+  EXPECT_GT(invocations.load(), 0u);
+  // From the second epoch on, the rotation gap (sink + quiesce) is measured.
+  EXPECT_GT(harvester.max_gap_ns(), 0);
+  EXPECT_LE(harvester.last_gap_ns(), harvester.max_gap_ns());
+  EXPECT_GE(harvester.total_gap_ns(), harvester.max_gap_ns());
+
+  SetFunctionEnabled(fn, false);
+}
+
+TEST(EpochHarvesterTest, StopWithoutStartIsSafe) {
+  HarvesterOptions options;
+  EpochHarvester harvester(std::move(options));
+  harvester.Stop();
+  EXPECT_EQ(harvester.epochs(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Vprofd
+// ---------------------------------------------------------------------------
+
+void VprofdChildWork() {
+  VPROF_FUNC("vprofd_test_child");
+  volatile int x = 0;
+  for (int i = 0; i < 100; ++i) {
+    x = x + i;
+  }
+}
+
+void VprofdRootWork() {
+  VPROF_FUNC("vprofd_test_root");
+  VprofdChildWork();
+}
+
+TEST(VprofdTest, HarvestsAggregatesAndExportsMetrics) {
+  auto graph = std::make_shared<CallGraph>();
+  graph->AddEdge("vprofd_test_root", "vprofd_test_child");
+
+  std::atomic<bool> stop_worker{false};
+  std::thread worker([&] {
+    while (!stop_worker.load(std::memory_order_acquire)) {
+      const IntervalId sid = BeginInterval();
+      VprofdRootWork();
+      EndInterval(sid);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  VprofdOptions options;
+  options.root_function = "vprofd_test_root";
+  options.graph = graph;
+  options.epoch_ns = 15'000'000;  // 15 ms
+  options.controller.min_weight = 5.0;
+  Vprofd daemon(std::move(options));
+  daemon.Start();
+
+  while (daemon.epochs() < 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  daemon.Stop();
+  stop_worker.store(true, std::memory_order_release);
+  worker.join();
+
+  const OnlineTreeSnapshot snap = daemon.Snapshot();
+  EXPECT_GE(snap.epochs, 4u);
+  EXPECT_GT(snap.weight, 0.0);
+  EXPECT_GT(snap.overall_mean(), 0.0);
+
+  bool found_root = false;
+  for (size_t i = 0; i < snap.nodes.size(); ++i) {
+    if (snap.NodeLabel(static_cast<NodeId>(i)) == "vprofd_test_root") {
+      found_root = true;
+    }
+  }
+  EXPECT_TRUE(found_root);
+
+  const ControllerStatus status = daemon.controller_status();
+  EXPECT_GE(status.steps, 4u);
+
+  const std::string metrics = daemon.MetricsText();
+  EXPECT_NE(metrics.find("vprofd_harvest_epochs_total"), std::string::npos);
+  EXPECT_NE(metrics.find("vprofd_rotation_gap_ns"), std::string::npos);
+  EXPECT_NE(metrics.find("vprofd_controller_steps_total"), std::string::npos);
+  EXPECT_NE(metrics.find("vprof_node_mean_ns"), std::string::npos);
+
+  // Start applied the instrumentation: root and child probes are enabled.
+  EXPECT_TRUE(IsFunctionEnabled(RegisterFunction("vprofd_test_root")));
+  SetFunctionEnabled(RegisterFunction("vprofd_test_root"), false);
+  SetFunctionEnabled(RegisterFunction("vprofd_test_child"), false);
+}
+
+TEST(VprofdTest, NullGraphRunsAsPureAggregator) {
+  VprofdOptions options;
+  options.root_function = "vprofd_test_noctl_root";
+  options.epoch_ns = 10'000'000;
+  Vprofd daemon(std::move(options));
+  daemon.Start();
+  while (daemon.epochs() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  daemon.Stop();
+  // No controller: zero steps, nothing instrumented by the service.
+  EXPECT_EQ(daemon.controller_status().steps, 0u);
+  EXPECT_FALSE(IsFunctionEnabled(RegisterFunction("vprofd_test_noctl_root")));
+}
+
+}  // namespace
+}  // namespace vprof

@@ -1,4 +1,8 @@
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -12,6 +16,37 @@ using vprof_test::TraceBuilder;
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<char> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  std::vector<char> bytes(static_cast<size_t>(std::ftell(f)));
+  std::fseek(f, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFile(const std::string& path, const std::vector<char>& bytes,
+               size_t count) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, count, f), count);
+  std::fclose(f);
+}
+
+// A small but structurally complete trace: names, two threads, all three
+// record vectors populated.
+Trace MakeSampleTrace() {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 10, /*label=*/3).End(0, 1, 500);
+  tb.Exec(0, 1, 10, 200).Blocked(0, 1, 200, 400, 1, 400).Exec(0, 1, 400, 500);
+  const int parent = tb.Invoke(0, "io_root", 10, 490, -1, 1);
+  tb.Invoke(0, "io_child", 20, 120, parent, 1);
+  tb.ExecGenerated(1, 1, 0, 10, 0, 5);
+  return tb.Build(9876);
 }
 
 TEST(TraceIoTest, RoundTrip) {
@@ -82,6 +117,128 @@ TEST(TraceIoTest, EmptyTraceRoundTrips) {
   ASSERT_TRUE(LoadTrace(path, &loaded));
   EXPECT_EQ(loaded.duration, 7);
   EXPECT_TRUE(loaded.threads.empty());
+}
+
+TEST(TraceIoTest, CheckedLoadReportsOpenFailed) {
+  Trace trace;
+  EXPECT_EQ(LoadTraceChecked(TempPath("missing_checked.bin"), &trace),
+            TraceLoadStatus::kOpenFailed);
+}
+
+TEST(TraceIoTest, CheckedLoadReportsBadMagicAndVersion) {
+  const std::string path = TempPath("patched_header.bin");
+  ASSERT_TRUE(SaveTrace(MakeSampleTrace(), path));
+  std::vector<char> bytes = ReadFile(path);
+
+  std::vector<char> bad_magic = bytes;
+  bad_magic[0] ^= 0x5a;
+  WriteFile(path, bad_magic, bad_magic.size());
+  Trace trace;
+  EXPECT_EQ(LoadTraceChecked(path, &trace), TraceLoadStatus::kBadMagic);
+
+  std::vector<char> bad_version = bytes;
+  bad_version[4] = 99;  // version field follows the 4-byte magic
+  WriteFile(path, bad_version, bad_version.size());
+  EXPECT_EQ(LoadTraceChecked(path, &trace), TraceLoadStatus::kBadVersion);
+}
+
+TEST(TraceIoTest, TruncationAtEveryOffsetIsTyped) {
+  // Chop the file at every byte offset: each prefix must load as kTruncated
+  // (never kOk, never a crash or partial result).
+  const std::string full_path = TempPath("trunc_full.bin");
+  ASSERT_TRUE(SaveTrace(MakeSampleTrace(), full_path));
+  const std::vector<char> bytes = ReadFile(full_path);
+  ASSERT_GT(bytes.size(), 16u);
+
+  const std::string cut_path = TempPath("trunc_cut.bin");
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    WriteFile(cut_path, bytes, cut);
+    Trace trace;
+    trace.duration = 42;  // must be wiped on failure
+    EXPECT_EQ(LoadTraceChecked(cut_path, &trace), TraceLoadStatus::kTruncated)
+        << "at offset " << cut << " of " << bytes.size();
+    EXPECT_EQ(trace.duration, 0) << "partial state leaked at offset " << cut;
+    EXPECT_TRUE(trace.threads.empty());
+  }
+  // Sanity: the untruncated file still loads.
+  Trace trace;
+  EXPECT_EQ(LoadTraceChecked(full_path, &trace), TraceLoadStatus::kOk);
+}
+
+TEST(TraceIoTest, OversizedLengthFieldIsTruncatedNotOom) {
+  // A corrupt vector-length field claiming more data than the file holds
+  // must fail cleanly (bounded by file size) instead of allocating wildly.
+  const std::string path = TempPath("huge_len.bin");
+  ASSERT_TRUE(SaveTrace(MakeSampleTrace(), path));
+  std::vector<char> bytes = ReadFile(path);
+  // The function-name count sits after magic(4) + version(4) + duration(8).
+  // Within the kMaxFunctions cap (which would be kCorrupt) but far more
+  // entries than the file can hold.
+  const uint64_t huge = 4000;
+  std::memcpy(bytes.data() + 16, &huge, sizeof(huge));
+  WriteFile(path, bytes, bytes.size());
+  Trace trace;
+  EXPECT_EQ(LoadTraceChecked(path, &trace), TraceLoadStatus::kTruncated);
+}
+
+TEST(TraceIoTest, CorruptInvocationFuncIsRejected) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 100);
+  tb.Invoke(0, "corrupt_func_test", 0, 50, -1, 1);
+  Trace trace = tb.Build();
+  trace.threads[0].invocations[0].func =
+      static_cast<FuncId>(trace.function_names.size() + 7);
+  const std::string path = TempPath("bad_func.bin");
+  ASSERT_TRUE(SaveTrace(trace, path));
+  Trace loaded;
+  EXPECT_EQ(LoadTraceChecked(path, &loaded), TraceLoadStatus::kCorrupt);
+  EXPECT_FALSE(LoadTrace(path, &loaded));
+}
+
+TEST(TraceIoTest, ForwardOrSelfParentIsRejected) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 100);
+  tb.Invoke(0, "corrupt_parent_test", 0, 50, -1, 1);
+  Trace trace = tb.Build();
+  trace.threads[0].invocations[0].parent = 0;  // self-parent: a cycle
+  const std::string path = TempPath("bad_parent.bin");
+  ASSERT_TRUE(SaveTrace(trace, path));
+  Trace loaded;
+  EXPECT_EQ(LoadTraceChecked(path, &loaded), TraceLoadStatus::kCorrupt);
+}
+
+TEST(TraceIoTest, InvalidSegmentStateIsRejected) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 100);
+  tb.Exec(0, 1, 0, 100);
+  Trace trace = tb.Build();
+  trace.threads[0].segments[0].state = static_cast<SegmentState>(7);
+  const std::string path = TempPath("bad_state.bin");
+  ASSERT_TRUE(SaveTrace(trace, path));
+  Trace loaded;
+  EXPECT_EQ(LoadTraceChecked(path, &loaded), TraceLoadStatus::kCorrupt);
+}
+
+TEST(TraceIoTest, InvalidIntervalEventKindIsRejected) {
+  TraceBuilder tb;
+  tb.Begin(0, 1, 0).End(0, 1, 100);
+  Trace trace = tb.Build();
+  trace.threads[0].interval_events[0].kind = static_cast<IntervalEventKind>(9);
+  const std::string path = TempPath("bad_kind.bin");
+  ASSERT_TRUE(SaveTrace(trace, path));
+  Trace loaded;
+  EXPECT_EQ(LoadTraceChecked(path, &loaded), TraceLoadStatus::kCorrupt);
+}
+
+TEST(TraceIoTest, StatusNamesAreStable) {
+  EXPECT_STREQ(TraceLoadStatusName(TraceLoadStatus::kOk), "ok");
+  EXPECT_STREQ(TraceLoadStatusName(TraceLoadStatus::kOpenFailed),
+               "open_failed");
+  EXPECT_STREQ(TraceLoadStatusName(TraceLoadStatus::kBadMagic), "bad_magic");
+  EXPECT_STREQ(TraceLoadStatusName(TraceLoadStatus::kBadVersion),
+               "bad_version");
+  EXPECT_STREQ(TraceLoadStatusName(TraceLoadStatus::kTruncated), "truncated");
+  EXPECT_STREQ(TraceLoadStatusName(TraceLoadStatus::kCorrupt), "corrupt");
 }
 
 TEST(TraceCountsTest, CountsSumAcrossThreads) {
