@@ -1,0 +1,130 @@
+// statstore_inspect: command-line reader for a vprofd history directory.
+//
+//   statstore_inspect <dir>                      store summary + series list
+//   statstore_inspect <dir> <series> [min [max]] decoded points of one series
+//   statstore_inspect <dir> --top [epoch-count]  factors ranked by mean share
+//                                                over the last N epochs
+//
+// Works on a live daemon's directory (reads never block the append path)
+// and on a directory left behind by a crashed one — Open() recovers the
+// torn tail exactly like the daemon would.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/statstore/store.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <dir>                      summary + series\n"
+               "       %s <dir> <series> [min [max]] dump one series\n"
+               "       %s <dir> --top [epochs]       top factors by share\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+void PrintSummary(const statstore::StatStore& store) {
+  const statstore::StoreStats stats = store.stats();
+  std::printf("store: %s\n", store.options().dir.c_str());
+  std::printf("  epochs    %" PRIu64 " .. %" PRIu64 "  (%" PRIu64
+              " records)\n",
+              store.first_epoch(), store.last_epoch(), store.record_count());
+  std::printf("  segments  %" PRIu64 "  (%.1f KiB on disk)\n",
+              store.segment_count(),
+              static_cast<double>(store.disk_bytes()) / 1024.0);
+  if (stats.recovered_records > 0 || stats.truncated_bytes > 0) {
+    std::printf("  recovery  %" PRIu64 " records replayed, %" PRIu64
+                " torn bytes truncated, %" PRIu64 " segments dropped\n",
+                stats.recovered_records, stats.truncated_bytes,
+                stats.dropped_segments);
+  }
+  const std::vector<std::string> series = store.ListSeries();
+  std::printf("  series    %zu\n", series.size());
+  for (const std::string& name : series) {
+    std::printf("    %s\n", name.c_str());
+  }
+}
+
+void PrintSeries(const statstore::StatStore& store, const std::string& series,
+                 uint64_t min_epoch, uint64_t max_epoch) {
+  const std::vector<statstore::SeriesPoint> points =
+      store.Query(series, min_epoch, max_epoch);
+  std::printf("%s: %zu points\n", series.c_str(), points.size());
+  for (const statstore::SeriesPoint& p : points) {
+    std::printf("  %8" PRIu64 "  %.17g\n", p.epoch, p.value);
+  }
+}
+
+// Ranks node share streams by their mean over the trailing `window` epochs —
+// the offline counterpart of the regression detector's live view.
+void PrintTopFactors(const statstore::StatStore& store, uint64_t window) {
+  const uint64_t last = store.last_epoch();
+  const uint64_t min_epoch = last > window ? last - window + 1 : 0;
+  struct Row {
+    double mean_share;
+    std::string series;
+  };
+  std::vector<Row> rows;
+  for (const std::string& name : store.ListSeries()) {
+    if (name.rfind("node:", 0) != 0 ||
+        name.rfind(":share") != name.size() - 6) {
+      continue;
+    }
+    const std::vector<statstore::SeriesPoint> points =
+        store.Query(name, min_epoch, last);
+    if (points.empty()) continue;
+    double sum = 0.0;
+    for (const statstore::SeriesPoint& p : points) sum += p.value;
+    rows.push_back({sum / static_cast<double>(points.size()), name});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) {
+              return a.mean_share > b.mean_share;
+            });
+  std::printf("top variance factors, epochs %" PRIu64 "..%" PRIu64 ":\n",
+              min_epoch, last);
+  for (const Row& row : rows) {
+    std::printf("  %6.1f%%  %s\n", row.mean_share * 100.0,
+                row.series.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+
+  statstore::StoreOptions options;
+  options.dir = argv[1];
+  statstore::StatStore store(options);
+  if (!store.Open()) {
+    std::fprintf(stderr, "statstore_inspect: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  if (store.record_count() == 0) {
+    std::fprintf(stderr, "statstore_inspect: %s holds no records\n", argv[1]);
+    return 1;
+  }
+
+  if (argc == 2) {
+    PrintSummary(store);
+  } else if (std::strcmp(argv[2], "--top") == 0) {
+    const uint64_t window =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 64;
+    PrintTopFactors(store, window == 0 ? 64 : window);
+  } else {
+    const uint64_t min_epoch =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
+    const uint64_t max_epoch =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : UINT64_MAX;
+    PrintSeries(store, argv[2], min_epoch, max_epoch);
+  }
+  return 0;
+}

@@ -7,7 +7,11 @@
 # --online runs only the vprofd service suite (harvester, streaming tree,
 # controller, convergence) under ThreadSanitizer — the epoch rotation and
 # snapshot paths are all cross-thread.
-# Usage: scripts/check.sh [--tsan-only|--asan-only|--online]
+# --statstore runs the compressed-history suite (codecs, segment IO,
+# truncation-at-every-offset recovery, regression detection, vprofd wiring)
+# under ASan+UBSan — the store is pointer-heavy bitstream code fed by
+# fault-injected torn writes, exactly where ASan earns its keep.
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--online|--statstore]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +31,20 @@ if [[ "${MODE}" == "--online" ]]; then
    ctest --output-on-failure -R \
      '^(statkit_decay|vprof_online_tree|vprof_service)_test$')
   echo "== check.sh --online: all green =="
+  exit 0
+fi
+
+if [[ "${MODE}" == "--statstore" ]]; then
+  echo "== asan+ubsan: statstore suite =="
+  cmake -B build-asan -S . -DVPROF_ASAN=ON >/dev/null
+  STATSTORE_TARGETS=(gorilla_test store_test store_recovery_test
+                     regression_test vprof_history_test
+                     integration_history_regression_test)
+  cmake --build build-asan -j "${JOBS}" --target "${STATSTORE_TARGETS[@]}"
+  (cd build-asan &&
+   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+   ctest --output-on-failure -L statstore)
+  echo "== check.sh --statstore: all green =="
   exit 0
 fi
 

@@ -21,7 +21,7 @@ bool PageCache::ReadFile(uint64_t file_id, uint64_t bytes) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     hit = cached_.count(file_id) > 0;
-    if (!hit) {
+    if (!hit && capacity_ > 0) {
       if (cached_.size() >= static_cast<size_t>(capacity_)) {
         cached_.erase(cached_.begin());
       }

@@ -1,0 +1,90 @@
+// Bit-granular append/read streams for the Gorilla-style codecs.
+//
+// The compressed epoch records in segment.h are sequences of variable-width
+// fields (control bits, zig-zag deltas, XOR windows) that do not align to
+// byte boundaries. BitWriter appends most-significant-bit-first into a byte
+// vector; BitReader consumes the same layout and reports exhaustion instead
+// of reading past the end, so a truncated payload decodes to a clean error
+// rather than garbage.
+#ifndef SRC_STATSTORE_BITSTREAM_H_
+#define SRC_STATSTORE_BITSTREAM_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace statstore {
+
+class BitWriter {
+ public:
+  // Appends the low `bits` bits of `value`, most significant first.
+  void Write(uint64_t value, int bits) {
+    for (int i = bits - 1; i >= 0; --i) {
+      if (bit_ == 0) {
+        bytes_.push_back(0);
+        bit_ = 8;
+      }
+      --bit_;
+      if ((value >> i) & 1u) {
+        bytes_.back() |= static_cast<uint8_t>(1u << bit_);
+      }
+    }
+  }
+
+  void WriteBit(bool b) { Write(b ? 1 : 0, 1); }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() {
+    bit_ = 0;
+    return std::move(bytes_);
+  }
+
+  size_t bit_count() const { return bytes_.size() * 8 - bit_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  unsigned bit_ = 0;  // unused low bits remaining in bytes_.back()
+};
+
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  // Reads `bits` bits into *value (most significant first). Returns false —
+  // and poisons the reader — once the stream is exhausted.
+  bool Read(uint64_t* value, int bits) {
+    uint64_t out = 0;
+    for (int i = 0; i < bits; ++i) {
+      const size_t byte = pos_ >> 3;
+      if (byte >= size_) {
+        failed_ = true;
+        return false;
+      }
+      const unsigned shift = 7u - (pos_ & 7u);
+      out = (out << 1) | ((data_[byte] >> shift) & 1u);
+      ++pos_;
+    }
+    *value = out;
+    return true;
+  }
+
+  bool ReadBit(bool* b) {
+    uint64_t v = 0;
+    if (!Read(&v, 1)) return false;
+    *b = v != 0;
+    return true;
+  }
+
+  bool failed() const { return failed_; }
+  size_t bits_consumed() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace statstore
+
+#endif  // SRC_STATSTORE_BITSTREAM_H_

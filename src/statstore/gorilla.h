@@ -1,0 +1,213 @@
+// Gorilla-style compression primitives (Pelkonen et al., VLDB 2015):
+// delta-of-delta encoding for monotone epoch counters/timestamps and
+// leading/trailing-zero XOR encoding for IEEE-754 doubles.
+//
+// Both codecs are stateful streams: the encoder carries the previous value
+// (and window, for XOR) forward, so each Append emits only the few bits the
+// new value needs. Variance-tree metric streams are ideal inputs — epoch
+// numbers advance by a constant delta (delta-of-delta == 0, one bit per
+// epoch) and folded means/variances drift slowly (XOR of consecutive
+// doubles shares most significant bits). Decoding replays the stream from
+// the front and reproduces every value bit-exactly.
+#ifndef SRC_STATSTORE_GORILLA_H_
+#define SRC_STATSTORE_GORILLA_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/statstore/bitstream.h"
+
+namespace statstore {
+
+inline uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline uint64_t DoubleBits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+inline double BitsToDouble(uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+// Delta-of-delta codec for uint64 sequences (epoch ids, timestamps).
+// Bucket layout (control prefix, zig-zagged dod payload):
+//   0                -> dod == 0
+//   10   + 7 bits    -> |dod| small (zig-zag < 2^7)
+//   110  + 12 bits
+//   1110 + 20 bits
+//   1111 + 64 bits   -> anything else
+class DeltaOfDeltaEncoder {
+ public:
+  void Append(BitWriter* w, uint64_t value) {
+    if (count_ == 0) {
+      w->Write(value, 64);
+    } else {
+      const int64_t delta =
+          static_cast<int64_t>(value) - static_cast<int64_t>(prev_);
+      const int64_t dod = delta - prev_delta_;
+      const uint64_t zz = ZigZag(dod);
+      if (dod == 0) {
+        w->WriteBit(false);
+      } else if (zz < (1ull << 7)) {
+        w->Write(0b10, 2);
+        w->Write(zz, 7);
+      } else if (zz < (1ull << 12)) {
+        w->Write(0b110, 3);
+        w->Write(zz, 12);
+      } else if (zz < (1ull << 20)) {
+        w->Write(0b1110, 4);
+        w->Write(zz, 20);
+      } else {
+        w->Write(0b1111, 4);
+        w->Write(zz, 64);
+      }
+      prev_delta_ = delta;
+    }
+    prev_ = value;
+    ++count_;
+  }
+
+ private:
+  uint64_t prev_ = 0;
+  int64_t prev_delta_ = 0;
+  uint64_t count_ = 0;
+};
+
+class DeltaOfDeltaDecoder {
+ public:
+  bool Next(BitReader* r, uint64_t* value) {
+    if (count_ == 0) {
+      if (!r->Read(&prev_, 64)) return false;
+    } else {
+      bool b = false;
+      int64_t dod = 0;
+      if (!r->ReadBit(&b)) return false;
+      if (b) {
+        int payload_bits = 7;
+        if (!r->ReadBit(&b)) return false;
+        if (b) {
+          payload_bits = 12;
+          if (!r->ReadBit(&b)) return false;
+          if (b) {
+            if (!r->ReadBit(&b)) return false;
+            payload_bits = b ? 64 : 20;
+          }
+        }
+        uint64_t zz = 0;
+        if (!r->Read(&zz, payload_bits)) return false;
+        dod = UnZigZag(zz);
+      }
+      prev_delta_ += dod;
+      prev_ = static_cast<uint64_t>(static_cast<int64_t>(prev_) + prev_delta_);
+    }
+    ++count_;
+    *value = prev_;
+    return true;
+  }
+
+ private:
+  uint64_t prev_ = 0;
+  int64_t prev_delta_ = 0;
+  uint64_t count_ = 0;
+};
+
+// XOR codec for doubles. Per value:
+//   0                          -> identical to previous
+//   10 + meaningful bits       -> XOR fits the previous leading/length window
+//   11 + 6b leading + 6b len-1 + bits -> new window
+// The first value in a stream is emitted as 64 raw bits.
+class XorEncoder {
+ public:
+  void Append(BitWriter* w, double value) {
+    const uint64_t bits = DoubleBits(value);
+    if (count_ == 0) {
+      w->Write(bits, 64);
+    } else {
+      const uint64_t x = bits ^ prev_;
+      if (x == 0) {
+        w->WriteBit(false);
+      } else {
+        w->WriteBit(true);
+        const int leading = CountLeading(x);  // <= 63 for nonzero x
+        const int trailing = CountTrailing(x);
+        if (prev_len_ > 0 && leading >= prev_leading_ &&
+            trailing >= 64 - prev_leading_ - prev_len_) {
+          w->WriteBit(false);
+          w->Write(x >> (64 - prev_leading_ - prev_len_), prev_len_);
+        } else {
+          const int len = 64 - leading - trailing;
+          w->WriteBit(true);
+          w->Write(static_cast<uint64_t>(leading), 6);
+          w->Write(static_cast<uint64_t>(len - 1), 6);
+          w->Write(x >> trailing, len);
+          prev_leading_ = leading;
+          prev_len_ = len;
+        }
+      }
+    }
+    prev_ = bits;
+    ++count_;
+  }
+
+ private:
+  static int CountLeading(uint64_t x) {
+    return x ? __builtin_clzll(x) : 64;
+  }
+  static int CountTrailing(uint64_t x) {
+    return x ? __builtin_ctzll(x) : 64;
+  }
+
+  uint64_t prev_ = 0;
+  int prev_leading_ = 0;
+  int prev_len_ = 0;  // 0 = no window yet
+  uint64_t count_ = 0;
+};
+
+class XorDecoder {
+ public:
+  bool Next(BitReader* r, double* value) {
+    if (count_ == 0) {
+      if (!r->Read(&prev_, 64)) return false;
+    } else {
+      bool changed = false;
+      if (!r->ReadBit(&changed)) return false;
+      if (changed) {
+        bool new_window = false;
+        if (!r->ReadBit(&new_window)) return false;
+        if (new_window) {
+          uint64_t leading = 0, len_minus_1 = 0;
+          if (!r->Read(&leading, 6) || !r->Read(&len_minus_1, 6)) return false;
+          prev_leading_ = static_cast<int>(leading);
+          prev_len_ = static_cast<int>(len_minus_1) + 1;
+          if (prev_leading_ + prev_len_ > 64) return false;  // corrupt
+        } else if (prev_len_ == 0) {
+          return false;  // window reuse before any window: corrupt
+        }
+        uint64_t meaningful = 0;
+        if (!r->Read(&meaningful, prev_len_)) return false;
+        prev_ ^= meaningful << (64 - prev_leading_ - prev_len_);
+      }
+    }
+    ++count_;
+    *value = BitsToDouble(prev_);
+    return true;
+  }
+
+ private:
+  uint64_t prev_ = 0;
+  int prev_leading_ = 0;
+  int prev_len_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace statstore
+
+#endif  // SRC_STATSTORE_GORILLA_H_

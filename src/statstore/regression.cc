@@ -1,0 +1,81 @@
+#include "src/statstore/regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace statstore {
+
+RegressionDetector::RegressionDetector(const RegressionOptions& options)
+    : options_(options),
+      gamma_(statkit::DecayFactorForHalfLife(options.half_life_epochs)) {}
+
+bool RegressionDetector::Observe(const std::string& series, uint64_t epoch,
+                                 double value) {
+  if (!std::isfinite(value)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  SeriesState& state = series_[series];
+  bool flagged = false;
+  if (state.observations >= options_.warmup_epochs &&
+      epoch >= state.cooldown_until) {
+    const double mean = state.baseline.mean();
+    const double sigma =
+        std::max(state.baseline.stddev(), options_.sigma_floor);
+    const double band =
+        std::max(options_.k_sigma * sigma, options_.min_abs_shift);
+    const double shift = value - mean;
+    if (std::abs(shift) > band) {
+      RegressionFlag flag;
+      flag.series = series;
+      flag.epoch = epoch;
+      flag.value = value;
+      flag.baseline_mean = mean;
+      flag.baseline_sigma = sigma;
+      flag.sigmas = sigma > 0.0 ? shift / sigma
+                                : (shift > 0.0 ? HUGE_VAL : -HUGE_VAL);
+      flags_.push_back(std::move(flag));
+      while (flags_.size() > options_.max_flags) {
+        flags_.pop_front();
+      }
+      ++flag_count_;
+      state.cooldown_until = epoch + options_.cooldown_epochs;
+      flagged = true;
+    }
+  }
+  // The observation always joins the baseline — a persistent shift becomes
+  // the new normal at the decay rate instead of flagging forever.
+  state.baseline.Scale(gamma_);
+  state.baseline.Add(value);
+  ++state.observations;
+  return flagged;
+}
+
+std::vector<RegressionFlag> RegressionDetector::flags() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<RegressionFlag>(flags_.begin(), flags_.end());
+}
+
+uint64_t RegressionDetector::flag_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flag_count_;
+}
+
+size_t RegressionDetector::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+bool RegressionDetector::Baseline(const std::string& series, double* mean,
+                                  double* sigma) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(series);
+  if (it == series_.end() || it->second.observations == 0) {
+    *mean = 0.0;
+    *sigma = 0.0;
+    return false;
+  }
+  *mean = it->second.baseline.mean();
+  *sigma = it->second.baseline.stddev();
+  return true;
+}
+
+}  // namespace statstore

@@ -1,0 +1,98 @@
+// Regression detection over per-epoch metric streams.
+//
+// Each series gets a decayed Welford accumulator (statkit/decay.h) as its
+// baseline. An observation that lands outside mean +/- k*sigma of that
+// baseline — with a sigma floor so a near-constant series doesn't flag on
+// noise, and an absolute-shift floor so tiny wobbles of a tiny factor are
+// ignored — raises a RegressionFlag. The paper's factor-contribution
+// streams are the intended input: a factor whose variance share migrates
+// (lock wait -> log flush after a config change, fil_flush spiking under a
+// degrading device) shifts by tens of percentage points within an epoch or
+// two, while a steady workload's shares wobble well inside the band.
+//
+// After flagging, the outlier is still folded into the baseline: if the
+// shift is the new normal the baseline re-centers at the decay rate and the
+// flag clears; a cooldown suppresses duplicate flags for the same series
+// while it re-centers.
+#ifndef SRC_STATSTORE_REGRESSION_H_
+#define SRC_STATSTORE_REGRESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/statkit/decay.h"
+
+namespace statstore {
+
+struct RegressionOptions {
+  // Flag when |value - mean| > max(k_sigma * max(sigma, sigma_floor),
+  // min_abs_shift).
+  double k_sigma = 6.0;
+  double sigma_floor = 0.0;
+  double min_abs_shift = 0.0;
+
+  // Baseline half-life in epochs (0 = cumulative, never forgets).
+  double half_life_epochs = 64.0;
+
+  // Observations a series must accumulate before it can flag; a fresh
+  // series' first values ARE its baseline, not regressions from it.
+  uint64_t warmup_epochs = 8;
+
+  // Epochs after a flag during which the same series stays silent while the
+  // baseline re-centers.
+  uint64_t cooldown_epochs = 8;
+
+  // Flags retained for flags(); older ones are dropped FIFO.
+  size_t max_flags = 256;
+};
+
+struct RegressionFlag {
+  std::string series;
+  uint64_t epoch = 0;
+  double value = 0.0;
+  double baseline_mean = 0.0;
+  double baseline_sigma = 0.0;
+
+  // Signed shift in sigma units (positive = above baseline).
+  double sigmas = 0.0;
+};
+
+class RegressionDetector {
+ public:
+  explicit RegressionDetector(const RegressionOptions& options = {});
+
+  // Feeds one epoch's value of `series`; returns true if a flag was raised.
+  bool Observe(const std::string& series, uint64_t epoch, double value);
+
+  // Most recent flags, oldest first (bounded by options.max_flags).
+  std::vector<RegressionFlag> flags() const;
+
+  uint64_t flag_count() const;     // flags ever raised
+  size_t series_count() const;     // series with a baseline
+
+  // Baseline mean/sigma of one series (0/0 if unknown), for introspection.
+  bool Baseline(const std::string& series, double* mean, double* sigma) const;
+
+ private:
+  struct SeriesState {
+    statkit::DecayedMoments baseline;
+    uint64_t observations = 0;
+    uint64_t cooldown_until = 0;  // epoch before which flags are suppressed
+  };
+
+  const RegressionOptions options_;
+  const double gamma_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SeriesState> series_;
+  std::deque<RegressionFlag> flags_;
+  uint64_t flag_count_ = 0;
+};
+
+}  // namespace statstore
+
+#endif  // SRC_STATSTORE_REGRESSION_H_

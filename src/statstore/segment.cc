@@ -1,0 +1,112 @@
+#include "src/statstore/segment.h"
+
+#include <algorithm>
+
+namespace statstore {
+
+uint32_t RecordChecksum(const uint8_t* data, size_t size) {
+  // FNV-1a over the payload bytes, folded to 32 bits (same construction as
+  // minidb::LogRecordChecksum).
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < size; ++i) {
+    h = (h ^ data[i]) * 1099511628211ull;
+  }
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+std::vector<uint8_t> SegmentEncoder::EncodeRecord(const EpochSample& sample) {
+  BitWriter w;
+  epoch_enc_.Append(&w, sample.epoch);
+
+  // Assign ids to series new to this segment, in input order. Duplicate
+  // series within one sample keep the first occurrence's value (one value
+  // per series per epoch is the contract; dropping duplicates keeps the
+  // encoder and decoder agreeing on the value count).
+  std::vector<const SeriesValue*> new_series;
+  std::vector<std::pair<uint32_t, double>> present;  // (id, value)
+  present.reserve(sample.values.size());
+  for (const SeriesValue& sv : sample.values) {
+    auto it = series_ids_.find(sv.series);
+    if (it == series_ids_.end()) {
+      if (sv.series.size() > kMaxSeriesNameBytes ||
+          series_names_.size() >= kMaxSeriesPerSegment) {
+        continue;  // unencodable name; the value is dropped, not mangled
+      }
+      it = series_ids_
+               .emplace(sv.series, static_cast<uint32_t>(series_names_.size()))
+               .first;
+      series_names_.push_back(sv.series);
+      series_enc_.emplace_back();
+      new_series.push_back(&sv);
+    }
+    present.emplace_back(it->second, sv.value);
+  }
+  w.Write(new_series.size(), 16);
+  for (const SeriesValue* sv : new_series) {
+    w.Write(sv->series.size(), 12);
+    for (const char c : sv->series) {
+      w.Write(static_cast<uint8_t>(c), 8);
+    }
+  }
+
+  std::stable_sort(present.begin(), present.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  present.erase(std::unique(present.begin(), present.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.first == b.first;
+                            }),
+                present.end());
+  std::vector<bool> bitmap(series_names_.size(), false);
+  for (const auto& [id, value] : present) {
+    bitmap[id] = true;
+  }
+  for (const bool b : bitmap) {
+    w.WriteBit(b);
+  }
+  for (const auto& [id, value] : present) {
+    series_enc_[id].Append(&w, value);
+  }
+  return w.Take();
+}
+
+bool SegmentDecoder::DecodeRecord(const uint8_t* data, size_t size,
+                                  EpochSample* out) {
+  out->values.clear();
+  BitReader r(data, size);
+  if (!epoch_dec_.Next(&r, &out->epoch)) return false;
+
+  uint64_t new_count = 0;
+  if (!r.Read(&new_count, 16)) return false;
+  if (names_.size() + new_count > kMaxSeriesPerSegment) return false;
+  for (uint64_t i = 0; i < new_count; ++i) {
+    uint64_t len = 0;
+    if (!r.Read(&len, 12)) return false;
+    std::string name(len, '\0');
+    for (uint64_t j = 0; j < len; ++j) {
+      uint64_t c = 0;
+      if (!r.Read(&c, 8)) return false;
+      name[j] = static_cast<char>(c);
+    }
+    names_.push_back(std::move(name));
+    values_.emplace_back();
+  }
+
+  std::vector<uint32_t> present;
+  for (size_t id = 0; id < names_.size(); ++id) {
+    bool b = false;
+    if (!r.ReadBit(&b)) return false;
+    if (b) present.push_back(static_cast<uint32_t>(id));
+  }
+  out->values.reserve(present.size());
+  for (const uint32_t id : present) {
+    double v = 0.0;
+    if (!values_[id].Next(&r, &v)) return false;
+    out->values.push_back(SeriesValue{names_[id], v});
+  }
+  // A valid payload is consumed to within the final byte's padding bits.
+  return size * 8 - r.bits_consumed() < 8;
+}
+
+}  // namespace statstore

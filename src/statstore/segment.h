@@ -1,0 +1,87 @@
+// Compressed per-epoch record codec for statstore segment files.
+//
+// A segment is an append-only sequence of framed records, one record per
+// epoch. Records are *streaming*: the codec carries per-series XOR state and
+// the delta-of-delta epoch state across records, so record N is decodable
+// only after records 0..N-1 of the same segment — that is where the
+// compression comes from, and it is why segments are self-contained (each
+// one restarts the codec with a key frame naming its series). The store
+// frames each payload with a length + checksum so a torn tail truncates at
+// a record boundary; within the payload the codec rejects malformed input
+// (caps, unconsumed bits) instead of fabricating values.
+//
+// Payload layout per record (bit-packed, see gorilla.h for the codecs):
+//   epoch        delta-of-delta (first record of the segment: raw 64 bits)
+//   new_series   16-bit count, then per series: 12-bit name length + bytes
+//   presence     1 bit per known series, in series-id order
+//   values       XOR-encoded double per present series, in id order
+//
+// Series ids are per-segment, assigned in order of first appearance. A
+// series absent from an epoch contributes no bits and keeps its XOR state,
+// so reappearing series still compress against their last value.
+#ifndef SRC_STATSTORE_SEGMENT_H_
+#define SRC_STATSTORE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/statstore/gorilla.h"
+
+namespace statstore {
+
+// One series' value at one epoch, as handed to Append / returned by decode.
+struct SeriesValue {
+  std::string series;
+  double value = 0.0;
+};
+
+// One epoch's worth of metric values.
+struct EpochSample {
+  uint64_t epoch = 0;
+  std::vector<SeriesValue> values;
+};
+
+// Codec caps; payloads exceeding them are rejected as corrupt.
+inline constexpr size_t kMaxSeriesPerSegment = 1u << 20;
+inline constexpr size_t kMaxSeriesNameBytes = (1u << 12) - 1;  // 12-bit field
+
+class SegmentEncoder {
+ public:
+  // Encodes `sample` as the segment's next record payload. Values are
+  // processed in series-id order (existing series first, new ones appended),
+  // so the input order does not matter.
+  std::vector<uint8_t> EncodeRecord(const EpochSample& sample);
+
+  size_t series_count() const { return series_names_.size(); }
+
+ private:
+  DeltaOfDeltaEncoder epoch_enc_;
+  std::unordered_map<std::string, uint32_t> series_ids_;
+  std::vector<std::string> series_names_;
+  std::vector<XorEncoder> series_enc_;
+};
+
+class SegmentDecoder {
+ public:
+  // Decodes the segment's next record payload into *out (cleared first).
+  // Returns false on any malformed payload; the decoder must then be
+  // discarded (its stream state is unspecified).
+  bool DecodeRecord(const uint8_t* data, size_t size, EpochSample* out);
+
+  const std::vector<std::string>& series_names() const { return names_; }
+
+ private:
+  DeltaOfDeltaDecoder epoch_dec_;
+  std::vector<std::string> names_;
+  std::vector<XorDecoder> values_;
+};
+
+// Checksum over a record payload (FNV-1a folded to 32 bits), verified by
+// the store to detect torn tails.
+uint32_t RecordChecksum(const uint8_t* data, size_t size);
+
+}  // namespace statstore
+
+#endif  // SRC_STATSTORE_SEGMENT_H_

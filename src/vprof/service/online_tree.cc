@@ -4,31 +4,11 @@
 #include <span>
 #include <sstream>
 
+#include "src/vprof/service/prom.h"
+
 namespace vprof {
 
 namespace {
-
-// Escapes a Prometheus label value (backslash, quote, newline).
-std::string PromEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case '"':
-        out += "\\\"";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -122,6 +102,7 @@ void OnlineVarianceTree::Fold(const Trace& trace) {
   dropped_records_ += trace.dropped_record_count();
   if (!trace.stuck_threads.empty()) {
     ++stuck_thread_epochs_;
+    stuck_threads_ += trace.stuck_threads.size();
   }
   if (trace.function_names.size() > function_names_.size()) {
     function_names_ = trace.function_names;
@@ -255,6 +236,7 @@ OnlineTreeSnapshot OnlineVarianceTree::Snapshot() const {
   snap.weight = moments_[kRootNode].weight();
   snap.dropped_records = dropped_records_;
   snap.stuck_thread_epochs = stuck_thread_epochs_;
+  snap.stuck_threads = stuck_threads_;
   snap.total_queue_wait_ns = total_queue_wait_ns_;
   snap.total_blocked_wait_ns = total_blocked_wait_ns_;
   snap.total_descheduled_ns = total_descheduled_ns_;
@@ -290,36 +272,58 @@ std::string OnlineTreeSnapshot::NodePath(NodeId id) const {
 }
 
 std::string OnlineTreeSnapshot::ToPromText() const {
-  std::ostringstream out;
-  out << "# TYPE vprof_epochs_total counter\n"
-      << "vprof_epochs_total " << epochs << "\n"
-      << "# TYPE vprof_intervals_total counter\n"
-      << "vprof_intervals_total " << intervals << "\n"
-      << "# TYPE vprof_interval_weight gauge\n"
-      << "vprof_interval_weight " << weight << "\n"
-      << "# TYPE vprof_dropped_records_total counter\n"
-      << "vprof_dropped_records_total " << dropped_records << "\n"
-      << "# TYPE vprof_stuck_thread_epochs_total counter\n"
-      << "vprof_stuck_thread_epochs_total " << stuck_thread_epochs << "\n"
-      << "# TYPE vprof_interval_latency_mean_ns gauge\n"
-      << "vprof_interval_latency_mean_ns " << overall_mean() << "\n"
-      << "# TYPE vprof_interval_latency_variance_ns2 gauge\n"
-      << "vprof_interval_latency_variance_ns2 " << overall_variance() << "\n";
+  PromWriter w;
+  w.Family("vprof_epochs_total", "counter", "Epochs folded into the tree.");
+  w.Sample("vprof_epochs_total", epochs);
+  w.Family("vprof_intervals_total", "counter",
+           "Semantic intervals folded (undecayed).");
+  w.Sample("vprof_intervals_total", intervals);
+  w.Family("vprof_interval_weight", "gauge",
+           "Decayed effective interval count of the window.");
+  w.Sample("vprof_interval_weight", weight);
+  w.Family("vprof_interval_latency_mean_ns", "gauge",
+           "Mean interval latency over the window.");
+  w.Sample("vprof_interval_latency_mean_ns", overall_mean());
+  w.Family("vprof_interval_latency_variance_ns2", "gauge",
+           "Interval latency variance over the window.");
+  w.Sample("vprof_interval_latency_variance_ns2", overall_variance());
 
-  out << "# TYPE vprof_node_mean_ns gauge\n"
-      << "# TYPE vprof_node_variance_ns2 gauge\n"
-      << "# TYPE vprof_node_variance_share gauge\n";
+  // Tracer self-health: the profiler's own degradation must be observable.
+  w.Family("vprof_dropped_records_total", "counter",
+           "Probe records lost to per-thread arena caps.");
+  w.Sample("vprof_dropped_records_total", dropped_records);
+  w.Family("vprof_stuck_thread_epochs_total", "counter",
+           "Epochs whose harvest quarantined at least one stuck thread.");
+  w.Sample("vprof_stuck_thread_epochs_total", stuck_thread_epochs);
+  w.Family("vprof_stuck_threads_total", "counter",
+           "Stuck threads quarantined by harvest quiesce, summed.");
+  w.Sample("vprof_stuck_threads_total", stuck_threads);
+  w.Family("vprof_queue_wait_ns_total", "counter",
+           "Critical-path time attributed to queue wait.");
+  w.Sample("vprof_queue_wait_ns_total", total_queue_wait_ns);
+  w.Family("vprof_blocked_wait_ns_total", "counter",
+           "Critical-path time attributed to uninstrumented blocking.");
+  w.Sample("vprof_blocked_wait_ns_total", total_blocked_wait_ns);
+  w.Family("vprof_descheduled_ns_total", "counter",
+           "Critical-path time spent descheduled.");
+  w.Sample("vprof_descheduled_ns_total", total_descheduled_ns);
+
+  w.Family("vprof_node_mean_ns", "gauge",
+           "Per-node mean time, keyed by root-to-node path.");
+  w.Family("vprof_node_variance_ns2", "gauge",
+           "Per-node variance, keyed by root-to-node path.");
+  w.Family("vprof_node_variance_share", "gauge",
+           "Node variance as a share of overall interval variance.");
   const double overall = overall_variance();
   for (size_t id = 1; id < nodes.size(); ++id) {
-    const std::string path = PromEscape(NodePath(static_cast<NodeId>(id)));
-    out << "vprof_node_mean_ns{path=\"" << path << "\"} " << node_mean[id]
-        << "\n";
-    out << "vprof_node_variance_ns2{path=\"" << path << "\"} "
-        << node_variance[id] << "\n";
-    out << "vprof_node_variance_share{path=\"" << path << "\"} "
-        << (overall > 0.0 ? node_variance[id] / overall : 0.0) << "\n";
+    const PromWriter::Labels labels{
+        {"path", NodePath(static_cast<NodeId>(id))}};
+    w.Sample("vprof_node_mean_ns", labels, node_mean[id]);
+    w.Sample("vprof_node_variance_ns2", labels, node_variance[id]);
+    w.Sample("vprof_node_variance_share", labels,
+             overall > 0.0 ? node_variance[id] / overall : 0.0);
   }
-  return out.str();
+  return w.Text();
 }
 
 namespace {

@@ -55,6 +55,7 @@ struct OnlineTreeSnapshot {
   double weight = 0.0;             // decayed effective interval count
   uint64_t dropped_records = 0;    // arena-cap drops across folded traces
   uint64_t stuck_thread_epochs = 0;  // epochs whose trace had stuck threads
+  uint64_t stuck_threads = 0;        // quarantined threads, summed over epochs
 
   // Cumulative uncovered critical-path time (ns, undecayed).
   double total_queue_wait_ns = 0.0;
@@ -79,8 +80,10 @@ struct OnlineTreeSnapshot {
                             overall_variance()};
   }
 
-  // Prometheus text exposition (gauges keyed by node path) for scraping the
-  // live service.
+  // Prometheus text exposition for scraping the live service: tree stats,
+  // per-node gauges keyed by escaped node path, and the tracer's own health
+  // (dropped records, stuck threads, uncovered critical-path time). Sorted
+  // family order with HELP/TYPE lines for every family (see prom.h).
   std::string ToPromText() const;
 
   // Nested-tree JSON document (stats header + recursive node objects).
@@ -131,6 +134,7 @@ class OnlineVarianceTree {
   uint64_t intervals_ = 0;
   uint64_t dropped_records_ = 0;
   uint64_t stuck_thread_epochs_ = 0;
+  uint64_t stuck_threads_ = 0;
   double total_queue_wait_ns_ = 0.0;
   double total_blocked_wait_ns_ = 0.0;
   double total_descheduled_ns_ = 0.0;

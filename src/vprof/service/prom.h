@@ -1,0 +1,116 @@
+// Minimal Prometheus text-exposition writer used by the service's metrics
+// endpoints (OnlineTreeSnapshot::ToPromText, Vprofd::MetricsText).
+//
+// Scrape-clean output, by construction:
+//   - families are emitted in sorted name order, each exactly once, with
+//     its `# HELP` and `# TYPE` lines immediately before its samples;
+//   - samples within a family are sorted by label string, so the text is
+//     byte-stable across runs with the same values;
+//   - label values are escaped per the exposition format (backslash, quote,
+//     newline) — node paths contain arbitrary function-name bytes.
+// Integer samples are formatted as integers so large counters never round
+// through a double.
+#ifndef SRC_VPROF_SERVICE_PROM_H_
+#define SRC_VPROF_SERVICE_PROM_H_
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vprof {
+
+class PromWriter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  // Declares a family (`type` is "gauge" or "counter"). Safe to call in any
+  // order relative to Sample; the last declaration wins.
+  void Family(const std::string& name, const std::string& type,
+              const std::string& help) {
+    FamilyData& family = families_[name];
+    family.type = type;
+    family.help = help;
+  }
+
+  void Sample(const std::string& family, double value) {
+    Sample(family, Labels{}, value);
+  }
+  void Sample(const std::string& family, uint64_t value) {
+    Sample(family, Labels{}, value);
+  }
+  void Sample(const std::string& family, const Labels& labels, double value) {
+    std::ostringstream v;
+    v << value;
+    Add(family, labels, v.str());
+  }
+  void Sample(const std::string& family, const Labels& labels,
+              uint64_t value) {
+    Add(family, labels, std::to_string(value));
+  }
+
+  // Escapes a label value (backslash, double quote, newline).
+  static std::string EscapeLabel(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '\\':
+          out += "\\\\";
+          break;
+        case '"':
+          out += "\\\"";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          out += c;
+      }
+    }
+    return out;
+  }
+
+  std::string Text() const {
+    std::string out;
+    for (const auto& [name, family] : families_) {
+      out += "# HELP " + name + " " + family.help + "\n";
+      out += "# TYPE " + name + " " + family.type + "\n";
+      for (const auto& [labels, value] : family.samples) {
+        out += name + labels + " " + value + "\n";
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct FamilyData {
+    std::string type;
+    std::string help;
+    std::map<std::string, std::string> samples;  // label string -> value
+  };
+
+  void Add(const std::string& family, const Labels& labels,
+           std::string value) {
+    std::string key;
+    if (!labels.empty()) {
+      key += '{';
+      bool first = true;
+      for (const auto& [k, v] : labels) {
+        if (!first) key += ',';
+        first = false;
+        key += k + "=\"" + EscapeLabel(v) + "\"";
+      }
+      key += '}';
+    }
+    families_[family].samples[key] = std::move(value);
+  }
+
+  std::map<std::string, FamilyData> families_;
+};
+
+}  // namespace vprof
+
+#endif  // SRC_VPROF_SERVICE_PROM_H_

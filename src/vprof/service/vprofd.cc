@@ -1,9 +1,9 @@
 #include "src/vprof/service/vprofd.h"
 
-#include <sstream>
 #include <utility>
 
 #include "src/vprof/registry.h"
+#include "src/vprof/service/prom.h"
 
 namespace vprof {
 
@@ -26,69 +26,138 @@ Vprofd::Vprofd(VprofdOptions options)
       root_(RegisterFunction(options_.root_function)),
       tree_(options_.tree),
       controller_(root_, options_.graph.get(), options_.controller),
+      detector_(options_.regression),
       harvester_(MakeHarvesterOptions(this, options_.epoch_ns,
                                       &Vprofd::HandleEpoch)) {
   // Without a call graph the controller has nothing to descend into; run
   // as a pure aggregator instead of crashing on the first step.
   if (!options_.graph) options_.enable_controller = false;
+  if (!options_.history.dir.empty()) {
+    store_ = std::make_unique<statstore::StatStore>(options_.history);
+  }
 }
 
 Vprofd::~Vprofd() { Stop(); }
 
 void Vprofd::Start() {
   if (harvester_.running()) return;
+  if (store_ != nullptr && !store_opened_) {
+    if (store_->Open()) {
+      store_opened_ = true;
+      // Resume epoch numbering past whatever a previous process persisted,
+      // so the history stays one strictly-increasing stream.
+      epoch_base_ = store_->last_epoch();
+    } else {
+      store_.reset();  // undurable history beats a crashing daemon
+    }
+  }
   if (options_.enable_controller) controller_.ApplyInstrumentation();
   harvester_.Start();
 }
 
-void Vprofd::Stop() { harvester_.Stop(); }
+void Vprofd::Stop() {
+  harvester_.Stop();
+  if (store_ != nullptr) store_->Seal();
+}
 
 void Vprofd::HandleEpoch(Trace&& trace) {
   tree_.Fold(trace);
-  if (options_.enable_controller) controller_.Step(tree_.Snapshot());
+  const OnlineTreeSnapshot snapshot = tree_.Snapshot();
+  const uint64_t epoch = epoch_base_ + snapshot.epochs;
+  if (options_.enable_regression) {
+    ObserveSnapshot(&detector_, snapshot, epoch);
+  }
+  if (store_ != nullptr) {
+    HarvestHealth health;
+    health.rotation_gap_last_ns = static_cast<uint64_t>(last_gap_ns());
+    health.rotation_gap_max_ns = static_cast<uint64_t>(max_gap_ns());
+    health.rotation_gap_total_ns = static_cast<uint64_t>(total_gap_ns());
+    store_->Append(SampleFromSnapshot(snapshot, epoch, health));
+  }
+  if (options_.enable_controller) controller_.Step(snapshot);
 }
 
 std::string Vprofd::MetricsText() const {
   const OnlineTreeSnapshot snapshot = Snapshot();
   const ControllerStatus status = controller_status();
-  std::ostringstream out;
-  out << snapshot.ToPromText();
-  out << "# HELP vprofd_harvest_epochs_total Epochs rotated by the "
-         "harvester.\n"
-      << "# TYPE vprofd_harvest_epochs_total counter\n"
-      << "vprofd_harvest_epochs_total " << epochs() << "\n";
-  out << "# HELP vprofd_rotation_gap_ns Tracing-off time of the latest "
-         "epoch rotation.\n"
-      << "# TYPE vprofd_rotation_gap_ns gauge\n"
-      << "vprofd_rotation_gap_ns " << last_gap_ns() << "\n";
-  out << "# HELP vprofd_rotation_gap_max_ns Worst tracing-off rotation "
-         "gap seen.\n"
-      << "# TYPE vprofd_rotation_gap_max_ns gauge\n"
-      << "vprofd_rotation_gap_max_ns " << max_gap_ns() << "\n";
-  out << "# HELP vprofd_rotation_gap_total_ns Cumulative tracing-off time "
-         "across all rotations.\n"
-      << "# TYPE vprofd_rotation_gap_total_ns counter\n"
-      << "vprofd_rotation_gap_total_ns " << total_gap_ns() << "\n";
-  out << "# HELP vprofd_controller_steps_total Refinement steps taken.\n"
-      << "# TYPE vprofd_controller_steps_total counter\n"
-      << "vprofd_controller_steps_total " << status.steps << "\n";
-  out << "# HELP vprofd_controller_expansions_total Factors expanded into "
-         "their callees.\n"
-      << "# TYPE vprofd_controller_expansions_total counter\n"
-      << "vprofd_controller_expansions_total " << status.expansions << "\n";
-  out << "# HELP vprofd_controller_retirements_total Expanded functions "
-         "retired for low contribution.\n"
-      << "# TYPE vprofd_controller_retirements_total counter\n"
-      << "vprofd_controller_retirements_total " << status.retirements << "\n";
-  out << "# HELP vprofd_controller_stable_steps Consecutive steps with no "
-         "instrumentation change.\n"
-      << "# TYPE vprofd_controller_stable_steps gauge\n"
-      << "vprofd_controller_stable_steps " << status.stable_steps << "\n";
-  out << "# HELP vprofd_instrumented_probes Probes currently enabled by "
-         "the controller.\n"
-      << "# TYPE vprofd_instrumented_probes gauge\n"
-      << "vprofd_instrumented_probes " << status.instrumented.size() << "\n";
-  return out.str();
+  // Every vprof_* family sorts before every vprofd_* family ('_' < 'd'), so
+  // concatenating the two sorted blocks keeps the whole text sorted.
+  PromWriter w;
+  w.Family("vprofd_harvest_epochs_total", "counter",
+           "Epochs rotated by the harvester.");
+  w.Sample("vprofd_harvest_epochs_total", epochs());
+  w.Family("vprofd_rotation_gap_ns", "gauge",
+           "Tracing-off time of the latest epoch rotation.");
+  w.Sample("vprofd_rotation_gap_ns", static_cast<uint64_t>(last_gap_ns()));
+  w.Family("vprofd_rotation_gap_max_ns", "gauge",
+           "Worst tracing-off rotation gap seen.");
+  w.Sample("vprofd_rotation_gap_max_ns", static_cast<uint64_t>(max_gap_ns()));
+  w.Family("vprofd_rotation_gap_total_ns", "counter",
+           "Cumulative tracing-off time across all rotations.");
+  w.Sample("vprofd_rotation_gap_total_ns",
+           static_cast<uint64_t>(total_gap_ns()));
+  w.Family("vprofd_controller_steps_total", "counter",
+           "Refinement steps taken.");
+  w.Sample("vprofd_controller_steps_total", status.steps);
+  w.Family("vprofd_controller_expansions_total", "counter",
+           "Factors expanded into their callees.");
+  w.Sample("vprofd_controller_expansions_total", status.expansions);
+  w.Family("vprofd_controller_retirements_total", "counter",
+           "Expanded functions retired for low contribution.");
+  w.Sample("vprofd_controller_retirements_total", status.retirements);
+  w.Family("vprofd_controller_stable_steps", "gauge",
+           "Consecutive steps with no instrumentation change.");
+  w.Sample("vprofd_controller_stable_steps",
+           static_cast<uint64_t>(status.stable_steps));
+  w.Family("vprofd_instrumented_probes", "gauge",
+           "Probes currently enabled by the controller.");
+  w.Sample("vprofd_instrumented_probes",
+           static_cast<uint64_t>(status.instrumented.size()));
+
+  if (store_ != nullptr) {
+    const statstore::StoreStats hs = store_->stats();
+    w.Family("vprofd_history_appends_total", "counter",
+             "Epoch samples persisted to the history store.");
+    w.Sample("vprofd_history_appends_total", hs.appends);
+    w.Family("vprofd_history_append_errors_total", "counter",
+             "History appends that failed (IO error / wedged store).");
+    w.Sample("vprofd_history_append_errors_total", hs.append_errors);
+    w.Family("vprofd_history_bytes_total", "counter",
+             "Compressed bytes written to the history store.");
+    w.Sample("vprofd_history_bytes_total", hs.bytes_written);
+    w.Family("vprofd_history_segments", "gauge",
+             "Segment files currently on disk.");
+    w.Sample("vprofd_history_segments", store_->segment_count());
+    w.Family("vprofd_history_last_epoch", "gauge",
+             "Most recent epoch id persisted.");
+    w.Sample("vprofd_history_last_epoch", store_->last_epoch());
+    w.Family("vprofd_history_persist_ns", "gauge",
+             "Write-path latency of the latest epoch append.");
+    w.Sample("vprofd_history_persist_ns", hs.last_append_ns);
+    w.Family("vprofd_history_persist_max_ns", "gauge",
+             "Worst write-path latency of an epoch append.");
+    w.Sample("vprofd_history_persist_max_ns", hs.max_append_ns);
+  }
+
+  if (options_.enable_regression) {
+    w.Family("vprofd_regression_flags_total", "counter",
+             "Contribution-shift regressions flagged.");
+    w.Sample("vprofd_regression_flags_total", detector_.flag_count());
+    w.Family("vprofd_regression_series", "gauge",
+             "Series with an established regression baseline.");
+    w.Sample("vprofd_regression_series",
+             static_cast<uint64_t>(detector_.series_count()));
+    w.Family("vprofd_regression_flag_epoch", "gauge",
+             "Epoch of the latest flag per regressed series.");
+    w.Family("vprofd_regression_flag_sigmas", "gauge",
+             "Shift, in baseline sigmas, of the latest flag per series.");
+    for (const statstore::RegressionFlag& flag : detector_.flags()) {
+      const PromWriter::Labels labels{{"series", flag.series}};
+      w.Sample("vprofd_regression_flag_epoch", labels, flag.epoch);
+      w.Sample("vprofd_regression_flag_sigmas", labels, flag.sigmas);
+    }
+  }
+  return snapshot.ToPromText() + w.Text();
 }
 
 }  // namespace vprof

@@ -21,10 +21,14 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "src/statstore/regression.h"
+#include "src/statstore/store.h"
 #include "src/vprof/analysis/call_graph.h"
 #include "src/vprof/service/controller.h"
 #include "src/vprof/service/harvester.h"
+#include "src/vprof/service/history.h"
 #include "src/vprof/service/online_tree.h"
 #include "src/vprof/types.h"
 
@@ -47,6 +51,29 @@ struct VprofdOptions {
   // whatever the current instrumentation produces (used by the overhead
   // bench and by operators who want a fixed probe set).
   bool enable_controller = true;
+
+  // Durable history: when history.dir is non-empty, every epoch's snapshot
+  // is flattened (see history.h) and appended to a compressed statstore
+  // there on the harvester thread, with the append latency tracked in the
+  // store's stats. An existing store is recovered and extended; epoch ids
+  // continue past the persisted tail.
+  statstore::StoreOptions history;
+
+  // Regression detection over per-node contribution shares. Defaults tuned
+  // for share streams in [0, 1]: a factor must move by more than 5 points
+  // AND 6 sigma of its decayed history (sigma floored at 1 point) to flag,
+  // which rides out steady-workload wobble but catches a migrating factor
+  // within an epoch or two.
+  statstore::RegressionOptions regression{
+      .k_sigma = 6.0,
+      .sigma_floor = 0.01,
+      .min_abs_shift = 0.05,
+      .half_life_epochs = 64.0,
+      .warmup_epochs = 8,
+      .cooldown_epochs = 8,
+      .max_flags = 256,
+  };
+  bool enable_regression = true;
 };
 
 class Vprofd {
@@ -77,8 +104,20 @@ class Vprofd {
     return controller_.Converged(stable_needed);
   }
 
+  // The persisted history store; null when options.history.dir is empty.
+  statstore::StatStore* history() { return store_.get(); }
+  const statstore::StatStore* history() const { return store_.get(); }
+
+  const statstore::RegressionDetector& regression() const {
+    return detector_;
+  }
+  std::vector<statstore::RegressionFlag> regression_flags() const {
+    return detector_.flags();
+  }
+
   // Prometheus text exposition: the tree's node metrics plus vprofd_*
-  // service gauges (epochs, rotation gap, controller progress).
+  // service gauges (epochs, rotation gap, controller progress, history
+  // persistence, regression flags). Sorted families with HELP/TYPE lines.
   std::string MetricsText() const;
 
  private:
@@ -88,6 +127,10 @@ class Vprofd {
   FuncId root_ = kInvalidFunc;
   OnlineVarianceTree tree_;
   RefinementController controller_;
+  statstore::RegressionDetector detector_;
+  std::unique_ptr<statstore::StatStore> store_;
+  bool store_opened_ = false;
+  uint64_t epoch_base_ = 0;  // persisted epochs from before this process
   EpochHarvester harvester_;
 };
 

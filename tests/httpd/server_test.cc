@@ -98,6 +98,10 @@ TEST(HttpServerTest, ShedsLoadWhenQueueSaturates) {
   HttpdConfig config = FastConfig();
   config.workers = 1;
   config.max_queue_depth = 1;
+  // No page cache: every request pays the stalled disk read. With caching,
+  // the saturation window ends as soon as the hot files are cached and the
+  // shed assertion races thread startup.
+  config.page_cache_files = 0;
   config.file_disk.fault_scope = "httpd_shed";
   config.file_disk.stall_us = 30000.0;  // every read stalls ~30 ms
   HttpServer server(config);

@@ -1,0 +1,213 @@
+// End-to-end history + regression detection: minidb runs TPC-C epoch by
+// epoch under full instrumentation, every epoch's factor shares are
+// persisted into a statstore, and each share stream feeds the regression
+// detector. On the steady workload the detector must stay silent; once a
+// disk-stall failpoint starts freezing the log device, the log-flush path's
+// contribution share jumps and the detector must flag it within three
+// epochs — the deployable-monitoring loop the statstore exists for.
+//
+// Workload seeds and failpoint draws are pinned, so the fault epochs replay
+// the same stall pattern on every run.
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fault/failpoint.h"
+#include "src/minidb/engine.h"
+#include "src/statstore/regression.h"
+#include "src/statstore/store.h"
+#include "src/vprof/analysis/factor_selection.h"
+#include "src/vprof/analysis/variance_tree.h"
+#include "src/vprof/registry.h"
+#include "src/vprof/runtime.h"
+#include "src/vprof/service/history.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+constexpr int kSteadyEpochs = 10;
+constexpr int kFaultEpochs = 3;
+
+bool IsLogPathSeries(const std::string& series) {
+  return series.find("fil_flush") != std::string::npos ||
+         series.find("log_write_up_to") != std::string::npos;
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+class HistoryRegressionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::DeactivateAll();
+    dir_ = std::filesystem::path(::testing::TempDir()) / "history_regression";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    vprof::DisableAllFunctions();
+    fault::DeactivateAll();
+    fault::ResetCounters();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(HistoryRegressionTest, DiskStallShiftsLogFlushShareAndIsFlagged) {
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  // A partially-cached working set makes seeded data-disk reads the
+  // dominant — and steady — variance source, so the log path idles at a
+  // near-zero share with a tight baseline until its device degrades.
+  config.buffer_pool_pages = 256;
+  config.data_disk.read_mu = 3.0;  // ~20us median page read
+  // A healthy, boringly consistent log device: without the spiky fsync tail
+  // the log path carries almost none of the steady-state variance, which is
+  // exactly the regime where a degrading device shows up as a migration.
+  config.log_disk.fsync_spike_prob = 0.0;
+  config.log_disk.fsync_mu = 2.3;  // ~10us: a fast NVMe-class log device
+  config.log_disk.fsync_sigma = 0.05;
+  config.log_disk.write_mu = 2.0;
+  config.log_disk.write_sigma = 0.05;
+  config.log_disk.fault_scope = "hr_log_stall";
+  config.log_disk.stall_us = 20000.0;  // one stalled fsync freezes a commit
+  minidb::Engine engine(config);
+  vprof::CallGraph graph;
+  minidb::Engine::RegisterCallGraph(&graph);
+  const vprof::FuncId root = vprof::RegisterFunction("run_transaction");
+
+  // Full instrumentation: every epoch's tree reaches fil_flush itself, so
+  // the share stream the detector watches is the leaf the fault lives in.
+  vprof::DisableAllFunctions();
+  for (const std::string& name : vprof::AllFunctionNames()) {
+    vprof::SetFunctionEnabled(vprof::RegisterFunction(name), true);
+  }
+
+  workload::TpccOptions options;
+  // Single-threaded: a stalled fsync is then charged wholly to fil_flush
+  // instead of smearing into other threads' group-commit waits, and the
+  // request mix plus every disk draw replays from the seed.
+  options.threads = 1;
+  options.transactions_per_thread = 400;
+  options.seed = 107;
+  workload::TpccDriver driver(&engine, options);
+  driver.Run();  // warm-up, untraced
+
+  statstore::StoreOptions store_options;
+  store_options.dir = dir_.string();
+  statstore::StatStore store(store_options);
+  ASSERT_TRUE(store.Open());
+
+  statstore::RegressionOptions regression;
+  regression.k_sigma = 4.0;
+  regression.sigma_floor = 0.02;
+  // Factor shares are percentages of the epoch's variance: only a shift of
+  // tens of points is a migration, anything smaller is workload wobble.
+  regression.min_abs_shift = 0.20;
+  regression.half_life_epochs = 32.0;
+  regression.warmup_epochs = 6;
+  regression.cooldown_epochs = 4;
+  statstore::RegressionDetector detector(regression);
+
+  // vprofd feeds the detector (and the store) shares from its *decayed*
+  // streaming tree, not from single-epoch trees; single-epoch variance
+  // shares of a live system are heavy-tailed. Fold the same exponential
+  // smoothing here so the streams match what the daemon persists.
+  constexpr double kSmoothAlpha = 0.5;
+  std::map<std::string, double> smoothed;
+  std::map<std::string, std::vector<std::pair<uint64_t, double>>> observed;
+  const auto run_epoch = [&](uint64_t epoch) {
+    vprof::StartTracing();
+    driver.Run();
+    vprof::Trace trace = vprof::StopTracing();
+    vprof::VarianceAnalysis analysis(trace, vprof::CriticalPathOptions{});
+    const std::vector<vprof::Factor> factors = vprof::AggregateFactors(
+        analysis, graph, root, vprof::SpecificityKind::kQuadratic);
+    statstore::EpochSample sample;
+    sample.epoch = epoch;
+    for (const vprof::Factor& f : factors) {
+      if (f.is_covariance() || !std::isfinite(f.contribution)) continue;
+      const std::string series =
+          vprof::NodeSeriesName(f.Label(trace.function_names), "share");
+      const auto it = smoothed.find(series);
+      const double value =
+          it == smoothed.end()
+              ? f.contribution
+              : it->second + kSmoothAlpha * (f.contribution - it->second);
+      smoothed[series] = value;
+      sample.values.push_back({series, value});
+      observed[series].emplace_back(epoch, value);
+      detector.Observe(series, epoch, value);
+    }
+    ASSERT_EQ(store.Append(sample), statstore::AppendStatus::kOk);
+    if (std::getenv("HR_DEBUG") != nullptr) {
+      const std::string log_series = "node:fil_flush:share";
+      double value = 0.0, mean = 0.0, sigma = 0.0;
+      for (const auto& v : sample.values) {
+        if (v.series == log_series) value = v.value;
+      }
+      detector.Baseline(log_series, &mean, &sigma);
+      std::fprintf(stderr,
+                   "epoch %llu stalls=%llu log share=%.3f mean=%.3f "
+                   "sigma=%.3f flags=%llu\n",
+                   (unsigned long long)epoch,
+                   (unsigned long long)engine.log_disk().fault_stats().stalls,
+                   value, mean, sigma,
+                   (unsigned long long)detector.flag_count());
+    }
+  };
+
+  uint64_t epoch = 0;
+  for (int i = 0; i < kSteadyEpochs; ++i) run_epoch(++epoch);
+  EXPECT_EQ(detector.flag_count(), 0u)
+      << "steady workload must not raise flags; first flag on "
+      << (detector.flags().empty() ? std::string("?")
+                                   : detector.flags().front().series);
+
+  // Firmware hiccup: the log device freezes for 20 ms on ~10% of its ops.
+  fault::ScopedFailpoint stall("hr_log_stall/stall",
+                               fault::Trigger::Probability(0.1, 7));
+  for (int i = 0; i < kFaultEpochs; ++i) run_epoch(++epoch);
+  EXPECT_GT(engine.log_disk().fault_stats().stalls, 0u);
+
+  // The log path must be flagged within kFaultEpochs of the fault arming,
+  // as an upward shift far outside the steady baseline.
+  const std::vector<statstore::RegressionFlag> flags = detector.flags();
+  const statstore::RegressionFlag* log_flag = nullptr;
+  for (const statstore::RegressionFlag& flag : flags) {
+    if (IsLogPathSeries(flag.series)) {
+      log_flag = &flag;
+      break;
+    }
+  }
+  ASSERT_NE(log_flag, nullptr)
+      << "no log-path flag among " << flags.size() << " flags";
+  EXPECT_GT(log_flag->epoch, static_cast<uint64_t>(kSteadyEpochs));
+  EXPECT_LE(log_flag->epoch, static_cast<uint64_t>(kSteadyEpochs) + 3);
+  EXPECT_GT(log_flag->sigmas, 0.0);
+  EXPECT_GT(log_flag->value, log_flag->baseline_mean + regression.min_abs_shift);
+
+  // The persisted history answers "when did this factor migrate?": the
+  // flagged stream queries back bit-exact, covering both phases.
+  ASSERT_EQ(store.record_count(), static_cast<uint64_t>(epoch));
+  const std::vector<statstore::SeriesPoint> points =
+      store.Query(log_flag->series, 0, UINT64_MAX);
+  const auto& expected = observed[log_flag->series];
+  ASSERT_EQ(points.size(), expected.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].epoch, expected[i].first);
+    EXPECT_EQ(DoubleBits(points[i].value), DoubleBits(expected[i].second));
+  }
+  EXPECT_EQ(points.back().epoch, static_cast<uint64_t>(epoch));
+}
+
+}  // namespace

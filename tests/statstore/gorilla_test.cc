@@ -1,0 +1,227 @@
+// Codec-level tests: bitstream primitives, delta-of-delta timestamps, XOR
+// doubles, and the per-record segment codec.
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/statstore/bitstream.h"
+#include "src/statstore/gorilla.h"
+#include "src/statstore/segment.h"
+
+namespace statstore {
+namespace {
+
+TEST(BitstreamTest, RoundTripsMixedWidths) {
+  BitWriter w;
+  w.Write(0b101, 3);
+  w.Write(0xDEADBEEFCAFEF00Dull, 64);
+  w.WriteBit(true);
+  w.Write(0x3FF, 10);
+  const std::vector<uint8_t> bytes = w.Take();
+
+  BitReader r(bytes.data(), bytes.size());
+  uint64_t v = 0;
+  ASSERT_TRUE(r.Read(&v, 3));
+  EXPECT_EQ(v, 0b101u);
+  ASSERT_TRUE(r.Read(&v, 64));
+  EXPECT_EQ(v, 0xDEADBEEFCAFEF00Dull);
+  bool b = false;
+  ASSERT_TRUE(r.ReadBit(&b));
+  EXPECT_TRUE(b);
+  ASSERT_TRUE(r.Read(&v, 10));
+  EXPECT_EQ(v, 0x3FFu);
+}
+
+TEST(BitstreamTest, ReadPastEndFailsCleanly) {
+  BitWriter w;
+  w.Write(0xAB, 8);
+  const std::vector<uint8_t> bytes = w.Take();
+  BitReader r(bytes.data(), bytes.size());
+  uint64_t v = 0;
+  ASSERT_TRUE(r.Read(&v, 8));
+  EXPECT_FALSE(r.Read(&v, 1));
+  EXPECT_TRUE(r.failed());
+}
+
+void RoundTripEpochs(const std::vector<uint64_t>& epochs) {
+  BitWriter w;
+  DeltaOfDeltaEncoder enc;
+  for (const uint64_t e : epochs) {
+    enc.Append(&w, e);
+  }
+  const std::vector<uint8_t> bytes = w.Take();
+  BitReader r(bytes.data(), bytes.size());
+  DeltaOfDeltaDecoder dec;
+  for (const uint64_t e : epochs) {
+    uint64_t got = 0;
+    ASSERT_TRUE(dec.Next(&r, &got));
+    EXPECT_EQ(got, e);
+  }
+}
+
+TEST(DeltaOfDeltaTest, RegularCadenceCostsOneBitPerEpoch) {
+  std::vector<uint64_t> epochs;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    epochs.push_back(100 + i);
+  }
+  BitWriter w;
+  DeltaOfDeltaEncoder enc;
+  for (const uint64_t e : epochs) {
+    enc.Append(&w, e);
+  }
+  // 64 raw bits + one 9-bit delta bucket + 998 zero-dod bits.
+  EXPECT_LE(w.bit_count(), 64u + 9u + 999u);
+  RoundTripEpochs(epochs);
+}
+
+TEST(DeltaOfDeltaTest, RoundTripsIrregularAndLargeJumps) {
+  RoundTripEpochs({0});
+  RoundTripEpochs({5, 6});
+  RoundTripEpochs({1, 2, 3, 100, 101, 7, 1ull << 40, (1ull << 40) + 1});
+  RoundTripEpochs({std::numeric_limits<uint64_t>::max() - 2,
+                   std::numeric_limits<uint64_t>::max() - 1,
+                   std::numeric_limits<uint64_t>::max()});
+}
+
+void RoundTripDoubles(const std::vector<double>& values) {
+  BitWriter w;
+  XorEncoder enc;
+  for (const double v : values) {
+    enc.Append(&w, v);
+  }
+  const std::vector<uint8_t> bytes = w.Take();
+  BitReader r(bytes.data(), bytes.size());
+  XorDecoder dec;
+  for (const double v : values) {
+    double got = 0.0;
+    ASSERT_TRUE(dec.Next(&r, &got));
+    // Bit-exact, including NaN payloads and signed zeros.
+    EXPECT_EQ(DoubleBits(got), DoubleBits(v));
+  }
+}
+
+TEST(XorCodecTest, RoundTripsSpecialValues) {
+  RoundTripDoubles({0.0, -0.0, 1.0, -1.0,
+                    std::numeric_limits<double>::infinity(),
+                    -std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::quiet_NaN(),
+                    std::numeric_limits<double>::denorm_min(),
+                    std::numeric_limits<double>::max(),
+                    std::numeric_limits<double>::min()});
+}
+
+TEST(XorCodecTest, ConstantSeriesCostsOneBitPerValue) {
+  std::vector<double> values(1000, 3.25);
+  BitWriter w;
+  XorEncoder enc;
+  for (const double v : values) {
+    enc.Append(&w, v);
+  }
+  EXPECT_LE(w.bit_count(), 64u + 999u);
+  RoundTripDoubles(values);
+}
+
+TEST(XorCodecTest, RoundTripsRandomWalk) {
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> step(0.0, 1.0);
+  std::vector<double> values;
+  double x = 1e6;
+  for (int i = 0; i < 5000; ++i) {
+    x += step(rng);
+    values.push_back(x);
+  }
+  RoundTripDoubles(values);
+}
+
+TEST(XorCodecTest, RoundTripsAdversarialBitPatterns) {
+  std::mt19937_64 rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(BitsToDouble(rng()));
+  }
+  RoundTripDoubles(values);
+}
+
+// ---------------------------------------------------------------------------
+// Segment record codec
+// ---------------------------------------------------------------------------
+
+EpochSample Sample(uint64_t epoch,
+                   std::vector<std::pair<std::string, double>> values) {
+  EpochSample s;
+  s.epoch = epoch;
+  for (auto& [name, v] : values) {
+    s.values.push_back(SeriesValue{std::move(name), v});
+  }
+  return s;
+}
+
+TEST(SegmentCodecTest, RoundTripsStreamsAcrossRecords) {
+  SegmentEncoder enc;
+  SegmentDecoder dec;
+  const std::vector<EpochSample> samples = {
+      Sample(10, {{"a", 1.5}, {"b", -2.0}}),
+      Sample(11, {{"a", 1.5}, {"b", -2.5}, {"c", 100.0}}),
+      Sample(12, {{"c", 101.0}}),               // a, b absent this epoch
+      Sample(13, {{"a", 1.75}, {"c", 101.0}}),  // a reappears
+  };
+  for (const EpochSample& in : samples) {
+    const std::vector<uint8_t> payload = enc.EncodeRecord(in);
+    EpochSample out;
+    ASSERT_TRUE(dec.DecodeRecord(payload.data(), payload.size(), &out));
+    EXPECT_EQ(out.epoch, in.epoch);
+    ASSERT_EQ(out.values.size(), in.values.size());
+    // Decoded values come back in series-id order; match by name.
+    for (const SeriesValue& want : in.values) {
+      bool found = false;
+      for (const SeriesValue& got : out.values) {
+        if (got.series == want.series) {
+          EXPECT_EQ(got.value, want.value) << want.series;
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << want.series;
+    }
+  }
+}
+
+TEST(SegmentCodecTest, DuplicateSeriesKeepsFirstValue) {
+  SegmentEncoder enc;
+  SegmentDecoder dec;
+  const std::vector<uint8_t> payload =
+      enc.EncodeRecord(Sample(1, {{"dup", 7.0}, {"dup", 9.0}}));
+  EpochSample out;
+  ASSERT_TRUE(dec.DecodeRecord(payload.data(), payload.size(), &out));
+  ASSERT_EQ(out.values.size(), 1u);
+  EXPECT_EQ(out.values[0].value, 7.0);
+}
+
+TEST(SegmentCodecTest, TruncatedPayloadIsRejected) {
+  SegmentEncoder enc;
+  const std::vector<uint8_t> payload = enc.EncodeRecord(
+      Sample(1, {{"x", 3.14}, {"y", 2.71}, {"z", 1.41}}));
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    SegmentDecoder dec;
+    EpochSample out;
+    EXPECT_FALSE(dec.DecodeRecord(payload.data(), cut, &out))
+        << "accepted a " << cut << "-byte prefix of " << payload.size();
+  }
+}
+
+TEST(SegmentCodecTest, OverlongSeriesNameIsDroppedNotMangled) {
+  SegmentEncoder enc;
+  SegmentDecoder dec;
+  const std::string long_name(kMaxSeriesNameBytes + 1, 'n');
+  const std::vector<uint8_t> payload =
+      enc.EncodeRecord(Sample(1, {{long_name, 1.0}, {"ok", 2.0}}));
+  EpochSample out;
+  ASSERT_TRUE(dec.DecodeRecord(payload.data(), payload.size(), &out));
+  ASSERT_EQ(out.values.size(), 1u);
+  EXPECT_EQ(out.values[0].series, "ok");
+}
+
+}  // namespace
+}  // namespace statstore

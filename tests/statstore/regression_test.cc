@@ -1,0 +1,171 @@
+// RegressionDetector: zero false positives on a steady noisy workload,
+// prompt flags on an injected contribution shift, warmup/cooldown
+// semantics, and baseline re-centering after a sustained shift.
+#include <cmath>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/statstore/regression.h"
+
+namespace statstore {
+namespace {
+
+// Options matching the vprofd defaults for contribution-share streams.
+RegressionOptions ShareOptions() {
+  RegressionOptions o;
+  o.k_sigma = 6.0;
+  o.sigma_floor = 0.01;
+  o.min_abs_shift = 0.05;
+  o.half_life_epochs = 64.0;
+  o.warmup_epochs = 8;
+  o.cooldown_epochs = 8;
+  return o;
+}
+
+TEST(RegressionTest, SteadyWorkloadNeverFlags) {
+  RegressionDetector detector(ShareOptions());
+  std::mt19937_64 rng(17);
+  // Three factors with different means and realistic epoch-to-epoch wobble.
+  std::normal_distribution<double> lock_noise(0.45, 0.015);
+  std::normal_distribution<double> flush_noise(0.30, 0.010);
+  std::normal_distribution<double> io_noise(0.10, 0.008);
+  for (uint64_t epoch = 1; epoch <= 500; ++epoch) {
+    EXPECT_FALSE(detector.Observe("lock", epoch, lock_noise(rng)));
+    EXPECT_FALSE(detector.Observe("flush", epoch, flush_noise(rng)));
+    EXPECT_FALSE(detector.Observe("io", epoch, io_noise(rng)));
+  }
+  EXPECT_EQ(detector.flag_count(), 0u);
+  EXPECT_EQ(detector.series_count(), 3u);
+}
+
+TEST(RegressionTest, InjectedShiftFlagsWithinThreeEpochs) {
+  RegressionDetector detector(ShareOptions());
+  std::mt19937_64 rng(23);
+  std::normal_distribution<double> noise(0.0, 0.01);
+  const uint64_t kShiftEpoch = 100;
+  uint64_t flagged_at = 0;
+  for (uint64_t epoch = 1; epoch <= 120; ++epoch) {
+    // The paper's migration scenario: LogFlush's variance share jumps from
+    // ~20% to ~55% when the log device degrades.
+    const double base = epoch < kShiftEpoch ? 0.20 : 0.55;
+    if (detector.Observe("node:root/LogFlush:share", epoch,
+                         base + noise(rng)) &&
+        flagged_at == 0) {
+      flagged_at = epoch;
+    }
+  }
+  ASSERT_NE(flagged_at, 0u) << "shift never flagged";
+  EXPECT_GE(flagged_at, kShiftEpoch);
+  EXPECT_LE(flagged_at, kShiftEpoch + 2) << "flag too slow";
+
+  const std::vector<RegressionFlag> flags = detector.flags();
+  ASSERT_FALSE(flags.empty());
+  const RegressionFlag& flag = flags.front();
+  EXPECT_EQ(flag.series, "node:root/LogFlush:share");
+  EXPECT_EQ(flag.epoch, flagged_at);
+  EXPECT_NEAR(flag.baseline_mean, 0.20, 0.02);
+  EXPECT_GT(flag.value, 0.5);
+  EXPECT_GT(flag.sigmas, 6.0);  // well outside the band, and positive
+}
+
+TEST(RegressionTest, WarmupSuppressesEarlyFlags) {
+  RegressionOptions opts = ShareOptions();
+  opts.warmup_epochs = 5;
+  RegressionDetector detector(opts);
+  // Wild swings during warmup are baseline formation, not regressions.
+  EXPECT_FALSE(detector.Observe("s", 1, 0.9));
+  EXPECT_FALSE(detector.Observe("s", 2, 0.1));
+  EXPECT_FALSE(detector.Observe("s", 3, 0.9));
+  EXPECT_FALSE(detector.Observe("s", 4, 0.1));
+  EXPECT_FALSE(detector.Observe("s", 5, 0.9));
+  EXPECT_EQ(detector.flag_count(), 0u);
+}
+
+TEST(RegressionTest, CooldownSuppressesDuplicateFlags) {
+  RegressionOptions opts = ShareOptions();
+  opts.cooldown_epochs = 10;
+  RegressionDetector detector(opts);
+  for (uint64_t epoch = 1; epoch <= 50; ++epoch) {
+    ASSERT_FALSE(detector.Observe("s", epoch, 0.20));
+  }
+  // A sustained shift: exactly one flag, then silence while re-centering.
+  uint64_t flags_raised = 0;
+  for (uint64_t epoch = 51; epoch <= 58; ++epoch) {
+    if (detector.Observe("s", epoch, 0.60)) ++flags_raised;
+  }
+  EXPECT_EQ(flags_raised, 1u);
+  EXPECT_EQ(detector.flag_count(), 1u);
+}
+
+TEST(RegressionTest, BaselineRecentersAfterSustainedShift) {
+  RegressionOptions opts = ShareOptions();
+  opts.half_life_epochs = 16.0;  // re-center quickly for the test
+  opts.cooldown_epochs = 4;
+  RegressionDetector detector(opts);
+  for (uint64_t epoch = 1; epoch <= 50; ++epoch) {
+    ASSERT_FALSE(detector.Observe("s", epoch, 0.20));
+  }
+  // Hold the new level long enough for the decayed baseline to adopt it.
+  uint64_t last_flag_epoch = 0;
+  for (uint64_t epoch = 51; epoch <= 250; ++epoch) {
+    if (detector.Observe("s", epoch, 0.60)) last_flag_epoch = epoch;
+  }
+  // Flags stop once the baseline has migrated: the shift is the new normal.
+  EXPECT_LT(last_flag_epoch, 150u);
+  double mean = 0.0, sigma = 0.0;
+  ASSERT_TRUE(detector.Baseline("s", &mean, &sigma));
+  EXPECT_NEAR(mean, 0.60, 0.02);
+  // And a fresh shift from the NEW baseline still flags.
+  bool reflagged = false;
+  for (uint64_t epoch = 251; epoch <= 254; ++epoch) {
+    reflagged = detector.Observe("s", epoch, 0.95) || reflagged;
+  }
+  EXPECT_TRUE(reflagged);
+}
+
+TEST(RegressionTest, NonFiniteValuesAreIgnored) {
+  RegressionDetector detector(ShareOptions());
+  for (uint64_t epoch = 1; epoch <= 20; ++epoch) {
+    ASSERT_FALSE(detector.Observe("s", epoch, 0.5));
+  }
+  EXPECT_FALSE(detector.Observe("s", 21, std::nan("")));
+  EXPECT_FALSE(
+      detector.Observe("s", 22, std::numeric_limits<double>::infinity()));
+  // The baseline was not poisoned: normal values still pass quietly.
+  EXPECT_FALSE(detector.Observe("s", 23, 0.5));
+  double mean = 0.0, sigma = 0.0;
+  ASSERT_TRUE(detector.Baseline("s", &mean, &sigma));
+  EXPECT_TRUE(std::isfinite(mean));
+  EXPECT_NEAR(mean, 0.5, 1e-9);
+}
+
+TEST(RegressionTest, FlagBufferIsBounded) {
+  RegressionOptions opts = ShareOptions();
+  opts.max_flags = 4;
+  opts.cooldown_epochs = 0;
+  opts.warmup_epochs = 1;
+  opts.min_abs_shift = 0.0;
+  opts.sigma_floor = 1e-6;
+  RegressionDetector detector(opts);
+  // Geometric growth keeps every value far outside the trailing 6-sigma
+  // band, so every post-warmup epoch flags.
+  uint64_t raised = 0;
+  double value = 1.0;
+  for (uint64_t epoch = 1; epoch <= 40; ++epoch) {
+    value *= 10.0;
+    if (detector.Observe("s", epoch, value)) ++raised;
+  }
+  EXPECT_GT(raised, 4u);
+  EXPECT_EQ(detector.flag_count(), raised);
+  const std::vector<RegressionFlag> flags = detector.flags();
+  EXPECT_EQ(flags.size(), 4u);  // FIFO-bounded
+  // The retained flags are the most recent ones.
+  EXPECT_EQ(flags.back().epoch, 40u);
+}
+
+}  // namespace
+}  // namespace statstore

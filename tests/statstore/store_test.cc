@@ -1,0 +1,283 @@
+// StatStore behavior under normal operation: bit-exact roundtrips, segment
+// rollover, retention, mid-stream series births, failpoints, stats.
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fault/failpoint.h"
+#include "src/statstore/gorilla.h"
+#include "src/statstore/store.h"
+
+namespace statstore {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::string(::testing::TempDir()) + "/statstore_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    fault::DeactivateAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  StoreOptions Options() {
+    StoreOptions o;
+    o.dir = dir_;
+    return o;
+  }
+
+  std::string dir_;
+};
+
+EpochSample Sample(uint64_t epoch,
+                   std::vector<std::pair<std::string, double>> values) {
+  EpochSample s;
+  s.epoch = epoch;
+  for (auto& [name, v] : values) {
+    s.values.push_back(SeriesValue{std::move(name), v});
+  }
+  return s;
+}
+
+TEST_F(StoreTest, AppendThenQueryIsBitExact) {
+  StatStore store(Options());
+  ASSERT_TRUE(store.Open());
+
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> noise(100.0, 15.0);
+  std::vector<double> lat, share;
+  for (uint64_t e = 1; e <= 500; ++e) {
+    lat.push_back(noise(rng));
+    share.push_back(0.25 + 1e-3 * static_cast<double>(e % 7));
+    ASSERT_EQ(store.Append(Sample(e, {{"latency", lat.back()},
+                                      {"share", share.back()}})),
+              AppendStatus::kOk);
+  }
+
+  const std::vector<SeriesPoint> got = store.Query("latency", 0, UINT64_MAX);
+  ASSERT_EQ(got.size(), 500u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].epoch, i + 1);
+    EXPECT_EQ(DoubleBits(got[i].value), DoubleBits(lat[i])) << "epoch " << i + 1;
+  }
+
+  // Range bounds are inclusive and honored.
+  const std::vector<SeriesPoint> mid = store.Query("share", 100, 102);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.front().epoch, 100u);
+  EXPECT_EQ(mid.back().epoch, 102u);
+  EXPECT_EQ(DoubleBits(mid[0].value), DoubleBits(share[99]));
+
+  EXPECT_TRUE(store.Query("no_such_series", 0, UINT64_MAX).empty());
+  EXPECT_TRUE(store.Query("latency", 600, 700).empty());
+  EXPECT_EQ(store.first_epoch(), 1u);
+  EXPECT_EQ(store.last_epoch(), 500u);
+  EXPECT_EQ(store.record_count(), 500u);
+}
+
+TEST_F(StoreTest, RolloverSealsAndQuerySpansSegments) {
+  StoreOptions opts = Options();
+  opts.max_segment_bytes = 512;  // force frequent rotation
+  StatStore store(opts);
+  ASSERT_TRUE(store.Open());
+
+  for (uint64_t e = 1; e <= 300; ++e) {
+    ASSERT_EQ(store.Append(Sample(e, {{"v", static_cast<double>(e) * 1.5}})),
+              AppendStatus::kOk);
+  }
+  EXPECT_GT(store.segment_count(), 3u);
+  // At most the tail segment is unsealed at any point.
+  EXPECT_GE(store.stats().segments_sealed + 1, store.stats().segments_created);
+  EXPECT_GE(store.stats().segments_created, store.stats().segments_sealed);
+
+  const std::vector<SeriesPoint> got = store.Query("v", 0, UINT64_MAX);
+  ASSERT_EQ(got.size(), 300u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].epoch, i + 1);
+    EXPECT_EQ(got[i].value, static_cast<double>(i + 1) * 1.5);
+  }
+}
+
+TEST_F(StoreTest, RetentionDropsOldestSegments) {
+  StoreOptions opts = Options();
+  opts.max_segment_bytes = 512;
+  opts.max_segments = 3;
+  StatStore store(opts);
+  ASSERT_TRUE(store.Open());
+
+  for (uint64_t e = 1; e <= 400; ++e) {
+    ASSERT_EQ(store.Append(Sample(e, {{"v", static_cast<double>(e)}})),
+              AppendStatus::kOk);
+  }
+  EXPECT_LE(store.segment_count(), 3u);
+  EXPECT_GT(store.stats().segments_dropped, 0u);
+
+  // Old epochs are gone, the recent tail is intact and still contiguous.
+  const std::vector<SeriesPoint> got = store.Query("v", 0, UINT64_MAX);
+  ASSERT_FALSE(got.empty());
+  EXPECT_GT(got.front().epoch, 1u);
+  EXPECT_EQ(got.back().epoch, 400u);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].epoch, got[i - 1].epoch + 1);
+  }
+  // Files on disk match the in-memory view.
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    files += entry.is_regular_file() ? 1 : 0;
+  }
+  EXPECT_EQ(files, store.segment_count());
+}
+
+TEST_F(StoreTest, SeriesBornMidStreamQueriesCleanly) {
+  StoreOptions opts = Options();
+  opts.max_segment_bytes = 256;  // births cross segment boundaries too
+  StatStore store(opts);
+  ASSERT_TRUE(store.Open());
+
+  for (uint64_t e = 1; e <= 100; ++e) {
+    std::vector<std::pair<std::string, double>> values{
+        {"always", static_cast<double>(e)}};
+    if (e >= 50) values.push_back({"late", static_cast<double>(e) + 0.5});
+    if (e % 2 == 0) values.push_back({"even_only", static_cast<double>(e * 2)});
+    ASSERT_EQ(store.Append(Sample(e, values)), AppendStatus::kOk);
+  }
+
+  EXPECT_EQ(store.Query("always", 0, UINT64_MAX).size(), 100u);
+  const std::vector<SeriesPoint> late = store.Query("late", 0, UINT64_MAX);
+  ASSERT_EQ(late.size(), 51u);
+  EXPECT_EQ(late.front().epoch, 50u);
+  EXPECT_EQ(late.front().value, 50.5);
+  const std::vector<SeriesPoint> even = store.Query("even_only", 0, UINT64_MAX);
+  ASSERT_EQ(even.size(), 50u);
+  for (const SeriesPoint& p : even) {
+    EXPECT_EQ(p.epoch % 2, 0u);
+    EXPECT_EQ(p.value, static_cast<double>(p.epoch * 2));
+  }
+
+  const std::vector<std::string> names = store.ListSeries();
+  ASSERT_EQ(names.size(), 3u);  // sorted union
+  EXPECT_EQ(names[0], "always");
+  EXPECT_EQ(names[1], "even_only");
+  EXPECT_EQ(names[2], "late");
+}
+
+TEST_F(StoreTest, NonMonotonicEpochIsRejected) {
+  StatStore store(Options());
+  ASSERT_TRUE(store.Open());
+  ASSERT_EQ(store.Append(Sample(10, {{"v", 1.0}})), AppendStatus::kOk);
+  EXPECT_EQ(store.Append(Sample(10, {{"v", 2.0}})), AppendStatus::kBadEpoch);
+  EXPECT_EQ(store.Append(Sample(9, {{"v", 3.0}})), AppendStatus::kBadEpoch);
+  EXPECT_EQ(store.Append(Sample(11, {{"v", 4.0}})), AppendStatus::kOk);
+  EXPECT_EQ(store.record_count(), 2u);
+}
+
+TEST_F(StoreTest, WriteErrorFailpointIsTransient) {
+  StatStore store(Options());
+  ASSERT_TRUE(store.Open());
+  ASSERT_EQ(store.Append(Sample(1, {{"v", 1.0}})), AppendStatus::kOk);
+
+  {
+    fault::ScopedFailpoint fp("statstore/write_error",
+                              fault::Trigger::Always());
+    EXPECT_EQ(store.Append(Sample(2, {{"v", 2.0}})), AppendStatus::kIoError);
+    EXPECT_EQ(store.Append(Sample(3, {{"v", 3.0}})), AppendStatus::kIoError);
+  }
+  // Store is not wedged: appends resume once the fault clears.
+  EXPECT_FALSE(store.wedged());
+  EXPECT_EQ(store.Append(Sample(4, {{"v", 4.0}})), AppendStatus::kOk);
+
+  const std::vector<SeriesPoint> got = store.Query("v", 0, UINT64_MAX);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].epoch, 1u);
+  EXPECT_EQ(got[1].epoch, 4u);
+  EXPECT_EQ(store.stats().append_errors, 2u);
+}
+
+TEST_F(StoreTest, TornWriteFailpointWedgesUntilReopen) {
+  {
+    StatStore store(Options());
+    ASSERT_TRUE(store.Open());
+    for (uint64_t e = 1; e <= 20; ++e) {
+      ASSERT_EQ(store.Append(Sample(e, {{"v", static_cast<double>(e)}})),
+                AppendStatus::kOk);
+    }
+    fault::ScopedFailpoint fp("statstore/torn_write",
+                              fault::Trigger::OneShot());
+    EXPECT_EQ(store.Append(Sample(21, {{"v", 21.0}})), AppendStatus::kIoError);
+    EXPECT_TRUE(store.wedged());
+    EXPECT_EQ(store.Append(Sample(22, {{"v", 22.0}})), AppendStatus::kWedged);
+  }
+  // A fresh store over the same directory recovers the intact prefix.
+  StatStore reopened(Options());
+  ASSERT_TRUE(reopened.Open());
+  EXPECT_FALSE(reopened.wedged());
+  const std::vector<SeriesPoint> got = reopened.Query("v", 0, UINT64_MAX);
+  ASSERT_EQ(got.size(), 20u);
+  EXPECT_EQ(got.back().epoch, 20u);
+  // And it keeps accepting appends past the recovered tail.
+  EXPECT_EQ(reopened.Append(Sample(21, {{"v", 21.0}})), AppendStatus::kOk);
+}
+
+TEST_F(StoreTest, StallFailpointShowsUpInAppendLatency) {
+  StoreOptions opts = Options();
+  opts.stall_us = 2000.0;
+  StatStore store(opts);
+  ASSERT_TRUE(store.Open());
+  ASSERT_EQ(store.Append(Sample(1, {{"v", 1.0}})), AppendStatus::kOk);
+  const uint64_t baseline_max = store.stats().max_append_ns;
+
+  fault::ScopedFailpoint fp("statstore/stall", fault::Trigger::OneShot());
+  ASSERT_EQ(store.Append(Sample(2, {{"v", 2.0}})), AppendStatus::kOk);
+  EXPECT_GE(store.stats().max_append_ns, baseline_max);
+  EXPECT_GE(store.stats().last_append_ns, 2'000'000u * 9 / 10);
+}
+
+TEST_F(StoreTest, ReopenExtendsExistingStore) {
+  {
+    StatStore store(Options());
+    ASSERT_TRUE(store.Open());
+    for (uint64_t e = 1; e <= 50; ++e) {
+      ASSERT_EQ(store.Append(Sample(e, {{"v", static_cast<double>(e)}})),
+                AppendStatus::kOk);
+    }
+    store.Seal();
+  }
+  StatStore store(Options());
+  ASSERT_TRUE(store.Open());
+  EXPECT_EQ(store.last_epoch(), 50u);
+  for (uint64_t e = 51; e <= 100; ++e) {
+    ASSERT_EQ(store.Append(Sample(e, {{"v", static_cast<double>(e)}})),
+              AppendStatus::kOk);
+  }
+  const std::vector<SeriesPoint> got = store.Query("v", 0, UINT64_MAX);
+  ASSERT_EQ(got.size(), 100u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].epoch, i + 1);
+    EXPECT_EQ(got[i].value, static_cast<double>(i + 1));
+  }
+}
+
+TEST_F(StoreTest, StatsCountWritesAndDrops) {
+  StatStore store(Options());
+  ASSERT_TRUE(store.Open());
+  const std::string overlong(kMaxSeriesNameBytes + 1, 'x');
+  ASSERT_EQ(store.Append(Sample(1, {{"ok", 1.0}, {overlong, 2.0}})),
+            AppendStatus::kOk);
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.appends, 1u);
+  EXPECT_EQ(stats.values_dropped, 1u);
+  EXPECT_GT(stats.bytes_written, 0u);
+  EXPECT_EQ(stats.segments_created, 1u);
+  EXPECT_EQ(store.disk_bytes(), stats.bytes_written);
+}
+
+}  // namespace
+}  // namespace statstore
