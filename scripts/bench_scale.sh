@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Sweep runner for the multi-core scale-out benchmark (bench/scale.cc).
+# Builds the `scale` target, runs it --runs times, and merges the runs into
+# one BENCH_scale.json at the repo root. The merge is deterministic: for
+# every (config, threads) point the run with the median throughput is
+# selected (ties broken by run index), speedups and the acceptance verdict
+# are recomputed from the merged points, and factor migrations are re-derived
+# from the merged top-factor sequences — so repeated invocations over the
+# same run set always produce byte-identical output.
+# Usage: scripts/bench_scale.sh [--runs N] [--out FILE]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS=1
+OUT="BENCH_scale.json"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --runs) RUNS="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "usage: $0 [--runs N] [--out FILE]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== build: bench/scale =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target scale
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+STATUS=0
+for ((i = 1; i <= RUNS; i++)); do
+  echo "== run ${i}/${RUNS} =="
+  RUN_DIR="${WORK}/run${i}"
+  mkdir -p "${RUN_DIR}"
+  # The binary exits non-zero when the acceptance ratio is missed; record
+  # the worst status but still merge, so a flaky point doesn't hide data.
+  (cd "${RUN_DIR}" && "${OLDPWD}/build/bench/scale") || STATUS=$?
+done
+
+if [[ "${RUNS}" == "1" ]]; then
+  cp "${WORK}/run1/BENCH_scale.json" "${OUT}"
+else
+  python3 - "${OUT}" "${WORK}"/run*/BENCH_scale.json <<'PY'
+import json, statistics, sys
+
+out_path, *paths = sys.argv[1:]
+runs = [json.load(open(p)) for p in sorted(paths)]
+merged = {k: runs[0][k] for k in ("benchmark", "warehouses", "thread_counts")}
+merged["runs_merged"] = len(runs)
+merged["configs"] = {}
+
+for name, first in runs[0]["configs"].items():
+    points = []
+    for idx in range(len(first["points"])):
+        candidates = [r["configs"][name]["points"][idx] for r in runs]
+        med = statistics.median_low(sorted(p["throughput_tps"] for p in candidates))
+        # First run whose point carries the median throughput (deterministic).
+        points.append(next(p for p in candidates if p["throughput_tps"] == med))
+    cfg = {k: first[k] for k in
+           ("buffer_pool_instances", "commit_mode", "partition_by_warehouse")}
+    cfg["points"] = points
+    cfg["speedup_8t_over_1t"] = round(
+        points[3]["throughput_tps"] / points[0]["throughput_tps"], 3)
+    merged["configs"][name] = cfg
+
+migrations = []
+for name, cfg in merged["configs"].items():
+    pts = cfg["points"]
+    for prev, cur in zip(pts, pts[1:]):
+        if prev["top_factors"] and cur["top_factors"] and \
+           prev["top_factors"][0]["name"] != cur["top_factors"][0]["name"]:
+            migrations.append({"config": name, "at_threads": cur["threads"],
+                               "from": prev["top_factors"][0]["name"],
+                               "to": cur["top_factors"][0]["name"]})
+merged["factor_migrations"] = migrations
+
+after = merged["configs"]["after"]["speedup_8t_over_1t"]
+merged["acceptance"] = {"after_8t_over_1t": after, "required": 2.5,
+                        "pass": after >= 2.5}
+json.dump(merged, open(out_path, "w"), indent=2)
+open(out_path, "a").write("\n")
+PY
+fi
+
+echo "== wrote ${OUT} =="
+python3 -c "
+import json
+d = json.load(open('${OUT}'))
+a = d['acceptance']
+print('after 8T/1T speedup: %.2fx (required %.1fx) -> %s' %
+      (a['after_8t_over_1t'], a['required'], 'PASS' if a['pass'] else 'FAIL'))
+" 2>/dev/null || true
+exit "${STATUS}"

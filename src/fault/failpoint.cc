@@ -39,7 +39,7 @@ Registry& GetRegistry() {
 
 namespace detail {
 
-bool Evaluate(std::string_view name) {
+bool Evaluate(std::string_view name, uint64_t* value) {
   Registry& registry = GetRegistry();
   std::lock_guard<std::mutex> lock(registry.mu);
   auto it = registry.points.find(std::string(name));
@@ -69,6 +69,9 @@ bool Evaluate(std::string_view name) {
   }
   if (fire) {
     ++fp.triggers;
+    if (value != nullptr) {
+      *value = fp.trigger.value;
+    }
   }
   return fire;
 }

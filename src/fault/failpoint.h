@@ -33,13 +33,33 @@ struct Trigger {
     kProbability,  // fires with probability p, drawn from a seeded Rng
   };
 
+  // Sentinel for `value`: the firing site falls back to its own behavior
+  // (e.g. simio picks a seeded-random torn-write prefix).
+  static constexpr uint64_t kNoValue = ~0ull;
+
   Kind kind = Kind::kAlways;
   uint64_t n = 1;        // kEveryNth period
   uint64_t skip = 0;     // kOneShot: hits to let pass before firing
   double p = 1.0;        // kProbability
   uint64_t seed = 1;     // kProbability Rng seed
+  // Optional 64-bit payload carried to the firing site (TriggeredValue).
+  // Deterministic fault *shaping*: e.g. the exact byte offset at which a
+  // torn write tears, so recovery tests can sweep every offset.
+  uint64_t value = kNoValue;
 
   static Trigger Always() { return Trigger{}; }
+  static Trigger AlwaysWithValue(uint64_t value) {
+    Trigger t;
+    t.value = value;
+    return t;
+  }
+  static Trigger OneShotWithValue(uint64_t value, uint64_t skip_hits = 0) {
+    Trigger t;
+    t.kind = Kind::kOneShot;
+    t.skip = skip_hits;
+    t.value = value;
+    return t;
+  }
   static Trigger OneShot(uint64_t skip_hits = 0) {
     Trigger t;
     t.kind = Kind::kOneShot;
@@ -65,8 +85,9 @@ namespace detail {
 // Count of currently armed failpoints; the fast-path gate.
 extern std::atomic<uint32_t> g_active_count;
 
-// Slow path of Triggered(): registry lookup + trigger evaluation.
-bool Evaluate(std::string_view name);
+// Slow path of Triggered(): registry lookup + trigger evaluation. When
+// `value` is non-null and the trigger fires, receives the trigger's payload.
+bool Evaluate(std::string_view name, uint64_t* value = nullptr);
 }  // namespace detail
 
 // True when at least one failpoint is armed anywhere in the process.
@@ -98,6 +119,15 @@ inline bool Triggered(std::string_view name) {
     return false;
   }
   return detail::Evaluate(name);
+}
+
+// As Triggered(), but also reports the armed trigger's payload (`value`,
+// Trigger::kNoValue unless the arming test set one) when it fires.
+inline bool TriggeredValue(std::string_view name, uint64_t* value) {
+  if (!AnyActive()) [[likely]] {
+    return false;
+  }
+  return detail::Evaluate(name, value);
 }
 
 // RAII activation for test scopes: arms on construction, disarms on

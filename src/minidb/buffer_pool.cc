@@ -1,5 +1,6 @@
 #include "src/minidb/buffer_pool.h"
 
+#include <chrono>
 #include <thread>
 
 #include "src/vprof/probe.h"
@@ -8,34 +9,88 @@ namespace minidb {
 
 namespace {
 constexpr uint64_t kPageBytes = 8192;
+
+// Fibonacci hashing spreads sequential page ids (the common allocation
+// pattern) uniformly over shards; a plain modulo would put every table's
+// hot pages in the same few instances.
+inline uint64_t MixPageId(PageId page_id) {
+  return (page_id * 11400714819323198485ull) >> 32;
+}
 }  // namespace
 
 BufferPool::BufferPool(int capacity_pages, BufferPolicy policy,
-                       int llu_try_iterations, simio::Disk* disk)
-    : capacity_(capacity_pages),
-      policy_(policy),
+                       int llu_try_iterations, simio::Disk* disk,
+                       int instances)
+    : policy_(policy),
       llu_try_iterations_(llu_try_iterations),
-      disk_(disk) {}
-
-void BufferPool::PoolMutexEnter() {
-  VPROF_FUNC("buf_pool_mutex_enter");
-  pool_mu_.lock();
+      disk_(disk),
+      capacity_(capacity_pages) {
+  if (instances < 1) {
+    instances = 1;
+  }
+  shards_.reserve(static_cast<size_t>(instances));
+  for (int i = 0; i < instances; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  const int base = capacity_pages / instances;
+  const int extra = capacity_pages % instances;
+  for (int i = 0; i < instances; ++i) {
+    shards_[static_cast<size_t>(i)]->capacity.store(
+        base + (i < extra ? 1 : 0), std::memory_order_relaxed);
+  }
 }
 
-void BufferPool::PoolMutexSpinEnter() {
+int BufferPool::ShardOf(PageId page_id) const {
+  return static_cast<int>(MixPageId(page_id) % shards_.size());
+}
+
+void BufferPool::PoolMutexEnter(Shard& shard) {
   VPROF_FUNC("buf_pool_mutex_enter");
-  while (!pool_mu_.try_lock()) {
+  // Uncontended acquisitions take the try_lock fast path and cost one CAS;
+  // only contended entries pay for (and record) a timed wait, so the
+  // per-shard lock-wait gauge reflects contention, not traffic.
+  if (shard.pool_mu.try_lock()) {
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  shard.pool_mu.lock();
+  const auto waited = std::chrono::steady_clock::now() - start;
+  shard.mutex_waits.fetch_add(1, std::memory_order_relaxed);
+  shard.mutex_wait_ns.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+              .count()),
+      std::memory_order_relaxed);
+}
+
+void BufferPool::PoolMutexSpinEnter(Shard& shard) {
+  VPROF_FUNC("buf_pool_mutex_enter");
+  if (shard.pool_mu.try_lock()) {
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  while (!shard.pool_mu.try_lock()) {
     // Spin with a yield so the single-core holder can make progress; the
     // elapsed time lands in this function's profile rather than a blocked
     // segment, exactly as a userspace spin lock behaves.
     std::this_thread::yield();
   }
+  const auto waited = std::chrono::steady_clock::now() - start;
+  shard.mutex_waits.fetch_add(1, std::memory_order_relaxed);
+  shard.mutex_wait_ns.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+              .count()),
+      std::memory_order_relaxed);
 }
 
-bool BufferPool::PoolMutexTryEnterBounded() {
+bool BufferPool::PoolMutexTryEnterBounded(Shard& shard) {
   VPROF_FUNC("buf_pool_mutex_enter");
   for (int i = 0; i < llu_try_iterations_; ++i) {
-    if (pool_mu_.try_lock()) {
+    if (shard.pool_mu.try_lock()) {
+      if (i > 0) {
+        shard.mutex_waits.fetch_add(1, std::memory_order_relaxed);
+      }
       return true;
     }
     std::this_thread::yield();
@@ -43,175 +98,256 @@ bool BufferPool::PoolMutexTryEnterBounded() {
   return false;
 }
 
-void BufferPool::TouchLru(Frame& frame) {
-  lru_.splice(lru_.begin(), lru_, frame.lru_pos);
+void BufferPool::TouchLru(Shard& shard, Frame& frame) {
+  shard.lru.splice(shard.lru.begin(), shard.lru, frame.lru_pos);
   frame.deferred_move = false;
   // Young/old sublist bookkeeping performed under the pool mutex (InnoDB
   // maintains midpoint-insertion state on every move): ~1.5us of work that
   // makes the hit-path mutex hold non-trivial — the contention the LLU fix
-  // targets.
+  // targets. Sharding divides the threads contending for it, not the work.
   volatile uint64_t h = 1469598103934665603ull;
   for (int i = 0; i < 220; ++i) {
     h = (h ^ static_cast<uint64_t>(i)) * 1099511628211ull;
   }
-  std::lock_guard<std::mutex> stats_lock(stats_mu_);
-  ++stats_.lru_moves;
+  shard.lru_moves.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BufferPool::GetPage(PageId page_id, bool for_write) {
   VPROF_FUNC("buf_page_get");
-  // Page-hash probe (InnoDB's page hash latch).
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(page_id))];
+  // Page-hash probe (InnoDB's page hash latch, per instance).
   bool present;
   {
-    std::lock_guard<std::mutex> hash_lock(hash_mu_);
-    auto it = frames_.find(page_id);
-    present = it != frames_.end();
+    std::lock_guard<std::mutex> hash_lock(shard.hash_mu);
+    auto it = shard.frames.find(page_id);
+    present = it != shard.frames.end();
     if (present && for_write) {
       it->second.dirty = true;
     }
   }
 
   if (present) {
-    {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.hits;
-    }
-    // LRU maintenance under the global pool mutex — the call site the paper
-    // blames for buf_pool_mutex_enter variance.
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    // LRU maintenance under this instance's pool mutex — the call site the
+    // paper blames for buf_pool_mutex_enter variance.
     bool acquired;
     switch (policy_) {
       case BufferPolicy::kBlockingMutex:
-        PoolMutexEnter();
+        PoolMutexEnter(shard);
         acquired = true;
         break;
       case BufferPolicy::kSpinLock:
-        PoolMutexSpinEnter();
+        PoolMutexSpinEnter(shard);
         acquired = true;
         break;
       case BufferPolicy::kLazyLruUpdate:
-        acquired = PoolMutexTryEnterBounded();
+        acquired = PoolMutexTryEnterBounded(shard);
         break;
     }
     if (!acquired) {
       // LLU: skip the move, mark it deferred; the next access that does get
       // the mutex performs it.
-      std::lock_guard<std::mutex> hash_lock(hash_mu_);
-      auto it = frames_.find(page_id);
-      if (it != frames_.end()) {
+      std::lock_guard<std::mutex> hash_lock(shard.hash_mu);
+      auto it = shard.frames.find(page_id);
+      if (it != shard.frames.end()) {
         it->second.deferred_move = true;
       }
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.lru_moves_skipped;
+      shard.lru_moves_skipped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     {
-      std::lock_guard<std::mutex> hash_lock(hash_mu_);
-      auto it = frames_.find(page_id);
-      if (it != frames_.end()) {
-        TouchLru(it->second);
-        pool_mu_.unlock();
+      std::lock_guard<std::mutex> hash_lock(shard.hash_mu);
+      auto it = shard.frames.find(page_id);
+      if (it != shard.frames.end()) {
+        TouchLru(shard, it->second);
+        shard.pool_mu.unlock();
         return;
       }
     }
     // Evicted between the probe and the move: fall through to the miss path
     // while already holding the pool mutex.
-    HandleMiss(page_id, for_write);
-    pool_mu_.unlock();
+    HandleMiss(shard, page_id, for_write);
+    shard.pool_mu.unlock();
     return;
   }
 
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    ++stats_.misses;
-  }
-  PoolMutexEnter();
-  HandleMiss(page_id, for_write);
-  pool_mu_.unlock();
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  PoolMutexEnter(shard);
+  HandleMiss(shard, page_id, for_write);
+  shard.pool_mu.unlock();
 }
 
-// Precondition: pool_mu_ held throughout.
-void BufferPool::HandleMiss(PageId page_id, bool for_write) {
+// Precondition: shard.pool_mu held throughout.
+void BufferPool::HandleMiss(Shard& shard, PageId page_id, bool for_write) {
   {
     // Another thread may have loaded the page while we waited for the mutex.
-    std::lock_guard<std::mutex> hash_lock(hash_mu_);
-    auto it = frames_.find(page_id);
-    if (it != frames_.end()) {
+    std::lock_guard<std::mutex> hash_lock(shard.hash_mu);
+    auto it = shard.frames.find(page_id);
+    if (it != shard.frames.end()) {
       if (for_write) {
         it->second.dirty = true;
       }
-      TouchLru(it->second);
+      TouchLru(shard, it->second);
       return;
     }
   }
 
-  // Evict while full. Pages whose LRU move was deferred by LLU get a second
-  // chance (their move is "retried" now, as the LLU proposal specifies)
-  // instead of being evicted while still hot. The victim write-back happens
-  // while holding the pool mutex (InnoDB's legacy single-page-flush path).
-  while (frames_.size() >= static_cast<size_t>(capacity_) && !lru_.empty()) {
-    for (int scan = 0; scan < capacity_ && !lru_.empty(); ++scan) {
-      const PageId tail = lru_.back();
-      std::lock_guard<std::mutex> hash_lock(hash_mu_);
-      auto it = frames_.find(tail);
-      if (it == frames_.end() || !it->second.deferred_move) {
-        break;
-      }
-      TouchLru(it->second);  // apply the deferred move
-    }
-    const PageId victim = lru_.back();
-    bool victim_dirty = false;
-    {
-      std::lock_guard<std::mutex> hash_lock(hash_mu_);
-      auto it = frames_.find(victim);
-      if (it != frames_.end()) {
-        victim_dirty = it->second.dirty;
-        frames_.erase(it);
-      }
-    }
-    lru_.pop_back();
-    if (victim_dirty) {
-      disk_->Write(kPageBytes);
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.dirty_evictions;
-    } else {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.clean_evictions;
-    }
-  }
+  // Make room for the incoming page.
+  EvictToCapacity(shard);
 
   // Read the page in (still under the pool mutex — together with the dirty
-  // write-back above, this is what makes miss handling the long-hold path
-  // the 2-WH case study observes).
+  // write-back in EvictToCapacity, this is what makes miss handling the
+  // long-hold path the 2-WH case study observes).
   disk_->Read(kPageBytes);
-  std::lock_guard<std::mutex> hash_lock(hash_mu_);
-  lru_.push_front(page_id);
+  std::lock_guard<std::mutex> hash_lock(shard.hash_mu);
+  shard.lru.push_front(page_id);
   Frame frame;
   frame.page_id = page_id;
   frame.dirty = for_write;
-  frame.lru_pos = lru_.begin();
-  frames_.emplace(page_id, frame);
+  frame.lru_pos = shard.lru.begin();
+  shard.frames.emplace(page_id, frame);
+}
+
+// Precondition: shard.pool_mu held. Evicts until the shard is below its
+// capacity (so the caller can insert one page), also used by Resize to
+// drain a shrunken shard. Pages whose LRU move was deferred by LLU get a
+// second chance (their move is "retried" now, as the LLU proposal
+// specifies) instead of being evicted while still hot. The victim
+// write-back happens while holding the pool mutex (InnoDB's legacy
+// single-page-flush path).
+void BufferPool::EvictToCapacity(Shard& shard) {
+  const int shard_capacity = shard.capacity.load(std::memory_order_relaxed);
+  while (!shard.lru.empty()) {
+    {
+      std::lock_guard<std::mutex> hash_lock(shard.hash_mu);
+      if (shard.frames.size() < static_cast<size_t>(shard_capacity)) {
+        return;
+      }
+    }
+    for (int scan = 0; scan < shard_capacity && !shard.lru.empty(); ++scan) {
+      const PageId tail = shard.lru.back();
+      std::lock_guard<std::mutex> hash_lock(shard.hash_mu);
+      auto it = shard.frames.find(tail);
+      if (it == shard.frames.end() || !it->second.deferred_move) {
+        break;
+      }
+      TouchLru(shard, it->second);  // apply the deferred move
+    }
+    const PageId victim = shard.lru.back();
+    bool victim_dirty = false;
+    {
+      std::lock_guard<std::mutex> hash_lock(shard.hash_mu);
+      auto it = shard.frames.find(victim);
+      if (it != shard.frames.end()) {
+        victim_dirty = it->second.dirty;
+        shard.frames.erase(it);
+      }
+    }
+    shard.lru.pop_back();
+    if (victim_dirty) {
+      disk_->Write(kPageBytes);
+      shard.dirty_evictions.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      shard.clean_evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void BufferPool::Resize(int capacity_pages) {
+  if (capacity_pages < 0) {
+    capacity_pages = 0;
+  }
+  capacity_.store(capacity_pages, std::memory_order_relaxed);
+  const int instances = static_cast<int>(shards_.size());
+  const int base = capacity_pages / instances;
+  const int extra = capacity_pages % instances;
+  for (int i = 0; i < instances; ++i) {
+    Shard& shard = *shards_[static_cast<size_t>(i)];
+    const int new_capacity = base + (i < extra ? 1 : 0);
+    PoolMutexEnter(shard);
+    shard.capacity.store(new_capacity, std::memory_order_relaxed);
+    // A shrink evicts down right away; a grow just leaves headroom that
+    // subsequent misses fill. EvictToCapacity stops one frame below
+    // capacity (insertion headroom), which is exactly the shrink target.
+    if (new_capacity == 0 ||
+        shard.frames.size() > static_cast<size_t>(new_capacity)) {
+      EvictToCapacity(shard);
+    }
+    shard.pool_mu.unlock();
+  }
+}
+
+BufferPoolStats BufferPool::ReadCounters(const Shard& shard) {
+  BufferPoolStats s;
+  s.hits = shard.hits.load(std::memory_order_relaxed);
+  s.misses = shard.misses.load(std::memory_order_relaxed);
+  s.clean_evictions = shard.clean_evictions.load(std::memory_order_relaxed);
+  s.dirty_evictions = shard.dirty_evictions.load(std::memory_order_relaxed);
+  s.lru_moves = shard.lru_moves.load(std::memory_order_relaxed);
+  s.lru_moves_skipped =
+      shard.lru_moves_skipped.load(std::memory_order_relaxed);
+  s.mutex_waits = shard.mutex_waits.load(std::memory_order_relaxed);
+  s.mutex_wait_ns = shard.mutex_wait_ns.load(std::memory_order_relaxed);
+  return s;
 }
 
 BufferPoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> stats_lock(stats_mu_);
-  return stats_;
+  BufferPoolStats total;
+  for (const auto& shard : shards_) {
+    const BufferPoolStats s = ReadCounters(*shard);
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.clean_evictions += s.clean_evictions;
+    total.dirty_evictions += s.dirty_evictions;
+    total.lru_moves += s.lru_moves;
+    total.lru_moves_skipped += s.lru_moves_skipped;
+    total.mutex_waits += s.mutex_waits;
+    total.mutex_wait_ns += s.mutex_wait_ns;
+  }
+  return total;
+}
+
+BufferPoolStats BufferPool::shard_stats(int shard) const {
+  if (shard < 0 || shard >= static_cast<int>(shards_.size())) {
+    return BufferPoolStats{};
+  }
+  return ReadCounters(*shards_[static_cast<size_t>(shard)]);
 }
 
 size_t BufferPool::resident_pages() const {
-  std::lock_guard<std::mutex> hash_lock(hash_mu_);
-  return frames_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> hash_lock(shard->hash_mu);
+    total += shard->frames.size();
+  }
+  return total;
 }
 
 bool BufferPool::CheckInvariants() const {
-  std::lock_guard<std::mutex> hash_lock(hash_mu_);
-  if (frames_.size() > static_cast<size_t>(capacity_)) {
-    return false;
-  }
-  if (frames_.size() != lru_.size()) {
-    return false;
-  }
-  for (PageId pid : lru_) {
-    if (frames_.find(pid) == frames_.end()) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    // Take the pool mutex so the LRU list is stable, then the hash latch
+    // (same order as the access paths).
+    shard.pool_mu.lock();
+    bool ok;
+    {
+      std::lock_guard<std::mutex> hash_lock(shard.hash_mu);
+      ok = shard.frames.size() <=
+               static_cast<size_t>(
+                   shard.capacity.load(std::memory_order_relaxed)) &&
+           shard.frames.size() == shard.lru.size();
+      if (ok) {
+        for (PageId pid : shard.lru) {
+          if (shard.frames.find(pid) == shard.frames.end() ||
+              ShardOf(pid) != static_cast<int>(i)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+    }
+    shard.pool_mu.unlock();
+    if (!ok) {
       return false;
     }
   }

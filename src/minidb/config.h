@@ -29,6 +29,16 @@ enum class FlushPolicy {
   kLazyWrite,  // write and fsync both deferred to the log flusher thread
 };
 
+// How committers share the log device (orthogonal to FlushPolicy, which
+// says *when* durability happens; CommitMode says *who* does the I/O).
+enum class CommitMode {
+  kExclusive,    // every committer performs its own write+fsync, serialized
+                 // on the log I/O mutex — the pre-scale-out baseline
+  kGroupCommit,  // leader-based: one elected leader batches all pending
+                 // records into a single write+fsync; followers wait on an
+                 // event (distributed-logging remedy, PAPERS.md)
+};
+
 struct EngineConfig {
   // Scale: number of warehouses (TPC-C-style). Contention on warehouse and
   // district rows scales with worker_threads / warehouses.
@@ -38,11 +48,17 @@ struct EngineConfig {
   // global buffer-pool mutex the bottleneck (the paper's 2-WH regime).
   int buffer_pool_pages = 2048;
 
+  // Number of independent buffer-pool instances (InnoDB
+  // buf_pool_instances). 1 reproduces the paper's single global mutex; the
+  // scale-out bench raises this to divide hit-path contention.
+  int buffer_pool_instances = 1;
+
   int rows_per_page = 16;
 
   LockScheduling lock_scheduling = LockScheduling::kFcfs;
   BufferPolicy buffer_policy = BufferPolicy::kBlockingMutex;
   FlushPolicy flush_policy = FlushPolicy::kEager;
+  CommitMode commit_mode = CommitMode::kGroupCommit;
 
   // Lock-wait timeout before a transaction aborts (ns).
   int64_t lock_wait_timeout_ns = 1000LL * 1000 * 1000;

@@ -35,11 +35,12 @@ Engine::Engine(const EngineConfig& config)
       log_disk_(config.log_disk),
       locks_(config.lock_scheduling, config.lock_wait_timeout_ns,
              config.deadlock_detection) {
-  pool_ = std::make_unique<BufferPool>(config.buffer_pool_pages,
-                                       config.buffer_policy,
-                                       config.llu_try_iterations, &data_disk_);
+  pool_ = std::make_unique<BufferPool>(
+      config.buffer_pool_pages, config.buffer_policy,
+      config.llu_try_iterations, &data_disk_, config.buffer_pool_instances);
   log_ = std::make_unique<RedoLog>(config.flush_policy, &log_disk_,
-                                   config.log_flusher_period_us);
+                                   config.log_flusher_period_us,
+                                   config.commit_mode);
   warehouse_ = std::make_unique<Table>("warehouse", kWarehouseTableId, 4, pool_.get());
   district_ = std::make_unique<Table>("district", kDistrictTableId, 4, pool_.get());
   customer_ = std::make_unique<Table>("customer", kCustomerTableId, 16, pool_.get());
@@ -349,6 +350,28 @@ std::unique_ptr<vprof::Vprofd> Engine::StartOnlineProfiler(
   auto daemon = std::make_unique<vprof::Vprofd>(std::move(options));
   daemon->Start();
   return daemon;
+}
+
+std::vector<vprof::AppGauge> Engine::ScaleGauges() const {
+  std::vector<vprof::AppGauge> gauges;
+  for (int i = 0; i < pool_->instances(); ++i) {
+    const BufferPoolStats s = pool_->shard_stats(i);
+    const std::string prefix = "minidb.buf_pool.shard" + std::to_string(i);
+    gauges.push_back(
+        {prefix + ".mutex_waits", static_cast<double>(s.mutex_waits)});
+    gauges.push_back(
+        {prefix + ".mutex_wait_ns", static_cast<double>(s.mutex_wait_ns)});
+  }
+  const RedoLogStats ls = log_->stats();
+  const uint64_t flushes = ls.leader_flushes + ls.background_flushes;
+  gauges.push_back(
+      {"minidb.redo.commit_waits", static_cast<double>(ls.commit_waits)});
+  gauges.push_back(
+      {"minidb.redo.batch_records_avg",
+       flushes > 0 ? static_cast<double>(ls.batched_records) /
+                         static_cast<double>(flushes)
+                   : 0.0});
+  return gauges;
 }
 
 }  // namespace minidb

@@ -84,6 +84,10 @@ class Engine {
   static std::unique_ptr<vprof::Vprofd> StartOnlineProfiler(
       vprof::VprofdOptions options = {});
 
+  // Scale-out gauges for vprofd (VprofdOptions.app_gauges): per-shard
+  // buffer-pool lock waits and redo-log group-commit batch sizes.
+  std::vector<vprof::AppGauge> ScaleGauges() const;
+
   const EngineConfig& config() const { return config_; }
   simio::Disk& data_disk() { return data_disk_; }
   simio::Disk& log_disk() { return log_disk_; }

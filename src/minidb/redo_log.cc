@@ -12,6 +12,10 @@ namespace {
 constexpr uint64_t kLogBlockBytes = 512;
 constexpr uint32_t kTornChecksumMask = 0xA5A5A5A5u;
 
+// Backstop for the one race where a follower misses both the set and the
+// reset of its round's event; it re-checks flushed_lsn and re-waits.
+constexpr int64_t kFollowerWaitNs = 10LL * 1000 * 1000;
+
 constexpr const char kFpCrashBeforeWrite[] = "redo/crash_before_write";
 constexpr const char kFpCrashAfterWrite[] = "redo/crash_after_write";
 constexpr const char kFpCrashAfterFsync[] = "redo/crash_after_fsync";
@@ -29,8 +33,12 @@ uint32_t LogRecordChecksum(uint64_t end_lsn, uint64_t bytes) {
   return static_cast<uint32_t>(h ^ (h >> 32));
 }
 
-RedoLog::RedoLog(FlushPolicy policy, simio::Disk* disk, double flusher_period_us)
-    : policy_(policy), disk_(disk), flusher_period_us_(flusher_period_us) {
+RedoLog::RedoLog(FlushPolicy policy, simio::Disk* disk,
+                 double flusher_period_us, CommitMode mode)
+    : policy_(policy),
+      mode_(mode),
+      disk_(disk),
+      flusher_period_us_(flusher_period_us) {
   if (policy_ != FlushPolicy::kEager) {
     flusher_ = std::thread([this] { FlusherLoop(); });
   }
@@ -53,10 +61,7 @@ uint64_t RedoLog::Append(uint64_t bytes) {
       next_lsn_.fetch_add(bytes, std::memory_order_acq_rel) + bytes - 1;
   buffer_records_.push_back(
       LogRecord{end_lsn, bytes, LogRecordChecksum(end_lsn, bytes)});
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    ++stats_.appends;
-  }
+  stat_appends_.fetch_add(1, std::memory_order_relaxed);
   return end_lsn;
 }
 
@@ -118,11 +123,11 @@ LogStatus RedoLog::WriteAndMaybeFlush(bool do_fsync, bool background) {
     const simio::IoResult w = disk_->Write(RoundToBlocks(to_write));
     if (!w.ok()) {
       restore_batch();  // nothing reached the device; the caller may retry
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.io_errors;
+      stat_io_errors_.fetch_add(1, std::memory_order_relaxed);
       return LogStatus::kIoError;
     }
     AppendBatchToDevice(batch, std::min<uint64_t>(w.bytes, to_write));
+    stat_batched_records_.fetch_add(batch.size(), std::memory_order_relaxed);
   }
   written_lsn_.store(batch_end, std::memory_order_release);
 
@@ -140,8 +145,7 @@ LogStatus RedoLog::WriteAndMaybeFlush(bool do_fsync, bool background) {
     if (!s.ok()) {
       // Records are on the device but not stable; they stay at risk until a
       // later fsync succeeds.
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.io_errors;
+      stat_io_errors_.fetch_add(1, std::memory_order_relaxed);
       return LogStatus::kIoError;
     }
   }
@@ -153,14 +157,84 @@ LogStatus RedoLog::WriteAndMaybeFlush(bool do_fsync, bool background) {
     CrashLocked(crash_seed_.load(std::memory_order_relaxed));
     return LogStatus::kCrashed;
   }
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    if (background) {
-      ++stats_.background_flushes;
+  if (background) {
+    stat_background_flushes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stat_leader_flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return LogStatus::kOk;
+}
+
+LogStatus RedoLog::GroupCommitUpTo(uint64_t lsn) {
+  // One leader flushes per round; followers wait until their LSN is durable.
+  // kOk here is the durability acknowledgment.
+  while (flushed_lsn_.load(std::memory_order_acquire) < lsn) {
+    if (crashed_.load(std::memory_order_acquire)) {
+      return LogStatus::kCrashed;
+    }
+    if (lsn >= next_lsn_.load(std::memory_order_acquire)) {
+      // No such record: it was appended before a crash and lost. The caller
+      // must treat the transaction as failed.
+      return LogStatus::kCrashed;
+    }
+    bool leader = false;
+    uint64_t round = 0;
+    {
+      std::lock_guard<vprof::Mutex> lock(mu_);
+      if (flushed_lsn_.load(std::memory_order_acquire) >= lsn) {
+        return LogStatus::kOk;
+      }
+      if (!flush_in_progress_) {
+        flush_in_progress_ = true;
+        leader = true;
+      } else {
+        round = flush_round_;
+      }
+    }
+    if (leader) {
+      const LogStatus status =
+          WriteAndMaybeFlush(/*do_fsync=*/true, /*background=*/false);
+      {
+        // Finish the round whatever the outcome (ok, I/O error, crash):
+        // reset the next round's event before signalling this one so a
+        // follower that enlists in round R+1 starts with a clean event.
+        std::lock_guard<vprof::Mutex> lock(mu_);
+        flush_in_progress_ = false;
+        const uint64_t done = flush_round_++;
+        flush_events_[(done + 1) & 1].Reset();
+        flush_events_[done & 1].Set();
+      }
+      if (status != LogStatus::kOk) {
+        return status;
+      }
     } else {
-      ++stats_.leader_flushes;
+      stat_commit_waits_.fetch_add(1, std::memory_order_relaxed);
+      // The event for this round stays set from its completion until round
+      // round+1 completes, so a follower that runs late still sees it; the
+      // timeout covers the follower that sleeps through two whole rounds.
+      flush_events_[round & 1].WaitFor(kFollowerWaitNs);
     }
   }
+  return LogStatus::kOk;
+}
+
+LogStatus RedoLog::ExclusiveCommitUpTo(uint64_t lsn) {
+  // Pre-scale-out baseline: each commit performs its own write+fsync, fully
+  // serialized on write_io_mu_ (the prepare_commit_mutex regime) — one fsync
+  // per commit regardless of how many committers pile up.
+  do {
+    if (crashed_.load(std::memory_order_acquire)) {
+      return LogStatus::kCrashed;
+    }
+    if (lsn >= next_lsn_.load(std::memory_order_acquire)) {
+      return LogStatus::kCrashed;
+    }
+    const LogStatus status =
+        WriteAndMaybeFlush(/*do_fsync=*/true, /*background=*/false);
+    if (status != LogStatus::kOk) {
+      return status;
+    }
+  } while (flushed_lsn_.load(std::memory_order_acquire) < lsn);
   return LogStatus::kOk;
 }
 
@@ -179,54 +253,8 @@ LogStatus RedoLog::CommitUpTo(uint64_t lsn) {
     case FlushPolicy::kEager:
       break;
   }
-
-  // Eager group commit: one leader flushes per batch; followers wait until
-  // their LSN is durable. kOk here is the durability acknowledgment.
-  while (flushed_lsn_.load(std::memory_order_acquire) < lsn) {
-    if (crashed_.load(std::memory_order_acquire)) {
-      return LogStatus::kCrashed;
-    }
-    if (lsn >= next_lsn_.load(std::memory_order_acquire)) {
-      // No such record: it was appended before a crash and lost. The caller
-      // must treat the transaction as failed.
-      return LogStatus::kCrashed;
-    }
-    bool leader = false;
-    {
-      std::lock_guard<vprof::Mutex> lock(mu_);
-      if (flushed_lsn_.load(std::memory_order_acquire) >= lsn) {
-        return LogStatus::kOk;
-      }
-      if (!flush_in_progress_) {
-        flush_in_progress_ = true;
-        leader = true;
-      }
-    }
-    if (leader) {
-      const LogStatus status =
-          WriteAndMaybeFlush(/*do_fsync=*/true, /*background=*/false);
-      {
-        std::lock_guard<vprof::Mutex> lock(mu_);
-        flush_in_progress_ = false;
-      }
-      flushed_cv_.NotifyAll();
-      if (status != LogStatus::kOk) {
-        return status;
-      }
-    } else {
-      {
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
-        ++stats_.commit_waits;
-      }
-      std::lock_guard<vprof::Mutex> lock(mu_);
-      if (flush_in_progress_ &&
-          flushed_lsn_.load(std::memory_order_acquire) < lsn &&
-          !crashed_.load(std::memory_order_acquire)) {
-        flushed_cv_.WaitFor(mu_, 100LL * 1000 * 1000);
-      }
-    }
-  }
-  return LogStatus::kOk;
+  return mode_ == CommitMode::kGroupCommit ? GroupCommitUpTo(lsn)
+                                           : ExclusiveCommitUpTo(lsn);
 }
 
 void RedoLog::Crash(uint64_t seed) {
@@ -254,18 +282,23 @@ void RedoLog::CrashLocked(uint64_t seed) {
     statkit::Rng rng(seed);
     const uint64_t keep = rng.NextBelow(at_risk + 1);
     if (keep < at_risk) {
-      device_records_[durable_records_ + keep].checksum ^= kTornChecksumMask;
+      // Tear to a definitively-bad checksum (not an XOR toggle): the record
+      // may already be torn by a short batch write, and toggling twice would
+      // resurrect it.
+      LogRecord& torn = device_records_[durable_records_ + keep];
+      torn.checksum =
+          LogRecordChecksum(torn.end_lsn, torn.bytes) ^ kTornChecksumMask;
       lost += at_risk - keep - 1;
       device_records_.resize(durable_records_ + keep + 1);
     }
   }
   crash_lost_records_ += lost;
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    ++stats_.crashes;
-  }
-  // Wake eager followers so they observe crashed_ instead of timing out.
-  flushed_cv_.NotifyAll();
+  stat_crashes_.fetch_add(1, std::memory_order_relaxed);
+  // Wake group-commit followers so they observe crashed_ instead of timing
+  // out; both parities, since followers of the in-flight round and of a
+  // round that will now never run may both be waiting.
+  flush_events_[0].Set();
+  flush_events_[1].Set();
 }
 
 RecoveryResult RedoLog::Recover() {
@@ -290,6 +323,10 @@ RecoveryResult RedoLog::Recover() {
   device_records_.resize(good);
   durable_records_ = good;
   crash_lost_records_ = 0;
+  // No committers are in flight while crashed (CommitUpTo bails out), so
+  // the events can be cleared before the log re-opens.
+  flush_events_[0].Reset();
+  flush_events_[1].Reset();
   {
     std::lock_guard<vprof::Mutex> lock(mu_);
     buffer_records_.clear();
@@ -336,8 +373,17 @@ size_t RedoLog::durable_record_count() const {
 }
 
 RedoLogStats RedoLog::stats() const {
-  std::lock_guard<std::mutex> stats_lock(stats_mu_);
-  return stats_;
+  RedoLogStats stats;
+  stats.appends = stat_appends_.load(std::memory_order_relaxed);
+  stats.commit_waits = stat_commit_waits_.load(std::memory_order_relaxed);
+  stats.leader_flushes = stat_leader_flushes_.load(std::memory_order_relaxed);
+  stats.background_flushes =
+      stat_background_flushes_.load(std::memory_order_relaxed);
+  stats.batched_records =
+      stat_batched_records_.load(std::memory_order_relaxed);
+  stats.io_errors = stat_io_errors_.load(std::memory_order_relaxed);
+  stats.crashes = stat_crashes_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace minidb

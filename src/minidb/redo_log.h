@@ -1,13 +1,29 @@
-// Redo log with group commit and the three durability policies of
-// innodb_flush_log_at_trx_commit (paper Section 4.5, Figure 4 center).
+// Redo log with leader-based group commit and the three durability policies
+// of innodb_flush_log_at_trx_commit (paper Section 4.5, Figure 4 center).
 //
-//   kEager:     every commit waits until its LSN is written and fsync'd. A
-//               leader thread performs one write+fsync per batch (group
-//               commit); followers wait on a condvar. fil_flush — the fsync —
-//               is the instrumented high-variance I/O function of Table 4.
+//   kEager:     every commit waits until its LSN is written and fsync'd.
+//               Under CommitMode::kGroupCommit one elected leader performs a
+//               single write+fsync for the whole pending batch; followers
+//               wait on an os_event-style vprof::Event. Under
+//               CommitMode::kExclusive every committer performs its own
+//               write+fsync serialized on the log I/O mutex — the
+//               pre-scale-out baseline whose throughput is capped at one
+//               fsync per commit. fil_flush — the fsync — is the
+//               instrumented high-variance I/O function of Table 4.
 //   kLazyFlush: commits write the log buffer but leave the fsync to the
 //               background flusher thread (risking recent commits on crash).
 //   kLazyWrite: commits return immediately; the flusher writes and syncs.
+//
+// Group-commit leader election: committers whose LSN is not yet durable take
+// mu_; the first to find no flush in progress becomes leader, drains the
+// insert buffer, and performs one write+fsync batch. Followers record the
+// current flush round and wait on one of two ping-pong events indexed by
+// round parity: the leader finishing round R resets the event for round R+1
+// and then sets the event for round R (InnoDB os_event + sig_count style),
+// so a follower can never miss its wake-up — Set wakes current and future
+// waiters until Reset, and a bounded WaitFor backstops the one race where a
+// follower observes two full rounds without running. Followers re-check
+// flushed_lsn on every wake, so spurious wake-ups are harmless.
 //
 // Fault model: every record carries a checksum, and the log can Crash() and
 // Recover(). A crash (explicit, or injected via the commit-path failpoints
@@ -18,12 +34,19 @@
 // truncates at the first checksum mismatch, and re-opens the log at the
 // recovered LSN. Durability contract per policy: under kEager an
 // acknowledged CommitUpTo(lsn) == kOk is never lost; under the lazy policies
-// at most the records since the last background flush are lost.
+// at most the records since the last background flush are lost. These
+// invariants are CommitMode-independent: a batch is written in LSN order, so
+// recovery always exposes a prefix of whole records, never a torn batch
+// interior.
+//
+// Statistics are relaxed atomics aggregated in stats(): the commit hot path
+// takes no stats lock.
 #ifndef SRC_MINIDB_REDO_LOG_H_
 #define SRC_MINIDB_REDO_LOG_H_
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -38,6 +61,7 @@ struct RedoLogStats {
   uint64_t commit_waits = 0;   // commits that waited for another's flush
   uint64_t leader_flushes = 0;
   uint64_t background_flushes = 0;
+  uint64_t batched_records = 0;  // records written to the device by flushes
   uint64_t io_errors = 0;      // disk errors surfaced on the flush path
   uint64_t crashes = 0;
 };
@@ -69,7 +93,8 @@ struct RecoveryResult {
 
 class RedoLog {
  public:
-  RedoLog(FlushPolicy policy, simio::Disk* disk, double flusher_period_us);
+  RedoLog(FlushPolicy policy, simio::Disk* disk, double flusher_period_us,
+          CommitMode mode = CommitMode::kGroupCommit);
   ~RedoLog();
 
   RedoLog(const RedoLog&) = delete;
@@ -101,6 +126,8 @@ class RedoLog {
     crash_seed_.store(seed, std::memory_order_relaxed);
   }
 
+  CommitMode commit_mode() const { return mode_; }
+
   uint64_t flushed_lsn() const { return flushed_lsn_.load(std::memory_order_acquire); }
   uint64_t written_lsn() const { return written_lsn_.load(std::memory_order_acquire); }
   uint64_t next_lsn() const { return next_lsn_.load(std::memory_order_acquire); }
@@ -113,6 +140,10 @@ class RedoLog {
 
  private:
   void FlusherLoop();
+  // Group-commit eager path: leader election + ping-pong event rounds.
+  LogStatus GroupCommitUpTo(uint64_t lsn);
+  // Exclusive eager path: per-commit write+fsync serialized on write_io_mu_.
+  LogStatus ExclusiveCommitUpTo(uint64_t lsn);
   // Writes the pending batch and (optionally) fsyncs. Serialized on
   // write_io_mu_ so device records land in LSN order. Called with mu_ NOT
   // held.
@@ -125,17 +156,23 @@ class RedoLog {
   void CrashLocked(uint64_t seed);
 
   const FlushPolicy policy_;
+  const CommitMode mode_;
   simio::Disk* disk_;
   const double flusher_period_us_;
 
   vprof::Mutex mu_;
-  vprof::CondVar flushed_cv_;
   std::atomic<uint64_t> next_lsn_{1};
   std::atomic<uint64_t> written_lsn_{0};
   std::atomic<uint64_t> flushed_lsn_{0};
   uint64_t pending_bytes_ = 0;  // bytes appended but not yet written
-  std::vector<LogRecord> buffer_records_;  // guarded by mu_
-  bool flush_in_progress_ = false;
+  std::vector<LogRecord> buffer_records_;  // the insert buffer; guarded by mu_
+  bool flush_in_progress_ = false;         // guarded by mu_
+  uint64_t flush_round_ = 0;               // guarded by mu_
+
+  // Ping-pong follower wake-up events, indexed by flush-round parity. The
+  // event for round R is reset by the leader that finishes round R-1 and set
+  // by the leader that finishes round R; Crash sets both.
+  vprof::Event flush_events_[2];
 
   // Serializes the write+fsync path (one log file) and guards the device
   // image below.
@@ -147,8 +184,13 @@ class RedoLog {
   std::atomic<bool> crashed_{false};
   std::atomic<uint64_t> crash_seed_{0x5EED5EEDull};
 
-  mutable std::mutex stats_mu_;
-  RedoLogStats stats_;
+  std::atomic<uint64_t> stat_appends_{0};
+  std::atomic<uint64_t> stat_commit_waits_{0};
+  std::atomic<uint64_t> stat_leader_flushes_{0};
+  std::atomic<uint64_t> stat_background_flushes_{0};
+  std::atomic<uint64_t> stat_batched_records_{0};
+  std::atomic<uint64_t> stat_io_errors_{0};
+  std::atomic<uint64_t> stat_crashes_{0};
 
   std::atomic<bool> stop_{false};
   std::thread flusher_;

@@ -17,7 +17,7 @@ constexpr uint64_t kOrdersBase = 4ull << 40;
 
 PgEngine::PgEngine(const PgConfig& config)
     : config_(config),
-      wal_(config.wal_units, config.wal_disk),
+      wal_(config.wal_units, config.wal_disk, config.commit_mode),
       executor_(&predicate_locks_, config.serializable) {}
 
 std::unique_ptr<PlanNode> PgEngine::BuildPlan(const minidb::TxnRequest& request,
@@ -144,6 +144,23 @@ std::unique_ptr<vprof::Vprofd> PgEngine::StartOnlineProfiler(
   auto daemon = std::make_unique<vprof::Vprofd>(std::move(options));
   daemon->Start();
   return daemon;
+}
+
+std::vector<vprof::AppGauge> PgEngine::ScaleGauges() {
+  std::vector<vprof::AppGauge> gauges;
+  for (int i = 0; i < wal_.unit_count(); ++i) {
+    const WalStats s = wal_.unit(i).stats();
+    const std::string prefix = "minipg.wal.unit" + std::to_string(i);
+    gauges.push_back(
+        {prefix + ".flush_waits", static_cast<double>(s.flush_waits)});
+    gauges.push_back(
+        {prefix + ".batch_records_avg",
+         s.flushes_performed > 0
+             ? static_cast<double>(s.batched_records) /
+                   static_cast<double>(s.flushes_performed)
+             : 0.0});
+  }
+  return gauges;
 }
 
 }  // namespace minipg

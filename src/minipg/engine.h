@@ -33,6 +33,10 @@ struct PgConfig {
   // distributed-logging fix, Figure 4 right).
   int wal_units = 1;
 
+  // Who performs the WAL I/O at commit: leader-based group commit (default)
+  // or the per-commit exclusive write+fsync baseline.
+  CommitMode commit_mode = CommitMode::kGroupCommit;
+
   // Serializable isolation (predicate locking) on/off.
   bool serializable = true;
 
@@ -56,6 +60,10 @@ class PgEngine {
   // "exec_simple_query"; see minidb::Engine::StartOnlineProfiler.
   static std::unique_ptr<vprof::Vprofd> StartOnlineProfiler(
       vprof::VprofdOptions options = {});
+
+  // Scale-out gauges for vprofd (VprofdOptions.app_gauges): per-unit WAL
+  // write-lock waits and group-commit batch sizes.
+  std::vector<vprof::AppGauge> ScaleGauges();
 
   Wal& wal() { return wal_; }
   PredicateLockManager& predicate_locks() { return predicate_locks_; }

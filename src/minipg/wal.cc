@@ -13,6 +13,10 @@ namespace {
 constexpr uint64_t kWalBlockBytes = 8192;
 constexpr uint32_t kTornChecksumMask = 0xA5A5A5A5u;
 
+// Backstop for the rare follower that sleeps through a whole round and its
+// event reset; it wakes, re-checks flushed_lsn, and re-enlists.
+constexpr int64_t kFollowerWaitNs = 50LL * 1000 * 1000;
+
 constexpr const char kFpCrashBeforeWrite[] = "wal/crash_before_write";
 constexpr const char kFpCrashAfterWrite[] = "wal/crash_after_write";
 constexpr const char kFpCrashAfterFsync[] = "wal/crash_after_fsync";
@@ -30,7 +34,8 @@ uint32_t WalRecordChecksum(uint64_t end_lsn, uint64_t bytes) {
   return static_cast<uint32_t>(h ^ (h >> 32));
 }
 
-WalUnit::WalUnit(const simio::DiskConfig& disk_config) : disk_(disk_config) {}
+WalUnit::WalUnit(const simio::DiskConfig& disk_config, CommitMode mode)
+    : mode_(mode), disk_(disk_config) {}
 
 uint64_t WalUnit::Insert(uint64_t bytes) {
   VPROF_FUNC("XLogInsert");
@@ -43,51 +48,69 @@ uint64_t WalUnit::Insert(uint64_t bytes) {
       next_lsn_.fetch_add(bytes, std::memory_order_acq_rel) + bytes - 1;
   buffer_records_.push_back(
       WalRecord{end_lsn, bytes, WalRecordChecksum(end_lsn, bytes)});
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    ++stats_.inserts;
-  }
+  stat_inserts_.fetch_add(1, std::memory_order_relaxed);
   return end_lsn;
 }
 
 bool WalUnit::AcquireOrWait(uint64_t lsn) {
   VPROF_FUNC("LWLockAcquireOrWait");
-  std::lock_guard<vprof::Mutex> lock(mu_);
-  if (crashed_.load(std::memory_order_acquire)) {
-    return false;  // caller re-checks and observes the crash
-  }
-  if (!write_lock_held_) {
-    write_lock_held_ = true;
-    return true;
-  }
-  // Someone is flushing: sleep until they release, then tell the caller to
-  // re-check whether its LSN became durable (Postgres semantics).
-  waiters_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t round;
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    ++stats_.flush_waits;
+    std::lock_guard<vprof::Mutex> lock(mu_);
+    if (crashed_.load(std::memory_order_acquire)) {
+      return false;  // caller re-checks and observes the crash
+    }
+    if (flushed_lsn_.load(std::memory_order_acquire) >= lsn) {
+      return false;  // became durable while we queued for the lock
+    }
+    if (!write_lock_held_) {
+      write_lock_held_ = true;
+      return true;
+    }
+    round = flush_round_;
   }
-  while (write_lock_held_ &&
-         flushed_lsn_.load(std::memory_order_acquire) < lsn &&
-         !crashed_.load(std::memory_order_acquire)) {
-    released_cv_.WaitFor(mu_, 50LL * 1000 * 1000);
-  }
+  // Someone is flushing: enlist as a follower of the in-flight round and
+  // sleep until the leader finishes it (Postgres semantics — wake, then
+  // re-check whether our LSN already became durable). The round-R event
+  // stays set from round R's completion until round R+1 completes, so a
+  // late-running follower still sees it.
+  waiters_.fetch_add(1, std::memory_order_relaxed);
+  stat_flush_waits_.fetch_add(1, std::memory_order_relaxed);
+  flush_events_[round & 1].WaitFor(kFollowerWaitNs);
   waiters_.fetch_sub(1, std::memory_order_relaxed);
-  if (!write_lock_held_ && !crashed_.load(std::memory_order_acquire) &&
-      flushed_lsn_.load(std::memory_order_acquire) < lsn) {
-    // Lock free and our data still not durable: take it.
-    write_lock_held_ = true;
-    return true;
-  }
   return false;
 }
 
-void WalUnit::ReleaseAndWake() {
-  {
-    std::lock_guard<vprof::Mutex> lock(mu_);
-    write_lock_held_ = false;
+bool WalUnit::AcquireExclusive() {
+  VPROF_FUNC("LWLockAcquireOrWait");
+  for (;;) {
+    uint64_t round;
+    {
+      std::lock_guard<vprof::Mutex> lock(mu_);
+      if (crashed_.load(std::memory_order_acquire)) {
+        return false;
+      }
+      if (!write_lock_held_) {
+        write_lock_held_ = true;
+        return true;
+      }
+      round = flush_round_;
+    }
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    stat_flush_waits_.fetch_add(1, std::memory_order_relaxed);
+    flush_events_[round & 1].WaitFor(kFollowerWaitNs);
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
   }
-  released_cv_.NotifyAll();
+}
+
+void WalUnit::ReleaseAndWake() {
+  std::lock_guard<vprof::Mutex> lock(mu_);
+  write_lock_held_ = false;
+  // Finish the round: clean the next round's event before signalling this
+  // one, so a follower enlisting in round R+1 starts with a clear event.
+  const uint64_t done = flush_round_++;
+  flush_events_[(done + 1) & 1].Reset();
+  flush_events_[done & 1].Set();
 }
 
 void WalUnit::AppendBatchToDevice(const std::vector<WalRecord>& batch,
@@ -144,8 +167,7 @@ WalStatus WalUnit::WriteAndSync() {
       const simio::IoResult w = disk_.Write(RoundToBlocks(bytes));
       if (!w.ok()) {
         restore_batch();
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
-        ++stats_.io_errors;
+        stat_io_errors_.fetch_add(1, std::memory_order_relaxed);
         return WalStatus::kIoError;
       }
       {
@@ -157,6 +179,8 @@ WalStatus WalUnit::WriteAndSync() {
         }
         AppendBatchToDevice(batch, std::min<uint64_t>(w.bytes, bytes));
       }
+      stat_batched_records_.fetch_add(batch.size(),
+                                      std::memory_order_relaxed);
     }
     if (fault::Triggered(kFpCrashAfterWrite)) [[unlikely]] {
       CrashInternal(crash_seed_.load(std::memory_order_relaxed));
@@ -166,8 +190,7 @@ WalStatus WalUnit::WriteAndSync() {
     if (!s.ok()) {
       // Records are on the device but not stable; at risk until a later
       // fsync succeeds.
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.io_errors;
+      stat_io_errors_.fetch_add(1, std::memory_order_relaxed);
       return WalStatus::kIoError;
     }
   }
@@ -185,19 +208,11 @@ WalStatus WalUnit::WriteAndSync() {
     CrashInternal(crash_seed_.load(std::memory_order_relaxed));
     return WalStatus::kCrashed;
   }
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    ++stats_.flushes_performed;
-  }
+  stat_flushes_performed_.fetch_add(1, std::memory_order_relaxed);
   return WalStatus::kOk;
 }
 
-WalStatus WalUnit::Flush(uint64_t lsn) {
-  VPROF_FUNC("XLogFlush");
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    ++stats_.flush_calls;
-  }
+WalStatus WalUnit::GroupFlush(uint64_t lsn) {
   while (flushed_lsn_.load(std::memory_order_acquire) < lsn) {
     if (crashed_.load(std::memory_order_acquire)) {
       return WalStatus::kCrashed;
@@ -210,7 +225,7 @@ WalStatus WalUnit::Flush(uint64_t lsn) {
     if (!AcquireOrWait(lsn)) {
       continue;  // re-check the flushed position
     }
-    // We hold the write lock: write out everything inserted so far.
+    // We are the leader: write out everything inserted so far.
     const WalStatus status = WriteAndSync();
     ReleaseAndWake();
     if (status != WalStatus::kOk) {
@@ -218,6 +233,36 @@ WalStatus WalUnit::Flush(uint64_t lsn) {
     }
   }
   return WalStatus::kOk;
+}
+
+WalStatus WalUnit::ExclusiveFlush(uint64_t lsn) {
+  // Pre-scale-out baseline: one write+fsync per commit, fully serialized on
+  // the write lock — no follower fast-path even when another backend's
+  // flush already covered our LSN.
+  do {
+    if (crashed_.load(std::memory_order_acquire)) {
+      return WalStatus::kCrashed;
+    }
+    if (lsn >= next_lsn_.load(std::memory_order_acquire)) {
+      return WalStatus::kCrashed;
+    }
+    if (!AcquireExclusive()) {
+      return WalStatus::kCrashed;
+    }
+    const WalStatus status = WriteAndSync();
+    ReleaseAndWake();
+    if (status != WalStatus::kOk) {
+      return status;
+    }
+  } while (flushed_lsn_.load(std::memory_order_acquire) < lsn);
+  return WalStatus::kOk;
+}
+
+WalStatus WalUnit::Flush(uint64_t lsn) {
+  VPROF_FUNC("XLogFlush");
+  stat_flush_calls_.fetch_add(1, std::memory_order_relaxed);
+  return mode_ == CommitMode::kGroupCommit ? GroupFlush(lsn)
+                                           : ExclusiveFlush(lsn);
 }
 
 void WalUnit::Crash(uint64_t seed) {
@@ -243,19 +288,23 @@ void WalUnit::CrashInternal(uint64_t seed) {
       statkit::Rng rng(seed);
       const uint64_t keep = rng.NextBelow(at_risk + 1);
       if (keep < at_risk) {
-        device_records_[durable_records_ + keep].checksum ^= kTornChecksumMask;
+        // Tear to a definitively-bad checksum (not an XOR toggle): the
+        // record may already be torn by a short batch write, and toggling
+        // twice would resurrect it.
+        WalRecord& torn = device_records_[durable_records_ + keep];
+        torn.checksum =
+            WalRecordChecksum(torn.end_lsn, torn.bytes) ^ kTornChecksumMask;
         lost += at_risk - keep - 1;
         device_records_.resize(durable_records_ + keep + 1);
       }
     }
     crash_lost_records_ += lost;
   }
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    ++stats_.crashes;
-  }
-  // Wake backends sleeping in AcquireOrWait so they observe the crash.
-  released_cv_.NotifyAll();
+  stat_crashes_.fetch_add(1, std::memory_order_relaxed);
+  // Wake backends sleeping in AcquireOrWait/AcquireExclusive — both round
+  // parities — so they observe the crash instead of timing out.
+  flush_events_[0].Set();
+  flush_events_[1].Set();
 }
 
 WalRecoveryResult WalUnit::Recover() {
@@ -294,6 +343,10 @@ WalRecoveryResult WalUnit::Recover() {
     std::lock_guard<vprof::Mutex> lock(mu_);
     write_lock_held_ = false;
   }
+  // No backends are in flight while crashed (Flush bails out), so the
+  // events can be cleared before the unit re-opens.
+  flush_events_[0].Reset();
+  flush_events_[1].Reset();
   crashed_.store(false, std::memory_order_release);
   return result;
 }
@@ -309,16 +362,25 @@ size_t WalUnit::durable_record_count() const {
 }
 
 WalStats WalUnit::stats() const {
-  std::lock_guard<std::mutex> stats_lock(stats_mu_);
-  return stats_;
+  WalStats stats;
+  stats.inserts = stat_inserts_.load(std::memory_order_relaxed);
+  stats.flush_calls = stat_flush_calls_.load(std::memory_order_relaxed);
+  stats.flushes_performed =
+      stat_flushes_performed_.load(std::memory_order_relaxed);
+  stats.flush_waits = stat_flush_waits_.load(std::memory_order_relaxed);
+  stats.batched_records =
+      stat_batched_records_.load(std::memory_order_relaxed);
+  stats.io_errors = stat_io_errors_.load(std::memory_order_relaxed);
+  stats.crashes = stat_crashes_.load(std::memory_order_relaxed);
+  return stats;
 }
 
-Wal::Wal(int units, const simio::DiskConfig& disk_config) {
+Wal::Wal(int units, const simio::DiskConfig& disk_config, CommitMode mode) {
   for (int i = 0; i < std::max(1, units); ++i) {
     simio::DiskConfig config = disk_config;
     config.seed = disk_config.seed + static_cast<uint64_t>(i) * 7919;
     config.fault_scope = disk_config.fault_scope + "." + std::to_string(i);
-    units_.push_back(std::make_unique<WalUnit>(config));
+    units_.push_back(std::make_unique<WalUnit>(config, mode));
   }
 }
 

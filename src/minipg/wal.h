@@ -1,12 +1,26 @@
-// Write-ahead log modeled on Postgres: one exclusive WALWriteLock guards the
-// flush path, and backends use LWLockAcquireOrWait — "acquire the lock, or
-// sleep until the current holder releases it and re-check whether our LSN
-// already became durable" (group commit).
+// Write-ahead log modeled on Postgres: one write lock guards the flush path,
+// and backends use LWLockAcquireOrWait — "acquire the lock, or sleep until
+// the current holder releases it and re-check whether our LSN already became
+// durable" (group commit).
 //
 // Paper Table 6 attributes 76.8% of Postgres transaction latency variance to
 // LWLockAcquireOrWait through exactly this call site; the paper's fix
 // (Figure 4 right) is distributed logging across two disks, implemented here
 // as multiple WalUnits with waiter-count-based placement.
+//
+// Commit modes (the scale-out axis, orthogonal to unit count):
+//   kGroupCommit — leader-based: the backend that finds the write lock free
+//     becomes leader and performs one write+fsync for every record inserted
+//     so far; followers sleep on one of two ping-pong os_event-style events
+//     indexed by flush-round parity (the leader finishing round R resets the
+//     round-R+1 event, then sets the round-R event, so a follower can never
+//     miss its wake-up) and re-check flushed_lsn on wake.
+//   kExclusive — pre-scale-out baseline: every commit acquires the write
+//     lock and performs its own write+fsync, one fsync per commit, fully
+//     serialized.
+// Follower sleeps and lock acquisition both happen inside the
+// LWLockAcquireOrWait probe, so the paper's #1 variance factor keeps its
+// name and call site across modes.
 //
 // Fault model (mirrors minidb::RedoLog): every record carries a checksum and
 // each unit can Crash() and Recover(). A crash — explicit or injected via the
@@ -14,9 +28,14 @@
 // "wal/crash_after_fsync" — loses buffered records and keeps only a
 // seeded-random prefix of the written-but-unsynced tail, possibly ending in a
 // torn (bad checksum) record that Recover() truncates. Because XLogFlush is
-// always synchronous, a Flush() that returned kOk is never lost. Each unit's
-// disk gets failpoint scope "<base>.<unit>" so one log device can be faulted
+// always synchronous, a Flush() that returned kOk is never lost — in either
+// commit mode; batches are written in LSN order, so recovery exposes a
+// prefix of whole records, never a torn batch interior. Each unit's disk
+// gets failpoint scope "<base>.<unit>" so one log device can be faulted
 // independently.
+//
+// Statistics are relaxed atomics aggregated in stats(): the flush hot path
+// takes no stats lock.
 #ifndef SRC_MINIPG_WAL_H_
 #define SRC_MINIPG_WAL_H_
 
@@ -31,11 +50,18 @@
 
 namespace minipg {
 
+// Who performs the WAL I/O for a commit (see file comment).
+enum class CommitMode {
+  kExclusive,    // per-commit write+fsync, serialized on the write lock
+  kGroupCommit,  // elected leader batches; followers wait on an event
+};
+
 struct WalStats {
   uint64_t inserts = 0;
   uint64_t flush_calls = 0;
   uint64_t flushes_performed = 0;  // times a backend actually held the lock
   uint64_t flush_waits = 0;        // times a backend slept on the write lock
+  uint64_t batched_records = 0;    // records written to the device by flushes
   uint64_t io_errors = 0;          // disk errors surfaced on the flush path
   uint64_t crashes = 0;
 };
@@ -66,15 +92,15 @@ struct WalRecoveryResult {
 // One log: an insert position, a flushed position, and the write lock.
 class WalUnit {
  public:
-  explicit WalUnit(const simio::DiskConfig& disk_config);
+  explicit WalUnit(const simio::DiskConfig& disk_config,
+                   CommitMode mode = CommitMode::kGroupCommit);
 
   // Reserves log space (XLogInsert); returns the record's end LSN, or 0
   // while the unit is crashed.
   uint64_t Insert(uint64_t bytes);
 
-  // Makes the log durable up to `lsn` (XLogFlush): acquire-or-wait on the
-  // write lock; holders write + fsync a batch, waiters re-check on wakeup.
-  // kOk is the durability acknowledgment the recovery invariants protect.
+  // Makes the log durable up to `lsn` (XLogFlush). kOk is the durability
+  // acknowledgment the recovery invariants protect.
   WalStatus Flush(uint64_t lsn);
 
   // Simulates a crash: freezes the unit, drops buffered records, keeps a
@@ -93,6 +119,8 @@ class WalUnit {
     crash_seed_.store(seed, std::memory_order_relaxed);
   }
 
+  CommitMode commit_mode() const { return mode_; }
+
   uint64_t flushed_lsn() const {
     return flushed_lsn_.load(std::memory_order_acquire);
   }
@@ -110,9 +138,18 @@ class WalUnit {
 
  private:
   // Instrumented LWLockAcquireOrWait. Returns true if the caller now holds
-  // the write lock; false if it slept and should re-check flushed_lsn.
+  // the write lock; false if it slept (or the unit crashed, or `lsn` became
+  // durable) and should re-check. The follower sleep is an event wait under
+  // this probe, so blocked time keeps its paper attribution.
   bool AcquireOrWait(uint64_t lsn);
+  // Unconditional acquisition for kExclusive: loops until it holds the
+  // lock; false only when the unit crashed.
+  bool AcquireExclusive();
+  // Releases the write lock and finishes the flush round: resets the next
+  // round's event, then signals this round's waiters.
   void ReleaseAndWake();
+  WalStatus GroupFlush(uint64_t lsn);
+  WalStatus ExclusiveFlush(uint64_t lsn);
   // The batch write + fsync, called with the write lock held (the lock is
   // what serializes flushers, so device records land in LSN order).
   WalStatus WriteAndSync();
@@ -122,6 +159,7 @@ class WalUnit {
                            uint64_t intact_bytes);
   void CrashInternal(uint64_t seed);
 
+  const CommitMode mode_;
   simio::Disk disk_;
   std::atomic<uint64_t> next_lsn_{1};
   std::atomic<uint64_t> flushed_lsn_{0};
@@ -139,19 +177,28 @@ class WalUnit {
   std::atomic<bool> crashed_{false};
   std::atomic<uint64_t> crash_seed_{0x5EED5EEDull};
 
-  vprof::Mutex mu_;
-  vprof::CondVar released_cv_;
+  vprof::Mutex mu_;                // guards the write lock + round counter
   bool write_lock_held_ = false;
+  uint64_t flush_round_ = 0;
+  // Ping-pong follower wake-up events, indexed by round parity (see file
+  // comment); Crash sets both so sleepers observe crashed_ promptly.
+  vprof::Event flush_events_[2];
 
-  mutable std::mutex stats_mu_;
-  WalStats stats_;
+  std::atomic<uint64_t> stat_inserts_{0};
+  std::atomic<uint64_t> stat_flush_calls_{0};
+  std::atomic<uint64_t> stat_flushes_performed_{0};
+  std::atomic<uint64_t> stat_flush_waits_{0};
+  std::atomic<uint64_t> stat_batched_records_{0};
+  std::atomic<uint64_t> stat_io_errors_{0};
+  std::atomic<uint64_t> stat_crashes_{0};
 };
 
 // The paper's distributed-logging fix: N independent WAL units on separate
 // disks; each transaction logs to the unit with the fewest waiters.
 class Wal {
  public:
-  Wal(int units, const simio::DiskConfig& disk_config);
+  Wal(int units, const simio::DiskConfig& disk_config,
+      CommitMode mode = CommitMode::kGroupCommit);
 
   struct Position {
     int unit = 0;

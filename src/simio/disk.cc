@@ -1,5 +1,6 @@
 #include "src/simio/disk.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -70,10 +71,16 @@ IoResult Disk::Write(uint64_t bytes) {
     return IoResult{IoStatus::kError, 0};
   }
   uint64_t transferred = bytes;
-  if (bytes > 0 && fault::Triggered(fp_torn_write_)) [[unlikely]] {
-    // The device accepted only a prefix; which prefix is seed-deterministic.
-    std::lock_guard<std::mutex> lock(rng_mu_);
-    transferred = rng_.NextBelow(bytes);
+  uint64_t torn_at = fault::Trigger::kNoValue;
+  if (bytes > 0 && fault::TriggeredValue(fp_torn_write_, &torn_at)) [[unlikely]] {
+    if (torn_at != fault::Trigger::kNoValue) {
+      // The arming test chose the exact tear offset (byte-offset sweeps).
+      transferred = std::min(torn_at, bytes);
+    } else {
+      // The device accepted only a prefix; which prefix is seed-deterministic.
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      transferred = rng_.NextBelow(bytes);
+    }
     torn_writes_.fetch_add(1, std::memory_order_relaxed);
   }
   buffered_bytes_.fetch_add(transferred, std::memory_order_relaxed);

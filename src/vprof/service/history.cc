@@ -6,6 +6,8 @@ std::string NodeSeriesName(const std::string& path, const char* field) {
   return "node:" + path + ":" + field;
 }
 
+std::string AppSeriesName(const std::string& name) { return "app:" + name; }
+
 statstore::EpochSample SampleFromSnapshot(const OnlineTreeSnapshot& snapshot,
                                           uint64_t epoch,
                                           const HarvestHealth& health) {

@@ -14,6 +14,8 @@
 //   health:dropped_records | health:stuck_threads |
 //     health:stuck_thread_epochs | health:rotation_gap_last_ns |
 //     health:rotation_gap_max_ns | health:rotation_gap_total_ns
+//   app:<gauge name> — application gauges (VprofdOptions.app_gauges),
+//     e.g. app:minidb.buf_pool.shard0.mutex_wait_ns
 //
 // The sample's epoch id is the snapshot's folded-epoch count, which is
 // strictly increasing across a daemon's life and resumes past the persisted
@@ -40,6 +42,11 @@ struct HarvestHealth {
 // Series name of one node stream, e.g.
 // NodeSeriesName("run_transaction/fil_flush", "share").
 std::string NodeSeriesName(const std::string& path, const char* field);
+
+// Series name of an application-published gauge (VprofdOptions.app_gauges),
+// e.g. AppSeriesName("minidb.buf_pool.shard0.mutex_wait_ns") ->
+// "app:minidb.buf_pool.shard0.mutex_wait_ns".
+std::string AppSeriesName(const std::string& name);
 
 // Flattens `snapshot` (at epoch id `epoch`) into a statstore sample.
 statstore::EpochSample SampleFromSnapshot(const OnlineTreeSnapshot& snapshot,

@@ -72,7 +72,13 @@ void Vprofd::HandleEpoch(Trace&& trace) {
     health.rotation_gap_last_ns = static_cast<uint64_t>(last_gap_ns());
     health.rotation_gap_max_ns = static_cast<uint64_t>(max_gap_ns());
     health.rotation_gap_total_ns = static_cast<uint64_t>(total_gap_ns());
-    store_->Append(SampleFromSnapshot(snapshot, epoch, health));
+    statstore::EpochSample sample = SampleFromSnapshot(snapshot, epoch, health);
+    if (options_.app_gauges) {
+      for (const AppGauge& gauge : options_.app_gauges()) {
+        sample.values.push_back({AppSeriesName(gauge.name), gauge.value});
+      }
+    }
+    store_->Append(sample);
   }
   if (options_.enable_controller) controller_.Step(snapshot);
 }
@@ -137,6 +143,16 @@ std::string Vprofd::MetricsText() const {
     w.Family("vprofd_history_persist_max_ns", "gauge",
              "Worst write-path latency of an epoch append.");
     w.Sample("vprofd_history_persist_max_ns", hs.max_append_ns);
+  }
+
+  if (options_.app_gauges) {
+    w.Family("vprofd_app_gauge", "gauge",
+             "Application-published gauges (per-shard lock waits, "
+             "group-commit batch sizes).");
+    for (const AppGauge& gauge : options_.app_gauges()) {
+      w.Sample("vprofd_app_gauge", PromWriter::Labels{{"series", gauge.name}},
+               gauge.value);
+    }
   }
 
   if (options_.enable_regression) {

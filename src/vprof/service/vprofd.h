@@ -19,6 +19,7 @@
 #ifndef SRC_VPROF_SERVICE_VPROFD_H_
 #define SRC_VPROF_SERVICE_VPROFD_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,16 @@
 #include "src/vprof/types.h"
 
 namespace vprof {
+
+// One application-published gauge sampled at each epoch boundary, e.g. a
+// per-shard lock-wait counter or a group-commit batch size. Names should be
+// scrape-clean dotted paths ("minidb.buf_pool.shard0.mutex_wait_ns"); they
+// become statstore series "app:<name>" and the `series` label of
+// vprofd_app_gauge.
+struct AppGauge {
+  std::string name;
+  double value = 0.0;
+};
 
 struct VprofdOptions {
   // Function whose invocations delimit the semantic interval (the root of
@@ -51,6 +62,14 @@ struct VprofdOptions {
   // whatever the current instrumentation produces (used by the overhead
   // bench and by operators who want a fixed probe set).
   bool enable_controller = true;
+
+  // Application gauges, sampled once per epoch on the harvester thread and
+  // once per MetricsText() scrape. Persisted as "app:<name>" series next to
+  // the epoch's node streams (when history is enabled) and exposed as
+  // vprofd_app_gauge{series="<name>"}. Engines publish per-shard lock-wait
+  // and group-commit batch-size gauges here so a scaling run's factor
+  // migration is visible in the persisted history.
+  std::function<std::vector<AppGauge>()> app_gauges;
 
   // Durable history: when history.dir is non-empty, every epoch's snapshot
   // is flattened (see history.h) and appended to a compressed statstore

@@ -27,6 +27,10 @@ TpccGenerator::TpccGenerator(const TpccOptions& options, int warehouses)
 }
 
 TxnRequest TpccGenerator::Next(statkit::Rng& rng) const {
+  return Next(rng, /*home_warehouse=*/-1);
+}
+
+TxnRequest TpccGenerator::Next(statkit::Rng& rng, int home_warehouse) const {
   TxnRequest request;
   const int roll = static_cast<int>(rng.NextBelow(100));
   if (roll < options_.pct_new_order) {
@@ -43,7 +47,22 @@ TxnRequest TpccGenerator::Next(statkit::Rng& rng) const {
     request.type = TxnType::kStockLevel;
   }
 
-  request.warehouse = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(warehouses_)));
+  if (options_.partition_by_warehouse && home_warehouse >= 0) {
+    request.warehouse = home_warehouse % warehouses_;
+    if (request.type == TxnType::kPayment && warehouses_ > 1 &&
+        rng.NextDouble() < options_.remote_payment_fraction) {
+      // Remote payment: a uniformly-chosen warehouse other than home.
+      int remote = static_cast<int>(
+          rng.NextBelow(static_cast<uint64_t>(warehouses_ - 1)));
+      if (remote >= request.warehouse) {
+        ++remote;
+      }
+      request.warehouse = remote;
+    }
+  } else {
+    request.warehouse =
+        static_cast<int>(rng.NextBelow(static_cast<uint64_t>(warehouses_)));
+  }
   request.district = static_cast<int>(
       rng.NextBelow(minidb::Engine::kDistrictsPerWarehouse));
   request.customer =
@@ -122,6 +141,10 @@ TpccResult TpccDriver::RunLoop(const TypedExecutor& executor, int warehouses,
   for (int t = 0; t < options_.threads; ++t) {
     threads.emplace_back([&, t] {
       statkit::Rng rng(options_.seed * 1000003 + static_cast<uint64_t>(t));
+      // Home-warehouse affinity for partitioned runs; -1 = uniform draws.
+      const int home = options_.partition_by_warehouse && warehouses > 0
+                           ? t % warehouses
+                           : -1;
       std::vector<double> local_latencies;
       local_latencies.reserve(static_cast<size_t>(options_.transactions_per_thread));
       uint64_t local_committed = 0;
@@ -136,7 +159,7 @@ TpccResult TpccDriver::RunLoop(const TypedExecutor& executor, int warehouses,
                           ? !stop->load(std::memory_order_acquire)
                           : i < options_.transactions_per_thread;
            ++i) {
-        const TxnRequest request = generator.Next(rng);
+        const TxnRequest request = generator.Next(rng, home);
         const auto t0 = std::chrono::steady_clock::now();
         minidb::TxnOutcome outcome;
         int attempt = 0;

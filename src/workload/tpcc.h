@@ -40,6 +40,16 @@ struct TpccOptions {
   // Optional client think time between transactions (us).
   double think_time_us = 0.0;
 
+  // Warehouse partitioning (the scale-out benchmark shape): each worker
+  // thread gets a home warehouse (thread t -> warehouse t mod warehouses)
+  // and issues its transactions there, so threads stop colliding on one
+  // warehouse's hot rows and the engines' scalability becomes observable.
+  // Payments cross to a uniformly-chosen remote warehouse with probability
+  // remote_payment_fraction (TPC-C's ~15% remote payments), keeping some
+  // cross-partition traffic.
+  bool partition_by_warehouse = false;
+  double remote_payment_fraction = 0.15;
+
   // Retry policy for retryable aborts (lock timeout, deadlock, log I/O
   // error): up to max_retries re-executions with capped exponential backoff
   // and deterministic per-thread jitter. 0 disables retries.
@@ -69,6 +79,12 @@ class TpccGenerator {
   TpccGenerator(const TpccOptions& options, int warehouses);
 
   minidb::TxnRequest Next(statkit::Rng& rng) const;
+
+  // As Next(), but with a home-warehouse affinity: when partitioning is on
+  // and home_warehouse >= 0, the request targets the home warehouse (except
+  // remote payments, see TpccOptions). home_warehouse < 0 falls back to the
+  // uniform draw.
+  minidb::TxnRequest Next(statkit::Rng& rng, int home_warehouse) const;
 
  private:
   TpccOptions options_;

@@ -99,6 +99,40 @@ TEST_F(FailpointTest, DistinctNamesAreIndependent) {
   EXPECT_EQ(HitCount("test/b"), 0u);
 }
 
+TEST_F(FailpointTest, ValuePayloadReachesTheFiringSite) {
+  Activate("test/value", Trigger::AlwaysWithValue(4242));
+  uint64_t value = 0;
+  EXPECT_TRUE(TriggeredValue("test/value", &value));
+  EXPECT_EQ(value, 4242u);
+  // The payload is stable across hits while armed.
+  value = 0;
+  EXPECT_TRUE(TriggeredValue("test/value", &value));
+  EXPECT_EQ(value, 4242u);
+}
+
+TEST_F(FailpointTest, ValueDefaultsToNoValueSentinel) {
+  // A trigger armed without a payload reports kNoValue, so firing sites can
+  // fall back to their own behavior (e.g. seeded-random torn-write prefix).
+  Activate("test/novalue", Trigger::Always());
+  uint64_t value = 0;
+  EXPECT_TRUE(TriggeredValue("test/novalue", &value));
+  EXPECT_EQ(value, Trigger::kNoValue);
+}
+
+TEST_F(FailpointTest, OneShotWithValueFiresOnceWithPayload) {
+  Activate("test/oneshot_value",
+           Trigger::OneShotWithValue(/*value=*/7, /*skip_hits=*/1));
+  uint64_t value = 0;
+  EXPECT_FALSE(TriggeredValue("test/oneshot_value", &value));
+  EXPECT_EQ(value, 0u);  // untouched until the trigger fires
+  EXPECT_TRUE(TriggeredValue("test/oneshot_value", &value));
+  EXPECT_EQ(value, 7u);
+  EXPECT_FALSE(TriggeredValue("test/oneshot_value", &value));
+  // Plain Triggered() at a value-armed site still works (payload dropped).
+  Activate("test/oneshot_value", Trigger::OneShotWithValue(9));
+  EXPECT_TRUE(Triggered("test/oneshot_value"));
+}
+
 TEST_F(FailpointTest, ConcurrentEvaluationCountsEveryHit) {
   Activate("test/mt", Trigger::EveryNth(2));
   constexpr int kThreads = 4;

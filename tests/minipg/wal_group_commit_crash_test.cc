@@ -1,0 +1,237 @@
+// Crash-recovery property tests for WAL group commit (ISSUE: multi-core
+// scale-out), mirroring tests/minidb/group_commit_crash_test.cc: the
+// leader's batch write is torn at EVERY byte offset via the disk torn_write
+// failpoint's value payload, paired with a power loss before the fsync.
+// Recovery must expose a prefix of whole records — never a torn batch
+// interior — and never drop an LSN that Flush() acknowledged, in both
+// commit modes.
+#include "src/minipg/wal.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fault/failpoint.h"
+#include "src/simio/disk.h"
+#include "src/statkit/rng.h"
+
+namespace minipg {
+namespace {
+
+simio::DiskConfig FastDisk(const std::string& scope) {
+  simio::DiskConfig config;
+  config.read_mu = 0.1;
+  config.write_mu = 0.1;
+  config.fsync_mu = 0.1;
+  config.fsync_spike_prob = 0.0;
+  config.error_latency_us = 1.0;
+  config.fault_scope = scope;
+  config.seed = 13;
+  return config;
+}
+
+const uint64_t kBatchSizes[] = {48, 112, 9, 256, 31};
+
+uint64_t BatchBytes() {
+  uint64_t total = 0;
+  for (uint64_t b : kBatchSizes) {
+    total += b;
+  }
+  return total;
+}
+
+struct IntactPrefix {
+  size_t records = 0;
+  uint64_t bytes = 0;
+};
+
+IntactPrefix IntactBelow(uint64_t offset) {
+  IntactPrefix prefix;
+  for (uint64_t b : kBatchSizes) {
+    if (prefix.bytes + b > offset) {
+      break;
+    }
+    prefix.bytes += b;
+    ++prefix.records;
+  }
+  return prefix;
+}
+
+// Seed under which CrashInternal keeps every at-risk device record, so the
+// injected tear alone decides the recovered boundary (same draw the unit
+// makes: statkit::Rng(seed).NextBelow(at_risk + 1) == at_risk).
+uint64_t PickKeepAllSeed(uint64_t at_risk) {
+  for (uint64_t seed = 0; seed < 100000; ++seed) {
+    statkit::Rng rng(seed);
+    if (rng.NextBelow(at_risk + 1) == at_risk) {
+      return seed;
+    }
+  }
+  ADD_FAILURE() << "no keep-all seed found for at_risk=" << at_risk;
+  return 0;
+}
+
+class WalGroupCommitCrashTest : public ::testing::TestWithParam<CommitMode> {
+ protected:
+  void SetUp() override {
+    fault::DeactivateAll();
+    fault::ResetCounters();
+  }
+  void TearDown() override {
+    fault::DeactivateAll();
+    fault::ResetCounters();
+  }
+};
+
+TEST_P(WalGroupCommitCrashTest, TornBatchSweepRecoversExactWholeRecordPrefix) {
+  const uint64_t total = BatchBytes();
+  for (uint64_t offset = 0; offset <= total; ++offset) {
+    SCOPED_TRACE("tear offset " + std::to_string(offset));
+    WalUnit unit(FastDisk("walgc_sweep"), GetParam());
+
+    // Durable prefix the crash must never touch.
+    uint64_t acked = 0;
+    for (int i = 0; i < 3; ++i) {
+      const uint64_t lsn = unit.Insert(50);
+      ASSERT_NE(lsn, 0u);
+      ASSERT_EQ(unit.Flush(lsn), WalStatus::kOk);
+      acked = lsn;
+    }
+    const size_t durable = unit.durable_record_count();
+
+    // The doomed batch: inserted but not flushed, drained by one leader.
+    uint64_t last = 0;
+    for (uint64_t bytes : kBatchSizes) {
+      last = unit.Insert(bytes);
+      ASSERT_NE(last, 0u);
+    }
+
+    const IntactPrefix intact = IntactBelow(offset);
+    const bool crosses =
+        intact.records < std::size(kBatchSizes) && offset > intact.bytes;
+    const uint64_t at_risk =
+        static_cast<uint64_t>(intact.records) + (crosses ? 1 : 0);
+    unit.set_crash_seed(PickKeepAllSeed(at_risk));
+
+    fault::Activate("walgc_sweep/torn_write",
+                    fault::Trigger::AlwaysWithValue(offset));
+    fault::Activate("wal/crash_after_write", fault::Trigger::OneShot());
+    EXPECT_EQ(unit.Flush(last), WalStatus::kCrashed);
+    EXPECT_TRUE(unit.crashed());
+    fault::DeactivateAll();
+
+    const WalRecoveryResult recovered = unit.Recover();
+    EXPECT_EQ(recovered.records_recovered, durable + intact.records);
+    EXPECT_EQ(recovered.torn_truncated, crosses ? 1u : 0u);
+    EXPECT_EQ(recovered.recovered_lsn,
+              intact.records > 0 ? acked + intact.bytes : acked);
+    EXPECT_GE(recovered.recovered_lsn, acked);
+
+    // The unit reopens and flushes again.
+    const uint64_t fresh = unit.Insert(32);
+    ASSERT_NE(fresh, 0u);
+    EXPECT_EQ(unit.Flush(fresh), WalStatus::kOk);
+  }
+}
+
+TEST_P(WalGroupCommitCrashTest, TornBatchSweepWithCacheLossStaysWholeRecords) {
+  const uint64_t total = BatchBytes();
+  std::vector<uint64_t> boundaries{0};
+  {
+    uint64_t cum = 0;
+    for (uint64_t b : kBatchSizes) {
+      boundaries.push_back(cum += b);
+    }
+  }
+  for (uint64_t offset = 0; offset <= total; ++offset) {
+    SCOPED_TRACE("tear offset " + std::to_string(offset));
+    WalUnit unit(FastDisk("walgc_sweep2"), GetParam());
+
+    uint64_t acked = 0;
+    for (int i = 0; i < 3; ++i) {
+      const uint64_t lsn = unit.Insert(50);
+      ASSERT_NE(lsn, 0u);
+      ASSERT_EQ(unit.Flush(lsn), WalStatus::kOk);
+      acked = lsn;
+    }
+    uint64_t last = 0;
+    for (uint64_t bytes : kBatchSizes) {
+      last = unit.Insert(bytes);
+      ASSERT_NE(last, 0u);
+    }
+    unit.set_crash_seed(offset * 2654435761ull + 23);
+
+    fault::Activate("walgc_sweep2/torn_write",
+                    fault::Trigger::AlwaysWithValue(offset));
+    fault::Activate("wal/crash_after_write", fault::Trigger::OneShot());
+    EXPECT_EQ(unit.Flush(last), WalStatus::kCrashed);
+    fault::DeactivateAll();
+
+    const WalRecoveryResult recovered = unit.Recover();
+    EXPECT_GE(recovered.recovered_lsn, acked) << "acked LSN lost";
+    const uint64_t into_batch = recovered.recovered_lsn - acked;
+    EXPECT_TRUE(std::find(boundaries.begin(), boundaries.end(), into_batch) !=
+                boundaries.end())
+        << "recovered mid-record, " << into_batch << " bytes into the batch";
+    EXPECT_LE(into_batch, IntactBelow(offset).bytes);
+  }
+}
+
+// Concurrent backends racing a mid-batch crash: every Flush() acknowledged
+// kOk before the crash must survive recovery, in both modes.
+TEST_P(WalGroupCommitCrashTest, ConcurrentAckedFlushesSurviveMidBatchCrash) {
+  WalUnit unit(FastDisk("walgc_race"), GetParam());
+  unit.set_crash_seed(4321);
+
+  fault::Activate("walgc_race/torn_write", fault::Trigger::OneShot(7));
+  fault::Activate("wal/crash_after_write", fault::Trigger::OneShot(7));
+
+  constexpr int kThreads = 4;
+  constexpr int kFlushesPerThread = 30;
+  std::vector<std::vector<uint64_t>> acked(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kFlushesPerThread; ++i) {
+        const uint64_t lsn = unit.Insert(40 + 11 * static_cast<uint64_t>(t));
+        if (lsn == 0) {
+          return;  // crashed
+        }
+        if (unit.Flush(lsn) == WalStatus::kOk) {
+          acked[static_cast<size_t>(t)].push_back(lsn);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  fault::DeactivateAll();
+  ASSERT_TRUE(unit.crashed());
+
+  const WalRecoveryResult recovered = unit.Recover();
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t lsn : acked[static_cast<size_t>(t)]) {
+      EXPECT_LE(lsn, recovered.recovered_lsn)
+          << "backend " << t << " lost an acked LSN";
+    }
+  }
+  EXPECT_GE(unit.stats().crashes, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(CommitModes, WalGroupCommitCrashTest,
+                         ::testing::Values(CommitMode::kGroupCommit,
+                                           CommitMode::kExclusive),
+                         [](const ::testing::TestParamInfo<CommitMode>& info) {
+                           return info.param == CommitMode::kGroupCommit
+                                      ? "GroupCommit"
+                                      : "Exclusive";
+                         });
+
+}  // namespace
+}  // namespace minipg

@@ -214,6 +214,31 @@ TEST(PromWriterTest, FamilyWithoutSamplesStillDeclared) {
   EXPECT_NE(text.find("# TYPE empty_total counter\n"), std::string::npos);
 }
 
+TEST(PromWriterTest, AppGaugeSeriesNamesAreScrapeClean) {
+  // The scale-out gauges (per-shard lock waits, group-commit batch sizes)
+  // carry dotted shard/unit paths. Dots are illegal in metric names, so the
+  // path travels as a `series` label value and the family name stays fixed —
+  // the exposition must remain conformant.
+  PromWriter w;
+  w.Family("vprofd_app_gauge", "gauge", "Application-published gauges.");
+  w.Sample(
+      "vprofd_app_gauge",
+      PromWriter::Labels{{"series", "minidb.buf_pool.shard0.mutex_waits"}},
+      17.0);
+  w.Sample(
+      "vprofd_app_gauge",
+      PromWriter::Labels{{"series", "minipg.wal.unit1.batch_records_avg"}},
+      3.25);
+  const std::string text = w.Text();
+  ValidatePromText(text);
+  EXPECT_NE(
+      text.find("vprofd_app_gauge{series=\"minidb.buf_pool.shard0.mutex_waits\"}"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("vprofd_app_gauge{series=\"minipg.wal.unit1.batch_records_avg\"}"),
+      std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // OnlineTreeSnapshot::ToPromText
 // ---------------------------------------------------------------------------
