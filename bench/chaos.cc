@@ -1,0 +1,406 @@
+// Chaos benchmark (ISSUE: chaos orchestration + self-healing vprofd).
+// Emits BENCH_chaos.json.
+//
+// Three experiments:
+//
+//   1. Storm cost — both engines run the same TPC-C mix clean and then under
+//      a composed fault storm (write-error/stall bursts from a seeded
+//      ChaosOrchestrator plus kill-and-recover cycles through the
+//      mid-group-commit-batch crash points). Reported: throughput and p99
+//      under the storm vs clean.
+//
+//   2. MTTR — every kill/recover cycle is timed from the moment the crash is
+//      observed to the moment recovery returns; the distribution (min /
+//      mean / max over all cycles of both engines' storms) is reported.
+//
+//   3. Supervisor overhead — minidb serving throughput with no daemon
+//      (tracing off) vs a vprofd parked in Quarantined by induced history
+//      pressure: the graceful-degradation floor. Acceptance elsewhere
+//      (supervisor_test) pins this within 5%; the bench reports the measured
+//      percentage.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/fault/chaos.h"
+#include "src/fault/failpoint.h"
+#include "src/statkit/rng.h"
+#include "src/vprof/service/vprofd.h"
+#include "src/workload/invariants.h"
+
+namespace {
+
+constexpr uint64_t kStormSeed = 2024;
+constexpr int kLoadThreads = 4;
+constexpr int kCleanTxnsPerThread = 400;
+constexpr int kCrashCycles = 3;
+
+simio::DiskConfig StormDisk(const std::string& scope) {
+  simio::DiskConfig config;
+  config.read_mu = 0.5;
+  config.write_mu = 0.5;
+  config.fsync_mu = 1.0;
+  config.fsync_spike_prob = 0.0;
+  config.error_latency_us = 20.0;
+  config.stall_us = 500.0;
+  config.serialize_access = false;
+  config.fault_scope = scope;
+  config.seed = 31;
+  return config;
+}
+
+fault::ChaosOptions StormOptions() {
+  fault::ChaosOptions options;
+  options.horizon_steps = 240;  // ~1 step/ms of orchestration below
+  options.bursts = 5;
+  options.max_overlap = 2;
+  options.min_burst_steps = 10;
+  options.max_burst_steps = 50;
+  options.crash_cycles = 0;  // cycles are driven (and timed) by hand
+  options.value_bound = 0;
+  return options;
+}
+
+struct StormOutcome {
+  bench::LatencyStats clean;
+  bench::LatencyStats storm;
+  uint64_t storm_committed = 0;
+  uint64_t storm_aborted = 0;
+  std::vector<double> mttr_ms;
+};
+
+// Drives the orchestrator clock at ~1 step/ms and injects kCrashCycles
+// kill/recover cycles at fixed step marks, timing each recovery.
+template <typename CrashedFn, typename RecoverFn>
+void DriveStorm(fault::ChaosOrchestrator* chaos, const char* crash_point,
+                CrashedFn crashed, RecoverFn recover,
+                std::vector<double>* mttr_ms, std::atomic<bool>* stop) {
+  const uint64_t horizon = StormOptions().horizon_steps;
+  const uint64_t cycle_every = horizon / (kCrashCycles + 1);
+  int cycles_done = 0;
+  while (chaos->current_step() < horizon) {
+    chaos->Step();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (cycles_done < kCrashCycles &&
+        chaos->current_step() >=
+            cycle_every * static_cast<uint64_t>(cycles_done + 1)) {
+      fault::Activate(crash_point, fault::Trigger::OneShotWithValue(
+                                       97u * (cycles_done + 1u)));
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (!crashed() && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      fault::Deactivate(crash_point);
+      if (crashed()) {
+        const auto down = std::chrono::steady_clock::now();
+        recover();
+        const auto up = std::chrono::steady_clock::now();
+        mttr_ms->push_back(
+            std::chrono::duration<double, std::milli>(up - down).count());
+      }
+      ++cycles_done;
+    }
+  }
+  chaos->Finish();
+  stop->store(true);
+}
+
+StormOutcome RunMinidbStorm() {
+  StormOutcome out;
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  config.warehouses = 4;
+  config.log_disk = StormDisk("bench_chaos_md_log");
+  config.data_disk = StormDisk("bench_chaos_md_data");
+
+  {
+    minidb::Engine engine(config);
+    workload::TpccDriver driver(
+        &engine, bench::TpccQuick(kLoadThreads, kCleanTxnsPerThread));
+    const workload::TpccResult result = driver.Run();
+    out.clean = bench::ToStats(result.latencies_ns, result.throughput_tps);
+  }
+
+  minidb::Engine engine(config);
+  engine.redo_log().set_crash_seed(kStormSeed);
+  fault::ChaosTargets targets;
+  targets.faults = {"bench_chaos_md_log/write_error",
+                    "bench_chaos_md_log/stall",
+                    "bench_chaos_md_data/read_error"};
+  fault::ChaosOrchestrator chaos(kStormSeed, targets, StormOptions());
+
+  std::atomic<bool> stop{false};
+  std::thread orchestrator([&] {
+    DriveStorm(
+        &chaos, "redo/crash_mid_batch",
+        [&] { return engine.redo_log().crashed(); },
+        [&] { engine.redo_log().Recover(); }, &out.mttr_ms, &stop);
+  });
+  workload::TpccDriver driver(&engine,
+                              bench::TpccQuick(kLoadThreads, 1 << 20));
+  const workload::TpccResult result = driver.RunUntil(stop);
+  orchestrator.join();
+  out.storm = bench::ToStats(result.latencies_ns, result.throughput_tps);
+  out.storm_committed = result.committed;
+  out.storm_aborted = result.aborted;
+
+  engine.Stop();
+  const workload::InvariantResult balance =
+      workload::CheckBalanceConservation(engine);
+  if (!balance.ok) {
+    std::fprintf(stderr, "chaos: minidb invariant violated: %s\n",
+                 balance.detail.c_str());
+    std::exit(1);
+  }
+  return out;
+}
+
+StormOutcome RunMinipgStorm() {
+  StormOutcome out;
+  minipg::PgConfig config;
+  config.wal_units = 2;
+  config.wal_disk = StormDisk("bench_chaos_pg_wal");
+
+  {
+    minipg::PgEngine engine(config);
+    workload::TpccDriver driver(
+        nullptr, bench::TpccQuick(kLoadThreads, kCleanTxnsPerThread));
+    const workload::TpccResult result = driver.RunWith(
+        [&engine](const minidb::TxnRequest& r) { return engine.Execute(r); },
+        8);
+    out.clean = bench::ToStats(result.latencies_ns, result.throughput_tps);
+  }
+
+  minipg::PgEngine engine(config);
+  for (int i = 0; i < config.wal_units; ++i) {
+    engine.wal().unit(i).set_crash_seed(kStormSeed + static_cast<uint64_t>(i));
+  }
+  fault::ChaosTargets targets;
+  targets.faults = {"bench_chaos_pg_wal.0/write_error",
+                    "bench_chaos_pg_wal.1/write_error",
+                    "bench_chaos_pg_wal.0/stall"};
+  fault::ChaosOrchestrator chaos(kStormSeed + 1, targets, StormOptions());
+
+  const auto any_crashed = [&] {
+    for (int i = 0; i < config.wal_units; ++i) {
+      if (engine.wal().unit(i).crashed()) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::atomic<bool> stop{false};
+  std::thread orchestrator([&] {
+    DriveStorm(
+        &chaos, "wal/crash_mid_batch", any_crashed,
+        [&] {
+          for (int i = 0; i < config.wal_units; ++i) {
+            if (engine.wal().unit(i).crashed()) {
+              engine.wal().unit(i).Recover();
+            }
+          }
+        },
+        &out.mttr_ms, &stop);
+  });
+  workload::TpccDriver driver(nullptr,
+                              bench::TpccQuick(kLoadThreads, 1 << 20));
+  const workload::TpccResult result = driver.RunTypedUntil(
+      [&engine](const minidb::TxnRequest& r) {
+        minidb::TxnOutcome outcome;
+        outcome.committed = engine.Execute(r);
+        return outcome;
+      },
+      8, stop);
+  orchestrator.join();
+  out.storm = bench::ToStats(result.latencies_ns, result.throughput_tps);
+  out.storm_committed = result.committed;
+  out.storm_aborted = result.aborted;
+  engine.Stop();
+  return out;
+}
+
+struct SupervisorOverhead {
+  double baseline_tps = 0.0;
+  double quarantined_tps = 0.0;
+  double overhead_pct = 0.0;
+};
+
+SupervisorOverhead RunSupervisorOverhead() {
+  SupervisorOverhead out;
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  config.warehouses = 2;
+  config.log_disk.fsync_spike_prob = 0.0;
+  minidb::Engine engine(config);
+
+  constexpr int kTxns = 2000;
+  const auto measure_tps = [&engine](uint64_t seed) {
+    workload::TpccGenerator generator(workload::TpccOptions{}, 2);
+    statkit::Rng rng(seed);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kTxns; ++i) {
+      engine.Execute(generator.Next(rng));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return kTxns / std::chrono::duration<double>(t1 - t0).count();
+  };
+  const auto best_of = [&measure_tps](int trials, uint64_t seed_base) {
+    double best = 0.0;
+    for (int i = 0; i < trials; ++i) {
+      best = std::max(best, measure_tps(seed_base + i));
+    }
+    return best;
+  };
+
+  measure_tps(1);  // warm-up
+  out.baseline_tps = best_of(3, 10);
+
+  const std::string dir = std::filesystem::temp_directory_path() /
+                          "bench_chaos_quarantine_history";
+  std::filesystem::remove_all(dir);
+  vprof::VprofdOptions options;
+  options.enable_controller = false;
+  options.epoch_ns = 2'000'000;
+  options.history.dir = dir;
+  options.history.fault_scope = "bench_chaos_hist";
+  options.enable_supervisor = true;
+  options.supervisor.escalate_after = 1;
+  options.supervisor.restore_after = 1'000'000;  // park in Quarantined
+  options.supervisor.degraded_epoch_multiplier = 1.0;
+
+  fault::Activate("bench_chaos_hist/write_error", fault::Trigger::Always());
+  auto daemon = minidb::Engine::StartOnlineProfiler(std::move(options));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (daemon->supervisor_state() != vprof::SupervisorState::kQuarantined &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  fault::Deactivate("bench_chaos_hist/write_error");
+  if (daemon->supervisor_state() != vprof::SupervisorState::kQuarantined) {
+    std::fprintf(stderr, "chaos: supervisor never reached quarantine\n");
+    std::exit(1);
+  }
+
+  out.quarantined_tps = best_of(3, 20);
+  daemon->Stop();
+  std::filesystem::remove_all(dir);
+
+  out.overhead_pct = out.baseline_tps > 0.0
+                         ? 100.0 * (1.0 - out.quarantined_tps /
+                                              out.baseline_tps)
+                         : 0.0;
+  return out;
+}
+
+struct MttrSummary {
+  double min_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  size_t cycles = 0;
+};
+
+MttrSummary SummarizeMttr(const std::vector<double>& samples) {
+  MttrSummary s;
+  s.cycles = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  s.min_ms = *std::min_element(samples.begin(), samples.end());
+  s.max_ms = *std::max_element(samples.begin(), samples.end());
+  for (double v : samples) {
+    s.mean_ms += v;
+  }
+  s.mean_ms /= static_cast<double>(samples.size());
+  return s;
+}
+
+void EmitJson(const StormOutcome& md, const StormOutcome& pg,
+              const SupervisorOverhead& sup) {
+  FILE* json = std::fopen("BENCH_chaos.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "chaos: cannot write BENCH_chaos.json\n");
+    std::exit(1);
+  }
+  const auto emit_engine = [json](const char* name, const StormOutcome& out,
+                                  bool trailing_comma) {
+    std::fprintf(json, "    \"%s\": {\n", name);
+    std::fprintf(json,
+                 "      \"clean\": {\"throughput_tps\": %.1f, \"p99_ms\": "
+                 "%.4f},\n",
+                 out.clean.throughput, out.clean.p99_ms);
+    std::fprintf(json,
+                 "      \"storm\": {\"throughput_tps\": %.1f, \"p99_ms\": "
+                 "%.4f, \"committed\": %llu, \"aborted\": %llu},\n",
+                 out.storm.throughput, out.storm.p99_ms,
+                 static_cast<unsigned long long>(out.storm_committed),
+                 static_cast<unsigned long long>(out.storm_aborted));
+    std::fprintf(json, "      \"mttr_ms\": [");
+    for (size_t i = 0; i < out.mttr_ms.size(); ++i) {
+      std::fprintf(json, "%s%.3f", i == 0 ? "" : ", ", out.mttr_ms[i]);
+    }
+    const MttrSummary mttr = SummarizeMttr(out.mttr_ms);
+    std::fprintf(json, "],\n");
+    std::fprintf(json,
+                 "      \"mttr\": {\"cycles\": %zu, \"min_ms\": %.3f, "
+                 "\"mean_ms\": %.3f, \"max_ms\": %.3f}\n",
+                 mttr.cycles, mttr.min_ms, mttr.mean_ms, mttr.max_ms);
+    std::fprintf(json, "    }%s\n", trailing_comma ? "," : "");
+  };
+  std::fprintf(json, "{\n  \"benchmark\": \"chaos\",\n");
+  std::fprintf(json, "  \"storm_seed\": %llu,\n",
+               static_cast<unsigned long long>(kStormSeed));
+  std::fprintf(json, "  \"engines\": {\n");
+  emit_engine("minidb", md, true);
+  emit_engine("minipg", pg, false);
+  std::fprintf(json, "  },\n");
+  std::fprintf(json, "  \"supervisor\": {\n");
+  std::fprintf(json, "    \"baseline_tps\": %.1f,\n", sup.baseline_tps);
+  std::fprintf(json, "    \"quarantined_tps\": %.1f,\n", sup.quarantined_tps);
+  std::fprintf(json, "    \"quarantine_overhead_pct\": %.2f\n",
+               sup.overhead_pct);
+  std::fprintf(json, "  }\n}\n");
+  std::fclose(json);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Chaos: fault storms, MTTR, and supervised degradation overhead");
+
+  std::printf("\nminidb under storm (seed %llu):\n",
+              static_cast<unsigned long long>(kStormSeed));
+  const StormOutcome md = RunMinidbStorm();
+  bench::PrintStatsRow("clean", md.clean);
+  bench::PrintStatsRow("storm", md.storm);
+  const MttrSummary md_mttr = SummarizeMttr(md.mttr_ms);
+  std::printf("  MTTR over %zu cycles: min=%.2f ms  mean=%.2f ms  max=%.2f ms\n",
+              md_mttr.cycles, md_mttr.min_ms, md_mttr.mean_ms, md_mttr.max_ms);
+
+  std::printf("\nminipg under storm:\n");
+  const StormOutcome pg = RunMinipgStorm();
+  bench::PrintStatsRow("clean", pg.clean);
+  bench::PrintStatsRow("storm", pg.storm);
+  const MttrSummary pg_mttr = SummarizeMttr(pg.mttr_ms);
+  std::printf("  MTTR over %zu cycles: min=%.2f ms  mean=%.2f ms  max=%.2f ms\n",
+              pg_mttr.cycles, pg_mttr.min_ms, pg_mttr.mean_ms, pg_mttr.max_ms);
+
+  std::printf("\nsupervised degradation floor (vprofd quarantined):\n");
+  const SupervisorOverhead sup = RunSupervisorOverhead();
+  std::printf("  baseline    %8.1f tps (no daemon, tracing off)\n",
+              sup.baseline_tps);
+  std::printf("  quarantined %8.1f tps (daemon parked in Quarantine)\n",
+              sup.quarantined_tps);
+  std::printf("  overhead    %8.2f %%\n", sup.overhead_pct);
+
+  EmitJson(md, pg, sup);
+  std::printf("  wrote BENCH_chaos.json\n");
+  return 0;
+}

@@ -15,7 +15,12 @@
 # stress test under ThreadSanitizer (concurrent GetPage/Resize racing epoch
 # flips), plus the group-commit torn-batch crash sweeps (ctest label
 # "scale") in a plain build.
-# Usage: scripts/check.sh [--tsan-only|--asan-only|--online|--statstore|--scale]
+# --chaos runs the chaos-engineering suite (orchestrator determinism,
+# 32-seed fault storms, mid-batch crash cycles under load, supervisor
+# ladder, graceful shutdown — ctest label "chaos") under ASan+UBSan with a
+# bounded wall-clock, since a wedged shutdown drain would otherwise hang
+# the preset.
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--online|--statstore|--scale|--chaos]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,6 +73,19 @@ if [[ "${MODE}" == "--scale" ]]; then
     minidb_group_commit_crash_test minipg_wal_group_commit_crash_test
   (cd build && ctest --output-on-failure -L scale)
   echo "== check.sh --scale: all green =="
+  exit 0
+fi
+
+if [[ "${MODE}" == "--chaos" ]]; then
+  echo "== asan+ubsan: chaos suite (label: chaos) =="
+  cmake -B build-asan -S . -DVPROF_ASAN=ON >/dev/null
+  CHAOS_TARGETS=(fault_chaos_test integration_chaos_storm_test
+                 integration_supervisor_test integration_shutdown_test)
+  cmake --build build-asan -j "${JOBS}" --target "${CHAOS_TARGETS[@]}"
+  (cd build-asan &&
+   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+   timeout 900 ctest --output-on-failure -L chaos)
+  echo "== check.sh --chaos: all green =="
   exit 0
 fi
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "src/fault/failpoint.h"
 #include "src/vprof/probe.h"
 
 namespace minidb {
@@ -262,6 +263,13 @@ void BufferPool::Resize(int capacity_pages) {
   const int base = capacity_pages / instances;
   const int extra = capacity_pages % instances;
   for (int i = 0; i < instances; ++i) {
+    // Chaos crash point: the process dies mid-redistribution, leaving a
+    // prefix of shards at the new capacity and the rest at the old one. The
+    // pool must stay fully serviceable either way — per-shard capacities
+    // are independently consistent — which the chaos invariants verify.
+    if (fault::Triggered("pool/resize_abort")) [[unlikely]] {
+      return;
+    }
     Shard& shard = *shards_[static_cast<size_t>(i)];
     const int new_capacity = base + (i < extra ? 1 : 0);
     PoolMutexEnter(shard);

@@ -82,7 +82,13 @@ bool Engine::AcquireLock(Transaction* trx, uint64_t object_id, LockMode mode) {
 
 bool Engine::AppendRedo(Transaction* trx, uint64_t bytes) {
   if (log_->Append(bytes) == 0) {
-    trx->set_error(TxnError::kLogCrashed);
+    if (log_->shutdown()) {
+      trx->set_error(TxnError::kShutdown);
+    } else if (log_->wedged()) {
+      trx->set_error(TxnError::kLogWedged);
+    } else {
+      trx->set_error(TxnError::kLogCrashed);
+    }
     return false;
   }
   return true;
@@ -143,10 +149,22 @@ bool Engine::Commit(Transaction* trx, bool needs_log_flush) {
       case LogStatus::kIoError:
         trx->set_error(TxnError::kIoError);
         return false;
+      case LogStatus::kWedged:
+        trx->set_error(TxnError::kLogWedged);
+        return false;
       case LogStatus::kCrashed:
         trx->set_error(TxnError::kLogCrashed);
         return false;
+      case LogStatus::kShutdown:
+        trx->set_error(TxnError::kShutdown);
+        return false;
     }
+  }
+  // The log acked: apply the transaction's balance transfers while its X
+  // locks are still held, so the movement is all-or-nothing with respect to
+  // every other committer and never happens for aborts.
+  for (const PendingDelta& d : trx->pending_deltas()) {
+    d.table->ApplyDelta(d.key, d.delta);
   }
   locks_.ReleaseAll(trx);
   committed_.fetch_add(1, std::memory_order_relaxed);
@@ -182,9 +200,16 @@ bool Engine::RunNewOrder(Transaction* trx, const TxnRequest& request) {
       return false;
     }
   }
-  if (!RowUpdate(trx, *district_,
-                 DistrictKey(request.warehouse, request.district))) {
+  const int64_t district_key = DistrictKey(request.warehouse, request.district);
+  if (!RowUpdate(trx, *district_, district_key)) {
     return false;
+  }
+  // Zero-sum transfer: each ordered item moves value from its (X-locked)
+  // stock row into the district row, also X-locked above.
+  for (int64_t item : items) {
+    const int64_t unit_value = 10 + (item % 90);
+    trx->AddDelta(stock_.get(), StockKey(request.warehouse, item), -unit_value);
+    trx->AddDelta(district_.get(), district_key, unit_value);
   }
   if (!RowSelect(trx, *warehouse_, request.warehouse, LockMode::kShared)) {
     return false;
@@ -219,6 +244,11 @@ bool Engine::RunPayment(Transaction* trx, const TxnRequest& request) {
   if (!RowUpdate(trx, *warehouse_, request.warehouse)) {
     return false;
   }
+  // Zero-sum transfer: the customer pays the warehouse. Both rows are
+  // X-locked by the updates above.
+  const int64_t amount = 100 + request.customer % 400;
+  trx->AddDelta(customer_.get(), customer_key, -amount);
+  trx->AddDelta(warehouse_.get(), request.warehouse, amount);
   const int64_t history_key =
       next_history_key_.fetch_add(1, std::memory_order_relaxed);
   return RowInsert(trx, *history_, history_key);
@@ -269,6 +299,9 @@ bool Engine::RunStockLevel(Transaction* trx, const TxnRequest& request) {
 
 TxnOutcome Engine::Execute(const TxnRequest& request) {
   VPROF_FUNC("run_transaction");
+  if (stopped_.load(std::memory_order_acquire)) {
+    return TxnOutcome{false, 0, TxnError::kShutdown};
+  }
   // Each transaction is its own semantic interval — unless the caller is
   // already executing inside one (a multi-tier request, paper Section 5), in
   // which case the transaction joins the enclosing interval.
@@ -314,6 +347,36 @@ TxnOutcome Engine::Execute(const TxnRequest& request) {
     vprof::EndInterval(sid);
   }
   return TxnOutcome{ok, trx.id(), ok ? TxnError::kNone : trx.error()};
+}
+
+void Engine::Stop() {
+  // Gate first so no new transaction starts a commit, then drain the log:
+  // committers already past the gate elect leaders and flush normally, and
+  // the log's own final flush lands whatever batch remains.
+  stopped_.store(true, std::memory_order_release);
+  log_->Shutdown();
+}
+
+int64_t Engine::BalanceTotal() const {
+  return warehouse_->SumBalances() + district_->SumBalances() +
+         customer_->SumBalances() + stock_->SumBalances() +
+         orders_->SumBalances() + order_lines_->SumBalances() +
+         history_->SumBalances();
+}
+
+uint64_t Engine::StateDigest() const {
+  // Mix each table with a distinct multiplier so swapping identical rows
+  // between tables cannot cancel out.
+  uint64_t digest = 0;
+  const Table* tables[] = {warehouse_.get(), district_.get(), customer_.get(),
+                           stock_.get(),     orders_.get(),   order_lines_.get(),
+                           history_.get()};
+  uint64_t salt = 0x9E3779B97F4A7C15ull;
+  for (const Table* table : tables) {
+    digest ^= table->StateDigest() * salt;
+    salt = salt * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  return digest;
 }
 
 void Engine::RegisterCallGraph(vprof::CallGraph* graph) {
@@ -371,6 +434,25 @@ std::vector<vprof::AppGauge> Engine::ScaleGauges() const {
        flushes > 0 ? static_cast<double>(ls.batched_records) /
                          static_cast<double>(flushes)
                    : 0.0});
+  return gauges;
+}
+
+std::vector<vprof::AppGauge> Engine::RobustnessGauges() const {
+  const LockStats lk = locks_.stats();
+  const RedoLogStats ls = log_->stats();
+  std::vector<vprof::AppGauge> gauges;
+  gauges.push_back(
+      {"minidb.lock.timeouts", static_cast<double>(lk.timeouts)});
+  gauges.push_back(
+      {"minidb.lock.deadlocks", static_cast<double>(lk.deadlocks)});
+  gauges.push_back(
+      {"minidb.redo.io_errors", static_cast<double>(ls.io_errors)});
+  gauges.push_back({"minidb.redo.wedges", static_cast<double>(ls.wedges)});
+  gauges.push_back({"minidb.redo.crashes", static_cast<double>(ls.crashes)});
+  gauges.push_back(
+      {"minidb.txn.committed", static_cast<double>(committed_count())});
+  gauges.push_back(
+      {"minidb.txn.aborted", static_cast<double>(aborted_count())});
   return gauges;
 }
 

@@ -73,6 +73,14 @@ class Engine {
   // to be called from many connection threads.
   TxnOutcome Execute(const TxnRequest& request);
 
+  // Graceful shutdown: refuses new transactions (kShutdown), then drains the
+  // redo log — group-commit followers already inside Commit collect their
+  // acks, and one final write+fsync lands the pending batch. No acked commit
+  // is lost and no thread is left waiting on a flush-round event. Idempotent.
+  void Stop();
+
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
   // Declares the engine's static call graph (instrumentable functions and
   // caller/callee edges) for the profiler's refinement and specificity.
   static void RegisterCallGraph(vprof::CallGraph* graph);
@@ -88,6 +96,20 @@ class Engine {
   // buffer-pool lock waits and redo-log group-commit batch sizes.
   std::vector<vprof::AppGauge> ScaleGauges() const;
 
+  // Robustness gauges for vprofd: lock-wait timeouts, deadlock aborts,
+  // redo-log I/O errors / wedges / crashes, and the commit/abort counters —
+  // the counters a chaos storm moves.
+  std::vector<vprof::AppGauge> RobustnessGauges() const;
+
+  // Sum of every row balance across all tables. Committed transactions move
+  // balance in zero-sum transfers, so this is 0 at all quiesced points — the
+  // chaos invariant library's conservation check.
+  int64_t BalanceTotal() const;
+
+  // Order-independent digest over all table contents (keys, versions,
+  // balances); the chaos determinism sweep compares post-recovery digests.
+  uint64_t StateDigest() const;
+
   const EngineConfig& config() const { return config_; }
   simio::Disk& data_disk() { return data_disk_; }
   simio::Disk& log_disk() { return log_disk_; }
@@ -99,6 +121,8 @@ class Engine {
   Table& customer() { return *customer_; }
   Table& stock() { return *stock_; }
   Table& orders() { return *orders_; }
+  Table& order_lines() { return *order_lines_; }
+  Table& history() { return *history_; }
 
   uint64_t committed_count() const {
     return committed_.load(std::memory_order_relaxed);
@@ -167,6 +191,7 @@ class Engine {
   std::atomic<int64_t> next_history_key_{1};
   std::atomic<uint64_t> committed_{0};
   std::atomic<uint64_t> aborted_{0};
+  std::atomic<bool> stopped_{false};
   // Per-transaction redo volume accumulates here before commit (thread-local
   // tracking would be overkill: Append is called per row mutation).
 };

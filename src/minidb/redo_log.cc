@@ -19,6 +19,10 @@ constexpr int64_t kFollowerWaitNs = 10LL * 1000 * 1000;
 constexpr const char kFpCrashBeforeWrite[] = "redo/crash_before_write";
 constexpr const char kFpCrashAfterWrite[] = "redo/crash_after_write";
 constexpr const char kFpCrashAfterFsync[] = "redo/crash_after_fsync";
+// Kill mid group-commit batch: the trigger value (if set) is the byte offset
+// into the batch that reached the device cache before the crash, so sweeps
+// can place the kill at every record boundary and interior.
+constexpr const char kFpCrashMidBatch[] = "redo/crash_mid_batch";
 
 uint64_t RoundToBlocks(uint64_t bytes) {
   return ((bytes + kLogBlockBytes - 1) / kLogBlockBytes) * kLogBlockBytes;
@@ -53,7 +57,9 @@ RedoLog::~RedoLog() {
 
 uint64_t RedoLog::Append(uint64_t bytes) {
   std::lock_guard<vprof::Mutex> lock(mu_);
-  if (crashed_.load(std::memory_order_acquire)) {
+  if (crashed_.load(std::memory_order_acquire) ||
+      wedged_.load(std::memory_order_acquire) ||
+      shutdown_.load(std::memory_order_acquire)) {
     return 0;
   }
   pending_bytes_ += bytes;
@@ -95,6 +101,9 @@ LogStatus RedoLog::WriteAndMaybeFlush(bool do_fsync, bool background) {
   if (crashed_.load(std::memory_order_acquire)) {
     return LogStatus::kCrashed;
   }
+  if (wedged_.load(std::memory_order_acquire)) {
+    return LogStatus::kWedged;
+  }
   std::vector<LogRecord> batch;
   uint64_t to_write = 0;
   {
@@ -126,6 +135,18 @@ LogStatus RedoLog::WriteAndMaybeFlush(bool do_fsync, bool background) {
       stat_io_errors_.fetch_add(1, std::memory_order_relaxed);
       return LogStatus::kIoError;
     }
+    uint64_t mid = fault::Trigger::kNoValue;
+    if (fault::TriggeredValue(kFpCrashMidBatch, &mid)) [[unlikely]] {
+      // Killed mid-batch: only a prefix of the batch's bytes made the device
+      // cache. With no trigger value the crash seed picks the survivors.
+      if (mid != fault::Trigger::kNoValue) {
+        AppendBatchToDevice(batch, std::min<uint64_t>(mid, to_write));
+      } else {
+        AppendBatchToDevice(batch, std::min<uint64_t>(w.bytes, to_write));
+      }
+      CrashLocked(crash_seed_.load(std::memory_order_relaxed));
+      return LogStatus::kCrashed;
+    }
     AppendBatchToDevice(batch, std::min<uint64_t>(w.bytes, to_write));
     stat_batched_records_.fetch_add(batch.size(), std::memory_order_relaxed);
   }
@@ -143,10 +164,20 @@ LogStatus RedoLog::WriteAndMaybeFlush(bool do_fsync, bool background) {
     VPROF_FUNC("fil_flush");
     const simio::IoResult s = disk_->Fsync();
     if (!s.ok()) {
-      // Records are on the device but not stable; they stay at risk until a
-      // later fsync succeeds.
+      // fsyncgate: the failed fsync dropped the device cache, taking the
+      // whole unsynced window with it. Wedge the log — were it to stay
+      // open, the next successful fsync would silently ack these records.
+      const size_t dropped = device_records_.size() - durable_records_;
+      device_records_.resize(durable_records_);
+      crash_lost_records_ += dropped;
+      wedged_.store(true, std::memory_order_release);
       stat_io_errors_.fetch_add(1, std::memory_order_relaxed);
-      return LogStatus::kIoError;
+      stat_wedges_.fetch_add(1, std::memory_order_relaxed);
+      // Wake followers of rounds that will now never run (the in-flight
+      // round's leader signals its own event on return).
+      flush_events_[0].Set();
+      flush_events_[1].Set();
+      return LogStatus::kWedged;
     }
   }
   durable_records_ = device_records_.size();
@@ -171,6 +202,9 @@ LogStatus RedoLog::GroupCommitUpTo(uint64_t lsn) {
   while (flushed_lsn_.load(std::memory_order_acquire) < lsn) {
     if (crashed_.load(std::memory_order_acquire)) {
       return LogStatus::kCrashed;
+    }
+    if (wedged_.load(std::memory_order_acquire)) {
+      return LogStatus::kWedged;
     }
     if (lsn >= next_lsn_.load(std::memory_order_acquire)) {
       // No such record: it was appended before a crash and lost. The caller
@@ -226,6 +260,9 @@ LogStatus RedoLog::ExclusiveCommitUpTo(uint64_t lsn) {
     if (crashed_.load(std::memory_order_acquire)) {
       return LogStatus::kCrashed;
     }
+    if (wedged_.load(std::memory_order_acquire)) {
+      return LogStatus::kWedged;
+    }
     if (lsn >= next_lsn_.load(std::memory_order_acquire)) {
       return LogStatus::kCrashed;
     }
@@ -242,6 +279,12 @@ LogStatus RedoLog::CommitUpTo(uint64_t lsn) {
   VPROF_FUNC("log_write_up_to");
   if (crashed_.load(std::memory_order_acquire)) {
     return LogStatus::kCrashed;
+  }
+  if (wedged_.load(std::memory_order_acquire)) {
+    return LogStatus::kWedged;
+  }
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return LogStatus::kShutdown;
   }
   switch (policy_) {
     case FlushPolicy::kLazyWrite:
@@ -304,7 +347,8 @@ void RedoLog::CrashLocked(uint64_t seed) {
 RecoveryResult RedoLog::Recover() {
   std::lock_guard<std::mutex> io_lock(write_io_mu_);
   RecoveryResult result;
-  if (!crashed_.load(std::memory_order_acquire)) {
+  if (!crashed_.load(std::memory_order_acquire) &&
+      !wedged_.load(std::memory_order_acquire)) {
     result.recovered_lsn = flushed_lsn_.load(std::memory_order_acquire);
     result.records_recovered = device_records_.size();
     return result;
@@ -329,15 +373,44 @@ RecoveryResult RedoLog::Recover() {
   flush_events_[1].Reset();
   {
     std::lock_guard<vprof::Mutex> lock(mu_);
+    // A wedged (not crashed) log still holds never-committable appends in
+    // its insert buffer; they die here.
+    result.records_lost += buffer_records_.size();
     buffer_records_.clear();
     pending_bytes_ = 0;
     flush_in_progress_ = false;
     next_lsn_.store(result.recovered_lsn + 1, std::memory_order_release);
     written_lsn_.store(result.recovered_lsn, std::memory_order_release);
     flushed_lsn_.store(result.recovered_lsn, std::memory_order_release);
+    wedged_.store(false, std::memory_order_release);
     crashed_.store(false, std::memory_order_release);
   }
   return result;
+}
+
+void RedoLog::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;
+  }
+  // Stop the background flusher before the final flush so the two don't
+  // interleave.
+  stop_.store(true, std::memory_order_release);
+  if (flusher_.joinable()) {
+    flusher_.join();
+  }
+  // One final write+fsync drains the pending batch: every record appended
+  // before the shutdown flag went up becomes durable, so followers already
+  // waiting get their kOk ack instead of a spurious loss.
+  if (!crashed_.load(std::memory_order_acquire) &&
+      !wedged_.load(std::memory_order_acquire)) {
+    WriteAndMaybeFlush(/*do_fsync=*/true, /*background=*/true);
+  }
+  // Wake group-commit followers of any round so they re-check flushed_lsn
+  // and observe either their ack or the shutdown.
+  flush_events_[0].Set();
+  flush_events_[1].Set();
 }
 
 void RedoLog::FlusherLoop() {
@@ -352,7 +425,8 @@ void RedoLog::FlusherLoop() {
     if (stop_.load(std::memory_order_acquire)) {
       return;
     }
-    if (crashed_.load(std::memory_order_acquire)) {
+    if (crashed_.load(std::memory_order_acquire) ||
+        wedged_.load(std::memory_order_acquire)) {
       continue;  // idle until Recover()
     }
     const uint64_t target = next_lsn_.load(std::memory_order_acquire) - 1;
@@ -382,6 +456,7 @@ RedoLogStats RedoLog::stats() const {
   stats.batched_records =
       stat_batched_records_.load(std::memory_order_relaxed);
   stats.io_errors = stat_io_errors_.load(std::memory_order_relaxed);
+  stats.wedges = stat_wedges_.load(std::memory_order_relaxed);
   stats.crashes = stat_crashes_.load(std::memory_order_relaxed);
   return stats;
 }

@@ -28,7 +28,10 @@
 // Fault model: every record carries a checksum, and the log can Crash() and
 // Recover(). A crash (explicit, or injected via the commit-path failpoints
 // "redo/crash_before_write", "redo/crash_after_write",
-// "redo/crash_after_fsync") freezes the log: buffered records are lost, and
+// "redo/crash_after_fsync", "redo/crash_mid_batch" — the last with an
+// optional trigger value giving the byte offset into the batch that reached
+// the device cache before the kill) freezes the log: buffered records are
+// lost, and
 // the written-but-unsynced tail survives only as a seeded-random prefix whose
 // last record may be torn (bad checksum). Recover() scans the device image,
 // truncates at the first checksum mismatch, and re-opens the log at the
@@ -38,6 +41,12 @@
 // invariants are CommitMode-independent: a batch is written in LSN order, so
 // recovery always exposes a prefix of whole records, never a torn batch
 // interior.
+//
+// fsyncgate: a FAILED fsync wedges the log (kWedged). The kernel drops dirty
+// pages on fsync error, so the whole unsynced window is gone; were the log to
+// stay open, a later successful fsync would silently ack commits whose
+// records never reached stable storage. A wedged log fails every commit until
+// Recover(), which truncates to the durable prefix exactly as after a crash.
 //
 // Statistics are relaxed atomics aggregated in stats(): the commit hot path
 // takes no stats lock.
@@ -63,14 +72,18 @@ struct RedoLogStats {
   uint64_t background_flushes = 0;
   uint64_t batched_records = 0;  // records written to the device by flushes
   uint64_t io_errors = 0;      // disk errors surfaced on the flush path
+  uint64_t wedges = 0;         // failed fsyncs that wedged the log
   uint64_t crashes = 0;
 };
 
 // Outcome of a durability request.
 enum class LogStatus : uint8_t {
-  kOk,       // durable per the active policy
-  kIoError,  // the log device failed the write or fsync; retryable
-  kCrashed,  // the log crashed; Recover() required
+  kOk,        // durable per the active policy
+  kIoError,   // the log device failed the write; nothing landed — retryable
+  kWedged,    // a failed fsync dropped the unsynced window (fsyncgate);
+              // every commit fails until Recover()
+  kCrashed,   // the log crashed; Recover() required
+  kShutdown,  // the log was shut down; no further commits
 };
 
 // One log record as recovery sees it.
@@ -116,10 +129,20 @@ class RedoLog {
   void Crash(uint64_t seed);
 
   // Replays the device image: verifies checksums, truncates the torn tail,
-  // and re-opens the log at the recovered LSN. Requires crashed().
+  // and re-opens the log at the recovered LSN. Requires crashed() or
+  // wedged(); clears both.
   RecoveryResult Recover();
 
+  // Graceful shutdown: refuses new Append/CommitUpTo (kShutdown), stops the
+  // background flusher, and performs one final write+fsync of the pending
+  // batch (unless crashed/wedged). Committers already inside CommitUpTo
+  // drain normally — they elect leaders, flush, and collect their kOk acks —
+  // because the shutdown gate is only at the entry points. Idempotent.
+  void Shutdown();
+
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  bool wedged() const { return wedged_.load(std::memory_order_acquire); }
+  bool shutdown() const { return shutdown_.load(std::memory_order_acquire); }
 
   // Seed for crashes injected via the redo/crash_* failpoints.
   void set_crash_seed(uint64_t seed) {
@@ -182,6 +205,8 @@ class RedoLog {
   uint64_t crash_lost_records_ = 0;
 
   std::atomic<bool> crashed_{false};
+  std::atomic<bool> wedged_{false};
+  std::atomic<bool> shutdown_{false};
   std::atomic<uint64_t> crash_seed_{0x5EED5EEDull};
 
   std::atomic<uint64_t> stat_appends_{0};
@@ -190,6 +215,7 @@ class RedoLog {
   std::atomic<uint64_t> stat_background_flushes_{0};
   std::atomic<uint64_t> stat_batched_records_{0};
   std::atomic<uint64_t> stat_io_errors_{0};
+  std::atomic<uint64_t> stat_wedges_{0};
   std::atomic<uint64_t> stat_crashes_{0};
 
   std::atomic<bool> stop_{false};

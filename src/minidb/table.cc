@@ -79,6 +79,40 @@ bool Table::InsertRow(int64_t key) {
   return index_.Insert(key, static_cast<uint64_t>(key));
 }
 
+int64_t Table::ApplyDelta(int64_t key, int64_t delta) {
+  std::lock_guard<std::mutex> lock(rows_mu_);
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return 0;
+  }
+  it->second.balance += delta;
+  return delta;
+}
+
+int64_t Table::SumBalances() const {
+  std::lock_guard<std::mutex> lock(rows_mu_);
+  int64_t total = 0;
+  for (const auto& [key, row] : rows_) {
+    total += row.balance;
+  }
+  return total;
+}
+
+uint64_t Table::StateDigest() const {
+  std::lock_guard<std::mutex> lock(rows_mu_);
+  // XOR of per-row FNV hashes: order-independent, so the unordered map's
+  // iteration order cannot perturb the digest.
+  uint64_t digest = 0;
+  for (const auto& [key, row] : rows_) {
+    uint64_t h = 1469598103934665603ull;
+    h = (h ^ static_cast<uint64_t>(key)) * 1099511628211ull;
+    h = (h ^ row.version) * 1099511628211ull;
+    h = (h ^ static_cast<uint64_t>(row.balance)) * 1099511628211ull;
+    digest ^= h;
+  }
+  return digest;
+}
+
 size_t Table::row_count() const {
   std::lock_guard<std::mutex> lock(rows_mu_);
   return rows_.size();

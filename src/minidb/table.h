@@ -21,6 +21,10 @@ namespace minidb {
 struct Row {
   int64_t key = 0;
   uint64_t version = 0;
+  // Money column for the TPC-C conservation invariant: committed
+  // transactions move balance between rows in zero-sum transfers, so the
+  // sum over all tables is constant under any crash/abort schedule.
+  int64_t balance = 0;
   std::array<uint8_t, 96> payload{};
 };
 
@@ -60,6 +64,19 @@ class Table {
   // Inserts a new row (pins its page for write). Returns false if the key
   // already exists.
   bool InsertRow(int64_t key);
+
+  // Adds `delta` to the row's balance (no page pin: the caller holds the
+  // row's X lock and already pinned the page in this transaction). No-op on
+  // an absent row. Returns the applied delta (0 if absent).
+  int64_t ApplyDelta(int64_t key, int64_t delta);
+
+  // Sum of all row balances; O(rows), for invariant checks at quiesce.
+  int64_t SumBalances() const;
+
+  // Order-independent FNV digest over (key, version, balance) of every row;
+  // the chaos determinism sweep compares post-recovery digests across
+  // replays.
+  uint64_t StateDigest() const;
 
   BTree& index() { return index_; }
   vprof::Mutex& index_latch() { return index_latch_; }

@@ -8,21 +8,34 @@
 
 namespace minidb {
 
+class Table;
+
 // Why a transaction failed. Lock timeouts, deadlocks and I/O errors are
-// transient — the client may retry the transaction; a crashed log needs
-// recovery first.
+// transient — the client may retry the transaction; a crashed or wedged log
+// needs recovery first, and a shut-down engine never comes back.
 enum class TxnError : uint8_t {
   kNone,
   kLockTimeout,
   kDeadlock,
-  kIoError,      // log device failed the write/fsync
+  kIoError,      // log device failed the write; nothing landed — retryable
+  kLogWedged,    // failed fsync wedged the redo log until Recover()
   kLogCrashed,   // redo log is down until Recover()
+  kShutdown,     // engine is stopping; no retry will succeed
 };
 
 inline bool IsRetryable(TxnError error) {
   return error == TxnError::kLockTimeout || error == TxnError::kDeadlock ||
          error == TxnError::kIoError;
 }
+
+// A money movement the transaction will apply atomically at commit, after
+// the redo log acked — never on abort. The row must already be X-locked by
+// this transaction so the commit-time application races with nobody.
+struct PendingDelta {
+  Table* table = nullptr;
+  int64_t key = 0;
+  int64_t delta = 0;
+};
 
 class Transaction {
  public:
@@ -44,10 +57,21 @@ class Transaction {
   void set_error(TxnError error) { error_ = error; }
   TxnError error() const { return error_; }
 
+  // Balance movements applied only if the transaction commits. Each
+  // transaction's deltas sum to zero (a transfer), which makes the global
+  // balance total a conservation invariant under any crash/abort schedule.
+  void AddDelta(Table* table, int64_t key, int64_t delta) {
+    pending_deltas_.push_back(PendingDelta{table, key, delta});
+  }
+  const std::vector<PendingDelta>& pending_deltas() const {
+    return pending_deltas_;
+  }
+
  private:
   uint64_t id_;
   int64_t start_ts_;
   std::vector<uint64_t> lock_set_;
+  std::vector<PendingDelta> pending_deltas_;
   bool aborted_ = false;
   TxnError error_ = TxnError::kNone;
 };

@@ -94,6 +94,9 @@ bool PgEngine::CommitTransaction(ExecContext* context) {
 
 bool PgEngine::Execute(const minidb::TxnRequest& request) {
   VPROF_FUNC("exec_simple_query");
+  if (stopped_.load(std::memory_order_acquire)) {
+    return false;
+  }
   // Join an enclosing semantic interval (multi-tier caller) if one exists.
   const bool enclosed = vprof::CurrentIntervalId() != vprof::kNoInterval;
   const vprof::IntervalId sid =
@@ -112,6 +115,13 @@ bool PgEngine::Execute(const minidb::TxnRequest& request) {
     vprof::EndInterval(sid);
   }
   return committed;
+}
+
+void PgEngine::Stop() {
+  // Gate first so no new backend enters commit, then drain the WAL units;
+  // backends already inside XLogFlush finish normally.
+  stopped_.store(true, std::memory_order_release);
+  wal_.Shutdown();
 }
 
 void PgEngine::RegisterCallGraph(vprof::CallGraph* graph) {
@@ -160,6 +170,27 @@ std::vector<vprof::AppGauge> PgEngine::ScaleGauges() {
                    static_cast<double>(s.flushes_performed)
              : 0.0});
   }
+  return gauges;
+}
+
+std::vector<vprof::AppGauge> PgEngine::RobustnessGauges() {
+  uint64_t io_errors = 0;
+  uint64_t wedges = 0;
+  uint64_t crashes = 0;
+  for (int i = 0; i < wal_.unit_count(); ++i) {
+    const WalStats s = wal_.unit(i).stats();
+    io_errors += s.io_errors;
+    wedges += s.wedges;
+    crashes += s.crashes;
+  }
+  std::vector<vprof::AppGauge> gauges;
+  gauges.push_back({"minipg.wal.io_errors", static_cast<double>(io_errors)});
+  gauges.push_back({"minipg.wal.wedges", static_cast<double>(wedges)});
+  gauges.push_back({"minipg.wal.crashes", static_cast<double>(crashes)});
+  gauges.push_back(
+      {"minipg.txn.committed", static_cast<double>(committed_count())});
+  gauges.push_back(
+      {"minipg.txn.aborted", static_cast<double>(aborted_count())});
   return gauges;
 }
 

@@ -54,6 +54,14 @@ class PgEngine {
   // Executes one transaction as a semantic interval; returns true on commit.
   bool Execute(const minidb::TxnRequest& request);
 
+  // Graceful shutdown: refuses new transactions, then drains every WAL
+  // unit — backends already inside XLogFlush collect their acks, and each
+  // unit lands its pending batch with one final write+fsync. No acked
+  // commit is lost and no backend is left on a flush-round event.
+  void Stop();
+
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
   static void RegisterCallGraph(vprof::CallGraph* graph);
 
   // Starts the always-on profiling service (vprofd) rooted at
@@ -64,6 +72,10 @@ class PgEngine {
   // Scale-out gauges for vprofd (VprofdOptions.app_gauges): per-unit WAL
   // write-lock waits and group-commit batch sizes.
   std::vector<vprof::AppGauge> ScaleGauges();
+
+  // Robustness gauges: per-engine totals of WAL I/O errors, wedges, crashes,
+  // and the commit/abort counters — the counters a chaos storm moves.
+  std::vector<vprof::AppGauge> RobustnessGauges();
 
   Wal& wal() { return wal_; }
   PredicateLockManager& predicate_locks() { return predicate_locks_; }
@@ -88,6 +100,7 @@ class PgEngine {
   std::atomic<uint64_t> next_txn_id_{1};
   std::atomic<uint64_t> committed_{0};
   std::atomic<uint64_t> aborted_{0};
+  std::atomic<bool> stopped_{false};
 };
 
 }  // namespace minipg

@@ -20,6 +20,9 @@ constexpr int64_t kFollowerWaitNs = 50LL * 1000 * 1000;
 constexpr const char kFpCrashBeforeWrite[] = "wal/crash_before_write";
 constexpr const char kFpCrashAfterWrite[] = "wal/crash_after_write";
 constexpr const char kFpCrashAfterFsync[] = "wal/crash_after_fsync";
+// Kill mid group-commit batch: the trigger value (if set) is the byte offset
+// into the batch that reached the device cache before the crash.
+constexpr const char kFpCrashMidBatch[] = "wal/crash_mid_batch";
 
 uint64_t RoundToBlocks(uint64_t bytes) {
   return ((bytes + kWalBlockBytes - 1) / kWalBlockBytes) * kWalBlockBytes;
@@ -40,7 +43,9 @@ WalUnit::WalUnit(const simio::DiskConfig& disk_config, CommitMode mode)
 uint64_t WalUnit::Insert(uint64_t bytes) {
   VPROF_FUNC("XLogInsert");
   std::lock_guard<std::mutex> lock(records_mu_);
-  if (crashed_.load(std::memory_order_acquire)) {
+  if (crashed_.load(std::memory_order_acquire) ||
+      wedged_.load(std::memory_order_acquire) ||
+      shutdown_.load(std::memory_order_acquire)) {
     return 0;
   }
   pending_bytes_ += bytes;
@@ -57,8 +62,9 @@ bool WalUnit::AcquireOrWait(uint64_t lsn) {
   uint64_t round;
   {
     std::lock_guard<vprof::Mutex> lock(mu_);
-    if (crashed_.load(std::memory_order_acquire)) {
-      return false;  // caller re-checks and observes the crash
+    if (crashed_.load(std::memory_order_acquire) ||
+        wedged_.load(std::memory_order_acquire)) {
+      return false;  // caller re-checks and observes the crash/wedge
     }
     if (flushed_lsn_.load(std::memory_order_acquire) >= lsn) {
       return false;  // became durable while we queued for the lock
@@ -87,7 +93,8 @@ bool WalUnit::AcquireExclusive() {
     uint64_t round;
     {
       std::lock_guard<vprof::Mutex> lock(mu_);
-      if (crashed_.load(std::memory_order_acquire)) {
+      if (crashed_.load(std::memory_order_acquire) ||
+          wedged_.load(std::memory_order_acquire)) {
         return false;
       }
       if (!write_lock_held_) {
@@ -137,6 +144,9 @@ void WalUnit::AppendBatchToDevice(const std::vector<WalRecord>& batch,
 WalStatus WalUnit::WriteAndSync() {
   // Called with the write lock held: flushers are serialized, so device
   // records land in LSN order and the durable prefix is well defined.
+  if (wedged_.load(std::memory_order_acquire)) {
+    return WalStatus::kWedged;
+  }
   std::vector<WalRecord> batch;
   uint64_t bytes = 0;
   {
@@ -170,6 +180,8 @@ WalStatus WalUnit::WriteAndSync() {
         stat_io_errors_.fetch_add(1, std::memory_order_relaxed);
         return WalStatus::kIoError;
       }
+      uint64_t mid = fault::Trigger::kNoValue;
+      const bool mid_crash = fault::TriggeredValue(kFpCrashMidBatch, &mid);
       {
         std::lock_guard<std::mutex> lock(device_mu_);
         if (crashed_.load(std::memory_order_acquire)) {
@@ -177,7 +189,17 @@ WalStatus WalUnit::WriteAndSync() {
           crash_lost_records_ += batch.size();
           return WalStatus::kCrashed;
         }
-        AppendBatchToDevice(batch, std::min<uint64_t>(w.bytes, bytes));
+        if (mid_crash && mid != fault::Trigger::kNoValue) [[unlikely]] {
+          // Killed mid-batch at a chosen byte offset; only that prefix of
+          // the batch reached the device cache.
+          AppendBatchToDevice(batch, std::min<uint64_t>(mid, bytes));
+        } else {
+          AppendBatchToDevice(batch, std::min<uint64_t>(w.bytes, bytes));
+        }
+      }
+      if (mid_crash) [[unlikely]] {
+        CrashInternal(crash_seed_.load(std::memory_order_relaxed));
+        return WalStatus::kCrashed;
       }
       stat_batched_records_.fetch_add(batch.size(),
                                       std::memory_order_relaxed);
@@ -188,10 +210,26 @@ WalStatus WalUnit::WriteAndSync() {
     }
     const simio::IoResult s = disk_.Fsync();
     if (!s.ok()) {
-      // Records are on the device but not stable; at risk until a later
-      // fsync succeeds.
+      // fsyncgate: the failed fsync dropped the device cache, taking the
+      // whole unsynced window with it. Wedge the unit — were it to stay
+      // open, the next successful fsync would silently ack these records.
+      {
+        std::lock_guard<std::mutex> lock(device_mu_);
+        if (crashed_.load(std::memory_order_acquire)) {
+          return WalStatus::kCrashed;
+        }
+        const size_t dropped = device_records_.size() - durable_records_;
+        device_records_.resize(durable_records_);
+        crash_lost_records_ += dropped;
+      }
+      wedged_.store(true, std::memory_order_release);
       stat_io_errors_.fetch_add(1, std::memory_order_relaxed);
-      return WalStatus::kIoError;
+      stat_wedges_.fetch_add(1, std::memory_order_relaxed);
+      // Wake sleeping backends so they observe the wedge (the leader's own
+      // ReleaseAndWake covers the in-flight round).
+      flush_events_[0].Set();
+      flush_events_[1].Set();
+      return WalStatus::kWedged;
     }
   }
   {
@@ -216,6 +254,9 @@ WalStatus WalUnit::GroupFlush(uint64_t lsn) {
   while (flushed_lsn_.load(std::memory_order_acquire) < lsn) {
     if (crashed_.load(std::memory_order_acquire)) {
       return WalStatus::kCrashed;
+    }
+    if (wedged_.load(std::memory_order_acquire)) {
+      return WalStatus::kWedged;
     }
     if (lsn >= next_lsn_.load(std::memory_order_acquire)) {
       // No such record: it was reserved before a crash and lost. The caller
@@ -243,11 +284,15 @@ WalStatus WalUnit::ExclusiveFlush(uint64_t lsn) {
     if (crashed_.load(std::memory_order_acquire)) {
       return WalStatus::kCrashed;
     }
+    if (wedged_.load(std::memory_order_acquire)) {
+      return WalStatus::kWedged;
+    }
     if (lsn >= next_lsn_.load(std::memory_order_acquire)) {
       return WalStatus::kCrashed;
     }
     if (!AcquireExclusive()) {
-      return WalStatus::kCrashed;
+      return wedged_.load(std::memory_order_acquire) ? WalStatus::kWedged
+                                                     : WalStatus::kCrashed;
     }
     const WalStatus status = WriteAndSync();
     ReleaseAndWake();
@@ -261,6 +306,10 @@ WalStatus WalUnit::ExclusiveFlush(uint64_t lsn) {
 WalStatus WalUnit::Flush(uint64_t lsn) {
   VPROF_FUNC("XLogFlush");
   stat_flush_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (shutdown_.load(std::memory_order_acquire)) {
+    // New flushes are refused; backends already inside drain normally.
+    return WalStatus::kShutdown;
+  }
   return mode_ == CommitMode::kGroupCommit ? GroupFlush(lsn)
                                            : ExclusiveFlush(lsn);
 }
@@ -309,7 +358,8 @@ void WalUnit::CrashInternal(uint64_t seed) {
 
 WalRecoveryResult WalUnit::Recover() {
   WalRecoveryResult result;
-  if (!crashed_.load(std::memory_order_acquire)) {
+  if (!crashed_.load(std::memory_order_acquire) &&
+      !wedged_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(device_mu_);
     result.recovered_lsn = flushed_lsn_.load(std::memory_order_acquire);
     result.records_recovered = device_records_.size();
@@ -334,6 +384,9 @@ WalRecoveryResult WalUnit::Recover() {
   }
   {
     std::lock_guard<std::mutex> lock(records_mu_);
+    // A wedged (not crashed) unit still holds never-committable inserts in
+    // its buffer; they die here.
+    result.records_lost += buffer_records_.size();
     buffer_records_.clear();
     pending_bytes_ = 0;
     next_lsn_.store(result.recovered_lsn + 1, std::memory_order_release);
@@ -343,12 +396,34 @@ WalRecoveryResult WalUnit::Recover() {
     std::lock_guard<vprof::Mutex> lock(mu_);
     write_lock_held_ = false;
   }
-  // No backends are in flight while crashed (Flush bails out), so the
-  // events can be cleared before the unit re-opens.
+  // No backends are in flight while crashed/wedged (Flush bails out), so
+  // the events can be cleared before the unit re-opens.
   flush_events_[0].Reset();
   flush_events_[1].Reset();
+  wedged_.store(false, std::memory_order_release);
   crashed_.store(false, std::memory_order_release);
   return result;
+}
+
+void WalUnit::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;
+  }
+  // One final write+fsync drains the pending batch so every record inserted
+  // before the gate went up becomes durable.
+  if (!crashed_.load(std::memory_order_acquire) &&
+      !wedged_.load(std::memory_order_acquire)) {
+    if (AcquireExclusive()) {
+      WriteAndSync();
+      ReleaseAndWake();
+    }
+  }
+  // Wake any remaining sleepers so they re-check and observe their ack or
+  // the shutdown.
+  flush_events_[0].Set();
+  flush_events_[1].Set();
 }
 
 size_t WalUnit::device_record_count() const {
@@ -371,6 +446,7 @@ WalStats WalUnit::stats() const {
   stats.batched_records =
       stat_batched_records_.load(std::memory_order_relaxed);
   stats.io_errors = stat_io_errors_.load(std::memory_order_relaxed);
+  stats.wedges = stat_wedges_.load(std::memory_order_relaxed);
   stats.crashes = stat_crashes_.load(std::memory_order_relaxed);
   return stats;
 }
@@ -421,6 +497,12 @@ std::vector<WalRecoveryResult> Wal::RecoverAll() {
     results.push_back(unit->Recover());
   }
   return results;
+}
+
+void Wal::Shutdown() {
+  for (auto& unit : units_) {
+    unit->Shutdown();
+  }
 }
 
 }  // namespace minipg

@@ -32,7 +32,15 @@
 // commit mode; batches are written in LSN order, so recovery exposes a
 // prefix of whole records, never a torn batch interior. Each unit's disk
 // gets failpoint scope "<base>.<unit>" so one log device can be faulted
-// independently.
+// independently. The "wal/crash_mid_batch" failpoint kills a unit mid
+// group-commit batch; its optional trigger value is the byte offset into
+// the batch that reached the device cache before the kill.
+//
+// fsyncgate: a FAILED fsync wedges the unit (kWedged). The kernel drops
+// dirty pages on fsync error, so the whole unsynced window is gone; were the
+// unit to stay open, a later successful fsync would silently ack commits
+// whose records never reached stable storage. A wedged unit fails every
+// commit until Recover().
 //
 // Statistics are relaxed atomics aggregated in stats(): the flush hot path
 // takes no stats lock.
@@ -63,14 +71,18 @@ struct WalStats {
   uint64_t flush_waits = 0;        // times a backend slept on the write lock
   uint64_t batched_records = 0;    // records written to the device by flushes
   uint64_t io_errors = 0;          // disk errors surfaced on the flush path
+  uint64_t wedges = 0;             // failed fsyncs that wedged the unit
   uint64_t crashes = 0;
 };
 
 // Outcome of a flush request.
 enum class WalStatus : uint8_t {
-  kOk,       // durable
-  kIoError,  // the log device failed the write or fsync; retryable
-  kCrashed,  // this unit crashed; Recover() required
+  kOk,        // durable
+  kIoError,   // the log device failed the write; nothing landed — retryable
+  kWedged,    // a failed fsync dropped the unsynced window (fsyncgate);
+              // every commit fails until Recover()
+  kCrashed,   // this unit crashed; Recover() required
+  kShutdown,  // the unit was shut down; no further commits
 };
 
 // One WAL record as recovery sees it.
@@ -109,10 +121,19 @@ class WalUnit {
   void Crash(uint64_t seed);
 
   // Scans the device image, truncates at the first checksum mismatch, and
-  // re-opens the unit at the recovered LSN.
+  // re-opens the unit at the recovered LSN. Clears both the crashed and the
+  // wedged state.
   WalRecoveryResult Recover();
 
+  // Graceful shutdown: refuses new Insert/Flush (kShutdown) and performs one
+  // final write+fsync of the pending batch (unless crashed/wedged). Backends
+  // already inside Flush drain normally — the shutdown gate is only at the
+  // entry points. Idempotent.
+  void Shutdown();
+
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  bool wedged() const { return wedged_.load(std::memory_order_acquire); }
+  bool shutdown() const { return shutdown_.load(std::memory_order_acquire); }
 
   // Seed for crashes injected via the wal/crash_* failpoints.
   void set_crash_seed(uint64_t seed) {
@@ -175,6 +196,8 @@ class WalUnit {
   uint64_t crash_lost_records_ = 0;
 
   std::atomic<bool> crashed_{false};
+  std::atomic<bool> wedged_{false};
+  std::atomic<bool> shutdown_{false};
   std::atomic<uint64_t> crash_seed_{0x5EED5EEDull};
 
   vprof::Mutex mu_;                // guards the write lock + round counter
@@ -190,6 +213,7 @@ class WalUnit {
   std::atomic<uint64_t> stat_flush_waits_{0};
   std::atomic<uint64_t> stat_batched_records_{0};
   std::atomic<uint64_t> stat_io_errors_{0};
+  std::atomic<uint64_t> stat_wedges_{0};
   std::atomic<uint64_t> stat_crashes_{0};
 };
 
@@ -216,6 +240,9 @@ class Wal {
   // Crashes / recovers every unit (unit i crashes with seed + i).
   void CrashAll(uint64_t seed);
   std::vector<WalRecoveryResult> RecoverAll();
+
+  // Gracefully shuts down every unit (see WalUnit::Shutdown).
+  void Shutdown();
 
   int unit_count() const { return static_cast<int>(units_.size()); }
   WalUnit& unit(int i) { return *units_[static_cast<size_t>(i)]; }

@@ -93,7 +93,10 @@ IoResult Disk::Fsync() {
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   const double stall = StallUs();
   if (fault::Triggered(fp_fsync_error_)) [[unlikely]] {
-    // The buffer stays dirty: nothing reached stable storage.
+    // fsyncgate semantics: the failed flush drops the dirty buffer. Nothing
+    // reached stable storage and nothing ever will — a later fsync covers
+    // only writes issued after this point.
+    buffered_bytes_.store(0, std::memory_order_relaxed);
     fsync_errors_.fetch_add(1, std::memory_order_relaxed);
     Service(config_.error_latency_us + stall);
     return IoResult{IoStatus::kError, 0};

@@ -12,8 +12,11 @@
 //
 //   <scope>/read_error    Read fails after error_latency_us
 //   <scope>/write_error   Write fails after error_latency_us
-//   <scope>/fsync_error   Fsync fails after error_latency_us; the write
-//                         buffer stays dirty
+//   <scope>/fsync_error   Fsync fails after error_latency_us; the dirty
+//                         write buffer is DROPPED (fsyncgate: the kernel
+//                         marks pages clean on a failed fsync, so the
+//                         unsynced window is simply gone — retrying the
+//                         fsync cannot resurrect it)
 //   <scope>/torn_write    Write transfers only a seeded-random prefix of the
 //                         requested bytes (reported in IoResult::bytes)
 //   <scope>/stall         the operation takes an extra stall_us (device
@@ -107,8 +110,10 @@ class Disk {
   IoResult Write(uint64_t bytes);
 
   // Forces buffered writes to stable storage; the slow, high-variance op.
-  // On success the write buffer is clean; on an injected error it stays
-  // dirty (the caller must retry the fsync before trusting the data).
+  // On success the write buffer is clean. On an injected error the buffer
+  // is dropped, not kept dirty: like Linux after fsyncgate, a failed fsync
+  // means the unsynced window is lost and a later successful fsync says
+  // nothing about it — the caller must re-write from its own copy.
   IoResult Fsync();
 
   uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }

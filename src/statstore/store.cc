@@ -98,7 +98,8 @@ StatStore::StatStore(const StoreOptions& options)
     : options_(options),
       fp_write_error_(options.fault_scope + "/write_error"),
       fp_torn_write_(options.fault_scope + "/torn_write"),
-      fp_stall_(options.fault_scope + "/stall") {}
+      fp_stall_(options.fault_scope + "/stall"),
+      fp_crash_on_roll_(options.fault_scope + "/crash_on_roll") {}
 
 StatStore::~StatStore() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -171,6 +172,13 @@ bool StatStore::RecoverSegment(const std::string& path, SegmentInfo* info) {
 
 bool StatStore::RotateLocked() {
   SealLocked();
+  // Chaos crash point: die at the segment roll, after the old segment
+  // sealed but before the new one exists. Reopening the store recovers
+  // exactly the sealed history.
+  if (fault::Triggered(fp_crash_on_roll_)) [[unlikely]] {
+    wedged_ = true;
+    return false;
+  }
   const std::string path = SegmentPath(options_.dir, next_segment_index_);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return false;
@@ -196,14 +204,22 @@ bool StatStore::RotateLocked() {
 
 void StatStore::SealLocked() {
   if (open_file_ == nullptr) return;
-  std::fflush(open_file_);
+  bool seal_failed = std::fflush(open_file_) != 0;
 #ifndef _WIN32
-  if (options_.fsync_on_seal) {
-    ::fsync(::fileno(open_file_));
+  if (!seal_failed && options_.fsync_on_seal) {
+    seal_failed = ::fsync(::fileno(open_file_)) != 0;
   }
 #endif
   std::fclose(open_file_);
   open_file_ = nullptr;
+  if (seal_failed) {
+    // fsyncgate audit: a failed flush/fsync means an unknown suffix of the
+    // segment never reached the device, and retrying cannot recover it.
+    // Wedge until reopen — recovery truncates at the first bad frame.
+    wedged_ = true;
+    ++stats_.append_errors;
+    return;
+  }
   ++stats_.segments_sealed;
 }
 

@@ -60,7 +60,10 @@ struct StoreOptions {
   // buffered-write durable only, like the lazy redo-log policies).
   bool fsync_on_seal = true;
 
-  // Failpoint namespace ("<scope>/write_error", ...).
+  // Failpoint namespace ("<scope>/write_error", "<scope>/torn_write",
+  // "<scope>/stall", "<scope>/crash_on_roll" — the last kills the store at
+  // a segment roll, after the old segment sealed but before the new one
+  // exists; reopening recovers).
   std::string fault_scope = "statstore";
 
   // Extra latency of an injected <scope>/stall, and the seed for the
@@ -169,6 +172,7 @@ class StatStore {
   const std::string fp_write_error_;
   const std::string fp_torn_write_;
   const std::string fp_stall_;
+  const std::string fp_crash_on_roll_;
 
   mutable std::mutex mu_;
   std::vector<SegmentInfo> segments_;  // ascending by file name; last = open

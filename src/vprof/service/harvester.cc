@@ -8,7 +8,9 @@
 namespace vprof {
 
 EpochHarvester::EpochHarvester(HarvesterOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  epoch_ns_.store(options_.epoch_ns, std::memory_order_relaxed);
+}
 
 EpochHarvester::~EpochHarvester() { Stop(); }
 
@@ -48,11 +50,16 @@ TimeNs WallNs() {
 }  // namespace
 
 void EpochHarvester::Loop() {
-  const auto epoch = std::chrono::nanoseconds(options_.epoch_ns);
   bool stopping = false;
   while (!stopping) {
+    // Both knobs are sampled once per rotation, so the epoch is recorded
+    // under one consistent setting even if the supervisor flips them
+    // mid-epoch from the sink of the previous one.
+    const auto epoch = std::chrono::nanoseconds(
+        epoch_ns_.load(std::memory_order_relaxed));
+    const bool trace_on = tracing_enabled_.load(std::memory_order_relaxed);
     const TimeNs rotation_begin = WallNs();
-    StartTracing();
+    if (trace_on) StartTracing();
     // The gap spans from the previous StopTracing to this StartTracing
     // returning: the sink's latency plus both quiesce handshakes.
     if (epochs_.load(std::memory_order_relaxed) > 0) {
@@ -68,7 +75,8 @@ void EpochHarvester::Loop() {
       stopping = cv_.wait_for(lock, epoch, [this] { return stop_requested_; });
     }
     const TimeNs stop_begin = WallNs();
-    Trace trace = StopTracing();
+    Trace trace;
+    if (trace_on) trace = StopTracing();
     if (options_.sink) options_.sink(std::move(trace));
     last_stop_cost_ = WallNs() - stop_begin;
     epochs_.fetch_add(1, std::memory_order_relaxed);

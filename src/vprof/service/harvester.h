@@ -60,6 +60,25 @@ class EpochHarvester {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  // Effective epoch length; adjustable while running (the supervisor
+  // lengthens epochs in Degraded). Read once per rotation, so a change
+  // applies from the next epoch.
+  TimeNs epoch_ns() const { return epoch_ns_.load(std::memory_order_relaxed); }
+  void set_epoch_ns(TimeNs epoch_ns) {
+    epoch_ns_.store(epoch_ns, std::memory_order_relaxed);
+  }
+
+  // When disabled (the supervisor's Quarantined state), rotations continue
+  // — the sink still receives one (empty) trace per epoch so health keeps
+  // being observed — but tracing itself stays off: probes see a disabled
+  // runtime and the workload runs untouched. Applies from the next epoch.
+  bool tracing_enabled() const {
+    return tracing_enabled_.load(std::memory_order_relaxed);
+  }
+  void set_tracing_enabled(bool enabled) {
+    tracing_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
   // Completed epochs handed to the sink.
   uint64_t epochs() const { return epochs_.load(std::memory_order_relaxed); }
 
@@ -82,6 +101,8 @@ class EpochHarvester {
   void Loop();
 
   HarvesterOptions options_;
+  std::atomic<TimeNs> epoch_ns_{0};  // initialized from options_
+  std::atomic<bool> tracing_enabled_{true};
   TimeNs last_stop_cost_ = 0;  // harvester thread only
   std::thread thread_;
   std::mutex mu_;

@@ -27,6 +27,7 @@ Vprofd::Vprofd(VprofdOptions options)
       tree_(options_.tree),
       controller_(root_, options_.graph.get(), options_.controller),
       detector_(options_.regression),
+      supervisor_(options_.supervisor),
       harvester_(MakeHarvesterOptions(this, options_.epoch_ns,
                                       &Vprofd::HandleEpoch)) {
   // Without a call graph the controller has nothing to descend into; run
@@ -73,14 +74,46 @@ void Vprofd::HandleEpoch(Trace&& trace) {
     health.rotation_gap_max_ns = static_cast<uint64_t>(max_gap_ns());
     health.rotation_gap_total_ns = static_cast<uint64_t>(total_gap_ns());
     statstore::EpochSample sample = SampleFromSnapshot(snapshot, epoch, health);
-    if (options_.app_gauges) {
+    // App gauges are shed while degraded/quarantined; the supervisor state
+    // itself is always persisted so transitions are visible in the history.
+    const bool shed =
+        options_.enable_supervisor && supervisor_.shed_app_gauges();
+    if (options_.app_gauges && !shed) {
       for (const AppGauge& gauge : options_.app_gauges()) {
         sample.values.push_back({AppSeriesName(gauge.name), gauge.value});
       }
     }
+    if (options_.enable_supervisor) {
+      sample.values.push_back(
+          {"health:supervisor_state",
+           static_cast<double>(static_cast<uint8_t>(supervisor_.state()))});
+    }
     store_->Append(sample);
   }
-  if (options_.enable_controller) controller_.Step(snapshot);
+  if (options_.enable_supervisor) {
+    // The epoch just folded ran under the previous knob settings; observe
+    // its health deltas and apply the (possibly new) knobs for the next one.
+    EpochHealth health;
+    health.rotation_gap_ns = static_cast<uint64_t>(last_gap_ns());
+    health.dropped_records = snapshot.dropped_records - prev_dropped_records_;
+    prev_dropped_records_ = snapshot.dropped_records;
+    health.stuck_threads = snapshot.stuck_threads - prev_stuck_threads_;
+    prev_stuck_threads_ = snapshot.stuck_threads;
+    if (store_ != nullptr) {
+      const uint64_t errors = store_->stats().append_errors;
+      health.history_append_errors = errors - prev_append_errors_;
+      prev_append_errors_ = errors;
+    }
+    supervisor_.Observe(health);
+    harvester_.set_tracing_enabled(supervisor_.tracing_enabled());
+    harvester_.set_epoch_ns(static_cast<TimeNs>(
+        static_cast<double>(options_.epoch_ns) *
+        supervisor_.epoch_multiplier()));
+  }
+  if (options_.enable_controller &&
+      (!options_.enable_supervisor || supervisor_.controller_enabled())) {
+    controller_.Step(snapshot);
+  }
 }
 
 std::string Vprofd::MetricsText() const {
@@ -153,6 +186,24 @@ std::string Vprofd::MetricsText() const {
       w.Sample("vprofd_app_gauge", PromWriter::Labels{{"series", gauge.name}},
                gauge.value);
     }
+  }
+
+  if (options_.enable_supervisor) {
+    const SupervisorStatus ss = supervisor_.status();
+    w.Family("vprofd_supervisor_state", "gauge",
+             "Escalation-ladder state (0=normal, 1=degraded, "
+             "2=quarantined).");
+    w.Sample("vprofd_supervisor_state",
+             static_cast<uint64_t>(static_cast<uint8_t>(ss.state)));
+    w.Family("vprofd_supervisor_unhealthy_epochs_total", "counter",
+             "Epochs whose health deltas exceeded a supervisor threshold.");
+    w.Sample("vprofd_supervisor_unhealthy_epochs_total", ss.unhealthy_epochs);
+    w.Family("vprofd_supervisor_escalations_total", "counter",
+             "Downward ladder transitions (toward quarantine).");
+    w.Sample("vprofd_supervisor_escalations_total", ss.escalations);
+    w.Family("vprofd_supervisor_restorations_total", "counter",
+             "Upward ladder transitions (toward normal).");
+    w.Sample("vprofd_supervisor_restorations_total", ss.restorations);
   }
 
   if (options_.enable_regression) {

@@ -31,6 +31,7 @@
 #include "src/vprof/service/harvester.h"
 #include "src/vprof/service/history.h"
 #include "src/vprof/service/online_tree.h"
+#include "src/vprof/service/supervisor.h"
 #include "src/vprof/types.h"
 
 namespace vprof {
@@ -83,6 +84,15 @@ struct VprofdOptions {
   // AND 6 sigma of its decayed history (sigma floored at 1 point) to flag,
   // which rides out steady-workload wobble but catches a migrating factor
   // within an epoch or two.
+  // Self-healing supervision: after each epoch the supervisor observes the
+  // service's own health deltas (rotation gap, tracer drops, stuck threads,
+  // history append errors) and walks the Normal -> Degraded -> Quarantined
+  // escalation ladder, lengthening epochs, shedding app gauges, freezing
+  // the controller, and ultimately turning tracing off while the served
+  // workload runs untouched. See supervisor.h. Restoration is automatic.
+  bool enable_supervisor = false;
+  SupervisorOptions supervisor;
+
   statstore::RegressionOptions regression{
       .k_sigma = 6.0,
       .sigma_floor = 0.01,
@@ -127,6 +137,11 @@ class Vprofd {
   statstore::StatStore* history() { return store_.get(); }
   const statstore::StatStore* history() const { return store_.get(); }
 
+  // The escalation-ladder supervisor (meaningful when
+  // options.enable_supervisor is set; stays in Normal otherwise).
+  const Supervisor& supervisor() const { return supervisor_; }
+  SupervisorState supervisor_state() const { return supervisor_.state(); }
+
   const statstore::RegressionDetector& regression() const {
     return detector_;
   }
@@ -150,6 +165,12 @@ class Vprofd {
   std::unique_ptr<statstore::StatStore> store_;
   bool store_opened_ = false;
   uint64_t epoch_base_ = 0;  // persisted epochs from before this process
+  Supervisor supervisor_;
+  // Previous cumulative counters, for per-epoch health deltas (harvester
+  // thread only).
+  uint64_t prev_dropped_records_ = 0;
+  uint64_t prev_stuck_threads_ = 0;
+  uint64_t prev_append_errors_ = 0;
   EpochHarvester harvester_;
 };
 

@@ -1,0 +1,140 @@
+#include "src/workload/invariants.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+
+namespace workload {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xFF;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t FnvString(uint64_t hash, const std::string& s) {
+  for (const char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+InvariantResult CheckAckedPrefixDurable(uint64_t max_acked_lsn,
+                                        uint64_t recovered_lsn) {
+  InvariantResult result;
+  if (recovered_lsn < max_acked_lsn) {
+    result.ok = false;
+    result.detail = "acked-prefix durability violated: recovered_lsn " +
+                    std::to_string(recovered_lsn) + " < max acked lsn " +
+                    std::to_string(max_acked_lsn);
+  }
+  return result;
+}
+
+InvariantResult CheckBalanceConservation(const minidb::Engine& engine) {
+  InvariantResult result;
+  const int64_t total = engine.BalanceTotal();
+  if (total != 0) {
+    result.ok = false;
+    result.detail =
+        "balance conservation violated: total " + std::to_string(total) +
+        " != 0 (a transaction applied a partial transfer)";
+  }
+  return result;
+}
+
+uint64_t StatStoreDigest(const statstore::StatStore& store) {
+  uint64_t digest = kFnvOffset;
+  const uint64_t lo = store.first_epoch();
+  const uint64_t hi = store.last_epoch();
+  for (const std::string& series : store.ListSeries()) {
+    uint64_t series_hash = FnvString(kFnvOffset, series);
+    for (const statstore::SeriesPoint& point : store.Query(series, lo, hi)) {
+      series_hash = FnvMix(series_hash, point.epoch);
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(point.value), "bit-exact digest");
+      std::memcpy(&bits, &point.value, sizeof(bits));
+      series_hash = FnvMix(series_hash, bits);
+    }
+    // XOR-combining per-series hashes keeps the digest independent of the
+    // series enumeration order (ListSeries sorts, but don't depend on it).
+    digest ^= series_hash;
+  }
+  digest = FnvMix(digest, store.record_count());
+  return digest;
+}
+
+InvariantResult CheckStatStoreBitExactReplay(statstore::StatStore* store) {
+  InvariantResult result;
+  store->Seal();
+  const uint64_t live_digest = StatStoreDigest(*store);
+
+  statstore::StatStore reopened(store->options());
+  if (!reopened.Open()) {
+    result.ok = false;
+    result.detail = "statstore replay: reopen failed for " +
+                    store->options().dir;
+    return result;
+  }
+  const uint64_t replay_digest = StatStoreDigest(reopened);
+  if (replay_digest != live_digest) {
+    result.ok = false;
+    result.detail = "statstore replay not bit-exact: live digest " +
+                    std::to_string(live_digest) + " != reopened digest " +
+                    std::to_string(replay_digest);
+  }
+  return result;
+}
+
+InvariantResult CheckThreadsJoin(std::vector<std::thread>* threads,
+                                 int timeout_ms) {
+  InvariantResult result;
+  const size_t total = threads->size();
+  // std::thread has no timed join, so a joiner thread performs the blocking
+  // joins and publishes progress; this thread polls with a deadline.
+  auto owned = std::make_shared<std::vector<std::thread>>(std::move(*threads));
+  auto joined = std::make_shared<std::atomic<size_t>>(0);
+  std::thread joiner([owned, joined] {
+    for (std::thread& t : *owned) {
+      if (t.joinable()) {
+        t.join();
+      }
+      joined->fetch_add(1, std::memory_order_release);
+    }
+  });
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (joined->load(std::memory_order_acquire) < total &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  const size_t done = joined->load(std::memory_order_acquire);
+  if (done < total) {
+    result.ok = false;
+    result.detail = "stuck threads after quiesce: " +
+                    std::to_string(total - done) + " of " +
+                    std::to_string(total) + " workers did not join within " +
+                    std::to_string(timeout_ms) + "ms";
+    // The stuck workers (and the joiner blocked on them) cannot be
+    // reclaimed; leak them so the test can report the failure.
+    joiner.detach();
+    return result;
+  }
+  joiner.join();
+  return result;
+}
+
+}  // namespace workload

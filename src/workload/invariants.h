@@ -1,0 +1,67 @@
+// Reusable crash/chaos invariants.
+//
+// Every chaos test in this repository checks the same four properties after
+// a storm; they live here so the single-threaded determinism sweep, the
+// multi-threaded storm test, and the chaos bench all assert identical
+// semantics:
+//
+//   1. Acked-commit-prefix durability — no commit acknowledged under the
+//      eager policy may be lost by a crash+recover cycle.
+//   2. Balance conservation — the TPC-C value transfers are zero-sum, so the
+//      sum of every balance in a quiesced minidb engine is exactly 0 no
+//      matter which transactions aborted, retried, or died mid-storm.
+//   3. StatStore bit-exact replay — sealing and reopening a store yields the
+//      same series, epochs, and bit-identical values as querying the live
+//      store.
+//   4. No stuck threads after quiesce — every worker joins within a bounded
+//      wall-clock deadline (catches followers left sleeping on a
+//      flush-round event).
+//
+// Checks return an InvariantResult rather than asserting, so callers can
+// aggregate failures across seeds and report which seed broke what.
+#ifndef SRC_WORKLOAD_INVARIANTS_H_
+#define SRC_WORKLOAD_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/minidb/engine.h"
+#include "src/statstore/store.h"
+
+namespace workload {
+
+struct InvariantResult {
+  bool ok = true;
+  std::string detail;  // human-readable failure description, empty when ok
+};
+
+// 1. Every LSN acknowledged as durable before the crash must survive
+// recovery: recovered_lsn >= max_acked_lsn.
+InvariantResult CheckAckedPrefixDurable(uint64_t max_acked_lsn,
+                                        uint64_t recovered_lsn);
+
+// 2. Zero-sum transfers: the sum of all row balances across every table of a
+// quiesced engine is 0. Call with no transactions in flight.
+InvariantResult CheckBalanceConservation(const minidb::Engine& engine);
+
+// Order-independent digest over every series/epoch/value in the store,
+// via ListSeries + Query. Bit-exact: the value's IEEE-754 bits feed the
+// digest, not a rounded rendering.
+uint64_t StatStoreDigest(const statstore::StatStore& store);
+
+// 3. Seals `store`, digests it live, then reopens the same directory with a
+// fresh StatStore and compares digests. The seal makes the comparison safe:
+// a second reader must never truncate a tail the live store still owns.
+InvariantResult CheckStatStoreBitExactReplay(statstore::StatStore* store);
+
+// 4. Joins every thread, failing if they do not all finish within
+// `timeout_ms`. On timeout the stuck threads (and the internal joiner) are
+// leaked — the caller is a test that is about to fail anyway.
+InvariantResult CheckThreadsJoin(std::vector<std::thread>* threads,
+                                 int timeout_ms);
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_INVARIANTS_H_

@@ -1,0 +1,203 @@
+// ChaosOrchestrator unit tests: plan determinism, arm/disarm application
+// against the live failpoint registry, crash-cycle ordering, valued triggers
+// for payload-consuming failpoints, and Finish() cleanup.
+#include "src/fault/chaos.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fault/failpoint.h"
+
+namespace fault {
+namespace {
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DeactivateAll();
+    ResetCounters();
+  }
+  void TearDown() override {
+    DeactivateAll();
+    ResetCounters();
+  }
+};
+
+ChaosTargets FaultOnlyTargets() {
+  ChaosTargets targets;
+  targets.faults = {"chaos_ut/write_error", "chaos_ut/fsync_error",
+                    "chaos_ut/stall"};
+  return targets;
+}
+
+std::string PlanString(const ChaosOrchestrator& chaos) {
+  std::string out;
+  for (const ChaosEvent& event : chaos.plan()) {
+    out += ChaosEventString(event);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST_F(ChaosTest, SameSeedGeneratesBitIdenticalPlan) {
+  ChaosOptions options;
+  options.horizon_steps = 200;
+  ChaosOrchestrator a(42, FaultOnlyTargets(), options);
+  ChaosOrchestrator b(42, FaultOnlyTargets(), options);
+  ASSERT_FALSE(a.plan().empty());
+  EXPECT_EQ(PlanString(a), PlanString(b));
+  // And a different seed perturbs the schedule.
+  ChaosOrchestrator c(43, FaultOnlyTargets(), options);
+  EXPECT_NE(PlanString(a), PlanString(c));
+}
+
+TEST_F(ChaosTest, PlanEventsAreSortedAndWithinHorizon) {
+  ChaosOptions options;
+  options.horizon_steps = 150;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosOrchestrator chaos(seed, FaultOnlyTargets(), options);
+    uint64_t prev = 0;
+    for (const ChaosEvent& event : chaos.plan()) {
+      EXPECT_GE(event.step, prev) << "plan out of order, seed " << seed;
+      EXPECT_LT(event.step, options.horizon_steps);
+      prev = event.step;
+    }
+  }
+}
+
+TEST_F(ChaosTest, StepArmsAndDisarmsTheLiveRegistry) {
+  ChaosOptions options;
+  options.horizon_steps = 120;
+  options.bursts = 4;
+  ChaosOrchestrator chaos(7, FaultOnlyTargets(), options);
+
+  // Replay the plan by hand alongside Step() and require the registry to
+  // track the expected armed set exactly.
+  std::unordered_set<std::string> expected;
+  size_t next = 0;
+  const auto& plan = chaos.plan();
+  for (uint64_t step = 0; step < options.horizon_steps; ++step) {
+    chaos.Step();
+    while (next < plan.size() && plan[next].step <= chaos.current_step()) {
+      const ChaosEvent& event = plan[next++];
+      if (event.kind == ChaosEvent::Kind::kArm) {
+        expected.insert(event.target);
+      } else if (event.kind == ChaosEvent::Kind::kDisarm) {
+        expected.erase(event.target);
+      }
+    }
+    for (const std::string& name : FaultOnlyTargets().faults) {
+      EXPECT_EQ(IsActive(name), expected.count(name) > 0)
+          << name << " at step " << chaos.current_step();
+    }
+  }
+  EXPECT_TRUE(chaos.done());
+  EXPECT_EQ(chaos.applied(), plan.size());
+}
+
+TEST_F(ChaosTest, CrashDisarmsEverythingAndRecoverFollows) {
+  // The crash callback observes the registry with no orchestrator-armed
+  // failpoint active: a dead process takes its injectors with it.
+  std::vector<std::string> calls;
+  bool armed_during_crash = false;
+  ChaosTargets targets = FaultOnlyTargets();
+  targets.crash_sites.push_back(
+      {"unit-under-test",
+       [&] {
+         calls.push_back("crash");
+         for (const std::string& name : FaultOnlyTargets().faults) {
+           armed_during_crash |= IsActive(name);
+         }
+       },
+       [&] { calls.push_back("recover"); }});
+
+  ChaosOptions options;
+  options.horizon_steps = 400;
+  options.crash_cycles = 3;
+  ChaosOrchestrator chaos(11, targets, options);
+  chaos.Finish();
+
+  EXPECT_EQ(chaos.crashes_injected(), 3u);
+  EXPECT_EQ(chaos.recoveries(), 3u);
+  EXPECT_FALSE(armed_during_crash);
+  ASSERT_EQ(calls.size(), 6u);
+  for (size_t i = 0; i < calls.size(); ++i) {
+    EXPECT_EQ(calls[i], i % 2 == 0 ? "crash" : "recover")
+        << "crash/recover interleaving broken at event " << i;
+  }
+}
+
+TEST_F(ChaosTest, FinishLeavesRegistryCleanAndIsIdempotent) {
+  ChaosOptions options;
+  options.horizon_steps = 300;
+  ChaosOrchestrator chaos(99, FaultOnlyTargets(), options);
+  chaos.Step(17);  // partially into the storm
+  chaos.Finish();
+  EXPECT_TRUE(chaos.done());
+  EXPECT_EQ(chaos.applied(), chaos.plan().size());
+  for (const std::string& name : FaultOnlyTargets().faults) {
+    EXPECT_FALSE(IsActive(name)) << name << " left armed after Finish";
+  }
+  chaos.Finish();  // no-op
+  EXPECT_EQ(chaos.applied(), chaos.plan().size());
+}
+
+TEST_F(ChaosTest, TrailStringIsTheAppliedPrefix) {
+  ChaosOptions options;
+  options.horizon_steps = 200;
+  ChaosOrchestrator chaos(5, FaultOnlyTargets(), options);
+  chaos.Step(options.horizon_steps / 2);
+  size_t lines = 0;
+  for (char c : chaos.TrailString()) {
+    lines += c == '\n';
+  }
+  EXPECT_EQ(lines, chaos.applied());
+  chaos.Finish();
+  lines = 0;
+  for (char c : chaos.TrailString()) {
+    lines += c == '\n';
+  }
+  EXPECT_EQ(lines, chaos.plan().size());
+}
+
+TEST_F(ChaosTest, MidBatchFailpointsGetValuedTriggers) {
+  ChaosTargets targets;
+  targets.faults = {"redo/crash_mid_batch"};
+  ChaosOptions options;
+  options.horizon_steps = 500;
+  options.bursts = 8;
+  options.value_bound = 4096;
+  ChaosOrchestrator chaos(3, targets, options);
+  size_t arms = 0;
+  for (const ChaosEvent& event : chaos.plan()) {
+    if (event.kind != ChaosEvent::Kind::kArm) {
+      continue;
+    }
+    ++arms;
+    // A payload-consuming failpoint must always be armed with a value.
+    EXPECT_NE(ChaosEventString(event).find("value="), std::string::npos)
+        << ChaosEventString(event);
+  }
+  EXPECT_GT(arms, 0u);
+  chaos.Finish();
+}
+
+TEST_F(ChaosTest, ZeroValueBoundDisablesValuedTriggers) {
+  ChaosTargets targets;
+  targets.faults = {"redo/crash_mid_batch"};
+  ChaosOptions options;
+  options.horizon_steps = 300;
+  options.value_bound = 0;
+  ChaosOrchestrator chaos(4, targets, options);
+  for (const ChaosEvent& event : chaos.plan()) {
+    EXPECT_EQ(ChaosEventString(event).find("value="), std::string::npos)
+        << ChaosEventString(event);
+  }
+  chaos.Finish();
+}
+
+}  // namespace
+}  // namespace fault

@@ -139,7 +139,7 @@ TEST_F(FailureInjectionFaultTest, SameSeedRunsAreDeterministic) {
     options.transactions_per_thread = 60;
     options.seed = 4242;
     workload::TpccDriver driver(&engine, options);
-    fault::ScopedFailpoint errors("fi_determinism/fsync_error",
+    fault::ScopedFailpoint errors("fi_determinism/write_error",
                                   fault::Trigger::Probability(0.2, 99));
     const workload::TpccResult result = driver.Run();
     return std::array<uint64_t, 7>{
@@ -154,14 +154,15 @@ TEST_F(FailureInjectionFaultTest, SameSeedRunsAreDeterministic) {
   EXPECT_EQ(first, second);
 }
 
-// Fault class 1 — disk error storm: a quarter of the log device's fsyncs
+// Fault class 1 — disk error storm: a quarter of the log device's writes
 // fail (slowly), commits abort with retryable I/O errors and are retried.
-// The profiler's top-ranked factor must be the log path.
+// The profiler's top-ranked factor must be the log path. (Write errors, not
+// fsync errors: a failed fsync wedges the log permanently — fsyncgate.)
 TEST_F(FailureInjectionFaultTest, LogErrorStormTopFactorIsLogPath) {
   minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
   config.warehouses = 8;  // low lock contention
   config.log_disk.fault_scope = "fi_error_storm";
-  config.log_disk.error_latency_us = 3000.0;  // a failed fsync is slow
+  config.log_disk.error_latency_us = 3000.0;  // a failed write is slow
   minidb::Engine engine(config);
   vprof::CallGraph graph;
   minidb::Engine::RegisterCallGraph(&graph);
@@ -170,7 +171,7 @@ TEST_F(FailureInjectionFaultTest, LogErrorStormTopFactorIsLogPath) {
   options.transactions_per_thread = 150;
   options.seed = 104;
   workload::TpccDriver driver(&engine, options);
-  fault::ScopedFailpoint storm("fi_error_storm/fsync_error",
+  fault::ScopedFailpoint storm("fi_error_storm/write_error",
                                fault::Trigger::Probability(0.25, 11));
   driver.Run();  // warm-up
   vprof::Profiler profiler("run_transaction", &graph, [&] { driver.Run(); });
@@ -180,7 +181,7 @@ TEST_F(FailureInjectionFaultTest, LogErrorStormTopFactorIsLogPath) {
   EXPECT_TRUE(top.find("fil_flush") != std::string::npos ||
               top.find("log_write_up_to") != std::string::npos)
       << "top factor was " << top;
-  EXPECT_GT(engine.log_disk().fault_stats().fsync_errors, 0u);
+  EXPECT_GT(engine.log_disk().fault_stats().write_errors, 0u);
 }
 
 // Fault class 2 — log-device stall: the WAL disk occasionally freezes for

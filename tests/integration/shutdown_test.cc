@@ -1,0 +1,209 @@
+// Graceful shutdown under load (ctest label `chaos`): Stop()/Shutdown()
+// while committers are in flight loses no acknowledged commit and leaves no
+// thread stuck on a flush-round event — the two failure modes the shutdown
+// drain protects against.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fault/failpoint.h"
+#include "src/minidb/engine.h"
+#include "src/minidb/redo_log.h"
+#include "src/minipg/engine.h"
+#include "src/minipg/wal.h"
+#include "src/simio/disk.h"
+#include "src/statkit/rng.h"
+#include "src/workload/invariants.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+simio::DiskConfig FastDisk(const std::string& scope) {
+  simio::DiskConfig config;
+  config.read_mu = 0.1;
+  config.write_mu = 0.1;
+  config.fsync_mu = 0.1;
+  config.fsync_spike_prob = 0.0;
+  config.serialize_access = false;
+  config.fault_scope = scope;
+  config.seed = 23;
+  return config;
+}
+
+TEST(ShutdownTest, RedoLogShutdownUnderConcurrentCommittersLosesNoAck) {
+  simio::Disk disk(FastDisk("shutdown_redo"));
+  minidb::RedoLog log(minidb::FlushPolicy::kEager, &disk,
+                      /*flusher_period_us=*/2000.0);
+
+  constexpr int kThreads = 4;
+  std::vector<std::atomic<uint64_t>> max_acked(kThreads);
+  for (auto& a : max_acked) {
+    a.store(0);
+  }
+  std::vector<std::thread> committers;
+  for (int t = 0; t < kThreads; ++t) {
+    committers.emplace_back([&log, &max_acked, t] {
+      for (int i = 0; i < 5000; ++i) {
+        const uint64_t lsn = log.Append(96);
+        if (lsn == 0) {
+          break;  // shutdown gate reached
+        }
+        const minidb::LogStatus status = log.CommitUpTo(lsn);
+        if (status == minidb::LogStatus::kOk) {
+          max_acked[static_cast<size_t>(t)].store(
+              lsn, std::memory_order_relaxed);
+        } else {
+          break;
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  log.Shutdown();
+  const workload::InvariantResult joined =
+      workload::CheckThreadsJoin(&committers, 5000);
+  ASSERT_TRUE(joined.ok) << joined.detail;
+
+  // Every acknowledged commit is durable past the shutdown.
+  EXPECT_TRUE(log.shutdown());
+  for (int t = 0; t < kThreads; ++t) {
+    const workload::InvariantResult durable = workload::CheckAckedPrefixDurable(
+        max_acked[static_cast<size_t>(t)].load(), log.flushed_lsn());
+    EXPECT_TRUE(durable.ok) << "thread " << t << ": " << durable.detail;
+  }
+
+  // The gate holds: no new work, and Shutdown is idempotent.
+  EXPECT_EQ(log.Append(64), 0u);
+  EXPECT_EQ(log.CommitUpTo(log.flushed_lsn()), minidb::LogStatus::kShutdown);
+  log.Shutdown();
+  EXPECT_TRUE(log.shutdown());
+}
+
+TEST(ShutdownTest, WalShutdownUnderConcurrentBackendsLosesNoAck) {
+  minipg::Wal wal(2, FastDisk("shutdown_wal"));
+
+  constexpr int kThreads = 4;
+  std::vector<std::atomic<uint64_t>> max_acked(2);
+  for (auto& a : max_acked) {
+    a.store(0);
+  }
+  std::vector<std::thread> backends;
+  for (int t = 0; t < kThreads; ++t) {
+    backends.emplace_back([&wal, &max_acked] {
+      for (int i = 0; i < 5000; ++i) {
+        const minipg::Wal::Position pos = wal.Insert(96);
+        if (pos.lsn == 0) {
+          break;
+        }
+        if (wal.Flush(pos) != minipg::WalStatus::kOk) {
+          break;
+        }
+        // Monotone max per unit.
+        auto& slot = max_acked[static_cast<size_t>(pos.unit)];
+        uint64_t prev = slot.load(std::memory_order_relaxed);
+        while (prev < pos.lsn &&
+               !slot.compare_exchange_weak(prev, pos.lsn,
+                                           std::memory_order_relaxed)) {
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  wal.Shutdown();
+  const workload::InvariantResult joined =
+      workload::CheckThreadsJoin(&backends, 5000);
+  ASSERT_TRUE(joined.ok) << joined.detail;
+
+  for (int i = 0; i < wal.unit_count(); ++i) {
+    const workload::InvariantResult durable = workload::CheckAckedPrefixDurable(
+        max_acked[static_cast<size_t>(i)].load(), wal.unit(i).flushed_lsn());
+    EXPECT_TRUE(durable.ok) << "unit " << i << ": " << durable.detail;
+    EXPECT_EQ(wal.unit(i).Insert(64), 0u);
+  }
+  wal.Shutdown();  // idempotent
+}
+
+TEST(ShutdownTest, MinidbEngineStopUnderLoadIsCleanAndConserving) {
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  config.warehouses = 4;
+  config.log_disk = FastDisk("shutdown_md_log");
+  config.data_disk = FastDisk("shutdown_md_data");
+  minidb::Engine engine(config);
+
+  std::atomic<uint64_t> acked{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&engine, &acked, t] {
+      workload::TpccGenerator generator(workload::TpccOptions{}, 4);
+      statkit::Rng rng(500 + static_cast<uint64_t>(t));
+      while (true) {
+        const minidb::TxnOutcome outcome =
+            engine.Execute(generator.Next(rng));
+        if (outcome.committed) {
+          acked.fetch_add(1, std::memory_order_relaxed);
+        } else if (outcome.error == minidb::TxnError::kShutdown) {
+          break;
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine.Stop();
+  const workload::InvariantResult joined =
+      workload::CheckThreadsJoin(&workers, 10000);
+  ASSERT_TRUE(joined.ok) << joined.detail;
+
+  // No acked commit went missing from the engine's own accounting, the
+  // zero-sum transfers balance, and the engine stays refused-but-sane.
+  EXPECT_EQ(acked.load(), engine.committed_count());
+  EXPECT_GT(engine.committed_count(), 0u);
+  const workload::InvariantResult balance =
+      workload::CheckBalanceConservation(engine);
+  EXPECT_TRUE(balance.ok) << balance.detail;
+  const minidb::TxnOutcome post = engine.Execute(minidb::TxnRequest{});
+  EXPECT_FALSE(post.committed);
+  EXPECT_EQ(post.error, minidb::TxnError::kShutdown);
+  engine.Stop();  // idempotent
+  EXPECT_TRUE(engine.stopped());
+}
+
+TEST(ShutdownTest, MinipgEngineStopUnderLoadIsClean) {
+  minipg::PgConfig config;
+  config.wal_units = 2;
+  config.wal_disk = FastDisk("shutdown_pg_wal");
+  minipg::PgEngine engine(config);
+
+  std::atomic<uint64_t> acked{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&engine, &acked, t] {
+      workload::TpccGenerator generator(workload::TpccOptions{}, 4);
+      statkit::Rng rng(700 + static_cast<uint64_t>(t));
+      while (!engine.stopped()) {
+        if (engine.Execute(generator.Next(rng))) {
+          acked.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine.Stop();
+  const workload::InvariantResult joined =
+      workload::CheckThreadsJoin(&workers, 10000);
+  ASSERT_TRUE(joined.ok) << joined.detail;
+
+  EXPECT_EQ(acked.load(), engine.committed_count());
+  EXPECT_GT(engine.committed_count(), 0u);
+  EXPECT_FALSE(engine.Execute(minidb::TxnRequest{}));
+  engine.Stop();  // idempotent
+}
+
+}  // namespace

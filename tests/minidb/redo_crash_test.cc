@@ -59,6 +59,7 @@ TEST_F(RedoCrashTest, ChecksumDetectsHeaderCorruption) {
 TEST_F(RedoCrashTest, EagerNeverLosesAckedLsnAtAnyCrashPoint) {
   const char* kCrashPoints[] = {"redo/crash_before_write",
                                 "redo/crash_after_write",
+                                "redo/crash_mid_batch",
                                 "redo/crash_after_fsync"};
   for (const char* point : kCrashPoints) {
     SCOPED_TRACE(point);
@@ -204,7 +205,7 @@ TEST_F(RedoCrashTest, ShortDiskWriteYieldsTornRecordOnRecovery) {
   EXPECT_EQ(log.CommitUpTo(fresh), LogStatus::kOk);
 }
 
-// Disk-level I/O errors (not crashes) are retryable: the batch returns to
+// Disk-level write errors (not crashes) are retryable: the batch returns to
 // the buffer and a later commit lands it.
 TEST_F(RedoCrashTest, WriteErrorIsRetryableWithoutLoss) {
   simio::Disk disk(FastDisk("redo_ioerr"));
@@ -219,17 +220,42 @@ TEST_F(RedoCrashTest, WriteErrorIsRetryableWithoutLoss) {
   EXPECT_EQ(log.CommitUpTo(lsn), LogStatus::kOk);  // retry succeeds
   EXPECT_EQ(log.flushed_lsn(), lsn);
   EXPECT_EQ(log.stats().io_errors, 1u);
+}
 
-  // Same for fsync errors: records written but unsynced stay recoverable by
-  // the retry.
+// fsyncgate regression: a FAILED fsync is not retryable. The kernel dropped
+// the unsynced window, so the log must wedge — were it to stay open, the
+// next (successful) fsync would silently acknowledge commits whose records
+// never reached stable storage.
+TEST_F(RedoCrashTest, FailedFsyncWedgesInsteadOfSilentlyAcking) {
+  simio::Disk disk(FastDisk("redo_wedge"));
+  RedoLog log(FlushPolicy::kEager, &disk, /*flusher_period_us=*/1e6);
+  const uint64_t lsn = log.Append(100);
+  ASSERT_EQ(log.CommitUpTo(lsn), LogStatus::kOk);  // durable baseline
+
   const uint64_t lsn2 = log.Append(100);
   {
-    fault::ScopedFailpoint fp("redo_ioerr/fsync_error",
+    fault::ScopedFailpoint fp("redo_wedge/fsync_error",
                               fault::Trigger::OneShot());
-    EXPECT_EQ(log.CommitUpTo(lsn2), LogStatus::kIoError);
+    EXPECT_EQ(log.CommitUpTo(lsn2), LogStatus::kWedged);
   }
-  EXPECT_EQ(log.CommitUpTo(lsn2), LogStatus::kOk);
-  EXPECT_EQ(log.durable_record_count(), log.device_record_count());
+  EXPECT_TRUE(log.wedged());
+  // The failpoint is gone — a bare retry would find a working fsync. The
+  // wedge must keep refusing anyway: lsn2's record no longer exists on the
+  // device, so no commit depending on the failed window may ever be acked.
+  EXPECT_EQ(log.CommitUpTo(lsn2), LogStatus::kWedged);
+  EXPECT_EQ(log.Append(64), 0u);  // appends refused while wedged
+  EXPECT_EQ(log.stats().wedges, 1u);
+
+  // Recovery reopens at the durable prefix: the first commit survives, the
+  // wedged window does not — and was never acknowledged.
+  const RecoveryResult recovered = log.Recover();
+  EXPECT_FALSE(log.wedged());
+  EXPECT_EQ(recovered.recovered_lsn, lsn);
+  EXPECT_LT(recovered.recovered_lsn, lsn2);
+
+  const uint64_t fresh = log.Append(80);
+  ASSERT_NE(fresh, 0u);
+  EXPECT_EQ(log.CommitUpTo(fresh), LogStatus::kOk);
 }
 
 // Commits already waiting inside the eager group-commit protocol observe an

@@ -58,6 +58,7 @@ TEST_P(WalCrashTest, AckedFlushSurvivesCrashAtAnyCrashPoint) {
   const int units = GetParam();
   const char* kCrashPoints[] = {"wal/crash_before_write",
                                 "wal/crash_after_write",
+                                "wal/crash_mid_batch",
                                 "wal/crash_after_fsync"};
   for (const char* point : kCrashPoints) {
     SCOPED_TRACE(point);
@@ -121,19 +122,18 @@ TEST_P(WalCrashTest, TornTailTruncationIsSeedDeterministic) {
   auto run = [&](uint64_t crash_seed) {
     Wal wal(units, FastDisk("wal_torn"));
     WalUnit& unit = wal.unit(0);
-    // Build up written-but-unsynced state: insert records, then fail the
-    // fsync so the batch lands on the device without becoming durable.
+    unit.set_crash_seed(crash_seed);
+    // Build up written-but-unsynced state, then kill the unit between the
+    // write and the fsync: the whole batch reached the device cache, and
+    // the crash keeps only a seeded prefix of it, possibly torn. (A failed
+    // fsync can no longer stage this — it wedges the unit and drops the
+    // unsynced window entirely; see the fsyncgate test below.)
     for (int i = 0; i < 10; ++i) {
       unit.Insert(200);
     }
-    {
-      fault::ScopedFailpoint fp("wal_torn.0/fsync_error",
-                                fault::Trigger::OneShot());
-      EXPECT_EQ(unit.Flush(unit.insert_lsn() - 1), WalStatus::kIoError);
-    }
-    EXPECT_EQ(unit.device_record_count(), 10u);
-    EXPECT_EQ(unit.durable_record_count(), 0u);
-    unit.Crash(crash_seed);
+    fault::ScopedFailpoint fp("wal/crash_after_write",
+                              fault::Trigger::OneShot());
+    EXPECT_EQ(unit.Flush(unit.insert_lsn() - 1), WalStatus::kCrashed);
     return unit.Recover();
   };
 
@@ -160,6 +160,41 @@ TEST_P(WalCrashTest, IoErrorIsRetryableWithoutLoss) {
   EXPECT_EQ(unit.Flush(lsn), WalStatus::kOk);
   EXPECT_EQ(unit.flushed_lsn(), lsn);
   EXPECT_EQ(unit.stats().io_errors, 1u);
+}
+
+// fsyncgate regression: a failed fsync is NOT retryable. The kernel dropped
+// the unsynced window, so the unit must wedge — a later successful fsync
+// must never silently acknowledge the dropped records.
+TEST_P(WalCrashTest, FailedFsyncWedgesUnitInsteadOfSilentlyAcking) {
+  const int units = GetParam();
+  Wal wal(units, FastDisk("wal_wedge"));
+  WalUnit& unit = wal.unit(0);
+  const uint64_t lsn = unit.Insert(128);
+  ASSERT_EQ(unit.Flush(lsn), WalStatus::kOk);  // durable baseline
+
+  const uint64_t lsn2 = unit.Insert(128);
+  {
+    fault::ScopedFailpoint fp("wal_wedge.0/fsync_error",
+                              fault::Trigger::OneShot());
+    EXPECT_EQ(unit.Flush(lsn2), WalStatus::kWedged);
+  }
+  EXPECT_TRUE(unit.wedged());
+  // The failpoint is disarmed, so a bare retry would find a working fsync;
+  // the wedge must keep refusing anyway — lsn2's record is gone.
+  EXPECT_EQ(unit.Flush(lsn2), WalStatus::kWedged);
+  EXPECT_EQ(unit.Insert(64), 0u);  // inserts refused while wedged
+  EXPECT_EQ(unit.stats().wedges, 1u);
+
+  // Recovery truncates to the durable prefix; the wedged window was never
+  // acked and does not survive.
+  const WalRecoveryResult recovered = unit.Recover();
+  EXPECT_FALSE(unit.wedged());
+  EXPECT_EQ(recovered.recovered_lsn, lsn);
+  EXPECT_LT(recovered.recovered_lsn, lsn2);
+
+  const uint64_t fresh = unit.Insert(64);
+  ASSERT_NE(fresh, 0u);
+  EXPECT_EQ(unit.Flush(fresh), WalStatus::kOk);
 }
 
 // Backends sleeping in LWLockAcquireOrWait observe a crash instead of

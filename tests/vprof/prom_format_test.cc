@@ -9,8 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include "src/minidb/engine.h"
+#include "src/minipg/engine.h"
 #include "src/vprof/service/online_tree.h"
 #include "src/vprof/service/prom.h"
+#include "src/vprof/service/vprofd.h"
 #include "tests/vprof/trace_builder.h"
 
 namespace vprof {
@@ -236,6 +239,60 @@ TEST(PromWriterTest, AppGaugeSeriesNamesAreScrapeClean) {
       std::string::npos);
   EXPECT_NE(
       text.find("vprofd_app_gauge{series=\"minipg.wal.unit1.batch_records_avg\"}"),
+      std::string::npos);
+}
+
+TEST(PromWriterTest, EngineRobustnessCountersExposeAsAppGauges) {
+  // Both engines publish their robustness counters (lock timeouts, deadlock
+  // aborts, WAL/redo I/O errors, wedges, crashes, commit/abort totals) as
+  // dotted app-gauge series; the exposition must stay conformant with the
+  // full set plugged in as vprofd would.
+  minidb::Engine db{minidb::EngineConfig{}};
+  minipg::PgEngine pg{minipg::PgConfig{}};
+  PromWriter w;
+  w.Family("vprofd_app_gauge", "gauge", "Application-published gauges.");
+  for (const AppGauge& gauge : db.RobustnessGauges()) {
+    w.Sample("vprofd_app_gauge", PromWriter::Labels{{"series", gauge.name}},
+             gauge.value);
+  }
+  for (const AppGauge& gauge : pg.RobustnessGauges()) {
+    w.Sample("vprofd_app_gauge", PromWriter::Labels{{"series", gauge.name}},
+             gauge.value);
+  }
+  const std::string text = w.Text();
+  ValidatePromText(text);
+  for (const char* series :
+       {"minidb.lock.timeouts", "minidb.lock.deadlocks",
+        "minidb.redo.io_errors", "minidb.redo.wedges", "minidb.redo.crashes",
+        "minidb.txn.committed", "minidb.txn.aborted", "minipg.wal.io_errors",
+        "minipg.wal.wedges", "minipg.wal.crashes", "minipg.txn.committed",
+        "minipg.txn.aborted"}) {
+    EXPECT_NE(text.find("vprofd_app_gauge{series=\"" + std::string(series) +
+                        "\"}"),
+              std::string::npos)
+        << series;
+  }
+}
+
+TEST(VprofdPromTest, SupervisorFamiliesAreConformant) {
+  VprofdOptions options;
+  options.root_function = "prom_fmt_supervisor_root";
+  options.enable_controller = false;
+  options.enable_supervisor = true;
+  Vprofd daemon(std::move(options));
+  const std::string text = daemon.MetricsText();
+  ValidatePromText(text);
+  EXPECT_NE(text.find("# TYPE vprofd_supervisor_state gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vprofd_supervisor_state 0\n"), std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE vprofd_supervisor_escalations_total counter\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE vprofd_supervisor_restorations_total counter\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE vprofd_supervisor_unhealthy_epochs_total counter\n"),
       std::string::npos);
 }
 
