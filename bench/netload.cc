@@ -1,0 +1,325 @@
+// Open-loop network load benchmark (ISSUE: network front-end). Emits
+// BENCH_net.json.
+//
+// A minidb engine sits behind the epoll NetServer; the open-loop generator
+// offers Poisson and bursty (MMPP) arrivals over >= 1000 concurrent loopback
+// connections at three utilization points bracketing the measured capacity.
+// At each point the harness reports acked-vs-offered throughput, the shed
+// (503) count, p50/p99/p999 latency measured from the SCHEDULED arrival
+// (coordinated-omission free), and the variance-tree top-3 from a traced
+// run whose intervals are anchored at socket readability.
+//
+// Expected shape: below saturation the top factors are the engine's own
+// (locks, log I/O); past saturation the dispatch queue dominates and the
+// "net:queue_wait" factor — the enqueue-to-dequeue gap recovered by the
+// critical-path walker's created-by edges — enters the top-3. Bursty
+// arrivals at the same mean rate push the tail (and the queue factor's
+// contribution) up well before mean utilization reaches 1: variance in the
+// arrival process becomes variance in the latency distribution.
+//
+// Acceptance (driver-checked): a net-side factor ranks in the top-3 at the
+// overload point.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/net/frontend.h"
+#include "src/net/server.h"
+#include "src/statkit/rng.h"
+#include "src/vprof/analysis/factor_selection.h"
+#include "src/workload/openloop.h"
+
+namespace {
+
+constexpr size_t kConnections = 1024;
+constexpr size_t kDispatchDepth = 64;
+constexpr int kWorkers = 2;
+constexpr int kWarehouses = 4;
+constexpr double kCalibrationRate = 6000.0;  // well past any plausible capacity
+constexpr double kCalibrationSeconds = 0.8;
+constexpr double kMeasureSeconds = 1.5;
+constexpr double kTraceSeconds = 1.0;
+// Offered-load points as multiples of measured capacity: light, near-knee,
+// overload.
+const double kUtilizations[] = {0.5, 0.9, 1.4};
+
+struct FactorShare {
+  std::string name;
+  double contribution = 0.0;
+};
+
+struct LoadPoint {
+  double utilization = 0.0;
+  double offered_per_s = 0.0;
+  workload::OpenLoopResult run;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  std::vector<FactorShare> top_factors;
+};
+
+struct Harness {
+  minidb::Engine engine;
+  net::NetServer server;
+
+  explicit Harness(size_t dispatch_depth)
+      : engine(EngineConfig()),
+        server(ServerOptions(dispatch_depth), net::MakeMinidbHandler(&engine)) {
+  }
+
+  static minidb::EngineConfig EngineConfig() {
+    minidb::EngineConfig config = bench::MysqlMemoryResidentConfig();
+    config.warehouses = kWarehouses;
+    return config;
+  }
+
+  static net::NetServerOptions ServerOptions(size_t dispatch_depth) {
+    net::NetServerOptions options;
+    options.workers = kWorkers;
+    options.max_dispatch_depth = dispatch_depth;
+    options.max_connections = 2 * kConnections;
+    return options;
+  }
+};
+
+workload::OpenLoopOptions LoadOptions(uint16_t port, double rate_per_s,
+                                      workload::ArrivalProcess process,
+                                      double seconds, uint64_t seed) {
+  workload::OpenLoopOptions options;
+  options.port = port;
+  options.connections = kConnections;
+  options.duration_s = seconds;
+  options.arrivals.process = process;
+  options.arrivals.rate_per_sec = rate_per_s;
+  options.seed = seed;
+
+  // Deterministic TPC-C-shaped request stream. The generator is stateful;
+  // the driver calls make_request in schedule order on one thread, so one
+  // Rng per options object is exact.
+  auto rng = std::make_shared<statkit::Rng>(seed ^ 0xabcdef);
+  auto gen = std::make_shared<workload::TpccGenerator>(workload::TpccOptions{},
+                                                       kWarehouses);
+  options.make_request = [rng, gen](uint64_t) {
+    net::Frame frame;
+    frame.type = net::MsgType::kTxn;
+    frame.txn = gen->Next(*rng);
+    return frame;
+  };
+  return options;
+}
+
+void FillPercentiles(LoadPoint* point) {
+  point->p50_ms =
+      workload::PercentileNs(point->run.latencies_ns, 50.0) / 1e6;
+  point->p99_ms =
+      workload::PercentileNs(point->run.latencies_ns, 99.0) / 1e6;
+  point->p999_ms =
+      workload::PercentileNs(point->run.latencies_ns, 99.9) / 1e6;
+}
+
+// One fully-instrumented traced run; the variance tree materializes the
+// queue-wait factor so net-side time competes with the engine's functions.
+std::vector<FactorShare> TraceTopFactors(Harness* harness,
+                                         const workload::OpenLoopOptions&
+                                             options) {
+  vprof::CallGraph graph;
+  minidb::Engine::RegisterCallGraph(&graph);
+  net::NetServer::RegisterNetCallGraph(&graph, "run_transaction");
+
+  const size_t registered = vprof::RegisteredFunctionCount();
+  for (vprof::FuncId id = 0; id < registered; ++id) {
+    vprof::SetFunctionEnabled(id, true);
+  }
+  vprof::StartTracing();
+  workload::RunOpenLoop(options);
+  const vprof::Trace trace = vprof::StopTracing();
+  vprof::DisableAllFunctions();
+
+  vprof::CriticalPathOptions path_options;
+  path_options.queue_wait_factor = net::kQueueWaitFactor;
+  const vprof::VarianceAnalysis analysis(trace, path_options);
+  const std::vector<vprof::Factor> factors = vprof::AggregateFactors(
+      analysis, graph, vprof::RegisterFunction(net::kNetRootFunc),
+      vprof::SpecificityKind::kQuadratic);
+
+  std::vector<FactorShare> top;
+  for (const vprof::Factor& factor : factors) {
+    if (factor.func_b != vprof::kInvalidFunc) {
+      continue;  // single-function factors; covariances echo them
+    }
+    top.push_back(
+        {factor.Label(trace.function_names), factor.contribution});
+    if (top.size() == 3) {
+      break;
+    }
+  }
+  (void)harness;
+  return top;
+}
+
+LoadPoint MeasurePoint(Harness* harness, double capacity, double utilization,
+                       workload::ArrivalProcess process, uint64_t seed) {
+  LoadPoint point;
+  point.utilization = utilization;
+  point.offered_per_s = capacity * utilization;
+
+  point.run = workload::RunOpenLoop(LoadOptions(
+      harness->server.port(), point.offered_per_s, process, kMeasureSeconds,
+      seed));
+  FillPercentiles(&point);
+  point.top_factors = TraceTopFactors(
+      harness, LoadOptions(harness->server.port(), point.offered_per_s,
+                           process, kTraceSeconds, seed + 1));
+  return point;
+}
+
+const char* ShapeName(workload::ArrivalProcess process) {
+  return process == workload::ArrivalProcess::kPoisson ? "poisson" : "bursty";
+}
+
+bool HasNetFactor(const std::vector<FactorShare>& top) {
+  for (const FactorShare& f : top) {
+    if (f.name.rfind("net:", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrintShape(workload::ArrivalProcess process,
+                const std::vector<LoadPoint>& points) {
+  std::printf("\n  %s arrivals\n", ShapeName(process));
+  std::printf("  %5s %10s %10s %8s %8s %8s %9s %9s %9s  %s\n", "util",
+              "offered/s", "acked/s", "acked", "rejected", "failed",
+              "p50 (ms)", "p99 (ms)", "p999(ms)", "top variance factors");
+  for (const LoadPoint& p : points) {
+    std::string factors;
+    for (const FactorShare& f : p.top_factors) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%s%s %.1f%%",
+                    factors.empty() ? "" : ", ", f.name.c_str(),
+                    f.contribution * 100.0);
+      factors += buf;
+    }
+    std::printf("  %5.2f %10.0f %10.0f %8llu %8llu %8llu %9.3f %9.3f %9.3f  %s\n",
+                p.utilization, p.offered_per_s, p.run.achieved_per_s,
+                static_cast<unsigned long long>(p.run.acked),
+                static_cast<unsigned long long>(p.run.rejected),
+                static_cast<unsigned long long>(p.run.failed), p.p50_ms,
+                p.p99_ms, p.p999_ms, factors.c_str());
+  }
+}
+
+void EmitPoints(FILE* json, const std::vector<LoadPoint>& points) {
+  std::fprintf(json, "      \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    std::fprintf(
+        json,
+        "        {\"utilization\": %.2f, \"offered_per_s\": %.1f, "
+        "\"achieved_per_s\": %.1f, \"sent\": %llu, \"acked\": %llu, "
+        "\"rejected\": %llu, \"failed\": %llu, \"in_flight\": %llu, "
+        "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"p999_ms\": %.4f, "
+        "\"top_factors\": [",
+        p.utilization, p.offered_per_s, p.run.achieved_per_s,
+        static_cast<unsigned long long>(p.run.sent),
+        static_cast<unsigned long long>(p.run.acked),
+        static_cast<unsigned long long>(p.run.rejected),
+        static_cast<unsigned long long>(p.run.failed),
+        static_cast<unsigned long long>(p.run.in_flight), p.p50_ms, p.p99_ms,
+        p.p999_ms);
+    for (size_t f = 0; f < p.top_factors.size(); ++f) {
+      std::fprintf(json, "%s{\"name\": \"%s\", \"contribution\": %.4f}",
+                   f == 0 ? "" : ", ", p.top_factors[f].name.c_str(),
+                   p.top_factors[f].contribution);
+    }
+    std::fprintf(json, "]}%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(json, "      ]\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "netload — open-loop latency vs offered load through the epoll "
+      "front-end");
+  std::printf("Expected shape: past saturation the dispatch queue dominates\n"
+              "and net:queue_wait enters the top-3; bursty arrivals at the\n"
+              "same mean rate fatten the tail before mean utilization hits 1.\n");
+
+  Harness harness(kDispatchDepth);
+  if (!harness.server.Start()) {
+    std::fprintf(stderr, "netload: server failed to start\n");
+    return 1;
+  }
+
+  // Capacity calibration: saturate the server (unbounded offered load far
+  // beyond service rate); the acked rate is the service capacity.
+  const workload::OpenLoopResult calibration = workload::RunOpenLoop(
+      LoadOptions(harness.server.port(), kCalibrationRate,
+                  workload::ArrivalProcess::kPoisson, kCalibrationSeconds,
+                  /*seed=*/7));
+  if (calibration.connect_failed || calibration.acked == 0) {
+    std::fprintf(stderr, "netload: calibration run failed\n");
+    return 1;
+  }
+  const double capacity = calibration.achieved_per_s;
+  std::printf("\n  calibration: %llu acked over %d connections -> capacity "
+              "~%.0f req/s\n",
+              static_cast<unsigned long long>(calibration.acked),
+              static_cast<int>(kConnections), capacity);
+
+  const workload::ArrivalProcess shapes[] = {
+      workload::ArrivalProcess::kPoisson, workload::ArrivalProcess::kBursty};
+  std::vector<std::vector<LoadPoint>> results;
+  uint64_t seed = 1000;
+  for (const workload::ArrivalProcess process : shapes) {
+    std::vector<LoadPoint> points;
+    for (const double utilization : kUtilizations) {
+      points.push_back(
+          MeasurePoint(&harness, capacity, utilization, process, seed));
+      seed += 10;
+    }
+    PrintShape(process, points);
+    results.push_back(std::move(points));
+  }
+
+  harness.server.Shutdown();
+
+  // Acceptance: a net-side factor in the top-3 at the overload point of at
+  // least one shape (both normally qualify).
+  const bool net_at_overload = HasNetFactor(results[0].back().top_factors) ||
+                               HasNetFactor(results[1].back().top_factors);
+  std::printf("\n  acceptance: net-side factor in top-3 at overload: %s\n",
+              net_at_overload ? "yes" : "NO");
+
+  FILE* json = std::fopen("BENCH_net.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "netload: cannot write BENCH_net.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"benchmark\": \"netload\",\n");
+  std::fprintf(json, "  \"connections\": %d,\n",
+               static_cast<int>(kConnections));
+  std::fprintf(json, "  \"workers\": %d,\n", kWorkers);
+  std::fprintf(json, "  \"dispatch_depth\": %d,\n",
+               static_cast<int>(kDispatchDepth));
+  std::fprintf(json, "  \"capacity_per_s\": %.1f,\n", capacity);
+  std::fprintf(json, "  \"shapes\": {\n");
+  for (size_t s = 0; s < results.size(); ++s) {
+    std::fprintf(json, "    \"%s\": {\n", ShapeName(shapes[s]));
+    EmitPoints(json, results[s]);
+    std::fprintf(json, "    }%s\n", s + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  },\n  \"acceptance\": {\n");
+  std::fprintf(json, "    \"net_factor_in_top3_at_overload\": %s\n",
+               net_at_overload ? "true" : "false");
+  std::fprintf(json, "  }\n}\n");
+  std::fclose(json);
+  std::printf("  wrote BENCH_net.json\n");
+  return net_at_overload ? 0 : 1;
+}

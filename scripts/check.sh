@@ -20,7 +20,12 @@
 # ladder, graceful shutdown — ctest label "chaos") under ASan+UBSan with a
 # bounded wall-clock, since a wedged shutdown drain would otherwise hang
 # the preset.
-# Usage: scripts/check.sh [--tsan-only|--asan-only|--online|--statstore|--scale|--chaos]
+# --net runs the network front-end suite: the event-loop stress test
+# (connection churn vs tracing epoch flips vs shutdown/engine-stop races)
+# under ThreadSanitizer, then the full "net" ctest label (protocol fuzz,
+# socket fault injection, open-loop statistics, socket-anchored variance
+# integration) in a plain build.
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--online|--statstore|--scale|--chaos|--net]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -86,6 +91,25 @@ if [[ "${MODE}" == "--chaos" ]]; then
    ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
    timeout 900 ctest --output-on-failure -L chaos)
   echo "== check.sh --chaos: all green =="
+  exit 0
+fi
+
+if [[ "${MODE}" == "--net" ]]; then
+  echo "== tsan: event-loop stress (churn x epoch flips x shutdown) =="
+  cmake -B build-tsan -S . -DVPROF_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target net_stress_test \
+    integration_net_variance_test
+  (cd build-tsan &&
+   TSAN_OPTIONS="halt_on_error=1" \
+   ctest --output-on-failure -R \
+     '^(net_stress|integration_net_variance)_test$')
+  echo "== plain: full net suite (label: net) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target net_protocol_test \
+    net_server_test net_fault_test net_openloop_test net_stress_test \
+    integration_net_variance_test
+  (cd build && ctest --output-on-failure -L net)
+  echo "== check.sh --net: all green =="
   exit 0
 fi
 

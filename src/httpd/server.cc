@@ -40,7 +40,15 @@ void HttpServer::Shutdown() {
 }
 
 RequestStatus HttpServer::HandleRequestBlocking(uint64_t file_id) {
-  const vprof::IntervalId sid = vprof::BeginInterval();
+  // Join an enclosing semantic interval when one exists — the network
+  // front-end anchors the interval at socket readability, and this call
+  // (queue hop included) must stay inside it. Standalone callers still get
+  // their own interval.
+  vprof::IntervalId sid = vprof::CurrentIntervalId();
+  const bool owns_interval = sid == vprof::kNoInterval;
+  if (owns_interval) {
+    sid = vprof::BeginInterval();
+  }
   vprof::Event done;
   bool accepted = true;
   if (config_.max_queue_depth > 0) {
@@ -53,11 +61,15 @@ RequestStatus HttpServer::HandleRequestBlocking(uint64_t file_id) {
     // Shed: answer 503 immediately rather than deepening the backlog. The
     // interval still closes so the profiler sees the (short) rejection.
     requests_rejected_.fetch_add(1, std::memory_order_relaxed);
-    vprof::EndInterval(sid);
+    if (owns_interval) {
+      vprof::EndInterval(sid);
+    }
     return RequestStatus::kServiceUnavailable;
   }
   done.Wait();
-  vprof::EndInterval(sid);
+  if (owns_interval) {
+    vprof::EndInterval(sid);
+  }
   return RequestStatus::kOk;
 }
 

@@ -1,0 +1,75 @@
+#include "src/net/client.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+namespace net {
+
+bool BlockingClient::Connect(uint16_t port) {
+  fd_ = ConnectLocal(port, /*nonblocking=*/false);
+  parser_ = FrameParser();
+  pending_.clear();
+  return fd_.valid();
+}
+
+bool BlockingClient::Send(const Frame& frame) {
+  std::string bytes;
+  EncodeFrame(frame, &bytes);
+  return SendRaw(bytes.data(), bytes.size());
+}
+
+bool BlockingClient::SendRaw(const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd_.get(), p + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool BlockingClient::Recv(Frame* out, int timeout_ms) {
+  while (true) {
+    if (!pending_.empty()) {
+      *out = pending_.front();
+      pending_.erase(pending_.begin());
+      return true;
+    }
+    pollfd pfd{};
+    pfd.fd = fd_.get();
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      return false;  // timeout or poll error
+    }
+    uint8_t buf[4096];
+    const ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;  // EOF or read error
+    }
+    if (parser_.Feed(buf, static_cast<size_t>(n), &pending_) !=
+        WireError::kOk) {
+      return false;
+    }
+  }
+}
+
+bool BlockingClient::Call(const Frame& request, Frame* reply, int timeout_ms) {
+  return Send(request) && Recv(reply, timeout_ms);
+}
+
+}  // namespace net

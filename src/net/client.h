@@ -1,0 +1,47 @@
+// Blocking loopback client for tests and closed-loop comparisons. The
+// open-loop generator (workload/openloop.h) drives its own non-blocking
+// connection pool; this one is for the simple cases: connect, send a frame,
+// wait for the matching reply.
+#ifndef SRC_NET_CLIENT_H_
+#define SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/protocol.h"
+#include "src/net/socket.h"
+
+namespace net {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+
+  bool Connect(uint16_t port);
+  void Close() { fd_.reset(); }
+  bool connected() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+
+  // Writes one encoded frame, handling partial writes. False on error.
+  bool Send(const Frame& frame);
+
+  // Sends raw bytes as-is — the fuzz/corruption tests speak garbage on
+  // purpose.
+  bool SendRaw(const void* data, size_t size);
+
+  // Blocks (poll + read) until one complete frame arrives or `timeout_ms`
+  // elapses. False on timeout, EOF, or protocol error from the server side.
+  bool Recv(Frame* out, int timeout_ms = 5000);
+
+  // Send + Recv; requires an otherwise-quiet connection (no pipelining).
+  bool Call(const Frame& request, Frame* reply, int timeout_ms = 5000);
+
+ private:
+  Fd fd_;
+  FrameParser parser_;
+  std::vector<Frame> pending_;  // frames decoded ahead of Recv
+};
+
+}  // namespace net
+
+#endif  // SRC_NET_CLIENT_H_

@@ -1,0 +1,118 @@
+#include "src/net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace net {
+
+EventLoop::EventLoop() {
+  epoll_fd_.reset(::epoll_create1(0));
+  wake_fd_.reset(::eventfd(0, EFD_NONBLOCK));
+  if (!epoll_fd_.valid() || !wake_fd_.valid()) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) != 0) {
+    epoll_fd_.reset();
+  }
+}
+
+EventLoop::~EventLoop() = default;
+
+bool EventLoop::Add(int fd, uint32_t events, FdCallback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return false;
+  }
+  callbacks_[fd] = std::make_shared<FdCallback>(std::move(callback));
+  return true;
+}
+
+bool EventLoop::Mod(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::Del(int fd) {
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(task));
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+void EventLoop::DrainWakeups() {
+  uint64_t value = 0;
+  while (::read(wake_fd_.get(), &value, sizeof(value)) > 0) {
+  }
+}
+
+void EventLoop::RunPosted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& task : batch) {
+    task();
+  }
+}
+
+void EventLoop::Run(int tick_ms, const std::function<void()>& on_tick) {
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n =
+        ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, tick_ms);
+    if (stop_.load(std::memory_order_acquire)) {
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_.get()) {
+        DrainWakeups();
+        continue;
+      }
+      // Fresh lookup per event: a callback earlier in this batch may have
+      // closed this fd (slow-peer eviction, protocol error on a sibling).
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) {
+        continue;
+      }
+      const std::shared_ptr<FdCallback> callback = it->second;
+      (*callback)(events[i].events);
+    }
+    RunPosted();
+    if (on_tick) {
+      on_tick();
+    }
+  }
+  // One final drain so replies posted just before Stop are not dropped
+  // silently (the server flushes best-effort during shutdown).
+  RunPosted();
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+}  // namespace net

@@ -1,0 +1,74 @@
+// Single-threaded epoll reactor: edge-triggered fd callbacks, a wakeup
+// eventfd for cross-thread Post(), and a periodic tick for timeout sweeps.
+//
+// Ownership model: one thread calls Run(); every callback executes on that
+// thread, so connection state above needs no locking. Other threads interact
+// only through Post() (run-on-loop closures, e.g. a worker handing a reply
+// buffer back to its connection) and Stop().
+#ifndef SRC_NET_EVENT_LOOP_H_
+#define SRC_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/socket.h"
+
+namespace net {
+
+class EventLoop {
+ public:
+  // Receives the epoll event mask (EPOLLIN/EPOLLOUT/EPOLLHUP/...).
+  using FdCallback = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // True when the epoll and wakeup descriptors came up; a loop that failed
+  // to construct must not Run.
+  bool valid() const { return epoll_fd_.valid() && wake_fd_.valid(); }
+
+  // Registers `fd` with `events` (caller includes EPOLLET if desired).
+  // Loop-thread only, as are Mod/Del.
+  bool Add(int fd, uint32_t events, FdCallback callback);
+  bool Mod(int fd, uint32_t events);
+  void Del(int fd);
+
+  // Enqueues a closure for the loop thread and wakes it. Thread-safe.
+  void Post(std::function<void()> task);
+
+  // Runs until Stop(). `tick_ms` bounds epoll_wait so `on_tick` (may be
+  // empty) fires roughly that often — the idle/slow-peer sweep hook.
+  void Run(int tick_ms, const std::function<void()>& on_tick);
+
+  // Thread-safe; wakes the loop. Run returns after finishing the current
+  // dispatch batch and any posted tasks.
+  void Stop();
+
+ private:
+  void DrainWakeups();
+  void RunPosted();
+
+  Fd epoll_fd_;
+  Fd wake_fd_;  // eventfd
+  std::atomic<bool> stop_{false};
+
+  // fd -> callback. shared_ptr so a callback erased mid-batch (a connection
+  // closed by an earlier event in the same epoll_wait return) stays alive
+  // for the in-flight lookup but is never invoked again.
+  std::unordered_map<int, std::shared_ptr<FdCallback>> callbacks_;
+
+  std::mutex posted_mu_;  // plain mutex: the reply handoff is not profiled
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace net
+
+#endif  // SRC_NET_EVENT_LOOP_H_

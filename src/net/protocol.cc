@@ -1,0 +1,271 @@
+#include "src/net/protocol.h"
+
+#include <cstring>
+
+namespace net {
+
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  for (int i = 0; i < 2; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+bool ValidType(uint8_t t) {
+  switch (static_cast<MsgType>(t)) {
+    case MsgType::kTxn:
+    case MsgType::kHttpGet:
+    case MsgType::kPing:
+    case MsgType::kTxnReply:
+    case MsgType::kHttpReply:
+    case MsgType::kPong:
+    case MsgType::kRejected:
+    case MsgType::kError:
+      return true;
+  }
+  return false;
+}
+
+// Exact payload byte counts for the fixed-size types; -1 = variable (kTxn).
+int FixedPayloadBytes(MsgType type) {
+  switch (type) {
+    case MsgType::kTxn:
+      return -1;
+    case MsgType::kHttpGet:
+      return 8;
+    case MsgType::kPing:
+    case MsgType::kPong:
+    case MsgType::kRejected:
+      return 0;
+    case MsgType::kTxnReply:
+      return 10;  // status + error + trx id
+    case MsgType::kHttpReply:
+      return 9;  // status + bytes served
+    case MsgType::kError:
+      return 1;  // WireError
+  }
+  return -1;
+}
+
+}  // namespace
+
+const char* WireErrorName(WireError error) {
+  switch (error) {
+    case WireError::kOk:
+      return "ok";
+    case WireError::kNeedMore:
+      return "need_more";
+    case WireError::kOversized:
+      return "oversized";
+    case WireError::kBadType:
+      return "bad_type";
+    case WireError::kBadPayload:
+      return "bad_payload";
+  }
+  return "?";
+}
+
+void EncodeFrame(const Frame& frame, std::string* out) {
+  const size_t length_at = out->size();
+  PutU32(out, 0);  // patched below
+  out->push_back(static_cast<char>(frame.type));
+  PutU64(out, frame.request_id);
+  switch (frame.type) {
+    case MsgType::kTxn: {
+      out->push_back(static_cast<char>(frame.txn.type));
+      PutU32(out, static_cast<uint32_t>(frame.txn.warehouse));
+      PutU32(out, static_cast<uint32_t>(frame.txn.district));
+      PutU64(out, static_cast<uint64_t>(frame.txn.customer));
+      PutU16(out, static_cast<uint16_t>(frame.txn.items.size()));
+      for (int64_t item : frame.txn.items) {
+        PutU64(out, static_cast<uint64_t>(item));
+      }
+      break;
+    }
+    case MsgType::kHttpGet:
+      PutU64(out, frame.file_id);
+      break;
+    case MsgType::kPing:
+    case MsgType::kPong:
+    case MsgType::kRejected:
+      break;
+    case MsgType::kTxnReply:
+      out->push_back(static_cast<char>(frame.status));
+      out->push_back(static_cast<char>(frame.error));
+      PutU64(out, frame.value);
+      break;
+    case MsgType::kHttpReply:
+      out->push_back(static_cast<char>(frame.status));
+      PutU64(out, frame.value);
+      break;
+    case MsgType::kError:
+      out->push_back(static_cast<char>(frame.error));
+      break;
+  }
+  const uint32_t length =
+      static_cast<uint32_t>(out->size() - length_at - kLengthBytes);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[length_at + static_cast<size_t>(i)] =
+        static_cast<char>((length >> (8 * i)) & 0xff);
+  }
+}
+
+WireError DecodeFrame(const uint8_t* data, size_t size, Frame* out,
+                      size_t* consumed) {
+  *consumed = 0;
+  if (size < kLengthBytes) {
+    return WireError::kNeedMore;
+  }
+  const uint32_t length = GetU32(data);
+  // A length that cannot even hold type + request_id is as malformed as an
+  // oversized one; both mean the stream is not speaking this protocol.
+  if (length < kFrameOverhead || length > kMaxFrameBytes) {
+    return WireError::kOversized;
+  }
+  if (size < kLengthBytes + length) {
+    return WireError::kNeedMore;
+  }
+  const uint8_t* p = data + kLengthBytes;
+  const uint8_t raw_type = p[0];
+  if (!ValidType(raw_type)) {
+    return WireError::kBadType;
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(raw_type);
+  frame.request_id = GetU64(p + 1);
+  const uint8_t* payload = p + kFrameOverhead;
+  const size_t payload_len = length - kFrameOverhead;
+
+  const int fixed = FixedPayloadBytes(frame.type);
+  if (fixed >= 0 && payload_len != static_cast<size_t>(fixed)) {
+    return WireError::kBadPayload;
+  }
+  switch (frame.type) {
+    case MsgType::kTxn: {
+      // u8 txn type | u32 warehouse | u32 district | u64 customer |
+      // u16 n_items | u64 items[n]  — exact size, bounded item count.
+      if (payload_len < 1 + 4 + 4 + 8 + 2) {
+        return WireError::kBadPayload;
+      }
+      const uint8_t txn_type = payload[0];
+      if (txn_type > static_cast<uint8_t>(minidb::TxnType::kStockLevel)) {
+        return WireError::kBadPayload;
+      }
+      frame.txn.type = static_cast<minidb::TxnType>(txn_type);
+      frame.txn.warehouse = static_cast<int>(GetU32(payload + 1));
+      frame.txn.district = static_cast<int>(GetU32(payload + 5));
+      frame.txn.customer = static_cast<int64_t>(GetU64(payload + 9));
+      const uint16_t n = GetU16(payload + 17);
+      if (n > kMaxTxnItems || payload_len != 1 + 4 + 4 + 8 + 2 + 8ull * n) {
+        return WireError::kBadPayload;
+      }
+      frame.txn.items.resize(n);
+      for (uint16_t i = 0; i < n; ++i) {
+        frame.txn.items[i] = static_cast<int64_t>(GetU64(payload + 19 + 8 * i));
+      }
+      break;
+    }
+    case MsgType::kHttpGet:
+      frame.file_id = GetU64(payload);
+      break;
+    case MsgType::kPing:
+    case MsgType::kPong:
+    case MsgType::kRejected:
+      break;
+    case MsgType::kTxnReply:
+      frame.status = payload[0];
+      frame.error = payload[1];
+      if (frame.error > static_cast<uint8_t>(minidb::TxnError::kShutdown)) {
+        return WireError::kBadPayload;
+      }
+      frame.value = GetU64(payload + 2);
+      break;
+    case MsgType::kHttpReply:
+      frame.status = payload[0];
+      frame.value = GetU64(payload + 1);
+      break;
+    case MsgType::kError:
+      frame.error = payload[0];
+      if (frame.error > static_cast<uint8_t>(WireError::kBadPayload)) {
+        return WireError::kBadPayload;
+      }
+      break;
+  }
+  *out = std::move(frame);
+  *consumed = kLengthBytes + length;
+  return WireError::kOk;
+}
+
+WireError FrameParser::Feed(const uint8_t* data, size_t size,
+                            std::vector<Frame>* out) {
+  if (error_ != WireError::kOk) {
+    return error_;  // poisoned: nothing after a violation may dispatch
+  }
+  // Common case: no partial frame buffered — parse in place, buffer only the
+  // trailing prefix. Otherwise append and parse out of the buffer.
+  const uint8_t* cursor = data;
+  size_t remaining = size;
+  if (!buffer_.empty()) {
+    buffer_.insert(buffer_.end(), data, data + size);
+    cursor = buffer_.data();
+    remaining = buffer_.size();
+  }
+  size_t offset = 0;
+  while (true) {
+    Frame frame;
+    size_t consumed = 0;
+    const WireError err =
+        DecodeFrame(cursor + offset, remaining - offset, &frame, &consumed);
+    if (err == WireError::kOk) {
+      out->push_back(std::move(frame));
+      offset += consumed;
+      continue;
+    }
+    if (err == WireError::kNeedMore) {
+      break;
+    }
+    error_ = err;
+    buffer_.clear();
+    return err;
+  }
+  if (buffer_.empty()) {
+    buffer_.assign(cursor + offset, cursor + remaining);
+  } else {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(offset));
+  }
+  return WireError::kOk;
+}
+
+}  // namespace net

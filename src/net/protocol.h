@@ -1,0 +1,114 @@
+// Wire protocol of the network front-end: length-prefixed binary frames.
+//
+// The paper's semantic intervals begin when a request becomes readable on a
+// socket; this protocol is the minimal framing that lets the three servers
+// (minidb, minipg, httpd) sit behind a real wire boundary. Every frame is
+//
+//   u32  length      — bytes following this field (type + request id +
+//                      payload); bounded by kMaxFrameBytes
+//   u8   type        — MsgType
+//   u64  request_id  — echoed verbatim in the reply, so clients may pipeline
+//                      many requests per connection and match replies out of
+//                      order (the server's worker pool does not preserve
+//                      per-connection ordering)
+//   ...  payload     — per-type body, exact size enforced
+//
+// All integers are little-endian. Decoding is strict: unknown types, short
+// or long payloads, out-of-range enum values and oversized lengths are typed
+// errors (WireError), never partial frames — the connection state machine
+// closes the peer instead of guessing.
+#ifndef SRC_NET_PROTOCOL_H_
+#define SRC_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/minidb/engine.h"  // TxnRequest/TxnType/TxnError shapes
+
+namespace net {
+
+// Frame geometry.
+inline constexpr size_t kLengthBytes = 4;
+inline constexpr size_t kFrameOverhead = 1 + 8;  // type + request_id
+inline constexpr size_t kHeaderBytes = kLengthBytes + kFrameOverhead;
+inline constexpr uint32_t kMaxPayloadBytes = 16 * 1024;
+inline constexpr uint32_t kMaxFrameBytes =
+    static_cast<uint32_t>(kFrameOverhead) + kMaxPayloadBytes;
+// NewOrder carries at most a handful of items; anything larger is garbage.
+inline constexpr size_t kMaxTxnItems = 64;
+
+enum class MsgType : uint8_t {
+  // Requests (client -> server).
+  kTxn = 1,       // a TPC-C-shaped transaction for minidb/minipg
+  kHttpGet = 2,   // a static-file fetch for httpd
+  kPing = 3,      // liveness / drain probe
+
+  // Replies (server -> client).
+  kTxnReply = 16,   // status 0 = committed, 1 = aborted; error = TxnError
+  kHttpReply = 17,  // status 0 = 200 OK, 1 = failed; value = bytes served
+  kPong = 18,
+  kRejected = 19,   // 503: shed at the accept path or the dispatch queue
+  kError = 20,      // protocol violation; error = WireError; conn closes
+};
+
+// Typed decode failure. kNeedMore is not a failure: the frame is simply not
+// complete yet.
+enum class WireError : uint8_t {
+  kOk = 0,
+  kNeedMore = 1,
+  kOversized = 2,   // declared length exceeds kMaxFrameBytes (or < overhead)
+  kBadType = 3,     // unknown MsgType, or a reply type sent to a server
+  kBadPayload = 4,  // payload size/enum/count does not match the type
+};
+const char* WireErrorName(WireError error);
+
+// One parsed frame. A plain value type: the union-of-fields layout keeps
+// encode/decode trivially exhaustive over MsgType.
+struct Frame {
+  MsgType type = MsgType::kPing;
+  uint64_t request_id = 0;
+
+  minidb::TxnRequest txn;  // kTxn
+  uint64_t file_id = 0;    // kHttpGet
+
+  uint8_t status = 0;     // kTxnReply / kHttpReply
+  uint8_t error = 0;      // kTxnReply: minidb::TxnError; kError: WireError
+  uint64_t value = 0;     // kTxnReply: trx id; kHttpReply: bytes served
+};
+
+// Serializes `frame` onto `out` (appends; does not clear).
+void EncodeFrame(const Frame& frame, std::string* out);
+
+// Decodes one frame from [data, data+size). Returns kOk and sets *consumed
+// on success; kNeedMore when the buffer holds only a frame prefix (consumed
+// is 0); any other value is a protocol violation (consumed is 0 and the
+// connection must close).
+WireError DecodeFrame(const uint8_t* data, size_t size, Frame* out,
+                      size_t* consumed);
+
+// Incremental per-connection parser: feed whatever the socket produced,
+// collect every completed frame. The internal buffer is bounded by the
+// declared frame length (itself bounded by kMaxFrameBytes), so a peer cannot
+// grow server memory by dribbling an unterminated frame. A protocol error is
+// sticky: once poisoned, every further Feed reports the same error and no
+// further frame is produced — the state machine above closes the connection,
+// so nothing may be dispatched from bytes after the violation.
+class FrameParser {
+ public:
+  // Appends completed frames to *out. Returns kOk while the stream is
+  // healthy (possibly mid-frame); otherwise the first violation hit.
+  WireError Feed(const uint8_t* data, size_t size, std::vector<Frame>* out);
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+  WireError error() const { return error_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  WireError error_ = WireError::kOk;
+};
+
+}  // namespace net
+
+#endif  // SRC_NET_PROTOCOL_H_

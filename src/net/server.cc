@@ -1,0 +1,483 @@
+#include "src/net/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <utility>
+
+#include "src/fault/failpoint.h"
+#include "src/vprof/analysis/call_graph.h"
+#include "src/vprof/probe.h"
+#include "src/vprof/registry.h"
+
+namespace net {
+
+struct NetServer::AtomicStats {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> accept_errors{0};
+  std::atomic<uint64_t> accept_overflow{0};
+  std::atomic<uint64_t> closed{0};
+  std::atomic<uint64_t> read_eofs{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> dispatched{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> replies_sent{0};
+  std::atomic<uint64_t> replies_dropped{0};
+  std::atomic<uint64_t> slow_peer_evictions{0};
+  std::atomic<uint64_t> idle_evictions{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> current_connections{0};
+  std::atomic<uint64_t> peak_connections{0};
+  std::atomic<uint64_t> peak_dispatch_depth{0};
+};
+
+namespace {
+
+void BumpPeak(std::atomic<uint64_t>* peak, uint64_t value) {
+  uint64_t seen = peak->load(std::memory_order_relaxed);
+  while (value > seen &&
+         !peak->compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+bool IsRequestType(MsgType type) {
+  return type == MsgType::kTxn || type == MsgType::kHttpGet ||
+         type == MsgType::kPing;
+}
+
+}  // namespace
+
+NetServer::NetServer(const NetServerOptions& options, Handler handler)
+    : options_(options),
+      handler_(std::move(handler)),
+      stats_(std::make_unique<AtomicStats>()) {
+  // Make the front-end's names exist in every trace snapshot taken while a
+  // NetServer is alive — MaterializeQueueWait and the probe below resolve
+  // FuncIds by these names.
+  vprof::RegisterFunction(kNetRootFunc);
+  vprof::RegisterFunction(kReadableFunc);
+  vprof::RegisterFunction(kQueueWaitFactor);
+}
+
+NetServer::~NetServer() { Shutdown(); }
+
+void NetServer::RegisterNetCallGraph(vprof::CallGraph* graph,
+                                     std::string_view engine_root) {
+  // "net:request" is a virtual super-root: it never fires as an invocation
+  // (the variance tree's root is synthetic), but parenting the engine root
+  // and the net-side factors under it makes the Profiler/vprofd instrument
+  // them in iteration 1.
+  graph->AddEdge(kNetRootFunc, engine_root);
+  graph->AddEdge(kNetRootFunc, kReadableFunc);
+  graph->AddEdge(kNetRootFunc, kQueueWaitFactor);
+}
+
+bool NetServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return true;
+  }
+  if (!loop_.valid()) {
+    return false;
+  }
+  listener_ = ListenLocal(options_.port, options_.backlog, &port_);
+  if (!listener_.valid()) {
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  shut_down_.store(false, std::memory_order_release);
+
+  loop_thread_ = std::thread([this] {
+    loop_.Add(listener_.get(), EPOLLIN | EPOLLET,
+              [this](uint32_t) { OnListenerReadable(); });
+    loop_.Run(options_.sweep_interval_ms, [this] { SweepConnections(); });
+  });
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return true;
+}
+
+void NetServer::Shutdown() {
+  if (shut_down_.exchange(true)) {
+    return;
+  }
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  // 1. Stop accepting. The listener is owned by the loop thread from here.
+  loop_.Post([this] {
+    if (listener_.valid()) {
+      loop_.Del(listener_.get());
+      listener_.reset();
+    }
+  });
+  // 2. Drain the dispatch queue: Close wakes the workers, Pop hands out the
+  // remaining tasks, and each worker posts its reply before exiting.
+  dispatch_.Close();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  // 3. Best-effort flush of everything the workers posted, then stop. The
+  // loop runs one final posted batch after Stop, so the flush is ordered
+  // after every reply handoff.
+  loop_.Post([this] {
+    std::vector<uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) {
+      ids.push_back(id);
+    }
+    for (const uint64_t id : ids) {
+      // FlushConn may erase the connection (write error, closing drain).
+      const auto it = conns_.find(id);
+      if (it != conns_.end()) {
+        FlushConn(it->second.get());
+      }
+    }
+  });
+  loop_.Stop();
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+  // 4. Loop thread is gone; tear down connection state on this thread.
+  stats_->closed.fetch_add(conns_.size(), std::memory_order_relaxed);
+  conns_.clear();
+  stats_->current_connections.store(0, std::memory_order_relaxed);
+  running_.store(false, std::memory_order_release);
+}
+
+NetServerStats NetServer::stats() const {
+  NetServerStats out;
+  const AtomicStats& s = *stats_;
+  out.accepted = s.accepted.load(std::memory_order_relaxed);
+  out.accept_errors = s.accept_errors.load(std::memory_order_relaxed);
+  out.accept_overflow = s.accept_overflow.load(std::memory_order_relaxed);
+  out.closed = s.closed.load(std::memory_order_relaxed);
+  out.read_eofs = s.read_eofs.load(std::memory_order_relaxed);
+  out.protocol_errors = s.protocol_errors.load(std::memory_order_relaxed);
+  out.requests = s.requests.load(std::memory_order_relaxed);
+  out.dispatched = s.dispatched.load(std::memory_order_relaxed);
+  out.rejected = s.rejected.load(std::memory_order_relaxed);
+  out.replies_sent = s.replies_sent.load(std::memory_order_relaxed);
+  out.replies_dropped = s.replies_dropped.load(std::memory_order_relaxed);
+  out.slow_peer_evictions =
+      s.slow_peer_evictions.load(std::memory_order_relaxed);
+  out.idle_evictions = s.idle_evictions.load(std::memory_order_relaxed);
+  out.bytes_in = s.bytes_in.load(std::memory_order_relaxed);
+  out.bytes_out = s.bytes_out.load(std::memory_order_relaxed);
+  out.current_connections =
+      s.current_connections.load(std::memory_order_relaxed);
+  out.peak_connections = s.peak_connections.load(std::memory_order_relaxed);
+  out.peak_dispatch_depth =
+      s.peak_dispatch_depth.load(std::memory_order_relaxed);
+  return out;
+}
+
+int64_t NetServer::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void NetServer::OnListenerReadable() {
+  // Edge-triggered: accept until EAGAIN.
+  while (true) {
+    Fd peer(::accept(listener_.get(), nullptr, nullptr));
+    if (!peer.valid()) {
+      break;  // EAGAIN/EMFILE/...: wait for the next edge
+    }
+    if (fault::Triggered("net/accept_error")) {
+      stats_->accept_errors.fetch_add(1, std::memory_order_relaxed);
+      continue;  // peer closes on scope exit
+    }
+    if (conns_.size() >= options_.max_connections) {
+      stats_->accept_overflow.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (SetNonBlocking(peer.get()) != 0) {
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(peer.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->last_activity_ms = NowMs();
+    const int fd = peer.get();
+    conn->fd = std::move(peer);
+    const uint64_t conn_id = conn->id;
+    if (!loop_.Add(fd, EPOLLIN | EPOLLET,
+                   [this, conn_id](uint32_t events) {
+                     OnConnEvent(conn_id, events);
+                   })) {
+      continue;  // conn (and fd) die here
+    }
+    conns_.emplace(conn_id, std::move(conn));
+    stats_->accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_->current_connections.store(conns_.size(),
+                                      std::memory_order_relaxed);
+    BumpPeak(&stats_->peak_connections, conns_.size());
+  }
+}
+
+void NetServer::OnConnEvent(uint64_t conn_id, uint32_t events) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return;
+  }
+  Conn* conn = it->second.get();
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    CloseConn(conn_id);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    FlushConn(conn);
+    if (conns_.find(conn_id) == conns_.end()) {
+      return;  // flush closed it (write error / closing drain)
+    }
+  }
+  if ((events & EPOLLIN) == 0) {
+    return;
+  }
+
+  std::vector<uint8_t> chunk(options_.read_chunk_bytes);
+  std::vector<Frame> frames;
+  while (true) {
+    bool injected_eof = false;
+    const ssize_t n =
+        ReadFd(conn->fd.get(), chunk.data(), chunk.size(), &injected_eof);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return;
+      }
+      CloseConn(conn_id);
+      return;
+    }
+    if (n == 0) {
+      stats_->read_eofs.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(conn_id);
+      return;
+    }
+    stats_->bytes_in.fetch_add(static_cast<uint64_t>(n),
+                               std::memory_order_relaxed);
+    conn->last_activity_ms = NowMs();
+
+    frames.clear();
+    const WireError err = conn->parser.Feed(chunk.data(),
+                                            static_cast<size_t>(n), &frames);
+    // Frames completed before a violation are whole and typed — dispatch
+    // them; nothing at or after the violation ever reaches a worker (the
+    // parser is poisoned and the connection is about to close).
+    for (Frame& frame : frames) {
+      HandleFrame(conn, std::move(frame));
+      if (conns_.find(conn_id) == conns_.end()) {
+        return;  // slow-peer eviction while queueing a reply
+      }
+    }
+    if (err != WireError::kOk) {
+      stats_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      Frame reply;
+      reply.type = MsgType::kError;
+      reply.request_id = 0;
+      reply.error = static_cast<uint8_t>(err);
+      std::string bytes;
+      EncodeFrame(reply, &bytes);
+      conn->closing = true;  // flush the error frame, then close
+      QueueBytes(conn, bytes);
+      return;
+    }
+    if (static_cast<size_t>(n) < chunk.size()) {
+      // Short read: the socket is drained; with EPOLLET the kernel would
+      // accept another read() returning EAGAIN, but this saves the syscall.
+      return;
+    }
+  }
+}
+
+void NetServer::HandleFrame(Conn* conn, Frame frame) {
+  if (!IsRequestType(frame.type)) {
+    // A reply type sent to the server is a protocol violation even though
+    // the frame itself decodes.
+    stats_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    Frame reply;
+    reply.type = MsgType::kError;
+    reply.request_id = frame.request_id;
+    reply.error = static_cast<uint8_t>(WireError::kBadType);
+    std::string bytes;
+    EncodeFrame(reply, &bytes);
+    conn->closing = true;
+    QueueBytes(conn, bytes);
+    return;
+  }
+  stats_->requests.fetch_add(1, std::memory_order_relaxed);
+
+  if (frame.type == MsgType::kPing) {
+    // Liveness probe: answered inline on the loop thread, no interval.
+    Frame reply;
+    reply.type = MsgType::kPong;
+    reply.request_id = frame.request_id;
+    std::string bytes;
+    EncodeFrame(reply, &bytes);
+    QueueBytes(conn, bytes);
+    return;
+  }
+
+  // The semantic interval is anchored here: it begins the moment a complete
+  // request frame is readable on the event-loop thread (paper Section 3.1).
+  // Labels follow the minidb convention (txn type + 1; 0 = untyped).
+  const vprof::IntervalLabel label =
+      frame.type == MsgType::kTxn
+          ? static_cast<vprof::IntervalLabel>(frame.txn.type) + 1
+          : vprof::kNoLabel;
+  const vprof::IntervalId sid = vprof::BeginInterval(label);
+  const uint64_t request_id = frame.request_id;
+  const uint64_t conn_id = conn->id;
+  bool queued = false;
+  {
+    // "net:readable" covers parse + dispatch on the loop thread; the walker
+    // lands in this invocation after the generator-edge jump from the
+    // worker, so epoll-side time is attributable by name.
+    VPROF_FUNC(kReadableFunc);
+    Task task;
+    task.sid = sid;
+    task.conn_id = conn_id;
+    task.request = std::move(frame);
+    if (options_.max_dispatch_depth == 0) {
+      dispatch_.Push(std::move(task));
+      queued = true;
+    } else {
+      queued = dispatch_.PushIfBelow(std::move(task),
+                                     options_.max_dispatch_depth);
+    }
+  }
+  if (queued) {
+    stats_->dispatched.fetch_add(1, std::memory_order_relaxed);
+    BumpPeak(&stats_->peak_dispatch_depth, dispatch_.Size());
+    // The loop thread goes back to background work; the interval lives on
+    // and is picked up by whichever worker dequeues the task.
+    vprof::WorkOnBehalf(vprof::kNoInterval);
+  } else {
+    // Shed at the dispatch queue: immediate 503 from the loop thread, and
+    // the interval ends here — rejected requests are real, short intervals,
+    // which is exactly how overload shows up in the latency distribution.
+    stats_->rejected.fetch_add(1, std::memory_order_relaxed);
+    Frame reply;
+    reply.type = MsgType::kRejected;
+    reply.request_id = request_id;
+    std::string bytes;
+    EncodeFrame(reply, &bytes);
+    vprof::EndInterval(sid);
+    QueueBytes(conn, bytes);
+  }
+}
+
+void NetServer::WorkerLoop() {
+  while (auto task = dispatch_.Pop()) {
+    // Pop attached the created-by edge; WorkOnBehalf relabels this thread's
+    // segment to the interval so the edge lands on it.
+    vprof::WorkOnBehalf(task->sid);
+    Frame reply = handler_(task->request);
+    reply.request_id = task->request.request_id;
+    std::string bytes;
+    EncodeFrame(reply, &bytes);
+    const uint64_t conn_id = task->conn_id;
+    loop_.Post([this, conn_id, bytes = std::move(bytes)] {
+      auto it = conns_.find(conn_id);
+      if (it == conns_.end()) {
+        stats_->replies_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      stats_->replies_sent.fetch_add(1, std::memory_order_relaxed);
+      QueueBytes(it->second.get(), bytes);
+    });
+    // The reply buffer is handed off; the response lifecycle on this
+    // request's critical path is done from the worker's point of view.
+    vprof::EndInterval(task->sid);
+  }
+  vprof::WorkOnBehalf(vprof::kNoInterval);
+}
+
+void NetServer::QueueBytes(Conn* conn, const std::string& bytes) {
+  conn->outbox.append(bytes);
+  const size_t pending = conn->outbox.size() - conn->out_offset;
+  if (pending > options_.write_buffer_cap) {
+    // Slow peer: it stopped draining and its backlog would otherwise grow
+    // without bound. Evict — drop the buffered replies and the socket.
+    stats_->slow_peer_evictions.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(conn->id);
+    return;
+  }
+  FlushConn(conn);
+}
+
+void NetServer::FlushConn(Conn* conn) {
+  const uint64_t conn_id = conn->id;
+  while (conn->out_offset < conn->outbox.size()) {
+    const ssize_t n =
+        WriteFd(conn->fd.get(), conn->outbox.data() + conn->out_offset,
+                conn->outbox.size() - conn->out_offset);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        if (!conn->wants_write) {
+          conn->wants_write = true;
+          loop_.Mod(conn->fd.get(), EPOLLIN | EPOLLOUT | EPOLLET);
+        }
+        return;
+      }
+      CloseConn(conn_id);  // EPIPE/ECONNRESET/...
+      return;
+    }
+    if (n == 0) {
+      return;
+    }
+    conn->out_offset += static_cast<size_t>(n);
+    stats_->bytes_out.fetch_add(static_cast<uint64_t>(n),
+                                std::memory_order_relaxed);
+  }
+  // Fully drained.
+  conn->outbox.clear();
+  conn->out_offset = 0;
+  if (conn->wants_write) {
+    conn->wants_write = false;
+    loop_.Mod(conn->fd.get(), EPOLLIN | EPOLLET);
+  }
+  if (conn->closing) {
+    CloseConn(conn_id);
+  }
+}
+
+void NetServer::CloseConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return;
+  }
+  loop_.Del(it->second->fd.get());
+  conns_.erase(it);
+  stats_->closed.fetch_add(1, std::memory_order_relaxed);
+  stats_->current_connections.store(conns_.size(), std::memory_order_relaxed);
+}
+
+void NetServer::SweepConnections() {
+  if (options_.idle_timeout_ms <= 0) {
+    return;
+  }
+  const int64_t now = NowMs();
+  std::vector<uint64_t> stale;
+  for (const auto& [id, conn] : conns_) {
+    if (now - conn->last_activity_ms > options_.idle_timeout_ms) {
+      stale.push_back(id);
+    }
+  }
+  for (const uint64_t id : stale) {
+    stats_->idle_evictions.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(id);
+  }
+}
+
+}  // namespace net

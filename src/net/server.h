@@ -1,0 +1,185 @@
+// NetServer: the epoll front-end that puts a real wire boundary in front of
+// the engines (ROADMAP item 1).
+//
+// One event-loop thread owns the listener and every connection: non-blocking
+// accept, edge-triggered reads into a bounded FrameParser, edge-triggered
+// writes out of a bounded per-connection outbox. Parsed requests are
+// dispatched to a worker pool through an instrumented vprof::TaskQueue; the
+// same bounded-queue shedding httpd uses generalizes to the accept path —
+// when the dispatch queue is at max_dispatch_depth the loop answers
+// kRejected (a 503) immediately instead of deepening the backlog.
+//
+// Semantic-interval anchoring (the reason this layer exists, paper
+// Section 3.1): the interval begins on the event-loop thread the moment a
+// complete request frame becomes readable — the "net:readable" probe wraps
+// parse + dispatch — and ends on the worker after the reply buffer is handed
+// back to the connection. The TaskQueue's created-by edge lets the
+// critical-path walker jump from the worker back through the dispatch queue
+// into the epoll wakeup, and the enqueue-to-dequeue gap surfaces as the
+// "net:queue_wait" variance factor (CriticalPathOptions::queue_wait_factor).
+//
+// Robustness: per-connection state machines are bounded in every dimension —
+// frame size (protocol.h), outbox bytes (slow-peer eviction), connection
+// count, idle time — and the socket layer evaluates the net/* failpoints so
+// chaos storms reach the accept/read/write paths deterministically.
+#ifndef SRC_NET_SERVER_H_
+#define SRC_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/event_loop.h"
+#include "src/net/protocol.h"
+#include "src/net/socket.h"
+#include "src/vprof/runtime.h"
+#include "src/vprof/task_queue.h"
+
+namespace net {
+
+// Probe-site / factor names the analysis layers key on.
+inline constexpr char kNetRootFunc[] = "net:request";
+inline constexpr char kReadableFunc[] = "net:readable";
+inline constexpr char kQueueWaitFactor[] = "net:queue_wait";
+
+struct NetServerOptions {
+  uint16_t port = 0;  // 0 = ephemeral; NetServer::port() reports the bound one
+  int backlog = 512;
+  int workers = 2;
+
+  // Dispatch-queue depth at which requests are shed with kRejected
+  // (httpd-style 503). 0 = unbounded.
+  size_t max_dispatch_depth = 0;
+
+  // Connections beyond this are accepted and immediately closed.
+  size_t max_connections = 8192;
+
+  // A connection whose pending outbox exceeds this many bytes is evicted
+  // (slow peer): its responses are dropped and the socket closed, so one
+  // non-draining client cannot pin server memory or stall the loop.
+  size_t write_buffer_cap = 256 * 1024;
+
+  // Idle eviction: connections with no readable activity for this long are
+  // closed on the sweep tick. 0 disables.
+  int64_t idle_timeout_ms = 0;
+  int sweep_interval_ms = 50;
+
+  // Bytes per read(2) call on the drain loop.
+  size_t read_chunk_bytes = 16 * 1024;
+};
+
+// Relaxed counters; Snapshot() gives a consistent-enough copy for tests.
+struct NetServerStats {
+  uint64_t accepted = 0;          // connections admitted to the loop
+  uint64_t accept_errors = 0;     // net/accept_error firings
+  uint64_t accept_overflow = 0;   // closed at max_connections
+  uint64_t closed = 0;            // connections torn down (any reason)
+  uint64_t read_eofs = 0;         // peer (or injected) EOF
+  uint64_t protocol_errors = 0;   // FrameParser violations
+  uint64_t requests = 0;          // complete request frames parsed
+  uint64_t dispatched = 0;        // handed to the worker pool
+  uint64_t rejected = 0;          // shed at the dispatch queue
+  uint64_t replies_sent = 0;      // reply frames fully written to a socket
+  uint64_t replies_dropped = 0;   // reply's connection was already gone
+  uint64_t slow_peer_evictions = 0;
+  uint64_t idle_evictions = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t current_connections = 0;
+  uint64_t peak_connections = 0;
+  uint64_t peak_dispatch_depth = 0;
+};
+
+class NetServer {
+ public:
+  // Executed on a worker thread; returns the reply frame (request_id is
+  // overwritten with the request's id by the server).
+  using Handler = std::function<Frame(const Frame& request)>;
+
+  NetServer(const NetServerOptions& options, Handler handler);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds, spawns the loop and worker threads. False when the listener or
+  // epoll could not be created (port in use, fd exhaustion).
+  bool Start();
+
+  // Stops accepting, drains the dispatch queue through the workers,
+  // best-effort flushes pending replies, closes every connection and joins
+  // all threads. Idempotent.
+  void Shutdown();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  NetServerStats stats() const;
+
+  // Registers the front-end's probe/factor names plus the virtual
+  // "net:request" super-root whose children are the engine's own interval
+  // root and the net-side factors — the shape both the offline Profiler and
+  // vprofd instrument first. Call after the engine's RegisterCallGraph.
+  static void RegisterNetCallGraph(vprof::CallGraph* graph,
+                                   std::string_view engine_root);
+
+ private:
+  struct Conn {
+    Fd fd;
+    uint64_t id = 0;
+    FrameParser parser;
+    std::string outbox;     // bytes not yet written
+    size_t out_offset = 0;  // written prefix of outbox
+    bool wants_write = false;
+    bool closing = false;  // flush outbox, then close (protocol error path)
+    int64_t last_activity_ms = 0;
+  };
+
+  struct Task {
+    vprof::IntervalId sid = vprof::kNoInterval;
+    uint64_t conn_id = 0;
+    Frame request;
+  };
+
+  // --- loop-thread only ---------------------------------------------------
+  void OnListenerReadable();
+  void OnConnEvent(uint64_t conn_id, uint32_t events);
+  void HandleFrame(Conn* conn, Frame frame);
+  void QueueBytes(Conn* conn, const std::string& bytes);
+  void FlushConn(Conn* conn);
+  void CloseConn(uint64_t conn_id);
+  void SweepConnections();
+  int64_t NowMs() const;
+
+  // --- worker threads -----------------------------------------------------
+  void WorkerLoop();
+
+  NetServerOptions options_;
+  Handler handler_;
+
+  EventLoop loop_;
+  Fd listener_;
+  uint16_t port_ = 0;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  vprof::TaskQueue<Task> dispatch_;
+
+  uint64_t next_conn_id_ = 1;  // loop-thread only
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shut_down_{false};
+
+  struct AtomicStats;
+  std::unique_ptr<AtomicStats> stats_;
+};
+
+}  // namespace net
+
+#endif  // SRC_NET_SERVER_H_

@@ -12,6 +12,7 @@
 #define SRC_VPROF_ANALYSIS_CRITICAL_PATH_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/vprof/trace.h"
@@ -62,6 +63,16 @@ struct CriticalPathOptions {
   // analyzes everything.
   bool filter_by_label = false;
   IntervalLabel label_filter = kNoLabel;
+
+  // Optional: the name of a registered function that receives each
+  // interval's critical-path queue wait (enqueue-to-dequeue gaps and
+  // kQueueWait segments) as a leaf node under the synthetic root. Queueing
+  // delay otherwise lands in the root's "(other)" body residual, which
+  // factor selection skips — naming it makes accept-queue / dispatch wait a
+  // first-class variance factor (the network front-end sets this to
+  // net::kQueueWaitFactor). Consumed by VarianceAnalysis, not the walker;
+  // ignored when the name was never registered during the run.
+  std::string queue_wait_factor;
 };
 
 // Index of a Trace by thread, with time-ordered binary search helpers.

@@ -60,7 +60,33 @@ VarianceAnalysis::VarianceAnalysis(const Trace& trace,
     series.assign(interval_count_, 0.0);
   }
   AttributeWindows(index, breakdowns);
+  MaterializeQueueWait(options.queue_wait_factor, breakdowns);
   AddBodiesAndStats();
+}
+
+void VarianceAnalysis::MaterializeQueueWait(
+    const std::string& factor_name,
+    const std::vector<IntervalBreakdown>& breakdowns) {
+  if (factor_name.empty()) {
+    return;
+  }
+  FuncId func = kInvalidFunc;
+  for (size_t i = 0; i < function_names_.size(); ++i) {
+    if (function_names_[i] == factor_name) {
+      func = static_cast<FuncId>(i);
+      break;
+    }
+  }
+  if (func == kInvalidFunc) {
+    return;  // name never registered during this run
+  }
+  const NodeId node = Intern(kRootNode, func, /*is_body=*/false);
+  std::vector<double>& series = node_times_[static_cast<size_t>(node)];
+  for (size_t i = 0; i < breakdowns.size(); ++i) {
+    // += rather than =: tolerate a (pathological) genuine invocation of the
+    // pseudo-function at top level sharing the node.
+    series[i] += breakdowns[i].queue_wait_ns;
+  }
 }
 
 NodeId VarianceAnalysis::Intern(NodeId parent, FuncId func, bool is_body) {

@@ -108,6 +108,11 @@ class VarianceAnalysis {
   NodeId Intern(NodeId parent, FuncId func, bool is_body);
   void AttributeWindows(const TraceIndex& index,
                         const std::vector<IntervalBreakdown>& breakdowns);
+  // Turns per-interval critical-path queue wait into a named leaf node under
+  // the root (CriticalPathOptions::queue_wait_factor); no-op for the empty
+  // name or an unregistered one.
+  void MaterializeQueueWait(const std::string& factor_name,
+                            const std::vector<IntervalBreakdown>& breakdowns);
   void AddBodiesAndStats();
 
   std::vector<TreeNode> nodes_;

@@ -1,0 +1,178 @@
+// Satellite: TPC-C over a real socket at overload. The semantic interval is
+// anchored at socket readability, so the variance tree sees the whole
+// network-side story: parse, dispatch-queue wait, engine execution, reply.
+// Past saturation the queue is where latency variance lives — a net-side
+// factor (net:queue_wait or net:readable) must rank in the offline top-3 —
+// and the online service (vprofd folding epoch traces through the same
+// queue-wait materialization) must agree with the offline analysis on the
+// top factors.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/minidb/engine.h"
+#include "src/net/frontend.h"
+#include "src/net/server.h"
+#include "src/statkit/rng.h"
+#include "src/vprof/analysis/factor_selection.h"
+#include "src/vprof/service/vprofd.h"
+#include "src/workload/openloop.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+// minidb's btree is only TSan-clean single-writer, and everything is ~20x
+// slower: one worker, gentler rates, fewer connections.
+constexpr int kWorkers = 1;
+constexpr size_t kConnections = 32;
+constexpr double kCalibrationRate = 800.0;
+constexpr vprof::TimeNs kEpochNs = 100'000'000;  // 100 ms
+#else
+constexpr int kWorkers = 2;
+constexpr size_t kConnections = 128;
+constexpr double kCalibrationRate = 6000.0;
+constexpr vprof::TimeNs kEpochNs = 80'000'000;  // 80 ms
+#endif
+constexpr size_t kDispatchDepth = 16;
+constexpr int kWarehouses = 2;
+constexpr double kOverloadFactor = 1.5;
+
+workload::OpenLoopOptions LoadOptions(uint16_t port, double rate_per_s,
+                                      double seconds, uint64_t seed) {
+  workload::OpenLoopOptions options;
+  options.port = port;
+  options.connections = kConnections;
+  options.duration_s = seconds;
+  options.arrivals.process = workload::ArrivalProcess::kPoisson;
+  options.arrivals.rate_per_sec = rate_per_s;
+  options.seed = seed;
+  auto rng = std::make_shared<statkit::Rng>(seed ^ 0x5eed);
+  auto gen = std::make_shared<workload::TpccGenerator>(workload::TpccOptions{},
+                                                       kWarehouses);
+  options.make_request = [rng, gen](uint64_t) {
+    net::Frame frame;
+    frame.type = net::MsgType::kTxn;
+    frame.txn = gen->Next(*rng);
+    return frame;
+  };
+  return options;
+}
+
+std::vector<std::string> TopLabels(const std::vector<vprof::Factor>& factors,
+                                   const std::vector<std::string>& names,
+                                   size_t k) {
+  std::vector<std::string> top;
+  for (const vprof::Factor& factor : factors) {
+    if (factor.func_b != vprof::kInvalidFunc) {
+      continue;  // single-function factors; covariances echo them
+    }
+    top.push_back(factor.Label(names));
+    if (top.size() == k) {
+      break;
+    }
+  }
+  return top;
+}
+
+bool HasNetFactor(const std::vector<std::string>& labels) {
+  for (const std::string& label : labels) {
+    if (label.rfind("net:", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(NetVarianceIntegration, QueueFactorAtOverloadAndOnlineMatchesOffline) {
+  minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+  config.warehouses = kWarehouses;
+  minidb::Engine engine(config);
+  auto graph = std::make_shared<vprof::CallGraph>();
+  minidb::Engine::RegisterCallGraph(graph.get());
+  net::NetServer::RegisterNetCallGraph(graph.get(), "run_transaction");
+  const vprof::FuncId net_root = vprof::RegisterFunction(net::kNetRootFunc);
+
+  net::NetServerOptions server_options;
+  server_options.workers = kWorkers;
+  server_options.max_dispatch_depth = kDispatchDepth;
+  net::NetServer server(server_options, net::MakeMinidbHandler(&engine));
+  ASSERT_TRUE(server.Start());
+
+  // Calibrate capacity with an untraced saturating run, then overload it.
+  const workload::OpenLoopResult calibration = workload::RunOpenLoop(
+      LoadOptions(server.port(), kCalibrationRate, 0.6, /*seed=*/7));
+  ASSERT_FALSE(calibration.connect_failed);
+  ASSERT_GT(calibration.acked, 0u);
+  const double overload = calibration.achieved_per_s * kOverloadFactor;
+
+  // Offline: one fully-instrumented traced run, analyzed in batch with the
+  // queue-wait factor materialized so net-side time competes for ranking.
+  const size_t registered = vprof::RegisteredFunctionCount();
+  for (vprof::FuncId id = 0; id < registered; ++id) {
+    vprof::SetFunctionEnabled(id, true);
+  }
+  vprof::StartTracing();
+  const workload::OpenLoopResult offline_run = workload::RunOpenLoop(
+      LoadOptions(server.port(), overload, 0.9, /*seed=*/21));
+  const vprof::Trace trace = vprof::StopTracing();
+  ASSERT_GT(offline_run.acked, 0u);
+
+  vprof::CriticalPathOptions path_options;
+  path_options.queue_wait_factor = net::kQueueWaitFactor;
+  const vprof::VarianceAnalysis analysis(trace, path_options);
+  const std::vector<vprof::Factor> offline_factors = vprof::AggregateFactors(
+      analysis, *graph, net_root, vprof::SpecificityKind::kQuadratic);
+  const std::vector<std::string> offline_top =
+      TopLabels(offline_factors, trace.function_names, 3);
+  ASSERT_FALSE(offline_top.empty());
+  EXPECT_TRUE(HasNetFactor(offline_top))
+      << "no net-side factor in the offline top-3 at overload";
+
+  // Online: vprofd folds epoch traces from the same socket workload through
+  // the same queue-wait materialization. The controller is off — the probe
+  // set is already fully enabled — so this isolates the aggregation path.
+  vprof::VprofdOptions daemon_options;
+  daemon_options.root_function = net::kNetRootFunc;
+  daemon_options.graph = graph;
+  daemon_options.epoch_ns = kEpochNs;
+  daemon_options.enable_controller = false;
+  daemon_options.tree.path_options.queue_wait_factor = net::kQueueWaitFactor;
+  vprof::Vprofd daemon(std::move(daemon_options));
+  daemon.Start();
+  const workload::OpenLoopResult online_run = workload::RunOpenLoop(
+      LoadOptions(server.port(), overload, 1.2, /*seed=*/35));
+  daemon.Stop();
+  vprof::DisableAllFunctions();
+  server.Shutdown();
+  ASSERT_GT(online_run.acked, 0u);
+  EXPECT_GT(online_run.rejected, 0u) << "overload point never shed";
+
+  const vprof::OnlineTreeSnapshot snapshot = daemon.Snapshot();
+  ASSERT_GT(snapshot.weight, 0.0);
+  ASSERT_GE(daemon.epochs(), 3u);
+  const std::vector<vprof::Factor> online_factors = vprof::AggregateFactors(
+      snapshot.View(), *graph, net_root, vprof::SpecificityKind::kQuadratic);
+  const std::vector<std::string> online_top =
+      TopLabels(online_factors, snapshot.function_names, 3);
+  ASSERT_FALSE(online_top.empty());
+  EXPECT_TRUE(HasNetFactor(online_top))
+      << "no net-side factor in the online top-3 at overload";
+
+  // Online and offline top-3 must substantially agree (the runs are separate
+  // schedules over live state, so demand overlap, not identity).
+  const std::set<std::string> offline_set(offline_top.begin(),
+                                          offline_top.end());
+  int overlap = 0;
+  for (const std::string& label : online_top) {
+    overlap += offline_set.count(label) ? 1 : 0;
+  }
+  EXPECT_GE(overlap, 2) << "online top-3 diverged from offline";
+}
+
+}  // namespace

@@ -1,0 +1,362 @@
+// Satellite: protocol framing property test — round-trips every message
+// type through encode/decode, then runs a deterministic seeded fuzz sweep
+// over truncations, single-byte corruptions and oversized lengths. The
+// contract under attack: a malformed stream produces exactly one typed
+// WireError, never a partial frame, and a poisoned parser never dispatches
+// anything from bytes after the violation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/net/protocol.h"
+
+namespace net {
+namespace {
+
+Frame TxnFrame(size_t items) {
+  Frame frame;
+  frame.type = MsgType::kTxn;
+  frame.request_id = 0x1122334455667788ull;
+  frame.txn.type = minidb::TxnType::kNewOrder;
+  frame.txn.warehouse = 7;
+  frame.txn.district = 3;
+  frame.txn.customer = 1234567;
+  for (size_t i = 0; i < items; ++i) {
+    frame.txn.items.push_back(static_cast<int64_t>(1000 + i));
+  }
+  return frame;
+}
+
+std::vector<Frame> AllTypesRoundTripSet() {
+  std::vector<Frame> frames;
+  frames.push_back(TxnFrame(5));
+  frames.push_back(TxnFrame(0));
+
+  Frame get;
+  get.type = MsgType::kHttpGet;
+  get.request_id = 2;
+  get.file_id = 0xdeadbeefcafeull;
+  frames.push_back(get);
+
+  Frame ping;
+  ping.type = MsgType::kPing;
+  ping.request_id = 3;
+  frames.push_back(ping);
+
+  Frame txn_reply;
+  txn_reply.type = MsgType::kTxnReply;
+  txn_reply.request_id = 4;
+  txn_reply.status = 1;
+  txn_reply.error = static_cast<uint8_t>(minidb::TxnError::kDeadlock);
+  txn_reply.value = 991;
+  frames.push_back(txn_reply);
+
+  Frame http_reply;
+  http_reply.type = MsgType::kHttpReply;
+  http_reply.request_id = 5;
+  http_reply.status = 0;
+  http_reply.value = 4096;
+  frames.push_back(http_reply);
+
+  Frame pong;
+  pong.type = MsgType::kPong;
+  pong.request_id = 6;
+  frames.push_back(pong);
+
+  Frame rejected;
+  rejected.type = MsgType::kRejected;
+  rejected.request_id = 7;
+  frames.push_back(rejected);
+
+  Frame error;
+  error.type = MsgType::kError;
+  error.request_id = 8;
+  error.error = static_cast<uint8_t>(WireError::kBadType);
+  frames.push_back(error);
+
+  return frames;
+}
+
+void ExpectFramesEqual(const Frame& a, const Frame& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.request_id, b.request_id);
+  EXPECT_EQ(a.txn.type, b.txn.type);
+  EXPECT_EQ(a.txn.warehouse, b.txn.warehouse);
+  EXPECT_EQ(a.txn.district, b.txn.district);
+  EXPECT_EQ(a.txn.customer, b.txn.customer);
+  EXPECT_EQ(a.txn.items, b.txn.items);
+  EXPECT_EQ(a.file_id, b.file_id);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.value, b.value);
+}
+
+TEST(NetProtocolTest, RoundTripsEveryMessageType) {
+  for (const Frame& original : AllTypesRoundTripSet()) {
+    std::string bytes;
+    EncodeFrame(original, &bytes);
+    Frame decoded;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(bytes.data()),
+                          bytes.size(), &decoded, &consumed),
+              WireError::kOk)
+        << "type=" << static_cast<int>(original.type);
+    EXPECT_EQ(consumed, bytes.size());
+    ExpectFramesEqual(original, decoded);
+  }
+}
+
+TEST(NetProtocolTest, DecodesBackToBackFramesFromOneBuffer) {
+  std::string bytes;
+  const std::vector<Frame> frames = AllTypesRoundTripSet();
+  for (const Frame& frame : frames) {
+    EncodeFrame(frame, &bytes);
+  }
+  size_t offset = 0;
+  for (const Frame& expected : frames) {
+    Frame decoded;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(bytes.data()) +
+                              offset,
+                          bytes.size() - offset, &decoded, &consumed),
+              WireError::kOk);
+    ExpectFramesEqual(expected, decoded);
+    offset += consumed;
+  }
+  EXPECT_EQ(offset, bytes.size());
+}
+
+// Every strict prefix of a valid frame is kNeedMore — never an error, never
+// a partial decode.
+TEST(NetProtocolTest, EveryTruncationIsNeedMore) {
+  for (const Frame& original : AllTypesRoundTripSet()) {
+    std::string bytes;
+    EncodeFrame(original, &bytes);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      Frame decoded;
+      size_t consumed = 1234;
+      const WireError err =
+          DecodeFrame(reinterpret_cast<const uint8_t*>(bytes.data()), cut,
+                      &decoded, &consumed);
+      ASSERT_EQ(err, WireError::kNeedMore)
+          << "type=" << static_cast<int>(original.type) << " cut=" << cut;
+      EXPECT_EQ(consumed, 0u);
+    }
+  }
+}
+
+// A parser fed one byte at a time produces exactly the original frames.
+TEST(NetProtocolTest, ByteAtATimeFeedReassembles) {
+  std::string bytes;
+  const std::vector<Frame> frames = AllTypesRoundTripSet();
+  for (const Frame& frame : frames) {
+    EncodeFrame(frame, &bytes);
+  }
+  FrameParser parser;
+  std::vector<Frame> out;
+  for (const char byte : bytes) {
+    ASSERT_EQ(parser.Feed(reinterpret_cast<const uint8_t*>(&byte), 1, &out),
+              WireError::kOk);
+  }
+  ASSERT_EQ(out.size(), frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    ExpectFramesEqual(frames[i], out[i]);
+  }
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(NetProtocolTest, OversizedDeclaredLengthIsRejectedEarly) {
+  // Header claims more than kMaxFrameBytes: rejected from the length field
+  // alone, before any payload arrives — the bounded-buffer guarantee.
+  const uint32_t huge = kMaxFrameBytes + 1;
+  uint8_t header[4];
+  std::memcpy(header, &huge, 4);
+  Frame decoded;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(header, 4, &decoded, &consumed),
+            WireError::kOversized);
+
+  FrameParser parser;
+  std::vector<Frame> out;
+  EXPECT_EQ(parser.Feed(header, 4, &out), WireError::kOversized);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(NetProtocolTest, LengthBelowOverheadIsRejected) {
+  for (uint32_t length = 0; length < kFrameOverhead; ++length) {
+    std::string bytes;
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+    }
+    bytes.append(length, '\0');
+    Frame decoded;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(bytes.data()),
+                          bytes.size(), &decoded, &consumed),
+              WireError::kOversized)
+        << "length=" << length;
+  }
+}
+
+TEST(NetProtocolTest, UnknownTypeAndBadEnumsAreTyped) {
+  // Unknown message type.
+  {
+    std::string bytes;
+    Frame ping;
+    ping.type = MsgType::kPing;
+    EncodeFrame(ping, &bytes);
+    bytes[4] = 99;  // type byte
+    Frame decoded;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(bytes.data()),
+                          bytes.size(), &decoded, &consumed),
+              WireError::kBadType);
+  }
+  // Out-of-range txn type.
+  {
+    std::string bytes;
+    EncodeFrame(TxnFrame(1), &bytes);
+    bytes[kHeaderBytes] = 55;  // first payload byte = txn type
+    Frame decoded;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(bytes.data()),
+                          bytes.size(), &decoded, &consumed),
+              WireError::kBadPayload);
+  }
+  // Item count that disagrees with the payload size.
+  {
+    std::string bytes;
+    EncodeFrame(TxnFrame(2), &bytes);
+    bytes[kHeaderBytes + 17] = 9;  // n_items low byte: claims 9, carries 2
+    Frame decoded;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(bytes.data()),
+                          bytes.size(), &decoded, &consumed),
+              WireError::kBadPayload);
+  }
+  // Wrong fixed payload size.
+  {
+    std::string bytes;
+    Frame pong;
+    pong.type = MsgType::kPong;
+    EncodeFrame(pong, &bytes);
+    bytes.push_back('\0');  // extra payload byte
+    bytes[0] = static_cast<char>(kFrameOverhead + 1);
+    Frame decoded;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(bytes.data()),
+                          bytes.size(), &decoded, &consumed),
+              WireError::kBadPayload);
+  }
+}
+
+TEST(NetProtocolTest, ParserErrorIsStickyAndDispatchesNothingAfter) {
+  FrameParser parser;
+  std::vector<Frame> out;
+
+  // One good frame, then garbage, then another good frame.
+  std::string bytes;
+  EncodeFrame(TxnFrame(1), &bytes);
+  const size_t good = bytes.size();
+  bytes.append("\xff\xff\xff\xff garbage garbage", 20);
+  EncodeFrame(TxnFrame(2), &bytes);
+
+  const WireError err = parser.Feed(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size(), &out);
+  EXPECT_NE(err, WireError::kOk);
+  // Only the frame that completed before the violation came out.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].txn.items.size(), 1u);
+  EXPECT_EQ(parser.error(), err);
+  (void)good;
+
+  // Poisoned: even perfectly valid bytes no longer dispatch.
+  std::string clean;
+  EncodeFrame(TxnFrame(3), &clean);
+  out.clear();
+  EXPECT_EQ(parser.Feed(reinterpret_cast<const uint8_t*>(clean.data()),
+                        clean.size(), &out),
+            err);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+// Deterministic fuzz: corrupt every byte position of every frame type with
+// seeded random values. The decoder must either accept (some corruptions
+// are semantically harmless — request ids, payload values) or return a
+// typed error; it must never crash, loop, over-consume, or hand back a
+// frame from a stream that then desyncs the parser's bounded buffer.
+TEST(NetProtocolTest, SeededCorruptionSweepNeverDesyncs) {
+  std::mt19937_64 rng(20260809);
+  for (const Frame& original : AllTypesRoundTripSet()) {
+    std::string bytes;
+    EncodeFrame(original, &bytes);
+    for (size_t pos = 0; pos < bytes.size(); ++pos) {
+      for (int round = 0; round < 4; ++round) {
+        std::string corrupt = bytes;
+        const uint8_t new_byte = static_cast<uint8_t>(rng());
+        if (static_cast<uint8_t>(corrupt[pos]) == new_byte) {
+          continue;
+        }
+        corrupt[pos] = static_cast<char>(new_byte);
+
+        Frame decoded;
+        size_t consumed = 0;
+        const WireError err = DecodeFrame(
+            reinterpret_cast<const uint8_t*>(corrupt.data()), corrupt.size(),
+            &decoded, &consumed);
+        switch (err) {
+          case WireError::kOk:
+            // Accepted: must have consumed a whole well-formed frame.
+            ASSERT_GE(consumed, kHeaderBytes);
+            ASSERT_LE(consumed, corrupt.size());
+            break;
+          case WireError::kNeedMore:
+            // Corrupted length now claims more bytes than present; parser
+            // would keep buffering (bounded by kMaxFrameBytes).
+            EXPECT_EQ(consumed, 0u);
+            break;
+          case WireError::kOversized:
+          case WireError::kBadType:
+          case WireError::kBadPayload:
+            EXPECT_EQ(consumed, 0u);
+            break;
+        }
+      }
+    }
+  }
+}
+
+// Random garbage streams: fed in random chunk sizes, the parser must end in
+// kOk (still syncing / buffering) or a typed error with an empty buffer —
+// and must never yield more frames than the stream could possibly contain.
+TEST(NetProtocolTest, SeededGarbageStreamsStayBounded) {
+  std::mt19937_64 rng(77);
+  for (int round = 0; round < 200; ++round) {
+    const size_t len = 1 + static_cast<size_t>(rng() % 512);
+    std::vector<uint8_t> noise(len);
+    for (auto& b : noise) {
+      b = static_cast<uint8_t>(rng());
+    }
+    FrameParser parser;
+    std::vector<Frame> out;
+    size_t offset = 0;
+    WireError last = WireError::kOk;
+    while (offset < noise.size() && last == WireError::kOk) {
+      const size_t chunk =
+          std::min<size_t>(1 + rng() % 64, noise.size() - offset);
+      last = parser.Feed(noise.data() + offset, chunk, &out);
+      offset += chunk;
+    }
+    EXPECT_LE(parser.buffered_bytes(),
+              static_cast<size_t>(kMaxFrameBytes) + kLengthBytes);
+    EXPECT_LE(out.size(), len / kHeaderBytes + 1);
+  }
+}
+
+}  // namespace
+}  // namespace net
