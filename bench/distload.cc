@@ -1,0 +1,498 @@
+// Cross-service distributed load benchmark (ISSUE: dist tier). Emits
+// BENCH_dist.json.
+//
+// The full two-tier topology in one process: an open-loop generator drives
+// kHttpGet into the front NetServer; httpd workers call minidb through
+// dist::BackendPool (rpc:call over AsyncClient) behind a second NetServer.
+// Three utilization points bracket the measured two-tier capacity; at each,
+// a traced run is split by tier roster, stitched by dist::StitchTraces, and
+// decomposed once end-to-end — front-tier factors (net:queue_wait, the
+// allocator chain) and backend factors (lock waits, the WAL path) compete in
+// the same Eq. 2 ranking. Per-tier shares come from the online path
+// (OnlineVarianceTree per tier merged by DistMonitor) and are persisted as
+// tier:* statstore series, then read back bit-exact.
+//
+// Cold-start mode rebuilds the stack with BackendPool spawning the backend
+// on the first request; the spawn cost must rank as dist:cold_start.
+//
+// Acceptance (driver-checked): at the overload point the merged top-3 holds
+// BOTH a backend factor and a front factor; in cold-start mode
+// dist:cold_start ranks in the top-3.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/dist/backend_pool.h"
+#include "src/dist/monitor.h"
+#include "src/dist/stitcher.h"
+#include "src/dist/tier.h"
+#include "src/httpd/server.h"
+#include "src/minidb/engine.h"
+#include "src/net/frontend.h"
+#include "src/net/server.h"
+#include "src/statkit/rng.h"
+#include "src/statstore/store.h"
+#include "src/vprof/analysis/factor_selection.h"
+#include "src/vprof/service/history.h"
+#include "src/workload/openloop.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+constexpr size_t kConnections = 256;
+constexpr size_t kDispatchDepth = 32;
+constexpr int kFrontNetWorkers = 2;
+constexpr int kHttpdWorkers = 3;
+constexpr int kBackendWorkers = 2;
+constexpr int kWarehouses = 1;
+constexpr double kCalibrationRate = 4000.0;
+constexpr double kCalibrationSeconds = 0.8;
+constexpr double kMeasureSeconds = 1.2;
+constexpr double kTraceSeconds = 0.8;
+constexpr int kColdSpawnDelayMs = 60;
+const double kUtilizations[] = {0.5, 0.9, 1.4};
+
+struct FactorShare {
+  std::string name;
+  double contribution = 0.0;
+};
+
+struct TierShare {
+  std::string name;
+  double share = 0.0;
+  double variance_ns2 = 0.0;
+  uint64_t intervals = 0;
+};
+
+struct LoadPoint {
+  double utilization = 0.0;
+  double offered_per_s = 0.0;
+  workload::OpenLoopResult run;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  std::vector<FactorShare> top_factors;  // merged stitched decomposition
+  std::vector<TierShare> tiers;          // online DistMonitor view
+};
+
+// The two-tier stack. cold_start defers the backend (engine + NetServer +
+// connect + calibrate) to the first request through the pool.
+struct Stack {
+  explicit Stack(bool cold_start) : cold(cold_start) {
+    graph = std::make_shared<vprof::CallGraph>();
+    minidb::Engine::RegisterCallGraph(graph.get());
+    httpd::HttpServer::RegisterCallGraph(graph.get());
+    net::NetServer::RegisterNetCallGraph(graph.get(), "process_request");
+    net::NetServer::RegisterNetCallGraph(graph.get(), "run_transaction");
+    dist::RegisterDistCallGraph(graph.get(), "run_transaction");
+    net_root = vprof::RegisterFunction(net::kNetRootFunc);
+
+    dist::BackendPoolOptions popt;
+    popt.service = net::ServiceId::kMinidb;
+    popt.connections = 2;
+    popt.calibrate_rounds = 8;
+    popt.span_sink = spans.ClientSink();
+    if (cold_start) {
+      popt.cold_start = true;
+      popt.spawn = [this]() { return SpawnBackend(); };
+      pool = std::make_unique<dist::BackendPool>(popt);
+    } else {
+      popt.port = SpawnBackend();
+      pool = std::make_unique<dist::BackendPool>(popt);
+      if (!pool->Warm()) {
+        std::fprintf(stderr, "distload: pool warm-up failed\n");
+        std::exit(1);
+      }
+    }
+
+    httpd::HttpdConfig hconf;
+    hconf.workers = kHttpdWorkers;
+    hconf.backend_call = [this](uint64_t) {
+      net::Frame req;
+      req.type = net::MsgType::kTxn;
+      {
+        std::lock_guard<std::mutex> lock(gen_mu);
+        req.txn = gen.Next(rng);
+      }
+      net::Frame reply;
+      (void)pool->Call(std::move(req), &reply);
+    };
+    http = std::make_unique<httpd::HttpServer>(hconf);
+
+    net::NetServerOptions fopt;
+    fopt.workers = kFrontNetWorkers;
+    fopt.max_dispatch_depth = kDispatchDepth;
+    fopt.max_connections = 2 * kConnections;
+    front = std::make_unique<net::NetServer>(fopt,
+                                             net::MakeHttpdHandler(http.get()));
+    if (!front->Start()) {
+      std::fprintf(stderr, "distload: front server failed to start\n");
+      std::exit(1);
+    }
+  }
+
+  ~Stack() {
+    front->Shutdown();
+    http->Shutdown();
+    pool->Shutdown();
+    if (backend != nullptr) {
+      backend->Shutdown();
+    }
+  }
+
+  uint16_t SpawnBackend() {
+    if (cold) {
+      // Stand-in for the spawned process's exec + init cost.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(kColdSpawnDelayMs));
+    }
+    minidb::EngineConfig config = bench::MysqlMemoryResidentConfig();
+    config.warehouses = kWarehouses;
+    engine = std::make_unique<minidb::Engine>(config);
+    net::NetServerOptions bopt;
+    bopt.workers = kBackendWorkers;
+    bopt.span_sink = spans.ServerSink();
+    backend = std::make_unique<net::NetServer>(
+        bopt, net::MakeMinidbHandler(engine.get()));
+    if (!backend->Start()) {
+      return 0;
+    }
+    return backend->port();
+  }
+
+  dist::StitchResult Stitch(const vprof::Trace& trace,
+                            std::vector<vprof::Trace>* tiers_out) {
+    const std::vector<vprof::Trace> tiers = dist::SplitByTids(
+        trace, {{}, backend->ProfiledTids()}, /*default_index=*/0);
+    dist::TierTrace front_tier;
+    front_tier.name = "front";
+    front_tier.service = net::ServiceId::kFront;
+    front_tier.trace = tiers[0];
+    front_tier.client_spans = spans.ClientSpans();
+    dist::TierTrace backend_tier;
+    backend_tier.name = "minidb";
+    backend_tier.service = net::ServiceId::kMinidb;
+    backend_tier.trace = tiers[1];
+    backend_tier.server_spans = spans.ServerSpans();
+    backend_tier.clock_offset_ns = pool->calibration().offset_ns;
+    spans.Clear();
+    if (tiers_out != nullptr) {
+      *tiers_out = tiers;
+    }
+    return dist::StitchTraces(front_tier, {backend_tier});
+  }
+
+  bool cold = false;
+  std::shared_ptr<vprof::CallGraph> graph;
+  vprof::FuncId net_root = vprof::kInvalidFunc;
+  dist::SpanLog spans;
+  std::unique_ptr<minidb::Engine> engine;
+  std::unique_ptr<net::NetServer> backend;
+  std::unique_ptr<dist::BackendPool> pool;
+  std::unique_ptr<httpd::HttpServer> http;
+  std::unique_ptr<net::NetServer> front;
+
+  std::mutex gen_mu;
+  statkit::Rng rng{0xd157};
+  workload::TpccGenerator gen{workload::TpccOptions{}, kWarehouses};
+};
+
+workload::OpenLoopOptions LoadOptions(uint16_t port, double rate_per_s,
+                                      double seconds, uint64_t seed) {
+  workload::OpenLoopOptions options;
+  options.port = port;
+  options.connections = kConnections;
+  options.duration_s = seconds;
+  options.arrivals.process = workload::ArrivalProcess::kPoisson;
+  options.arrivals.rate_per_sec = rate_per_s;
+  options.seed = seed;
+  options.make_request = [](uint64_t i) {
+    net::Frame frame;
+    frame.type = net::MsgType::kHttpGet;
+    frame.file_id = i % 4;
+    return frame;
+  };
+  return options;
+}
+
+void EnableAllProbes() {
+  const size_t registered = vprof::RegisteredFunctionCount();
+  for (vprof::FuncId id = 0; id < registered; ++id) {
+    vprof::SetFunctionEnabled(id, true);
+  }
+}
+
+std::vector<FactorShare> TopFactors(const vprof::VarianceAnalysis& analysis,
+                                    const vprof::CallGraph& graph,
+                                    vprof::FuncId root,
+                                    const std::vector<std::string>& names) {
+  const std::vector<vprof::Factor> factors = vprof::AggregateFactors(
+      analysis, graph, root, vprof::SpecificityKind::kQuadratic);
+  std::vector<FactorShare> top;
+  for (const vprof::Factor& factor : factors) {
+    if (factor.func_b != vprof::kInvalidFunc) {
+      continue;
+    }
+    top.push_back({factor.Label(names), factor.contribution});
+    if (top.size() == 3) {
+      break;
+    }
+  }
+  return top;
+}
+
+bool IsBackendFactor(const std::string& name) {
+  return name == "lock_rec_lock" || name == "os_event_wait" ||
+         name == "log_write_up_to" || name == "fil_flush" ||
+         name == "trx_commit" || name == "run_transaction";
+}
+
+bool IsFrontFactor(const std::string& name) {
+  return name.rfind("net:", 0) == 0 || name.rfind("apr_", 0) == 0 ||
+         name.rfind("ap_", 0) == 0 || name.rfind("rpc:", 0) == 0 ||
+         name == "process_request" || name == "default_handler";
+}
+
+// One traced run: stitched offline top-3 plus the online per-tier view
+// (folded trees merged by DistMonitor), persisted as one statstore epoch.
+void TracePoint(Stack* stack, const workload::OpenLoopOptions& options,
+                uint64_t epoch, statstore::StatStore* store,
+                LoadPoint* point) {
+  EnableAllProbes();
+  vprof::StartTracing();
+  workload::RunOpenLoop(options);
+  const vprof::Trace trace = vprof::StopTracing();
+  vprof::DisableAllFunctions();
+
+  std::vector<vprof::Trace> tiers;
+  const dist::StitchResult stitched = stack->Stitch(trace, &tiers);
+
+  vprof::CriticalPathOptions path_options;
+  path_options.queue_wait_factor = net::kQueueWaitFactor;
+  const vprof::VarianceAnalysis analysis(stitched.trace, path_options);
+  point->top_factors = TopFactors(analysis, *stack->graph, stack->net_root,
+                                  stitched.trace.function_names);
+
+  vprof::OnlineTreeOptions tree_options;
+  tree_options.path_options.queue_wait_factor = net::kQueueWaitFactor;
+  vprof::OnlineVarianceTree front_tree(tree_options);
+  vprof::OnlineVarianceTree backend_tree(tree_options);
+  front_tree.Fold(tiers[0]);
+  backend_tree.Fold(tiers[1]);
+
+  dist::DistMonitor monitor;
+  dist::TierConfig front_cfg;
+  front_cfg.name = "front";
+  front_cfg.is_front = true;
+  front_cfg.root = stack->net_root;
+  monitor.RegisterTier(front_cfg);
+  dist::TierConfig backend_cfg;
+  backend_cfg.name = "minidb";
+  backend_cfg.root = vprof::RegisterFunction("run_transaction");
+  monitor.RegisterTier(backend_cfg);
+  monitor.UpdateTier("front", front_tree.Snapshot());
+  monitor.UpdateTier("minidb", backend_tree.Snapshot());
+
+  const dist::DistSnapshot snap = monitor.Snapshot();
+  for (const dist::TierStats& tier : snap.tiers) {
+    point->tiers.push_back(
+        {tier.name, tier.share, tier.variance_ns2, tier.intervals});
+  }
+  if (store != nullptr) {
+    (void)store->Append(monitor.Sample(epoch));
+  }
+}
+
+void FillPercentiles(LoadPoint* point) {
+  point->p50_ms = workload::PercentileNs(point->run.latencies_ns, 50.0) / 1e6;
+  point->p99_ms = workload::PercentileNs(point->run.latencies_ns, 99.0) / 1e6;
+  point->p999_ms =
+      workload::PercentileNs(point->run.latencies_ns, 99.9) / 1e6;
+}
+
+void PrintPoints(const std::vector<LoadPoint>& points) {
+  std::printf("\n  %5s %10s %10s %8s %8s %9s %9s %9s  %s\n", "util",
+              "offered/s", "acked/s", "acked", "rejected", "p50 (ms)",
+              "p99 (ms)", "p999(ms)", "merged top factors (tier shares)");
+  for (const LoadPoint& p : points) {
+    std::string desc;
+    for (const FactorShare& f : p.top_factors) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%s%s %.1f%%", desc.empty() ? "" : ", ",
+                    f.name.c_str(), f.contribution * 100.0);
+      desc += buf;
+    }
+    for (const TierShare& t : p.tiers) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), " [%s %.2f]", t.name.c_str(), t.share);
+      desc += buf;
+    }
+    std::printf("  %5.2f %10.0f %10.0f %8llu %8llu %9.3f %9.3f %9.3f  %s\n",
+                p.utilization, p.offered_per_s, p.run.achieved_per_s,
+                static_cast<unsigned long long>(p.run.acked),
+                static_cast<unsigned long long>(p.run.rejected), p.p50_ms,
+                p.p99_ms, p.p999_ms, desc.c_str());
+  }
+}
+
+void EmitFactors(FILE* json, const std::vector<FactorShare>& factors) {
+  std::fprintf(json, "[");
+  for (size_t f = 0; f < factors.size(); ++f) {
+    std::fprintf(json, "%s{\"name\": \"%s\", \"contribution\": %.4f}",
+                 f == 0 ? "" : ", ", factors[f].name.c_str(),
+                 factors[f].contribution);
+  }
+  std::fprintf(json, "]");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "distload — end-to-end variance decomposed across httpd -> minidb over "
+      "the wire");
+  std::printf("Expected shape: below saturation backend factors (locks, WAL)\n"
+              "dominate; past it the front queue joins them. Cold-start mode\n"
+              "must rank dist:cold_start.\n");
+
+  Stack stack(/*cold_start=*/false);
+
+  const workload::OpenLoopResult calibration = workload::RunOpenLoop(
+      LoadOptions(stack.front->port(), kCalibrationRate, kCalibrationSeconds,
+                  /*seed=*/7));
+  if (calibration.connect_failed || calibration.acked == 0) {
+    std::fprintf(stderr, "distload: calibration run failed\n");
+    return 1;
+  }
+  const double capacity = calibration.achieved_per_s;
+  std::printf("\n  calibration: two-tier capacity ~%.0f req/s\n", capacity);
+
+  statstore::StoreOptions store_options;
+  store_options.dir = "bench_dist_store";
+  statstore::StatStore store(store_options);
+  if (!store.Open()) {
+    std::fprintf(stderr, "distload: statstore open failed\n");
+    return 1;
+  }
+
+  std::vector<LoadPoint> points;
+  uint64_t seed = 2000;
+  uint64_t epoch = 1;
+  for (const double utilization : kUtilizations) {
+    LoadPoint point;
+    point.utilization = utilization;
+    point.offered_per_s = capacity * utilization;
+    point.run = workload::RunOpenLoop(LoadOptions(
+        stack.front->port(), point.offered_per_s, kMeasureSeconds, seed));
+    FillPercentiles(&point);
+    TracePoint(&stack, LoadOptions(stack.front->port(), point.offered_per_s,
+                                   kTraceSeconds, seed + 1),
+               epoch, &store, &point);
+    points.push_back(std::move(point));
+    seed += 10;
+    ++epoch;
+  }
+  store.Seal();
+  PrintPoints(points);
+
+  // Prove the persisted tier series round-trips.
+  const std::vector<statstore::SeriesPoint> persisted =
+      store.Query(vprof::TierSeriesName("minidb", "share"), 0, epoch);
+  std::printf("\n  statstore: %zu tier:minidb:share points persisted\n",
+              persisted.size());
+
+  // Cold-start mode: a fresh stack whose backend does not exist until the
+  // first request; trace covers the spawn.
+  LoadPoint cold_point;
+  uint64_t cold_starts = 0;
+  {
+    Stack cold_stack(/*cold_start=*/true);
+    cold_point.utilization = 0.0;
+    cold_point.offered_per_s = capacity * 0.4;
+    TracePoint(&cold_stack,
+               LoadOptions(cold_stack.front->port(), cold_point.offered_per_s,
+                           0.5, /*seed=*/4242),
+               epoch, nullptr, &cold_point);
+    cold_starts = cold_stack.pool->cold_starts();
+  }
+
+  bool backend_at_overload = false;
+  bool front_at_overload = false;
+  for (const FactorShare& f : points.back().top_factors) {
+    backend_at_overload = backend_at_overload || IsBackendFactor(f.name);
+    front_at_overload = front_at_overload || IsFrontFactor(f.name);
+  }
+  bool cold_in_top3 = false;
+  std::string cold_desc;
+  for (const FactorShare& f : cold_point.top_factors) {
+    cold_in_top3 = cold_in_top3 || f.name == dist::kColdStartFunc;
+    cold_desc += f.name + " ";
+  }
+  std::printf("\n  cold start: %llu spawn(s); top-3: %s\n",
+              static_cast<unsigned long long>(cold_starts),
+              cold_desc.c_str());
+  std::printf("  acceptance: backend factor at overload: %s; front factor at "
+              "overload: %s; dist:cold_start ranked: %s\n",
+              backend_at_overload ? "yes" : "NO",
+              front_at_overload ? "yes" : "NO", cold_in_top3 ? "yes" : "NO");
+
+  FILE* json = std::fopen("BENCH_dist.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "distload: cannot write BENCH_dist.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"benchmark\": \"distload\",\n");
+  std::fprintf(json, "  \"connections\": %d,\n",
+               static_cast<int>(kConnections));
+  std::fprintf(json,
+               "  \"front_net_workers\": %d,\n  \"httpd_workers\": %d,\n"
+               "  \"backend_workers\": %d,\n",
+               kFrontNetWorkers, kHttpdWorkers, kBackendWorkers);
+  std::fprintf(json, "  \"capacity_per_s\": %.1f,\n", capacity);
+  std::fprintf(json, "  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    std::fprintf(
+        json,
+        "    {\"utilization\": %.2f, \"offered_per_s\": %.1f, "
+        "\"achieved_per_s\": %.1f, \"acked\": %llu, \"rejected\": %llu, "
+        "\"failed\": %llu, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"p999_ms\": %.4f, \"top_factors\": ",
+        p.utilization, p.offered_per_s, p.run.achieved_per_s,
+        static_cast<unsigned long long>(p.run.acked),
+        static_cast<unsigned long long>(p.run.rejected),
+        static_cast<unsigned long long>(p.run.failed), p.p50_ms, p.p99_ms,
+        p.p999_ms);
+    EmitFactors(json, p.top_factors);
+    std::fprintf(json, ", \"tier_shares\": {");
+    for (size_t t = 0; t < p.tiers.size(); ++t) {
+      std::fprintf(json, "%s\"%s\": %.4f", t == 0 ? "" : ", ",
+                   p.tiers[t].name.c_str(), p.tiers[t].share);
+    }
+    std::fprintf(json, "}}%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"cold_start\": {\n");
+  std::fprintf(json, "    \"spawns\": %llu,\n",
+               static_cast<unsigned long long>(cold_starts));
+  std::fprintf(json, "    \"spawn_delay_ms\": %d,\n", kColdSpawnDelayMs);
+  std::fprintf(json, "    \"top_factors\": ");
+  EmitFactors(json, cold_point.top_factors);
+  std::fprintf(json, "\n  },\n  \"acceptance\": {\n");
+  std::fprintf(json,
+               "    \"backend_factor_in_top3_at_overload\": %s,\n"
+               "    \"front_factor_in_top3_at_overload\": %s,\n"
+               "    \"cold_start_in_top3\": %s\n",
+               backend_at_overload ? "true" : "false",
+               front_at_overload ? "true" : "false",
+               cold_in_top3 ? "true" : "false");
+  std::fprintf(json, "  }\n}\n");
+  std::fclose(json);
+  std::printf("  wrote BENCH_dist.json\n");
+  return (backend_at_overload && front_at_overload && cold_in_top3) ? 0 : 1;
+}

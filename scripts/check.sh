@@ -25,7 +25,13 @@
 # under ThreadSanitizer, then the full "net" ctest label (protocol fuzz,
 # socket fault injection, open-loop statistics, socket-anchored variance
 # integration) in a plain build.
-# Usage: scripts/check.sh [--tsan-only|--asan-only|--online|--statstore|--scale|--chaos|--net]
+# --dist runs the cross-service profiling suite: the concurrent
+# stitching-vs-epoch-flip stress under ThreadSanitizer, then the full
+# "dist" ctest label (wire-extension fuzz, async client over real localhost
+# sockets, trace stitching, two-tier variance integration) under ASan+UBSan
+# with a bounded wall-clock — every test opens real sockets, so a wedged
+# loop thread would otherwise hang the preset.
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--online|--statstore|--scale|--chaos|--net|--dist]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -110,6 +116,25 @@ if [[ "${MODE}" == "--net" ]]; then
     integration_net_variance_test
   (cd build && ctest --output-on-failure -L net)
   echo "== check.sh --net: all green =="
+  exit 0
+fi
+
+if [[ "${MODE}" == "--dist" ]]; then
+  echo "== tsan: concurrent stitching vs epoch flips =="
+  cmake -B build-tsan -S . -DVPROF_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target dist_stress_test
+  (cd build-tsan &&
+   TSAN_OPTIONS="halt_on_error=1" \
+   ctest --output-on-failure -R '^dist_stress_test$')
+  echo "== asan+ubsan: full dist suite (label: dist) =="
+  cmake -B build-asan -S . -DVPROF_ASAN=ON >/dev/null
+  DIST_TARGETS=(dist_protocol_test dist_stitch_test dist_async_client_test
+                dist_stress_test integration_dist_variance_test)
+  cmake --build build-asan -j "${JOBS}" --target "${DIST_TARGETS[@]}"
+  (cd build-asan &&
+   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+   timeout 900 ctest --output-on-failure -L dist)
+  echo "== check.sh --dist: all green =="
   exit 0
 fi
 

@@ -1,0 +1,315 @@
+#include "src/dist/stitcher.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dist {
+
+namespace {
+
+// -1 sentinels (open end, no waker/generator) are not timestamps.
+vprof::TimeNs Rebase(vprof::TimeNs t, int64_t offset) {
+  return t < 0 ? t : t + offset;
+}
+
+void CollectSids(const vprof::Trace& trace,
+                 std::unordered_set<vprof::IntervalId>* sids) {
+  for (const vprof::ThreadTrace& thread : trace.threads) {
+    for (const vprof::IntervalEvent& e : thread.interval_events) {
+      sids->insert(e.sid);
+    }
+    for (const vprof::Segment& s : thread.segments) {
+      if (s.sid != vprof::kNoInterval) {
+        sids->insert(s.sid);
+      }
+    }
+    for (const vprof::Invocation& inv : thread.invocations) {
+      if (inv.sid != vprof::kNoInterval) {
+        sids->insert(inv.sid);
+      }
+    }
+  }
+}
+
+// Index of the last segment with start <= t, or -1.
+int SegmentIndexAt(const vprof::ThreadTrace& thread, vprof::TimeNs t) {
+  const auto& segs = thread.segments;
+  const auto it = std::upper_bound(
+      segs.begin(), segs.end(), t,
+      [](vprof::TimeNs value, const vprof::Segment& s) {
+        return value < s.start;
+      });
+  return static_cast<int>(it - segs.begin()) - 1;
+}
+
+struct MatchedSpan {
+  net::ClientSpanRecord client;  // front clock
+  net::ServerSpanRecord server;  // backend clock
+};
+
+}  // namespace
+
+StitchResult StitchTraces(const TierTrace& front,
+                          const std::vector<TierTrace>& backends) {
+  StitchResult out;
+  out.trace = front.trace;
+  StitchStats& stats = out.stats;
+
+  // Universe bookkeeping so fresh ids never collide with anything, including
+  // tiers not yet processed.
+  std::unordered_set<vprof::IntervalId> used_sids;
+  CollectSids(front.trace, &used_sids);
+  vprof::IntervalId next_sid = 1;
+  {
+    std::unordered_set<vprof::IntervalId> all = used_sids;
+    for (const TierTrace& bt : backends) {
+      CollectSids(bt.trace, &all);
+    }
+    for (const vprof::IntervalId sid : all) {
+      next_sid = std::max(next_sid, sid + 1);
+    }
+  }
+  std::unordered_set<vprof::ThreadId> used_tids;
+  vprof::ThreadId max_tid = -1;
+  for (const vprof::ThreadTrace& thread : out.trace.threads) {
+    used_tids.insert(thread.tid);
+    max_tid = std::max(max_tid, thread.tid);
+  }
+  for (const TierTrace& bt : backends) {
+    for (const vprof::ThreadTrace& thread : bt.trace.threads) {
+      max_tid = std::max(max_tid, thread.tid);
+    }
+  }
+
+  // Function-name interning across tiers (separate processes register in
+  // different orders; shared-process splits remap to identity).
+  std::unordered_map<std::string, vprof::FuncId> name_to_func;
+  for (size_t f = 0; f < out.trace.function_names.size(); ++f) {
+    name_to_func.emplace(out.trace.function_names[f],
+                         static_cast<vprof::FuncId>(f));
+  }
+
+  for (const TierTrace& bt : backends) {
+    const int64_t off = bt.clock_offset_ns;
+
+    std::vector<vprof::FuncId> func_map(bt.trace.function_names.size());
+    for (size_t f = 0; f < bt.trace.function_names.size(); ++f) {
+      const std::string& name = bt.trace.function_names[f];
+      const auto it = name_to_func.find(name);
+      if (it != name_to_func.end()) {
+        func_map[f] = it->second;
+      } else {
+        const auto id =
+            static_cast<vprof::FuncId>(out.trace.function_names.size());
+        out.trace.function_names.push_back(name);
+        name_to_func.emplace(name, id);
+        func_map[f] = id;
+      }
+    }
+
+    std::unordered_map<vprof::ThreadId, vprof::ThreadId> tid_map;
+    for (const vprof::ThreadTrace& thread : bt.trace.threads) {
+      vprof::ThreadId mapped = thread.tid;
+      if (used_tids.count(mapped) != 0) {
+        mapped = ++max_tid;
+        ++stats.remapped_threads;
+      }
+      used_tids.insert(mapped);
+      tid_map.emplace(thread.tid, mapped);
+    }
+    const auto map_tid = [&tid_map](vprof::ThreadId tid) {
+      const auto it = tid_map.find(tid);
+      return it == tid_map.end() ? tid : it->second;
+    };
+
+    // Join this tier's server spans with the front's client spans for this
+    // service. A span id consumed once cannot match again: after a backend
+    // restart the new process may reuse ids, and a double match would splice
+    // one backend interval into two front intervals.
+    std::unordered_map<uint64_t, net::ClientSpanRecord> client_by_span;
+    for (const net::ClientSpanRecord& cs : front.client_spans) {
+      if (cs.service == bt.service && cs.interval_id != 0) {
+        client_by_span.emplace(cs.span_id, cs);
+      }
+    }
+    std::vector<MatchedSpan> matched;
+    std::unordered_map<vprof::IntervalId, vprof::IntervalId> sid_rewrite;
+    std::unordered_set<vprof::IntervalId> matched_local_sids;
+    for (const net::ServerSpanRecord& ss : bt.server_spans) {
+      const auto it = client_by_span.find(ss.span_id);
+      if (it == client_by_span.end() ||
+          matched_local_sids.count(ss.local_sid) != 0) {
+        ++stats.unmatched_server_spans;
+        continue;
+      }
+      matched.push_back(MatchedSpan{it->second, ss});
+      sid_rewrite[ss.local_sid] = it->second.interval_id;
+      matched_local_sids.insert(ss.local_sid);
+      client_by_span.erase(it);
+      ++stats.matched_spans;
+    }
+    stats.unmatched_client_spans += client_by_span.size();
+
+    // Unmatched backend interval ids that collide with ids already in the
+    // merged trace get fresh ones (sorted iteration keeps replay bit-exact).
+    std::unordered_set<vprof::IntervalId> bt_sids;
+    CollectSids(bt.trace, &bt_sids);
+    std::vector<vprof::IntervalId> bt_sid_list(bt_sids.begin(), bt_sids.end());
+    std::sort(bt_sid_list.begin(), bt_sid_list.end());
+    for (const vprof::IntervalId sid : bt_sid_list) {
+      if (sid_rewrite.count(sid) != 0) {
+        continue;  // matched: rewritten to the origin id
+      }
+      if (used_sids.count(sid) != 0) {
+        sid_rewrite[sid] = next_sid;
+        used_sids.insert(next_sid);
+        ++next_sid;
+        ++stats.remapped_intervals;
+      } else {
+        used_sids.insert(sid);
+      }
+    }
+    const auto map_sid = [&sid_rewrite](vprof::IntervalId sid) {
+      if (sid == vprof::kNoInterval) {
+        return sid;
+      }
+      const auto it = sid_rewrite.find(sid);
+      return it == sid_rewrite.end() ? sid : it->second;
+    };
+
+    // Copy the tier's threads onto the front's axis.
+    for (const vprof::ThreadTrace& thread : bt.trace.threads) {
+      vprof::ThreadTrace copy;
+      copy.tid = map_tid(thread.tid);
+      copy.dropped_records = thread.dropped_records;
+      copy.invocations.reserve(thread.invocations.size());
+      for (const vprof::Invocation& inv : thread.invocations) {
+        vprof::Invocation v = inv;
+        v.start = Rebase(v.start, off);
+        v.end = Rebase(v.end, off);
+        if (v.func < func_map.size()) {
+          v.func = func_map[v.func];
+        }
+        v.sid = map_sid(v.sid);
+        copy.invocations.push_back(v);
+      }
+      copy.segments.reserve(thread.segments.size());
+      for (const vprof::Segment& seg : thread.segments) {
+        vprof::Segment s = seg;
+        s.start = Rebase(s.start, off);
+        s.end = Rebase(s.end, off);
+        s.sid = map_sid(s.sid);
+        s.waker_tid = map_tid(s.waker_tid);
+        s.waker_time = Rebase(s.waker_time, off);
+        s.generator_tid = map_tid(s.generator_tid);
+        s.generator_time = Rebase(s.generator_time, off);
+        copy.segments.push_back(s);
+      }
+      copy.interval_events.reserve(thread.interval_events.size());
+      for (const vprof::IntervalEvent& e : thread.interval_events) {
+        if (matched_local_sids.count(e.sid) != 0) {
+          // The front's begin/end define the distributed interval's extent;
+          // the backend's local events would make TraceIndex clip it to the
+          // backend's slice.
+          ++stats.dropped_interval_events;
+          continue;
+        }
+        vprof::IntervalEvent ev = e;
+        ev.time = Rebase(ev.time, off);
+        ev.sid = map_sid(ev.sid);
+        copy.interval_events.push_back(ev);
+      }
+      out.trace.threads.push_back(std::move(copy));
+    }
+    for (const vprof::ThreadId tid : bt.trace.stuck_threads) {
+      out.trace.stuck_threads.push_back(map_tid(tid));
+    }
+    out.trace.duration =
+        std::max(out.trace.duration,
+                 bt.trace.duration + std::max<int64_t>(0, off));
+
+    // Inject the cross-tier created-by edges for every matched span. The
+    // merged thread vector can reallocate on later tiers, so look indices up
+    // fresh against the current state.
+    std::unordered_map<vprof::ThreadId, size_t> thread_index;
+    for (size_t i = 0; i < out.trace.threads.size(); ++i) {
+      thread_index.emplace(out.trace.threads[i].tid, i);
+    }
+    const auto find_thread = [&](vprof::ThreadId tid) -> vprof::ThreadTrace* {
+      const auto it = thread_index.find(tid);
+      return it == thread_index.end() ? nullptr
+                                      : &out.trace.threads[it->second];
+    };
+
+    for (const MatchedSpan& m : matched) {
+      const vprof::IntervalId origin = m.client.interval_id;
+
+      // Backend loop thread: its net:readable segment (now carrying the
+      // origin id) was "created by" the front caller at send time. The
+      // walker charges send -> readable as queue wait (request wire transit
+      // + epoll latency) and continues on the front caller as target.
+      if (vprof::ThreadTrace* loop = find_thread(map_tid(m.server.loop_tid))) {
+        const vprof::TimeNs recv = Rebase(m.server.recv_time_ns, off);
+        int idx = SegmentIndexAt(*loop, recv);
+        // The stamp is taken inside the readable scope; tolerate boundary
+        // jitter by scanning a couple of neighbors.
+        for (int probe = idx; probe >= 0 && probe >= idx - 2; --probe) {
+          vprof::Segment& seg = loop->segments[static_cast<size_t>(probe)];
+          if (seg.sid == origin &&
+              seg.state == vprof::SegmentState::kExecuting &&
+              seg.generator_tid == vprof::kNoThread) {
+            seg.generator_tid = m.client.caller_tid;
+            seg.generator_time =
+                std::min(m.client.send_time_ns, seg.start - 1);
+            ++stats.injected_edges;
+            break;
+          }
+          if (seg.end >= 0 && seg.end < recv - 1) {
+            break;
+          }
+        }
+      }
+
+      // Front caller thread: the segment that resumes after the RPC wait was
+      // "created by" the backend worker at reply time. The walker charges
+      // reply -> resume as queue wait (reply transit + wake latency) and —
+      // because the jump restores target-thread mode — walks the backend
+      // worker with coverage attribution, which is what puts lock/WAL/
+      // fil_flush waits into the merged tree.
+      if (vprof::ThreadTrace* caller = find_thread(m.client.caller_tid)) {
+        const vprof::TimeNs send = m.client.send_time_ns;
+        const vprof::TimeNs recv = m.client.recv_time_ns;
+        int blocked = -1;
+        for (int i = SegmentIndexAt(*caller, recv); i >= 0; --i) {
+          const vprof::Segment& seg =
+              caller->segments[static_cast<size_t>(i)];
+          if (seg.end >= 0 && seg.end < send) {
+            break;
+          }
+          if (seg.sid == origin &&
+              seg.state == vprof::SegmentState::kBlocked) {
+            blocked = i;
+            break;  // last blocked segment of the wait (the wake that stuck)
+          }
+        }
+        if (blocked >= 0 &&
+            static_cast<size_t>(blocked + 1) < caller->segments.size()) {
+          vprof::Segment& resumed =
+              caller->segments[static_cast<size_t>(blocked + 1)];
+          if (resumed.sid == origin &&
+              resumed.state == vprof::SegmentState::kExecuting &&
+              resumed.generator_tid == vprof::kNoThread) {
+            const vprof::TimeNs reply = Rebase(m.server.reply_time_ns, off);
+            resumed.generator_tid = map_tid(m.server.worker_tid);
+            resumed.generator_time = std::min(reply, resumed.start - 1);
+            ++stats.injected_edges;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dist

@@ -1,0 +1,68 @@
+// TraceStitcher: merges per-tier traces into one trace whose semantic
+// intervals span processes (ROADMAP item 5, the cross-service tentpole).
+//
+// Inputs are the front tier (owner of every distributed interval) and any
+// number of backend tiers, each carrying its trace, its span records, and
+// its clock offset. The stitcher:
+//
+//   1. Rebases every backend timestamp by the tier's calibrated fastclock
+//      offset, so all records share the front's clock axis.
+//   2. Remaps colliding thread ids and colliding *unmatched* interval ids
+//      (separate processes allocate both independently — and a backend that
+//      restarted mid-run reuses ids, the "reconnect collision" case).
+//   3. For every matched span (front client span joined with a backend
+//      server span on (service, span_id)): rewrites the backend's local
+//      interval id to the originating front interval id on segments and
+//      invocations, and *drops* the backend's local begin/end events — the
+//      front owns the interval's extent.
+//   4. Injects the two cross-tier created-by edges the critical-path walker
+//      needs:
+//        - the backend loop's net:readable segment is "created by" the front
+//          caller at send time (request wire transit becomes queue wait);
+//        - the front caller's post-reply segment is "created by" the backend
+//          worker at reply time (reply transit becomes queue wait, and the
+//          walk continues on the backend worker as a target thread, where
+//          lock/WAL/fil_flush blocked segments get coverage attribution).
+//
+// Invariants (asserted by tests):
+//   - Deterministic: identical inputs produce byte-identical outputs
+//     (bit-exact replay via SaveTrace).
+//   - Never invents time: only existing segments gain edges; no segment is
+//     moved, split, or resized beyond the uniform clock rebase.
+//   - An injected edge never violates the walker's precondition
+//     generator_time < segment.start (clamped when clocks disagree).
+//   - Unmatched spans and collisions are counted, never silently dropped.
+#ifndef SRC_DIST_STITCHER_H_
+#define SRC_DIST_STITCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dist/tier.h"
+
+namespace dist {
+
+struct StitchStats {
+  uint64_t matched_spans = 0;
+  uint64_t unmatched_client_spans = 0;  // no backend half (loss, restart)
+  uint64_t unmatched_server_spans = 0;  // no front half (foreign caller)
+  uint64_t remapped_threads = 0;    // backend tids renamed to avoid collision
+  uint64_t remapped_intervals = 0;  // unmatched backend sids renamed
+  uint64_t injected_edges = 0;      // cross-tier created-by edges added
+  uint64_t dropped_interval_events = 0;  // backend-local begin/end removed
+};
+
+struct StitchResult {
+  vprof::Trace trace;
+  StitchStats stats;
+};
+
+// Merges `front` and `backends` into one trace on the front's clock axis.
+// The front tier's records pass through unchanged (same tids, sids, times);
+// backend records are rebased, remapped, and spliced as described above.
+StitchResult StitchTraces(const TierTrace& front,
+                          const std::vector<TierTrace>& backends);
+
+}  // namespace dist
+
+#endif  // SRC_DIST_STITCHER_H_

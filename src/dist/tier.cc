@@ -1,0 +1,73 @@
+#include "src/dist/tier.h"
+
+#include <unordered_map>
+
+namespace dist {
+
+void SpanLog::AddClient(const net::ClientSpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  client_.push_back(span);
+}
+
+void SpanLog::AddServer(const net::ServerSpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  server_.push_back(span);
+}
+
+std::vector<net::ClientSpanRecord> SpanLog::ClientSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return client_;
+}
+
+std::vector<net::ServerSpanRecord> SpanLog::ServerSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return server_;
+}
+
+void SpanLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  client_.clear();
+  server_.clear();
+}
+
+std::function<void(const net::ServerSpanRecord&)> SpanLog::ServerSink() {
+  return [this](const net::ServerSpanRecord& span) { AddServer(span); };
+}
+
+std::function<void(const net::ClientSpanRecord&)> SpanLog::ClientSink() {
+  return [this](const net::ClientSpanRecord& span) { AddClient(span); };
+}
+
+std::vector<vprof::Trace> SplitByTids(
+    const vprof::Trace& trace,
+    const std::vector<std::vector<vprof::ThreadId>>& rosters,
+    size_t default_index) {
+  std::vector<vprof::Trace> out(rosters.size());
+  for (vprof::Trace& tier : out) {
+    tier.duration = trace.duration;
+    tier.function_names = trace.function_names;
+  }
+  std::unordered_map<vprof::ThreadId, size_t> owner;
+  for (size_t i = 0; i < rosters.size(); ++i) {
+    for (const vprof::ThreadId tid : rosters[i]) {
+      owner.emplace(tid, i);  // first roster claiming a tid wins
+    }
+  }
+  for (const vprof::ThreadTrace& thread : trace.threads) {
+    const auto it = owner.find(thread.tid);
+    const size_t index = it == owner.end() ? default_index : it->second;
+    if (index < out.size()) {
+      out[index].threads.push_back(thread);
+    }
+  }
+  for (const vprof::ThreadId tid : trace.stuck_threads) {
+    const auto it = owner.find(tid);
+    const size_t index = it == owner.end() ? default_index : it->second;
+    if (index < out.size()) {
+      out[index].stuck_threads.push_back(tid);
+    }
+  }
+  return out;
+}
+
+}  // namespace dist

@@ -1,0 +1,76 @@
+// Tier plumbing for cross-service profiling (ROADMAP item 5).
+//
+// A "tier" is one service's share of a distributed request: the httpd front
+// tier that owns the semantic interval, and the minidb/minipg backend tiers
+// it calls into over net::AsyncClient. Each tier contributes a vprof::Trace
+// plus the span records its net layer logged (client spans for RPCs it
+// issued, server spans for RPCs it served); dist::StitchTraces joins them
+// into one trace whose critical paths cross the wire.
+//
+// Tiers may be separate processes (each SaveTrace'ing its own run) or share
+// one process for tests and benchmarks — in the shared case one global
+// StopTracing yields a single trace, and SplitByTids partitions it by thread
+// roster into the same per-tier shape the cross-process path produces, so
+// the stitcher is exercised identically either way.
+#ifndef SRC_DIST_TIER_H_
+#define SRC_DIST_TIER_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/net/async_client.h"
+#include "src/net/server.h"
+#include "src/vprof/trace.h"
+
+namespace dist {
+
+// Thread-safe accumulator for the span records produced during one traced
+// run. The net layer's sinks append from worker/caller threads; the
+// harvester snapshots after StopTracing.
+class SpanLog {
+ public:
+  void AddClient(const net::ClientSpanRecord& span);
+  void AddServer(const net::ServerSpanRecord& span);
+
+  std::vector<net::ClientSpanRecord> ClientSpans() const;
+  std::vector<net::ServerSpanRecord> ServerSpans() const;
+  void Clear();
+
+  // Adapters for NetServerOptions::span_sink / AsyncClientOptions::span_sink.
+  std::function<void(const net::ServerSpanRecord&)> ServerSink();
+  std::function<void(const net::ClientSpanRecord&)> ClientSink();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<net::ClientSpanRecord> client_;
+  std::vector<net::ServerSpanRecord> server_;
+};
+
+// One tier's complete view of a run: its trace, the spans it logged, and the
+// clock calibration mapping its fastclock onto the front tier's axis.
+struct TierTrace {
+  std::string name;
+  net::ServiceId service = net::ServiceId::kUnknown;
+  vprof::Trace trace;
+  std::vector<net::ClientSpanRecord> client_spans;  // RPCs this tier issued
+  std::vector<net::ServerSpanRecord> server_spans;  // RPCs this tier served
+  // Add to this tier's timestamps to express them on the front tier's clock
+  // (AsyncClient::CalibrateClock().offset_ns). 0 for the front itself, and
+  // for backends sharing the front's process (one fastclock epoch).
+  int64_t clock_offset_ns = 0;
+};
+
+// Partitions a single-process trace into per-roster traces by thread id.
+// rosters[i] lists the tids belonging to output trace i; threads claimed by
+// no roster fall to `default_index` (the front tier: load generators, main,
+// and any helper thread count against the tier that owns the interval).
+// Duration and function names are copied to every output.
+std::vector<vprof::Trace> SplitByTids(
+    const vprof::Trace& trace,
+    const std::vector<std::vector<vprof::ThreadId>>& rosters,
+    size_t default_index);
+
+}  // namespace dist
+
+#endif  // SRC_DIST_TIER_H_

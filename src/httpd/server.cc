@@ -74,6 +74,10 @@ RequestStatus HttpServer::HandleRequestBlocking(uint64_t file_id) {
 }
 
 void HttpServer::WorkerLoop() {
+  {
+    std::lock_guard<std::mutex> lock(tids_mu_);
+    worker_tids_.push_back(vprof::CurrentThread()->tid());
+  }
   Filter core{Filter::Kind::kCoreOutput, nullptr};
   Filter content_length{Filter::Kind::kContentLength, &core};
 
@@ -113,6 +117,11 @@ void HttpServer::ProcessRequest(const PendingRequest& request,
     ByteWork(256);
     allocator->Free();
   }
+  if (config_.backend_call) {
+    // The data-tier RPC: runs between parsing and the handler, still under
+    // process_request, on the originating interval.
+    config_.backend_call(request.file_id);
+  }
   {
     VPROF_FUNC("default_handler");
     Brigade brigade(allocator);
@@ -121,6 +130,11 @@ void HttpServer::ProcessRequest(const PendingRequest& request,
     brigade.Append(BucketType::kEos, 0);
     ApPassBrigade(chain, &brigade);
   }
+}
+
+std::vector<vprof::ThreadId> HttpServer::WorkerTids() const {
+  std::lock_guard<std::mutex> lock(tids_mu_);
+  return worker_tids_;
 }
 
 HttpdStats HttpServer::stats() const {

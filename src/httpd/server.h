@@ -19,7 +19,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -53,6 +55,12 @@ struct HttpdConfig {
   int max_queue_depth = 0;
 
   simio::DiskConfig file_disk;
+
+  // Distributed tier hook: invoked on the worker, inside process_request,
+  // between request parsing and the handler — where stock httpd would call
+  // out to its data tier. dist::BackendPool::Call goes here; the RPC's
+  // rpc:call probe then nests under process_request in the variance tree.
+  std::function<void(uint64_t file_id)> backend_call;
 };
 
 struct HttpdStats {
@@ -93,6 +101,9 @@ class HttpServer {
   const HttpdConfig& config() const { return config_; }
   GlobalFreeList& global_free_list() { return global_list_; }
 
+  // Profiled tids of the worker pool, for tier rosters (dist::SplitByTids).
+  std::vector<vprof::ThreadId> WorkerTids() const;
+
  private:
   struct PendingRequest {
     vprof::IntervalId sid = vprof::kNoInterval;
@@ -110,6 +121,8 @@ class HttpServer {
   PageCache page_cache_;
   vprof::TaskQueue<PendingRequest> queue_;
   std::vector<std::thread> workers_;
+  mutable std::mutex tids_mu_;
+  std::vector<vprof::ThreadId> worker_tids_;
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> requests_rejected_{0};
   std::atomic<bool> shut_down_{false};

@@ -66,6 +66,15 @@ struct EngineConfig {
   // Wait-for-graph deadlock detection (the timeout remains the backstop).
   bool deadlock_detection = true;
 
+  // Lock-manager sharding: shard = (object_id >> lock_shard_range_bits) %
+  // lock_shards. range_bits 0 reproduces the historical modulo striping;
+  // raising it keeps whole key ranges on one shard, so a hot range's wait
+  // time concentrates in one ShardStats row instead of smearing across all
+  // of them (the per-shard gauges are how a scaling run localizes a hot
+  // range).
+  int lock_shards = 32;
+  int lock_shard_range_bits = 0;
+
   // Background log flusher period when a lazy policy is active (us).
   double log_flusher_period_us = 2000.0;
 

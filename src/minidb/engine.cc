@@ -34,7 +34,8 @@ Engine::Engine(const EngineConfig& config)
       data_disk_(config.data_disk),
       log_disk_(config.log_disk),
       locks_(config.lock_scheduling, config.lock_wait_timeout_ns,
-             config.deadlock_detection) {
+             config.deadlock_detection, config.lock_shards,
+             config.lock_shard_range_bits) {
   pool_ = std::make_unique<BufferPool>(
       config.buffer_pool_pages, config.buffer_policy,
       config.llu_try_iterations, &data_disk_, config.buffer_pool_instances);
@@ -424,6 +425,15 @@ std::vector<vprof::AppGauge> Engine::ScaleGauges() const {
         {prefix + ".mutex_waits", static_cast<double>(s.mutex_waits)});
     gauges.push_back(
         {prefix + ".mutex_wait_ns", static_cast<double>(s.mutex_wait_ns)});
+  }
+  for (int i = 0; i < locks_.shard_count(); ++i) {
+    const LockStats lk = locks_.ShardStats(i);
+    if (lk.waits == 0 && lk.wait_ns == 0) {
+      continue;  // keep the gauge set sparse; most shards stay cold
+    }
+    const std::string prefix = "minidb.lock.shard" + std::to_string(i);
+    gauges.push_back({prefix + ".waits", static_cast<double>(lk.waits)});
+    gauges.push_back({prefix + ".wait_ns", static_cast<double>(lk.wait_ns)});
   }
   const RedoLogStats ls = log_->stats();
   const uint64_t flushes = ls.leader_flushes + ls.background_flushes;

@@ -3,15 +3,19 @@
 #include <algorithm>
 
 #include "src/minidb/transaction.h"
+#include "src/vprof/fastclock.h"
 #include "src/vprof/probe.h"
 
 namespace minidb {
 
 LockManager::LockManager(LockScheduling scheduling, int64_t wait_timeout_ns,
-                         bool detect_deadlocks)
+                         bool detect_deadlocks, int shard_count,
+                         int range_bits)
     : scheduling_(scheduling),
       wait_timeout_ns_(wait_timeout_ns),
-      detect_deadlocks_(detect_deadlocks) {}
+      detect_deadlocks_(detect_deadlocks),
+      range_bits_(range_bits < 0 ? 0 : (range_bits > 63 ? 63 : range_bits)),
+      shards_(shard_count < 1 ? 1 : static_cast<size_t>(shard_count)) {}
 
 std::vector<uint64_t> LockManager::HoldersOf(uint64_t object_id, uint64_t self) {
   Shard& shard = ShardFor(object_id);
@@ -104,8 +108,7 @@ LockResult LockManager::LockEx(Transaction* trx, uint64_t object_id,
       // Shared held, exclusive requested: upgrade in place if we are alone.
       if (queue.granted.size() == 1) {
         r.mode = LockMode::kExclusive;
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
-        ++stats_.upgrades;
+        ++shard.stats.upgrades;
         return LockResult::kGranted;
       }
       break;  // must wait for the other holders
@@ -123,8 +126,7 @@ LockResult LockManager::LockEx(Transaction* trx, uint64_t object_id,
       granted.granted = true;
       queue.granted.push_back(std::move(granted));
       trx->AddLock(object_id);
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.immediate_grants;
+      ++shard.stats.immediate_grants;
       return LockResult::kGranted;
     }
 
@@ -135,10 +137,7 @@ LockResult LockManager::LockEx(Transaction* trx, uint64_t object_id,
     waiter.event = std::make_unique<OsEvent>();
     wait_event = waiter.event.get();
     queue.waiting.push_back(std::move(waiter));
-    {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.waits;
-    }
+    ++shard.stats.waits;
   }
 
   // Publish the wait-for edge, then check whether blocking here would close
@@ -155,7 +154,11 @@ LockResult LockManager::LockEx(Transaction* trx, uint64_t object_id,
     // Sleep on the per-request event; the releasing thread Sets it,
     // producing the os_event_wait invocation + wake-up edge the profiler
     // analyzes.
+    const int64_t wait_start = vprof::fastclock::NowNs();
     granted = wait_event->WaitFor(wait_timeout_ns_);
+    shard.wait_ns.fetch_add(
+        static_cast<uint64_t>(vprof::fastclock::NowNs() - wait_start),
+        std::memory_order_relaxed);
   }
   {
     std::lock_guard<std::mutex> lock(waiting_for_mu_);
@@ -173,11 +176,10 @@ LockResult LockManager::LockEx(Transaction* trx, uint64_t object_id,
   for (auto it = queue.waiting.begin(); it != queue.waiting.end(); ++it) {
     if (it->trx_id == trx->id() && it->mode == mode) {
       queue.waiting.erase(it);
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
       if (deadlocked) {
-        ++stats_.deadlocks;
+        ++shard.stats.deadlocks;
       } else {
-        ++stats_.timeouts;
+        ++shard.stats.timeouts;
       }
       return deadlocked ? LockResult::kDeadlock : LockResult::kTimeout;
     }
@@ -252,8 +254,25 @@ void LockManager::ReleaseAll(Transaction* trx) {
 }
 
 LockStats LockManager::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  LockStats total;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    total += ShardStats(static_cast<int>(i));
+  }
+  return total;
+}
+
+LockStats LockManager::ShardStats(int shard) const {
+  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
+    return LockStats{};
+  }
+  const Shard& s = shards_[static_cast<size_t>(shard)];
+  LockStats out;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out = s.stats;
+  }
+  out.wait_ns = s.wait_ns.load(std::memory_order_relaxed);
+  return out;
 }
 
 size_t LockManager::ActiveObjects() const {

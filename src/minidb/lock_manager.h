@@ -10,6 +10,7 @@
 #ifndef SRC_MINIDB_LOCK_MANAGER_H_
 #define SRC_MINIDB_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -40,7 +41,18 @@ struct LockStats {
   uint64_t waits = 0;
   uint64_t timeouts = 0;
   uint64_t upgrades = 0;
-  uint64_t deadlocks = 0;  // waits aborted by the deadlock detector
+  uint64_t deadlocks = 0;   // waits aborted by the deadlock detector
+  uint64_t wait_ns = 0;     // total time spent blocked on lock waits
+
+  LockStats& operator+=(const LockStats& other) {
+    immediate_grants += other.immediate_grants;
+    waits += other.waits;
+    timeouts += other.timeouts;
+    upgrades += other.upgrades;
+    deadlocks += other.deadlocks;
+    wait_ns += other.wait_ns;
+    return *this;
+  }
 };
 
 class Transaction;
@@ -52,9 +64,14 @@ class LockManager {
   // cycle aborts immediately instead of stalling until the timeout. The
   // check is advisory — concurrent graph changes can race it — so the
   // timeout remains the backstop.
+  // Sharding: shard = (object_id >> range_bits) % shard_count. range_bits 0
+  // stripes by object id; larger values keep key ranges together so hot
+  // ranges concentrate in one shard's stats (EngineConfig::lock_shards /
+  // lock_shard_range_bits).
   explicit LockManager(LockScheduling scheduling,
                        int64_t wait_timeout_ns = 5LL * 1000 * 1000 * 1000,
-                       bool detect_deadlocks = true);
+                       bool detect_deadlocks = true, int shard_count = 32,
+                       int range_bits = 0);
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
@@ -72,7 +89,13 @@ class LockManager {
   // Releases every lock held by `trx`, waking newly-grantable waiters.
   void ReleaseAll(Transaction* trx);
 
+  // Aggregate over all shards.
   LockStats stats() const;
+
+  // Per-shard wait statistics, for the engine's scale gauges: a hot key
+  // range shows up as one shard carrying most of the wait_ns.
+  LockStats ShardStats(int shard) const;
+  int shard_count() const { return static_cast<int>(shards_.size()); }
 
   // True if `trx` holds a lock on the object at least as strong as `mode`.
   bool Holds(const Transaction* trx, uint64_t object_id, LockMode mode) const;
@@ -97,15 +120,20 @@ class LockManager {
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<uint64_t, Queue> queues;
+    LockStats stats;  // guarded by mu, except wait_ns
+    // Accumulated outside the shard mutex (the granted-wait path never
+    // retakes it), folded into stats by the accessors.
+    std::atomic<uint64_t> wait_ns{0};
   };
 
-  static constexpr int kShardCount = 32;
-
+  size_t ShardIndex(uint64_t object_id) const {
+    return static_cast<size_t>((object_id >> range_bits_) % shards_.size());
+  }
   Shard& ShardFor(uint64_t object_id) {
-    return shards_[object_id % kShardCount];
+    return shards_[ShardIndex(object_id)];
   }
   const Shard& ShardFor(uint64_t object_id) const {
-    return shards_[object_id % kShardCount];
+    return shards_[ShardIndex(object_id)];
   }
 
   // Grants every waiter that the policy allows; must hold the shard mutex.
@@ -126,14 +154,12 @@ class LockManager {
   LockScheduling scheduling_;
   int64_t wait_timeout_ns_;
   bool detect_deadlocks_;
-  Shard shards_[kShardCount];
+  int range_bits_;
+  std::vector<Shard> shards_;  // sized once at construction, never resized
 
   // Wait-for graph: which object each blocked transaction is waiting on.
   std::mutex waiting_for_mu_;
   std::unordered_map<uint64_t, uint64_t> waiting_for_;
-
-  mutable std::mutex stats_mu_;
-  LockStats stats_;
 };
 
 }  // namespace minidb

@@ -24,6 +24,10 @@ void PutU64(std::string* out, uint64_t v) {
   }
 }
 
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
 uint16_t GetU16(const uint8_t* p) {
   return static_cast<uint16_t>(p[0] | (p[1] << 8));
 }
@@ -42,16 +46,20 @@ uint64_t GetU64(const uint8_t* p) {
   return v;
 }
 
+int64_t GetI64(const uint8_t* p) { return static_cast<int64_t>(GetU64(p)); }
+
 bool ValidType(uint8_t t) {
   switch (static_cast<MsgType>(t)) {
     case MsgType::kTxn:
     case MsgType::kHttpGet:
     case MsgType::kPing:
+    case MsgType::kClockSync:
     case MsgType::kTxnReply:
     case MsgType::kHttpReply:
     case MsgType::kPong:
     case MsgType::kRejected:
     case MsgType::kError:
+    case MsgType::kClockSyncReply:
       return true;
   }
   return false;
@@ -68,6 +76,10 @@ int FixedPayloadBytes(MsgType type) {
     case MsgType::kPong:
     case MsgType::kRejected:
       return 0;
+    case MsgType::kClockSync:
+      return 8;  // t1
+    case MsgType::kClockSyncReply:
+      return 16;  // t1 echo + t2
     case MsgType::kTxnReply:
       return 10;  // status + error + trx id
     case MsgType::kHttpReply:
@@ -78,7 +90,25 @@ int FixedPayloadBytes(MsgType type) {
   return -1;
 }
 
+// Serialized extension payload sizes.
+constexpr uint8_t kTraceContextBytes = 8 + 8 + 1 + 8;
+constexpr uint8_t kServerTimingBytes = 8 + 8 + 8 + 4;
+
 }  // namespace
+
+const char* ServiceName(ServiceId service) {
+  switch (service) {
+    case ServiceId::kUnknown:
+      return "unknown";
+    case ServiceId::kFront:
+      return "front";
+    case ServiceId::kMinidb:
+      return "minidb";
+    case ServiceId::kMinipg:
+      return "minipg";
+  }
+  return "?";
+}
 
 const char* WireErrorName(WireError error) {
   switch (error) {
@@ -92,6 +122,8 @@ const char* WireErrorName(WireError error) {
       return "bad_type";
     case WireError::kBadPayload:
       return "bad_payload";
+    case WireError::kBadExtension:
+      return "bad_extension";
   }
   return "?";
 }
@@ -99,8 +131,31 @@ const char* WireErrorName(WireError error) {
 void EncodeFrame(const Frame& frame, std::string* out) {
   const size_t length_at = out->size();
   PutU32(out, 0);  // patched below
-  out->push_back(static_cast<char>(frame.type));
+  const bool has_ext = frame.has_trace_context || frame.has_server_timing;
+  out->push_back(static_cast<char>(static_cast<uint8_t>(frame.type) |
+                                   (has_ext ? kExtensionFlag : 0)));
   PutU64(out, frame.request_id);
+  if (has_ext) {
+    const uint8_t count = static_cast<uint8_t>(
+        (frame.has_trace_context ? 1 : 0) + (frame.has_server_timing ? 1 : 0));
+    out->push_back(static_cast<char>(count));
+    if (frame.has_trace_context) {
+      out->push_back(static_cast<char>(ExtType::kTraceContext));
+      out->push_back(static_cast<char>(kTraceContextBytes));
+      PutU64(out, frame.trace_context.interval_id);
+      PutU64(out, frame.trace_context.span_id);
+      out->push_back(static_cast<char>(frame.trace_context.origin_service));
+      PutI64(out, frame.trace_context.send_time_ns);
+    }
+    if (frame.has_server_timing) {
+      out->push_back(static_cast<char>(ExtType::kServerTiming));
+      out->push_back(static_cast<char>(kServerTimingBytes));
+      PutU64(out, frame.server_timing.span_id);
+      PutI64(out, frame.server_timing.recv_time_ns);
+      PutI64(out, frame.server_timing.reply_time_ns);
+      PutU32(out, static_cast<uint32_t>(frame.server_timing.worker_tid));
+    }
+  }
   switch (frame.type) {
     case MsgType::kTxn: {
       out->push_back(static_cast<char>(frame.txn.type));
@@ -119,6 +174,13 @@ void EncodeFrame(const Frame& frame, std::string* out) {
     case MsgType::kPing:
     case MsgType::kPong:
     case MsgType::kRejected:
+      break;
+    case MsgType::kClockSync:
+      PutI64(out, frame.t1_ns);
+      break;
+    case MsgType::kClockSyncReply:
+      PutI64(out, frame.t1_ns);
+      PutI64(out, frame.t2_ns);
       break;
     case MsgType::kTxnReply:
       out->push_back(static_cast<char>(frame.status));
@@ -157,15 +219,72 @@ WireError DecodeFrame(const uint8_t* data, size_t size, Frame* out,
     return WireError::kNeedMore;
   }
   const uint8_t* p = data + kLengthBytes;
-  const uint8_t raw_type = p[0];
-  if (!ValidType(raw_type)) {
+  const uint8_t wire_type = p[0];
+  const uint8_t base_type = wire_type & static_cast<uint8_t>(~kExtensionFlag);
+  if (!ValidType(base_type)) {
     return WireError::kBadType;
   }
   Frame frame;
-  frame.type = static_cast<MsgType>(raw_type);
+  frame.type = static_cast<MsgType>(base_type);
   frame.request_id = GetU64(p + 1);
-  const uint8_t* payload = p + kFrameOverhead;
-  const size_t payload_len = length - kFrameOverhead;
+
+  // Optional header-extension block between the request id and the payload.
+  const uint8_t* q = p + kFrameOverhead;
+  const uint8_t* frame_end = p + length;
+  if (wire_type & kExtensionFlag) {
+    if (q >= frame_end) {
+      return WireError::kBadExtension;
+    }
+    const uint8_t count = *q++;
+    if (count == 0 || count > kMaxExtensions) {
+      return WireError::kBadExtension;
+    }
+    for (uint8_t i = 0; i < count; ++i) {
+      if (frame_end - q < 2) {
+        return WireError::kBadExtension;
+      }
+      const uint8_t ext_type = q[0];
+      const uint8_t ext_len = q[1];
+      q += 2;
+      if (frame_end - q < ext_len) {
+        return WireError::kBadExtension;
+      }
+      switch (static_cast<ExtType>(ext_type)) {
+        case ExtType::kTraceContext: {
+          if (ext_len != kTraceContextBytes) {
+            return WireError::kBadExtension;
+          }
+          frame.trace_context.interval_id = GetU64(q);
+          frame.trace_context.span_id = GetU64(q + 8);
+          const uint8_t service = q[16];
+          if (service > static_cast<uint8_t>(ServiceId::kMinipg)) {
+            return WireError::kBadExtension;
+          }
+          frame.trace_context.origin_service = static_cast<ServiceId>(service);
+          frame.trace_context.send_time_ns = GetI64(q + 17);
+          frame.has_trace_context = true;
+          break;
+        }
+        case ExtType::kServerTiming: {
+          if (ext_len != kServerTimingBytes) {
+            return WireError::kBadExtension;
+          }
+          frame.server_timing.span_id = GetU64(q);
+          frame.server_timing.recv_time_ns = GetI64(q + 8);
+          frame.server_timing.reply_time_ns = GetI64(q + 16);
+          frame.server_timing.worker_tid =
+              static_cast<int32_t>(GetU32(q + 24));
+          frame.has_server_timing = true;
+          break;
+        }
+        default:
+          break;  // unknown extension: skip, old peers stay compatible
+      }
+      q += ext_len;
+    }
+  }
+  const uint8_t* payload = q;
+  const size_t payload_len = static_cast<size_t>(frame_end - q);
 
   const int fixed = FixedPayloadBytes(frame.type);
   if (fixed >= 0 && payload_len != static_cast<size_t>(fixed)) {
@@ -203,6 +322,13 @@ WireError DecodeFrame(const uint8_t* data, size_t size, Frame* out,
     case MsgType::kPong:
     case MsgType::kRejected:
       break;
+    case MsgType::kClockSync:
+      frame.t1_ns = GetI64(payload);
+      break;
+    case MsgType::kClockSyncReply:
+      frame.t1_ns = GetI64(payload);
+      frame.t2_ns = GetI64(payload + 8);
+      break;
     case MsgType::kTxnReply:
       frame.status = payload[0];
       frame.error = payload[1];
@@ -217,7 +343,7 @@ WireError DecodeFrame(const uint8_t* data, size_t size, Frame* out,
       break;
     case MsgType::kError:
       frame.error = payload[0];
-      if (frame.error > static_cast<uint8_t>(WireError::kBadPayload)) {
+      if (frame.error > static_cast<uint8_t>(WireError::kBadExtension)) {
         return WireError::kBadPayload;
       }
       break;
@@ -254,6 +380,23 @@ WireError FrameParser::Feed(const uint8_t* data, size_t size,
     }
     if (err == WireError::kNeedMore) {
       break;
+    }
+    if (err == WireError::kBadType || err == WireError::kBadExtension) {
+      // Frame-local violation with a trustworthy length (DecodeFrame only
+      // reports these once the whole declared frame is in the buffer): skip
+      // exactly this frame and surface it so the server answers a typed
+      // kError instead of killing the connection. Version skew — a newer
+      // peer's frame type or extension — must not poison the stream.
+      const uint8_t* f = cursor + offset;
+      const uint32_t length = GetU32(f);
+      Frame skipped;
+      skipped.decode_error = err;
+      skipped.raw_type = f[kLengthBytes];
+      skipped.request_id = GetU64(f + kLengthBytes + 1);
+      out->push_back(std::move(skipped));
+      ++recovered_frames_;
+      offset += kLengthBytes + length;
+      continue;
     }
     error_ = err;
     buffer_.clear();

@@ -22,6 +22,8 @@ struct NetServer::AtomicStats {
   std::atomic<uint64_t> closed{0};
   std::atomic<uint64_t> read_eofs{0};
   std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> recovered_frames{0};
+  std::atomic<uint64_t> clock_syncs{0};
   std::atomic<uint64_t> requests{0};
   std::atomic<uint64_t> dispatched{0};
   std::atomic<uint64_t> rejected{0};
@@ -47,7 +49,7 @@ void BumpPeak(std::atomic<uint64_t>* peak, uint64_t value) {
 
 bool IsRequestType(MsgType type) {
   return type == MsgType::kTxn || type == MsgType::kHttpGet ||
-         type == MsgType::kPing;
+         type == MsgType::kPing || type == MsgType::kClockSync;
 }
 
 }  // namespace
@@ -92,6 +94,7 @@ bool NetServer::Start() {
   shut_down_.store(false, std::memory_order_release);
 
   loop_thread_ = std::thread([this] {
+    RegisterTid(vprof::CurrentThread()->tid());
     loop_.Add(listener_.get(), EPOLLIN | EPOLLET,
               [this](uint32_t) { OnListenerReadable(); });
     loop_.Run(options_.sweep_interval_ms, [this] { SweepConnections(); });
@@ -161,6 +164,8 @@ NetServerStats NetServer::stats() const {
   out.closed = s.closed.load(std::memory_order_relaxed);
   out.read_eofs = s.read_eofs.load(std::memory_order_relaxed);
   out.protocol_errors = s.protocol_errors.load(std::memory_order_relaxed);
+  out.recovered_frames = s.recovered_frames.load(std::memory_order_relaxed);
+  out.clock_syncs = s.clock_syncs.load(std::memory_order_relaxed);
   out.requests = s.requests.load(std::memory_order_relaxed);
   out.dispatched = s.dispatched.load(std::memory_order_relaxed);
   out.rejected = s.rejected.load(std::memory_order_relaxed);
@@ -177,6 +182,16 @@ NetServerStats NetServer::stats() const {
   out.peak_dispatch_depth =
       s.peak_dispatch_depth.load(std::memory_order_relaxed);
   return out;
+}
+
+void NetServer::RegisterTid(vprof::ThreadId tid) {
+  std::lock_guard<std::mutex> lock(tids_mu_);
+  profiled_tids_.push_back(tid);
+}
+
+std::vector<vprof::ThreadId> NetServer::ProfiledTids() const {
+  std::lock_guard<std::mutex> lock(tids_mu_);
+  return profiled_tids_;
 }
 
 int64_t NetServer::NowMs() const {
@@ -301,6 +316,22 @@ void NetServer::OnConnEvent(uint64_t conn_id, uint32_t events) {
 }
 
 void NetServer::HandleFrame(Conn* conn, Frame frame) {
+  if (frame.decode_error != WireError::kOk) {
+    // The parser skipped an unintelligible frame whose framing was sound
+    // (unknown type / malformed extension — version skew, not corruption).
+    // Answer a typed error and keep the connection: an old client must
+    // survive a newer peer's frames on the same stream.
+    stats_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    stats_->recovered_frames.fetch_add(1, std::memory_order_relaxed);
+    Frame reply;
+    reply.type = MsgType::kError;
+    reply.request_id = frame.request_id;
+    reply.error = static_cast<uint8_t>(frame.decode_error);
+    std::string bytes;
+    EncodeFrame(reply, &bytes);
+    QueueBytes(conn, bytes);
+    return;
+  }
   if (!IsRequestType(frame.type)) {
     // A reply type sent to the server is a protocol violation even though
     // the frame itself decodes.
@@ -327,6 +358,22 @@ void NetServer::HandleFrame(Conn* conn, Frame frame) {
     QueueBytes(conn, bytes);
     return;
   }
+  if (frame.type == MsgType::kClockSync) {
+    // Calibration probe: stamped and answered inline on the loop thread so
+    // the exchange measures wire + epoll latency, never queueing — the
+    // NTP-style offset estimate below it (AsyncClient::CalibrateClock)
+    // assumes the server stamp sits mid-flight.
+    stats_->clock_syncs.fetch_add(1, std::memory_order_relaxed);
+    Frame reply;
+    reply.type = MsgType::kClockSyncReply;
+    reply.request_id = frame.request_id;
+    reply.t1_ns = frame.t1_ns;
+    reply.t2_ns = vprof::Now();
+    std::string bytes;
+    EncodeFrame(reply, &bytes);
+    QueueBytes(conn, bytes);
+    return;
+  }
 
   // The semantic interval is anchored here: it begins the moment a complete
   // request frame is readable on the event-loop thread (paper Section 3.1).
@@ -347,6 +394,13 @@ void NetServer::HandleFrame(Conn* conn, Frame frame) {
     Task task;
     task.sid = sid;
     task.conn_id = conn_id;
+    if (frame.has_trace_context) {
+      // Distributed request: remember when it became readable and on which
+      // loop thread, so the worker can stamp the reply's server-timing
+      // extension and emit the span record the stitcher joins on.
+      task.recv_time_ns = vprof::Now();
+      task.loop_tid = vprof::CurrentThread()->tid();
+    }
     task.request = std::move(frame);
     if (options_.max_dispatch_depth == 0) {
       dispatch_.Push(std::move(task));
@@ -378,12 +432,38 @@ void NetServer::HandleFrame(Conn* conn, Frame frame) {
 }
 
 void NetServer::WorkerLoop() {
+  RegisterTid(vprof::CurrentThread()->tid());
   while (auto task = dispatch_.Pop()) {
     // Pop attached the created-by edge; WorkOnBehalf relabels this thread's
     // segment to the interval so the edge lands on it.
     vprof::WorkOnBehalf(task->sid);
     Frame reply = handler_(task->request);
     reply.request_id = task->request.request_id;
+    if (task->request.has_trace_context) {
+      // Stamp the backend's half of the span on the reply and hand the full
+      // record to the dist layer. reply_time is taken before the encode so
+      // it brackets exactly the handler's work.
+      const vprof::TimeNs reply_time = vprof::Now();
+      const TraceContext& ctx = task->request.trace_context;
+      reply.has_server_timing = true;
+      reply.server_timing.span_id = ctx.span_id;
+      reply.server_timing.recv_time_ns = task->recv_time_ns;
+      reply.server_timing.reply_time_ns = reply_time;
+      reply.server_timing.worker_tid =
+          static_cast<int32_t>(vprof::CurrentThread()->tid());
+      if (options_.span_sink) {
+        ServerSpanRecord span;
+        span.origin_service = ctx.origin_service;
+        span.origin_interval_id = ctx.interval_id;
+        span.span_id = ctx.span_id;
+        span.local_sid = task->sid;
+        span.recv_time_ns = task->recv_time_ns;
+        span.reply_time_ns = reply_time;
+        span.loop_tid = task->loop_tid;
+        span.worker_tid = vprof::CurrentThread()->tid();
+        options_.span_sink(span);
+      }
+    }
     std::string bytes;
     EncodeFrame(reply, &bytes);
     const uint64_t conn_id = task->conn_id;

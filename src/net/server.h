@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -46,6 +47,20 @@ namespace net {
 inline constexpr char kNetRootFunc[] = "net:request";
 inline constexpr char kReadableFunc[] = "net:readable";
 inline constexpr char kQueueWaitFactor[] = "net:queue_wait";
+
+// One backend-side span: everything dist::TraceStitcher needs to splice this
+// server's work for one RPC into the originating tier's interval. Recorded
+// on the worker thread right before the reply is posted.
+struct ServerSpanRecord {
+  ServiceId origin_service = ServiceId::kUnknown;
+  uint64_t origin_interval_id = 0;  // the front tier's vprof sid
+  uint64_t span_id = 0;             // unique per RPC within the origin
+  vprof::IntervalId local_sid = vprof::kNoInterval;  // this process's interval
+  vprof::TimeNs recv_time_ns = 0;   // local fastclock at frame dispatch
+  vprof::TimeNs reply_time_ns = 0;  // local fastclock when the reply was built
+  vprof::ThreadId loop_tid = vprof::kNoThread;
+  vprof::ThreadId worker_tid = vprof::kNoThread;
+};
 
 struct NetServerOptions {
   uint16_t port = 0;  // 0 = ephemeral; NetServer::port() reports the bound one
@@ -71,6 +86,13 @@ struct NetServerOptions {
 
   // Bytes per read(2) call on the drain loop.
   size_t read_chunk_bytes = 16 * 1024;
+
+  // Distributed-profiling hook: when set, every request carrying a
+  // trace-context extension gets (a) a server-timing extension on its reply
+  // and (b) a ServerSpanRecord delivered here from the worker thread after
+  // the handler ran. Must be thread-safe; keep it cheap (it sits between the
+  // handler and the reply post).
+  std::function<void(const ServerSpanRecord&)> span_sink;
 };
 
 // Relaxed counters; Snapshot() gives a consistent-enough copy for tests.
@@ -81,6 +103,8 @@ struct NetServerStats {
   uint64_t closed = 0;            // connections torn down (any reason)
   uint64_t read_eofs = 0;         // peer (or injected) EOF
   uint64_t protocol_errors = 0;   // FrameParser violations
+  uint64_t recovered_frames = 0;  // skipped frames answered with typed kError
+  uint64_t clock_syncs = 0;       // calibration probes answered inline
   uint64_t requests = 0;          // complete request frames parsed
   uint64_t dispatched = 0;        // handed to the worker pool
   uint64_t rejected = 0;          // shed at the dispatch queue
@@ -121,6 +145,13 @@ class NetServer {
 
   NetServerStats stats() const;
 
+  // vprof tids of the loop thread and every worker, in registration order
+  // (loop first). dist::SplitByTier uses this roster to assign this server's
+  // threads to its tier when the two tiers share a process; each tid is
+  // stable for the life of the OS thread. Valid after Start() returns and
+  // the threads have spun up (they register before their first poll/pop).
+  std::vector<vprof::ThreadId> ProfiledTids() const;
+
   // Registers the front-end's probe/factor names plus the virtual
   // "net:request" super-root whose children are the engine's own interval
   // root and the net-side factors — the shape both the offline Profiler and
@@ -144,6 +175,9 @@ class NetServer {
     vprof::IntervalId sid = vprof::kNoInterval;
     uint64_t conn_id = 0;
     Frame request;
+    // Distributed request bookkeeping (request carried a trace context).
+    vprof::TimeNs recv_time_ns = 0;
+    vprof::ThreadId loop_tid = vprof::kNoThread;
   };
 
   // --- loop-thread only ---------------------------------------------------
@@ -172,6 +206,10 @@ class NetServer {
 
   uint64_t next_conn_id_ = 1;  // loop-thread only
   std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+
+  void RegisterTid(vprof::ThreadId tid);
+  mutable std::mutex tids_mu_;
+  std::vector<vprof::ThreadId> profiled_tids_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> shut_down_{false};

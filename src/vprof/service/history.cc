@@ -8,6 +8,10 @@ std::string NodeSeriesName(const std::string& path, const char* field) {
 
 std::string AppSeriesName(const std::string& name) { return "app:" + name; }
 
+std::string TierSeriesName(const std::string& tier, const char* field) {
+  return "tier:" + tier + ":" + field;
+}
+
 statstore::EpochSample SampleFromSnapshot(const OnlineTreeSnapshot& snapshot,
                                           uint64_t epoch,
                                           const HarvestHealth& health) {

@@ -16,6 +16,9 @@
 //     health:rotation_gap_max_ns | health:rotation_gap_total_ns
 //   app:<gauge name> — application gauges (VprofdOptions.app_gauges),
 //     e.g. app:minidb.buf_pool.shard0.mutex_wait_ns
+//   tier:<tier name>:latency_mean_ns | :latency_variance_ns2 | :share |
+//     :intervals — per-tier rows of the distributed dist:request view
+//     (dist::DistMonitor), persisted next to the front daemon's streams
 //
 // The sample's epoch id is the snapshot's folded-epoch count, which is
 // strictly increasing across a daemon's life and resumes past the persisted
@@ -47,6 +50,10 @@ std::string NodeSeriesName(const std::string& path, const char* field);
 // e.g. AppSeriesName("minidb.buf_pool.shard0.mutex_wait_ns") ->
 // "app:minidb.buf_pool.shard0.mutex_wait_ns".
 std::string AppSeriesName(const std::string& name);
+
+// Series name of one distributed-tier stream (dist::DistMonitor), e.g.
+// TierSeriesName("minidb", "share") -> "tier:minidb:share".
+std::string TierSeriesName(const std::string& tier, const char* field);
 
 // Flattens `snapshot` (at epoch id `epoch`) into a statstore sample.
 statstore::EpochSample SampleFromSnapshot(const OnlineTreeSnapshot& snapshot,

@@ -1,0 +1,263 @@
+// AsyncClient + BackendPool over real localhost sockets: round trips,
+// span-record joining, clock calibration, call timeouts, and cold-start
+// spawning with concurrent callers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/dist/backend_pool.h"
+#include "src/dist/tier.h"
+#include "src/net/async_client.h"
+#include "src/net/protocol.h"
+#include "src/net/server.h"
+#include "src/vprof/runtime.h"
+
+namespace dist {
+namespace {
+
+net::Frame Ping(uint64_t id) {
+  net::Frame f;
+  f.type = net::MsgType::kPing;
+  f.request_id = id;
+  return f;
+}
+
+// kPing is answered inline on the server's loop thread; kTxn goes through
+// the dispatch queue to a worker — required when the test needs worker-side
+// behavior (handler execution, span records, server timing).
+net::Frame Txn() {
+  net::Frame f;
+  f.type = net::MsgType::kTxn;
+  f.txn.type = minidb::TxnType::kPayment;
+  f.txn.warehouse = 1;
+  return f;
+}
+
+net::NetServer::Handler PongHandler() {
+  return [](const net::Frame&) {
+    net::Frame reply;
+    reply.type = net::MsgType::kPong;
+    return reply;
+  };
+}
+
+net::NetServer::Handler TxnReplyHandler() {
+  return [](const net::Frame&) {
+    net::Frame reply;
+    reply.type = net::MsgType::kTxnReply;
+    reply.status = 0;
+    return reply;
+  };
+}
+
+TEST(DistAsyncClientTest, CallRoundTrip) {
+  net::NetServerOptions sopt;
+  sopt.workers = 2;
+  net::NetServer server(sopt, PongHandler());
+  ASSERT_TRUE(server.Start());
+
+  net::AsyncClientOptions copt;
+  copt.port = server.port();
+  copt.connections = 2;
+  copt.service = net::ServiceId::kMinidb;
+  net::AsyncClient client(copt);
+  ASSERT_TRUE(client.Connect());
+  EXPECT_NE(client.loop_tid(), vprof::kNoThread);
+
+  for (int i = 0; i < 32; ++i) {
+    net::Frame reply;
+    ASSERT_TRUE(client.Call(Ping(0), &reply));
+    EXPECT_EQ(reply.type, net::MsgType::kPong);
+  }
+  EXPECT_EQ(client.stats().calls, 32u);
+  EXPECT_EQ(client.stats().failures, 0u);
+
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(DistAsyncClientTest, SpanRecordsJoinOnSpanId) {
+  SpanLog log;
+  net::NetServerOptions sopt;
+  sopt.workers = 1;
+  sopt.span_sink = log.ServerSink();
+  net::NetServer server(sopt, TxnReplyHandler());
+  ASSERT_TRUE(server.Start());
+
+  net::AsyncClientOptions copt;
+  copt.port = server.port();
+  copt.service = net::ServiceId::kMinidb;
+  copt.span_sink = log.ClientSink();
+  net::AsyncClient client(copt);
+  ASSERT_TRUE(client.Connect());
+
+  vprof::StartTracing();
+  const vprof::IntervalId sid = vprof::BeginInterval();
+  net::Frame reply;
+  ASSERT_TRUE(client.Call(Txn(), &reply));
+  vprof::EndInterval(sid);
+  vprof::Trace trace = vprof::StopTracing();
+  (void)trace;
+
+  client.Shutdown();
+  server.Shutdown();
+
+  const std::vector<net::ClientSpanRecord> client_spans = log.ClientSpans();
+  const std::vector<net::ServerSpanRecord> server_spans = log.ServerSpans();
+  ASSERT_EQ(client_spans.size(), 1u);
+  ASSERT_EQ(server_spans.size(), 1u);
+
+  const net::ClientSpanRecord& cs = client_spans[0];
+  const net::ServerSpanRecord& ss = server_spans[0];
+  EXPECT_EQ(cs.service, net::ServiceId::kMinidb);
+  EXPECT_EQ(cs.interval_id, static_cast<uint64_t>(sid));
+  EXPECT_NE(cs.span_id, 0u);
+  EXPECT_LE(cs.send_time_ns, cs.recv_time_ns);
+  EXPECT_NE(cs.caller_tid, vprof::kNoThread);
+
+  // The stitch key (service, span_id) joins the two halves.
+  EXPECT_EQ(ss.span_id, cs.span_id);
+  EXPECT_EQ(ss.origin_service, net::ServiceId::kFront);
+  EXPECT_EQ(ss.origin_interval_id, static_cast<uint64_t>(sid));
+  EXPECT_NE(ss.local_sid, vprof::kNoInterval);
+  EXPECT_LE(ss.recv_time_ns, ss.reply_time_ns);
+  EXPECT_NE(ss.loop_tid, vprof::kNoThread);
+  EXPECT_NE(ss.worker_tid, vprof::kNoThread);
+
+  // And the backend half was echoed to the caller on the reply.
+  ASSERT_TRUE(cs.has_server_timing);
+  EXPECT_EQ(cs.server.span_id, cs.span_id);
+  EXPECT_EQ(cs.server.recv_time_ns, ss.recv_time_ns);
+  EXPECT_EQ(cs.server.reply_time_ns, ss.reply_time_ns);
+  EXPECT_EQ(cs.server.worker_tid, ss.worker_tid);
+}
+
+TEST(DistAsyncClientTest, CalibrateClockSameProcess) {
+  net::NetServerOptions sopt;
+  net::NetServer server(sopt, PongHandler());
+  ASSERT_TRUE(server.Start());
+
+  net::AsyncClientOptions copt;
+  copt.port = server.port();
+  net::AsyncClient client(copt);
+  ASSERT_TRUE(client.Connect());
+
+  const net::ClockCalibration cal = client.CalibrateClock(16);
+  ASSERT_TRUE(cal.valid);
+  EXPECT_EQ(cal.rounds, 16);
+  EXPECT_GT(cal.min_rtt_ns, 0);
+  // Both ends read the same process's fastclock, so the derived offset is
+  // bounded by the one-way latency asymmetry — generously, half the RTT
+  // plus scheduler noise.
+  EXPECT_LT(std::abs(cal.offset_ns), cal.min_rtt_ns + 5'000'000);
+
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(DistAsyncClientTest, CallTimeoutFails) {
+  net::NetServerOptions sopt;
+  sopt.workers = 1;
+  net::NetServer server(sopt, [](const net::Frame&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    net::Frame reply;
+    reply.type = net::MsgType::kTxnReply;
+    return reply;
+  });
+  ASSERT_TRUE(server.Start());
+
+  net::AsyncClientOptions copt;
+  copt.port = server.port();
+  copt.call_timeout_ns = 50'000'000;  // 50 ms
+  net::AsyncClient client(copt);
+  ASSERT_TRUE(client.Connect());
+
+  net::Frame reply;
+  EXPECT_FALSE(client.Call(Txn(), &reply));
+  EXPECT_EQ(client.stats().failures, 1u);
+
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(DistAsyncClientTest, WarmPoolCallsWithoutColdStart) {
+  net::NetServerOptions sopt;
+  net::NetServer server(sopt, PongHandler());
+  ASSERT_TRUE(server.Start());
+
+  BackendPoolOptions popt;
+  popt.port = server.port();
+  popt.calibrate_rounds = 4;
+  BackendPool pool(popt);
+  ASSERT_TRUE(pool.Warm());
+  EXPECT_TRUE(pool.ready());
+  EXPECT_EQ(pool.cold_starts(), 0u);
+  EXPECT_TRUE(pool.calibration().valid);
+  EXPECT_NE(pool.loop_tid(), vprof::kNoThread);
+
+  net::Frame reply;
+  ASSERT_TRUE(pool.Call(Ping(0), &reply));
+  EXPECT_EQ(reply.type, net::MsgType::kPong);
+  // Calibration probes count toward calls too; the application call is on
+  // top of the calibrate_rounds exchanges.
+  EXPECT_GE(pool.client_stats().calls, 1u);
+
+  pool.Shutdown();
+  server.Shutdown();
+}
+
+TEST(DistAsyncClientTest, ColdStartSpawnsOnceUnderConcurrency) {
+  std::unique_ptr<net::NetServer> backend;
+  std::atomic<int> spawns{0};
+
+  BackendPoolOptions popt;
+  popt.cold_start = true;
+  popt.calibrate_rounds = 4;
+  popt.spawn = [&backend, &spawns]() -> uint16_t {
+    spawns.fetch_add(1);
+    net::NetServerOptions sopt;
+    sopt.workers = 2;
+    backend = std::make_unique<net::NetServer>(sopt, PongHandler());
+    if (!backend->Start()) {
+      return 0;
+    }
+    return backend->port();
+  };
+  BackendPool pool(popt);
+  EXPECT_FALSE(pool.ready());
+
+  constexpr int kCallers = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kCallers; ++i) {
+    threads.emplace_back([&pool, &ok]() {
+      net::Frame reply;
+      if (pool.Call(Ping(0), &reply) &&
+          reply.type == net::MsgType::kPong) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  EXPECT_EQ(ok.load(), kCallers);
+  EXPECT_EQ(spawns.load(), 1);
+  EXPECT_EQ(pool.cold_starts(), 1u);
+  EXPECT_TRUE(pool.ready());
+  EXPECT_TRUE(pool.calibration().valid);
+
+  pool.Shutdown();
+  if (backend != nullptr) {
+    backend->Shutdown();
+  }
+}
+
+}  // namespace
+}  // namespace dist

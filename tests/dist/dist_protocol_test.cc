@@ -1,0 +1,330 @@
+// Satellite: backward/forward compatibility of the extended wire header.
+// Byte-by-byte truncation and corruption of frames carrying trace-context /
+// server-timing extensions, plus the FrameParser's recoverable-error tier:
+// unknown frame types and malformed extension blocks must yield a typed,
+// per-frame error and leave the stream parsable — only framing-level
+// violations may poison the connection.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/net/protocol.h"
+
+namespace net {
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+Frame StampedTxn(uint64_t request_id) {
+  Frame frame;
+  frame.type = MsgType::kTxn;
+  frame.request_id = request_id;
+  frame.txn.type = minidb::TxnType::kPayment;
+  frame.txn.warehouse = 3;
+  frame.has_trace_context = true;
+  frame.trace_context.interval_id = 0xabcdef01;
+  frame.trace_context.span_id = 42;
+  frame.trace_context.origin_service = ServiceId::kFront;
+  frame.trace_context.send_time_ns = 123456789;
+  return frame;
+}
+
+Frame TimedReply(uint64_t request_id) {
+  Frame frame;
+  frame.type = MsgType::kTxnReply;
+  frame.request_id = request_id;
+  frame.status = 0;
+  frame.value = 77;
+  frame.has_server_timing = true;
+  frame.server_timing.span_id = 42;
+  frame.server_timing.recv_time_ns = 1000;
+  frame.server_timing.reply_time_ns = 2000;
+  frame.server_timing.worker_tid = 5;
+  return frame;
+}
+
+TEST(DistProtocolTest, ExtensionRoundTrip) {
+  for (const Frame& original : {StampedTxn(9), TimedReply(9)}) {
+    std::string bytes;
+    EncodeFrame(original, &bytes);
+    Frame decoded;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(bytes.data()),
+                          bytes.size(), &decoded, &consumed),
+              WireError::kOk);
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(decoded.type, original.type);
+    EXPECT_EQ(decoded.request_id, original.request_id);
+    EXPECT_EQ(decoded.has_trace_context, original.has_trace_context);
+    EXPECT_EQ(decoded.has_server_timing, original.has_server_timing);
+    if (original.has_trace_context) {
+      EXPECT_EQ(decoded.trace_context.interval_id,
+                original.trace_context.interval_id);
+      EXPECT_EQ(decoded.trace_context.span_id, original.trace_context.span_id);
+      EXPECT_EQ(decoded.trace_context.origin_service,
+                original.trace_context.origin_service);
+      EXPECT_EQ(decoded.trace_context.send_time_ns,
+                original.trace_context.send_time_ns);
+    }
+    if (original.has_server_timing) {
+      EXPECT_EQ(decoded.server_timing.span_id, original.server_timing.span_id);
+      EXPECT_EQ(decoded.server_timing.recv_time_ns,
+                original.server_timing.recv_time_ns);
+      EXPECT_EQ(decoded.server_timing.reply_time_ns,
+                original.server_timing.reply_time_ns);
+      EXPECT_EQ(decoded.server_timing.worker_tid,
+                original.server_timing.worker_tid);
+    }
+  }
+}
+
+TEST(DistProtocolTest, ClockSyncRoundTrip) {
+  Frame sync;
+  sync.type = MsgType::kClockSync;
+  sync.request_id = 1;
+  sync.t1_ns = 111;
+  Frame reply;
+  reply.type = MsgType::kClockSyncReply;
+  reply.request_id = 1;
+  reply.t1_ns = 111;
+  reply.t2_ns = 222;
+  for (const Frame& original : {sync, reply}) {
+    std::string bytes;
+    EncodeFrame(original, &bytes);
+    Frame decoded;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(bytes.data()),
+                          bytes.size(), &decoded, &consumed),
+              WireError::kOk);
+    EXPECT_EQ(decoded.t1_ns, original.t1_ns);
+    EXPECT_EQ(decoded.t2_ns, original.t2_ns);
+  }
+}
+
+// Every strict prefix of an extended frame is "not complete yet", never an
+// error: truncation mid-extension must not be mistaken for malformation.
+TEST(DistProtocolTest, ByteByByteTruncationNeedsMore) {
+  for (const Frame& original : {StampedTxn(7), TimedReply(7)}) {
+    std::string bytes;
+    EncodeFrame(original, &bytes);
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      Frame decoded;
+      size_t consumed = 1;
+      EXPECT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(bytes.data()),
+                            len, &decoded, &consumed),
+                WireError::kNeedMore)
+          << "prefix length " << len;
+      EXPECT_EQ(consumed, 0u);
+    }
+  }
+}
+
+// Seeded corruption of every byte of an extended frame: decode must accept
+// or return a typed error with nothing consumed — and when fed through a
+// parser, the stream must remain usable afterwards unless the error is one
+// of the sticky framing violations.
+TEST(DistProtocolTest, ExtendedHeaderCorruptionSweep) {
+  std::mt19937_64 rng(20260809);
+  for (const Frame& original : {StampedTxn(5), TimedReply(5)}) {
+    std::string bytes;
+    EncodeFrame(original, &bytes);
+    for (size_t pos = 0; pos < bytes.size(); ++pos) {
+      for (int round = 0; round < 4; ++round) {
+        std::string corrupt = bytes;
+        const uint8_t new_byte = static_cast<uint8_t>(rng());
+        if (static_cast<uint8_t>(corrupt[pos]) == new_byte) {
+          continue;
+        }
+        corrupt[pos] = static_cast<char>(new_byte);
+
+        Frame decoded;
+        size_t consumed = 0;
+        const WireError err =
+            DecodeFrame(reinterpret_cast<const uint8_t*>(corrupt.data()),
+                        corrupt.size(), &decoded, &consumed);
+        if (err == WireError::kOk) {
+          EXPECT_GE(consumed, kHeaderBytes);
+          EXPECT_LE(consumed, corrupt.size());
+        } else {
+          EXPECT_EQ(consumed, 0u);
+        }
+
+        // Stream-level: the corrupted frame followed by a clean one. The
+        // clean frame must come out unless the corruption poisoned the
+        // framing (sticky kOversized/kBadPayload) or swallowed it into the
+        // corrupted frame's declared length (kNeedMore).
+        std::string clean;
+        EncodeFrame(StampedTxn(6), &clean);
+        FrameParser parser;
+        std::vector<Frame> out;
+        const std::string stream = corrupt + clean;
+        const WireError stream_err =
+            parser.Feed(reinterpret_cast<const uint8_t*>(stream.data()),
+                        stream.size(), &out);
+        EXPECT_LE(parser.buffered_bytes(),
+                  static_cast<size_t>(kMaxFrameBytes) + kLengthBytes);
+        if (pos < kLengthBytes) {
+          // The length field itself is corrupt: the skip distance is a lie,
+          // so resync is best-effort. Bounded buffering (above) is all that
+          // can be promised.
+          continue;
+        }
+        if (err == WireError::kBadType || err == WireError::kBadExtension) {
+          ASSERT_EQ(stream_err, WireError::kOk)
+              << "recoverable error poisoned the stream at byte " << pos;
+          bool saw_clean = false;
+          for (const Frame& f : out) {
+            if (f.decode_error == WireError::kOk && f.request_id == 6) {
+              saw_clean = true;
+            }
+          }
+          EXPECT_TRUE(saw_clean)
+              << "clean frame lost after recoverable error at byte " << pos;
+          EXPECT_GE(parser.recovered_frames(), 1u);
+        } else if (err != WireError::kOk && err != WireError::kNeedMore) {
+          EXPECT_EQ(stream_err, err);
+          EXPECT_EQ(parser.error(), err);
+        }
+      }
+    }
+  }
+}
+
+// An extension type this build has never heard of is skipped, and the known
+// extensions around it still decode (forward compatibility).
+TEST(DistProtocolTest, UnknownExtensionTypeSkipped) {
+  std::string ext_payload;
+  PutU64(&ext_payload, 0xabcdef01);           // interval_id
+  PutU64(&ext_payload, 42);                   // span_id
+  ext_payload.push_back(static_cast<char>(ServiceId::kFront));
+  PutU64(&ext_payload, 123456789);            // send_time_ns (i64, positive)
+
+  std::string body;
+  body.push_back(static_cast<char>(
+      static_cast<uint8_t>(MsgType::kPing) | kExtensionFlag));
+  PutU64(&body, 77);  // request_id
+  body.push_back(2);  // extension count
+  body.push_back(9);  // unknown ext type
+  body.push_back(3);  // its length
+  body.append("xyz");
+  body.push_back(static_cast<char>(ExtType::kTraceContext));
+  body.push_back(static_cast<char>(ext_payload.size()));
+  body.append(ext_payload);
+
+  std::string bytes;
+  PutU32(&bytes, static_cast<uint32_t>(body.size()));
+  bytes.append(body);
+
+  Frame decoded;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(bytes.data()),
+                        bytes.size(), &decoded, &consumed),
+            WireError::kOk);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(decoded.type, MsgType::kPing);
+  EXPECT_EQ(decoded.request_id, 77u);
+  ASSERT_TRUE(decoded.has_trace_context);
+  EXPECT_EQ(decoded.trace_context.span_id, 42u);
+}
+
+// An unknown *frame type* with sound framing is skipped whole: the parser
+// reports it (decode_error, salvaged request id) and keeps going.
+TEST(DistProtocolTest, UnknownFrameTypeIsRecoverable) {
+  Frame ping;
+  ping.type = MsgType::kPing;
+  ping.request_id = 31;
+  std::string bad;
+  EncodeFrame(ping, &bad);
+  bad[kLengthBytes] = 0x33;  // future frame type, extension flag clear
+
+  std::string clean;
+  Frame next = ping;
+  next.request_id = 32;
+  EncodeFrame(next, &clean);
+
+  FrameParser parser;
+  std::vector<Frame> out;
+  const std::string stream = bad + clean;
+  ASSERT_EQ(parser.Feed(reinterpret_cast<const uint8_t*>(stream.data()),
+                        stream.size(), &out),
+            WireError::kOk);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].decode_error, WireError::kBadType);
+  EXPECT_EQ(out[0].raw_type, 0x33);
+  EXPECT_EQ(out[0].request_id, 31u);  // salvaged for the typed error reply
+  EXPECT_EQ(out[1].decode_error, WireError::kOk);
+  EXPECT_EQ(out[1].request_id, 32u);
+  EXPECT_EQ(parser.recovered_frames(), 1u);
+  EXPECT_EQ(parser.error(), WireError::kOk);
+}
+
+// A malformed extension block (count of zero with the flag set) is the same
+// recoverable tier.
+TEST(DistProtocolTest, MalformedExtensionBlockIsRecoverable) {
+  std::string body;
+  body.push_back(static_cast<char>(
+      static_cast<uint8_t>(MsgType::kPing) | kExtensionFlag));
+  PutU64(&body, 51);
+  body.push_back(0);  // count 0 with the flag set: malformed
+  std::string bad;
+  PutU32(&bad, static_cast<uint32_t>(body.size()));
+  bad.append(body);
+
+  Frame ping;
+  ping.type = MsgType::kPing;
+  ping.request_id = 52;
+  std::string clean;
+  EncodeFrame(ping, &clean);
+
+  FrameParser parser;
+  std::vector<Frame> out;
+  const std::string stream = bad + clean;
+  ASSERT_EQ(parser.Feed(reinterpret_cast<const uint8_t*>(stream.data()),
+                        stream.size(), &out),
+            WireError::kOk);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].decode_error, WireError::kBadExtension);
+  EXPECT_EQ(out[0].request_id, 51u);
+  EXPECT_EQ(out[1].request_id, 52u);
+}
+
+// Framing-level violations stay sticky: nothing after them may dispatch.
+TEST(DistProtocolTest, OversizedLengthStaysSticky) {
+  std::string bad;
+  PutU32(&bad, 0xffffffffu);
+  bad.append("garbage");
+  Frame ping;
+  ping.type = MsgType::kPing;
+  ping.request_id = 61;
+  std::string clean;
+  EncodeFrame(ping, &clean);
+
+  FrameParser parser;
+  std::vector<Frame> out;
+  const std::string stream = bad + clean;
+  EXPECT_EQ(parser.Feed(reinterpret_cast<const uint8_t*>(stream.data()),
+                        stream.size(), &out),
+            WireError::kOversized);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  EXPECT_EQ(parser.Feed(reinterpret_cast<const uint8_t*>(clean.data()),
+                        clean.size(), &out),
+            WireError::kOversized);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace net

@@ -1,0 +1,332 @@
+// TraceStitcher unit tests on hand-built tier traces: span joining, sid
+// rewriting, tid/interval collision remapping across backend reconnects,
+// clock rebasing, cross-tier edge injection with the walker's
+// generator_time < segment.start precondition, and bit-exact replay.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/dist/stitcher.h"
+#include "src/dist/tier.h"
+#include "src/vprof/trace.h"
+
+namespace dist {
+namespace {
+
+using vprof::IntervalEvent;
+using vprof::IntervalEventKind;
+using vprof::Invocation;
+using vprof::Segment;
+using vprof::SegmentState;
+using vprof::ThreadTrace;
+using vprof::Trace;
+
+Segment Exec(vprof::TimeNs start, vprof::TimeNs end, vprof::IntervalId sid) {
+  Segment s;
+  s.start = start;
+  s.end = end;
+  s.sid = sid;
+  s.state = SegmentState::kExecuting;
+  return s;
+}
+
+Segment Blocked(vprof::TimeNs start, vprof::TimeNs end, vprof::IntervalId sid,
+                vprof::ThreadId waker, vprof::TimeNs waker_time) {
+  Segment s;
+  s.start = start;
+  s.end = end;
+  s.sid = sid;
+  s.state = SegmentState::kBlocked;
+  s.waker_tid = waker;
+  s.waker_time = waker_time;
+  return s;
+}
+
+// The canonical two-tier shape: front caller (tid 1) opens interval 100,
+// sends an RPC at t=1000, blocks until t=5000; backend loop (tid 1 in ITS
+// process — colliding) picks the frame up at its local t=1500 under local
+// interval 100 (also colliding), worker (tid 2) runs it and replies at its
+// local t=3800. Backend clock offset +50.
+struct TwoTier {
+  TierTrace front;
+  std::vector<TierTrace> backends;
+};
+
+TwoTier MakeTwoTier() {
+  TwoTier t;
+  t.front.name = "front";
+  t.front.service = net::ServiceId::kFront;
+  t.front.trace.duration = 10000;
+  t.front.trace.function_names = {"process_request", "rpc:call"};
+
+  ThreadTrace caller;
+  caller.tid = 1;
+  caller.interval_events.push_back(
+      IntervalEvent{100, 500, IntervalEventKind::kBegin, 0});
+  caller.interval_events.push_back(
+      IntervalEvent{100, 6000, IntervalEventKind::kEnd, 0});
+  Invocation pr;
+  pr.start = 500;
+  pr.end = 6000;
+  pr.func = 0;
+  pr.sid = 100;
+  caller.invocations.push_back(pr);
+  Invocation rpc;
+  rpc.start = 900;
+  rpc.end = 5200;
+  rpc.func = 1;
+  rpc.parent = 0;
+  rpc.sid = 100;
+  caller.invocations.push_back(rpc);
+  caller.segments.push_back(Exec(500, 1000, 100));
+  caller.segments.push_back(Blocked(1000, 5000, 100, /*waker=*/-1, -1));
+  caller.segments.push_back(Exec(5000, 6000, 100));
+  t.front.trace.threads.push_back(caller);
+
+  net::ClientSpanRecord cs;
+  cs.service = net::ServiceId::kMinidb;
+  cs.span_id = 7;
+  cs.interval_id = 100;
+  cs.send_time_ns = 1000;
+  cs.recv_time_ns = 5000;
+  cs.caller_tid = 1;
+  t.front.client_spans.push_back(cs);
+
+  TierTrace backend;
+  backend.name = "minidb";
+  backend.service = net::ServiceId::kMinidb;
+  backend.clock_offset_ns = 50;
+  backend.trace.duration = 9000;
+  backend.trace.function_names = {"run_transaction", "net:readable"};
+
+  ThreadTrace loop;
+  loop.tid = 1;  // collides with the front caller
+  loop.interval_events.push_back(
+      IntervalEvent{100, 1500, IntervalEventKind::kBegin, 0});
+  Invocation readable;
+  readable.start = 1500;
+  readable.end = 1700;
+  readable.func = 1;
+  readable.sid = 100;
+  loop.invocations.push_back(readable);
+  loop.segments.push_back(Exec(1500, 1700, 100));
+  backend.trace.threads.push_back(loop);
+
+  ThreadTrace worker;
+  worker.tid = 2;
+  worker.interval_events.push_back(
+      IntervalEvent{100, 3800, IntervalEventKind::kEnd, 0});
+  Invocation rt;
+  rt.start = 1800;
+  rt.end = 3800;
+  rt.func = 0;
+  rt.sid = 100;
+  worker.invocations.push_back(rt);
+  Segment work = Exec(1800, 3800, 100);
+  work.generator_tid = 1;  // dispatched by the backend loop
+  work.generator_time = 1600;
+  worker.segments.push_back(work);
+  backend.trace.threads.push_back(worker);
+
+  net::ServerSpanRecord ss;
+  ss.origin_service = net::ServiceId::kFront;
+  ss.origin_interval_id = 100;
+  ss.span_id = 7;
+  ss.local_sid = 100;  // collides with the front interval id
+  ss.recv_time_ns = 1550;
+  ss.reply_time_ns = 3800;
+  ss.loop_tid = 1;
+  ss.worker_tid = 2;
+  backend.server_spans.push_back(ss);
+
+  t.backends.push_back(backend);
+  return t;
+}
+
+TEST(DistStitchTest, JoinsSpansAcrossTheWire) {
+  const TwoTier t = MakeTwoTier();
+  const StitchResult result = StitchTraces(t.front, t.backends);
+
+  EXPECT_EQ(result.stats.matched_spans, 1u);
+  EXPECT_EQ(result.stats.unmatched_client_spans, 0u);
+  EXPECT_EQ(result.stats.unmatched_server_spans, 0u);
+  EXPECT_EQ(result.stats.remapped_threads, 1u);  // backend loop tid 1 -> 3
+  EXPECT_EQ(result.stats.injected_edges, 2u);
+  EXPECT_EQ(result.stats.dropped_interval_events, 2u);
+
+  ASSERT_EQ(result.trace.threads.size(), 3u);
+  const ThreadTrace& caller = result.trace.threads[0];
+  const ThreadTrace& loop = result.trace.threads[1];
+  const ThreadTrace& worker = result.trace.threads[2];
+
+  // Tid collision: the backend loop was renamed past the global max.
+  EXPECT_EQ(caller.tid, 1);
+  EXPECT_EQ(loop.tid, 3);
+  EXPECT_EQ(worker.tid, 2);
+
+  // The matched backend records carry the ORIGIN interval id, rebased times.
+  ASSERT_EQ(loop.segments.size(), 1u);
+  EXPECT_EQ(loop.segments[0].sid, 100u);
+  EXPECT_EQ(loop.segments[0].start, 1550);  // 1500 + 50
+  // Backend-local begin/end events for the matched interval were dropped.
+  EXPECT_TRUE(loop.interval_events.empty());
+  EXPECT_TRUE(worker.interval_events.empty());
+
+  // Request edge: the backend readable segment is created-by the front
+  // caller at send time.
+  EXPECT_EQ(loop.segments[0].generator_tid, 1);
+  EXPECT_EQ(loop.segments[0].generator_time, 1000);
+
+  // The worker's dispatch edge was remapped to the loop's new tid.
+  ASSERT_EQ(worker.segments.size(), 1u);
+  EXPECT_EQ(worker.segments[0].generator_tid, 3);
+  EXPECT_EQ(worker.segments[0].generator_time, 1650);  // 1600 + 50
+
+  // Reply edge: the front caller's post-wait segment is created-by the
+  // backend worker at (rebased) reply time.
+  ASSERT_EQ(caller.segments.size(), 3u);
+  EXPECT_EQ(caller.segments[2].generator_tid, 2);
+  EXPECT_EQ(caller.segments[2].generator_time, 3850);  // 3800 + 50
+
+  // The walker precondition holds for every injected edge.
+  for (const ThreadTrace& thread : result.trace.threads) {
+    for (const Segment& seg : thread.segments) {
+      if (seg.generator_tid != vprof::kNoThread && seg.generator_time >= 0) {
+        EXPECT_LT(seg.generator_time, seg.start);
+      }
+    }
+  }
+
+  // Duration covers the rebased backend tail.
+  EXPECT_EQ(result.trace.duration, 10000);
+}
+
+// Clamping: a badly calibrated clock can put the reply stamp after the
+// caller's resume; the injected edge must back off to start-1, not violate
+// the walker precondition.
+TEST(DistStitchTest, ClampsEdgesWhenClocksDisagree) {
+  TwoTier t = MakeTwoTier();
+  t.backends[0].clock_offset_ns = 2000;  // reply lands at 5800 > resume 5000
+  const StitchResult result = StitchTraces(t.front, t.backends);
+  const ThreadTrace& caller = result.trace.threads[0];
+  ASSERT_EQ(caller.segments.size(), 3u);
+  EXPECT_EQ(caller.segments[2].generator_tid, 2);
+  EXPECT_EQ(caller.segments[2].generator_time, 4999);  // start - 1
+}
+
+// Backend restart: a second server span reuses span id and local sid. The
+// first consumes the client span; the duplicate is counted, not spliced.
+TEST(DistStitchTest, ReconnectIdCollisionMatchesOnce) {
+  TwoTier t = MakeTwoTier();
+  net::ServerSpanRecord dup = t.backends[0].server_spans[0];
+  dup.recv_time_ns = 7000;
+  dup.reply_time_ns = 7100;
+  t.backends[0].server_spans.push_back(dup);
+  const StitchResult result = StitchTraces(t.front, t.backends);
+  EXPECT_EQ(result.stats.matched_spans, 1u);
+  EXPECT_EQ(result.stats.unmatched_server_spans, 1u);
+}
+
+// An unmatched backend interval whose id collides with a front interval is
+// renamed, never merged into the foreign interval.
+TEST(DistStitchTest, UnmatchedCollidingIntervalIsRenamed) {
+  TwoTier t = MakeTwoTier();
+  // Give the front a second interval id 200 and the backend an unmatched
+  // local interval that happens to reuse the same id.
+  ThreadTrace& worker = t.backends[0].trace.threads[1];
+  t.front.trace.threads[0].interval_events.push_back(
+      IntervalEvent{200, 7000, IntervalEventKind::kBegin, 0});
+  t.front.trace.threads[0].interval_events.push_back(
+      IntervalEvent{200, 7500, IntervalEventKind::kEnd, 0});
+  t.front.trace.threads[0].segments.push_back(Exec(7000, 7500, 200));
+  Segment foreign = Exec(5000, 5500, 200);
+  worker.segments.push_back(foreign);
+  worker.interval_events.push_back(
+      IntervalEvent{200, 5000, IntervalEventKind::kBegin, 0});
+  worker.interval_events.push_back(
+      IntervalEvent{200, 5500, IntervalEventKind::kEnd, 0});
+
+  const StitchResult result = StitchTraces(t.front, t.backends);
+  EXPECT_EQ(result.stats.remapped_intervals, 1u);
+  const ThreadTrace& merged_worker = result.trace.threads[2];
+  ASSERT_EQ(merged_worker.segments.size(), 2u);
+  // The stray backend interval got a fresh id, distinct from both fronts'.
+  EXPECT_NE(merged_worker.segments[1].sid, 200u);
+  EXPECT_NE(merged_worker.segments[1].sid, 100u);
+  EXPECT_NE(merged_worker.segments[1].sid, vprof::kNoInterval);
+  // And its begin/end events survived (it is a real, local interval).
+  EXPECT_EQ(merged_worker.interval_events.size(), 2u);
+}
+
+// Unmatched client span (backend died before serving): counted, trace sane.
+TEST(DistStitchTest, UnmatchedClientSpanCounted) {
+  TwoTier t = MakeTwoTier();
+  t.backends[0].server_spans.clear();
+  const StitchResult result = StitchTraces(t.front, t.backends);
+  EXPECT_EQ(result.stats.matched_spans, 0u);
+  EXPECT_EQ(result.stats.unmatched_client_spans, 1u);
+  EXPECT_EQ(result.stats.injected_edges, 0u);
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// Identical inputs must produce byte-identical stitched traces (replay).
+TEST(DistStitchTest, ReplayIsBitExact) {
+  const TwoTier t = MakeTwoTier();
+  const StitchResult a = StitchTraces(t.front, t.backends);
+  const StitchResult b = StitchTraces(t.front, t.backends);
+  const std::string path_a = ::testing::TempDir() + "/stitch_a.vprf";
+  const std::string path_b = ::testing::TempDir() + "/stitch_b.vprf";
+  ASSERT_TRUE(vprof::SaveTrace(a.trace, path_a));
+  ASSERT_TRUE(vprof::SaveTrace(b.trace, path_b));
+  const std::string bytes_a = FileBytes(path_a);
+  const std::string bytes_b = FileBytes(path_b);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+
+  // And the stitched trace round-trips through the serializer.
+  vprof::Trace loaded;
+  EXPECT_TRUE(vprof::LoadTrace(path_b, &loaded));
+  EXPECT_EQ(loaded.threads.size(), a.trace.threads.size());
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+// SplitByTids partitions a shared-process trace into per-tier traces.
+TEST(DistStitchTest, SplitByTidsPartitions) {
+  Trace trace;
+  trace.duration = 100;
+  trace.function_names = {"f"};
+  for (vprof::ThreadId tid : {1, 2, 3, 4}) {
+    ThreadTrace thread;
+    thread.tid = tid;
+    trace.threads.push_back(thread);
+  }
+  trace.stuck_threads.push_back(4);
+  const std::vector<std::vector<vprof::ThreadId>> rosters = {{1}, {2, 5}};
+  const std::vector<Trace> tiers = SplitByTids(trace, rosters,
+                                               /*default_index=*/0);
+  ASSERT_EQ(tiers.size(), 2u);
+  // Tier 0: tid 1 plus unclaimed 3 and 4.
+  ASSERT_EQ(tiers[0].threads.size(), 3u);
+  EXPECT_EQ(tiers[0].threads[0].tid, 1);
+  EXPECT_EQ(tiers[0].threads[1].tid, 3);
+  EXPECT_EQ(tiers[0].threads[2].tid, 4);
+  ASSERT_EQ(tiers[1].threads.size(), 1u);
+  EXPECT_EQ(tiers[1].threads[0].tid, 2);
+  EXPECT_EQ(tiers[0].duration, 100);
+  EXPECT_EQ(tiers[1].function_names.size(), 1u);
+  ASSERT_EQ(tiers[0].stuck_threads.size(), 1u);
+  EXPECT_EQ(tiers[0].stuck_threads[0], 4);
+}
+
+}  // namespace
+}  // namespace dist

@@ -1,0 +1,156 @@
+// Stress: concurrent RPC traffic, tracing epoch flips, trace splitting and
+// stitching, and DistMonitor updates all running at once. Primarily a TSan
+// target (scripts/check.sh --tsan / --dist); the assertions are sanity
+// floors, the sanitizer is the real oracle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/dist/monitor.h"
+#include "src/dist/stitcher.h"
+#include "src/dist/tier.h"
+#include "src/net/async_client.h"
+#include "src/net/protocol.h"
+#include "src/net/server.h"
+#include "src/vprof/runtime.h"
+
+namespace dist {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+constexpr int kCallers = 2;
+constexpr int kEpochs = 4;
+constexpr int kEpochMs = 60;
+#else
+constexpr int kCallers = 3;
+constexpr int kEpochs = 6;
+constexpr int kEpochMs = 50;
+#endif
+
+// kTxn dispatches to a worker (kPing would be answered inline on the loop
+// thread, bypassing the span machinery under test).
+net::Frame Txn() {
+  net::Frame f;
+  f.type = net::MsgType::kTxn;
+  f.txn.type = minidb::TxnType::kPayment;
+  f.txn.warehouse = 1;
+  return f;
+}
+
+TEST(DistStressTest, StitchingRacesEpochFlips) {
+  SpanLog log;
+  net::NetServerOptions sopt;
+  sopt.workers = 2;
+  sopt.span_sink = log.ServerSink();
+  net::NetServer server(sopt, [](const net::Frame&) {
+    net::Frame reply;
+    reply.type = net::MsgType::kTxnReply;
+    return reply;
+  });
+  ASSERT_TRUE(server.Start());
+
+  net::AsyncClientOptions copt;
+  copt.port = server.port();
+  copt.connections = 2;
+  copt.service = net::ServiceId::kMinidb;
+  copt.span_sink = log.ClientSink();
+  net::AsyncClient client(copt);
+  ASSERT_TRUE(client.Connect());
+
+  vprof::StartTracing();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::vector<std::thread> callers;
+  for (int i = 0; i < kCallers; ++i) {
+    callers.emplace_back([&client, &stop, &completed]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const vprof::IntervalId sid = vprof::BeginInterval();
+        net::Frame reply;
+        if (client.Call(Txn(), &reply)) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+        vprof::EndInterval(sid);
+      }
+    });
+  }
+
+  // Monitor thread: concurrent tier updates and merged snapshots.
+  DistMonitor monitor;
+  {
+    TierConfig front;
+    front.name = "front";
+    front.is_front = true;
+    monitor.RegisterTier(front);
+    TierConfig backend;
+    backend.name = "minidb";
+    monitor.RegisterTier(backend);
+  }
+  std::thread monitor_thread([&monitor, &stop]() {
+    int64_t epoch = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      monitor.UpdateTier("front", vprof::OnlineTreeSnapshot());
+      monitor.UpdateTier("minidb", vprof::OnlineTreeSnapshot());
+      const DistSnapshot snap = monitor.Snapshot();
+      EXPECT_EQ(snap.tiers.size(), 2u);
+      (void)monitor.Sample(epoch++);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // Epoch thread: flip tracing, split the harvested trace into tiers, and
+  // stitch — all while the callers and the monitor keep running.
+  uint64_t stitched_threads = 0;
+  for (int e = 0; e < kEpochs; ++e) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kEpochMs));
+    vprof::Trace trace = vprof::StopTracing();
+    vprof::StartTracing();
+
+    const std::vector<vprof::ThreadId> backend_roster = server.ProfiledTids();
+    const std::vector<vprof::Trace> tiers =
+        SplitByTids(trace, {{}, backend_roster}, /*default_index=*/0);
+    ASSERT_EQ(tiers.size(), 2u);
+
+    TierTrace front;
+    front.name = "front";
+    front.service = net::ServiceId::kFront;
+    front.trace = tiers[0];
+    front.client_spans = log.ClientSpans();
+
+    TierTrace backend;
+    backend.name = "minidb";
+    backend.service = net::ServiceId::kMinidb;
+    backend.trace = tiers[1];
+    backend.server_spans = log.ServerSpans();
+    log.Clear();
+
+    std::vector<TierTrace> backends;
+    backends.push_back(backend);
+    const StitchResult result = StitchTraces(front, backends);
+    stitched_threads += result.trace.threads.size();
+    EXPECT_LE(result.stats.matched_spans, front.client_spans.size());
+    EXPECT_GE(result.trace.threads.size(),
+              front.trace.threads.size() + backend.trace.threads.size() -
+                  result.stats.remapped_threads);
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : callers) {
+    t.join();
+  }
+  monitor_thread.join();
+  (void)vprof::StopTracing();
+
+  client.Shutdown();
+  server.Shutdown();
+
+  EXPECT_GT(completed.load(), 0u);
+  EXPECT_GT(stitched_threads, 0u);
+}
+
+}  // namespace
+}  // namespace dist

@@ -1,0 +1,422 @@
+// Tentpole acceptance: end-to-end p99 variance decomposed ACROSS the tier
+// boundary. httpd (front tier, behind its own NetServer) calls minidb (the
+// backend tier, behind another NetServer) through dist::BackendPool for
+// every request; all tiers share this process, so SplitByTids carves the one
+// trace into the same per-tier shape separate processes would produce, and
+// dist::StitchTraces merges them back into a single trace whose critical
+// paths cross the wire twice per request.
+//
+// At overload the merged Eq. 2 decomposition must rank BOTH sides: a backend
+// engine factor (lock/WAL) and a front-side factor (net:queue_wait or the
+// allocator) in the top-3 — the cross-service claim of ROADMAP item 5. The
+// online path (per-tier OnlineVarianceTree folds merged by DistMonitor) must
+// expose the same tiers as tier:* statstore series. Cold-start mode must
+// make the on-demand backend spawn rankable as dist:cold_start.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/dist/backend_pool.h"
+#include "src/dist/monitor.h"
+#include "src/dist/stitcher.h"
+#include "src/dist/tier.h"
+#include "src/httpd/server.h"
+#include "src/minidb/engine.h"
+#include "src/net/frontend.h"
+#include "src/net/server.h"
+#include "src/statkit/rng.h"
+#include "src/vprof/analysis/factor_selection.h"
+#include "src/vprof/service/history.h"
+#include "src/workload/openloop.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+constexpr int kFrontNetWorkers = 1;
+constexpr int kHttpdWorkers = 2;
+constexpr int kBackendWorkers = 1;
+constexpr size_t kConnections = 32;
+constexpr double kCalibrationRate = 400.0;
+constexpr int kOnlineEpochs = 4;
+constexpr int kEpochMs = 120;
+#else
+constexpr int kFrontNetWorkers = 2;
+constexpr int kHttpdWorkers = 3;
+constexpr int kBackendWorkers = 2;
+constexpr size_t kConnections = 96;
+constexpr double kCalibrationRate = 2500.0;
+constexpr int kOnlineEpochs = 5;
+constexpr int kEpochMs = 100;
+#endif
+constexpr size_t kDispatchDepth = 16;
+constexpr int kWarehouses = 1;  // one warehouse -> Payment serializes on it
+constexpr double kOverloadFactor = 1.5;
+
+// The whole two-tier stack in one process. `spawn_backend` defers the
+// backend (engine + server + pool connect) to the first request —
+// BackendPool cold-start mode.
+struct DistStack {
+  explicit DistStack(bool cold_start) : cold_(cold_start) {
+    graph = std::make_shared<vprof::CallGraph>();
+    minidb::Engine::RegisterCallGraph(graph.get());
+    httpd::HttpServer::RegisterCallGraph(graph.get());
+    net::NetServer::RegisterNetCallGraph(graph.get(), "process_request");
+    net::NetServer::RegisterNetCallGraph(graph.get(), "run_transaction");
+    dist::RegisterDistCallGraph(graph.get(), "run_transaction");
+    net_root = vprof::RegisterFunction(net::kNetRootFunc);
+
+    dist::BackendPoolOptions popt;
+    popt.service = net::ServiceId::kMinidb;
+    popt.connections = 2;
+    popt.calibrate_rounds = 8;
+    popt.span_sink = spans.ClientSink();
+    if (cold_start) {
+      popt.cold_start = true;
+      popt.spawn = [this]() { return SpawnBackend(); };
+    }
+    pool = std::make_unique<dist::BackendPool>(popt);
+    if (!cold_start) {
+      const uint16_t port = SpawnBackend();
+      // Rebuild the pool with the live port (options are ctor-only).
+      popt.cold_start = false;
+      popt.port = port;
+      pool = std::make_unique<dist::BackendPool>(popt);
+      EXPECT_TRUE(pool->Warm());
+    }
+
+    httpd::HttpdConfig hconf;
+    hconf.workers = kHttpdWorkers;
+    hconf.backend_call = [this](uint64_t file_id) {
+      net::Frame req;
+      req.type = net::MsgType::kTxn;
+      {
+        std::lock_guard<std::mutex> lock(gen_mu);
+        req.txn = gen.Next(rng);
+      }
+      (void)file_id;
+      net::Frame reply;
+      (void)pool->Call(std::move(req), &reply);
+    };
+    http = std::make_unique<httpd::HttpServer>(hconf);
+
+    net::NetServerOptions fopt;
+    fopt.workers = kFrontNetWorkers;
+    fopt.max_dispatch_depth = kDispatchDepth;
+    front = std::make_unique<net::NetServer>(fopt,
+                                             net::MakeHttpdHandler(http.get()));
+    EXPECT_TRUE(front->Start());
+  }
+
+  ~DistStack() {
+    front->Shutdown();
+    http->Shutdown();
+    pool->Shutdown();
+    if (backend != nullptr) {
+      backend->Shutdown();
+    }
+  }
+
+  uint16_t SpawnBackend() {
+    if (cold_) {
+      // Stand-in for the real process startup (exec, allocator warmup,
+      // listening socket) a lazily-spawned backend pays; the engine below
+      // is only a fraction of it in-process.
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    }
+    minidb::EngineConfig config = minidb::EngineConfig::MemoryResident();
+    config.warehouses = kWarehouses;
+    engine = std::make_unique<minidb::Engine>(config);
+    net::NetServerOptions bopt;
+    bopt.workers = kBackendWorkers;
+    bopt.span_sink = spans.ServerSink();
+    backend = std::make_unique<net::NetServer>(
+        bopt, net::MakeMinidbHandler(engine.get()));
+    if (!backend->Start()) {
+      return 0;
+    }
+    return backend->port();
+  }
+
+  // Harvests one trace into the two stitched-tier shapes. Everything not on
+  // the backend server's threads (httpd workers, the AsyncClient loop, load
+  // generators, the front NetServer) is front-tier.
+  dist::StitchResult Stitch(const vprof::Trace& trace) {
+    const std::vector<vprof::Trace> tiers = dist::SplitByTids(
+        trace, {{}, backend->ProfiledTids()}, /*default_index=*/0);
+    dist::TierTrace front_tier;
+    front_tier.name = "front";
+    front_tier.service = net::ServiceId::kFront;
+    front_tier.trace = tiers[0];
+    front_tier.client_spans = spans.ClientSpans();
+    dist::TierTrace backend_tier;
+    backend_tier.name = "minidb";
+    backend_tier.service = net::ServiceId::kMinidb;
+    backend_tier.trace = tiers[1];
+    backend_tier.server_spans = spans.ServerSpans();
+    backend_tier.clock_offset_ns = pool->calibration().offset_ns;
+    spans.Clear();
+    return dist::StitchTraces(front_tier, {backend_tier});
+  }
+
+  bool cold_ = false;
+  std::shared_ptr<vprof::CallGraph> graph;
+  vprof::FuncId net_root = vprof::kInvalidFunc;
+  dist::SpanLog spans;
+  std::unique_ptr<minidb::Engine> engine;
+  std::unique_ptr<net::NetServer> backend;
+  std::unique_ptr<dist::BackendPool> pool;
+  std::unique_ptr<httpd::HttpServer> http;
+  std::unique_ptr<net::NetServer> front;
+
+  std::mutex gen_mu;
+  statkit::Rng rng{0x7ea5};
+  workload::TpccGenerator gen{workload::TpccOptions{}, kWarehouses};
+};
+
+workload::OpenLoopOptions LoadOptions(uint16_t port, double rate_per_s,
+                                      double seconds, uint64_t seed) {
+  workload::OpenLoopOptions options;
+  options.port = port;
+  options.connections = kConnections;
+  options.duration_s = seconds;
+  options.arrivals.process = workload::ArrivalProcess::kPoisson;
+  options.arrivals.rate_per_sec = rate_per_s;
+  options.seed = seed;
+  options.make_request = [](uint64_t i) {
+    net::Frame frame;
+    frame.type = net::MsgType::kHttpGet;
+    frame.file_id = i % 4;
+    return frame;
+  };
+  return options;
+}
+
+std::vector<std::string> TopLabels(const std::vector<vprof::Factor>& factors,
+                                   const std::vector<std::string>& names,
+                                   size_t k) {
+  std::vector<std::string> top;
+  for (const vprof::Factor& factor : factors) {
+    if (factor.func_b != vprof::kInvalidFunc) {
+      continue;  // covariance factors echo their single-function parts
+    }
+    top.push_back(factor.Label(names));
+    if (top.size() == k) {
+      break;
+    }
+  }
+  return top;
+}
+
+// Backend engine factors: lock waits and the WAL path.
+bool IsBackendFactor(const std::string& label) {
+  static const std::set<std::string> kBackend = {
+      "lock_rec_lock", "os_event_wait", "log_write_up_to",
+      "fil_flush",     "trx_commit",    "run_transaction"};
+  return kBackend.count(label) != 0;
+}
+
+// Front-side factors: the net layer (queues, readable) and httpd's
+// allocator chain.
+bool IsFrontFactor(const std::string& label) {
+  return label.rfind("net:", 0) == 0 || label.rfind("apr_", 0) == 0 ||
+         label.rfind("ap_", 0) == 0 || label.rfind("rpc:", 0) == 0 ||
+         label == "process_request";
+}
+
+void EnableAllProbes() {
+  const size_t registered = vprof::RegisteredFunctionCount();
+  for (vprof::FuncId id = 0; id < registered; ++id) {
+    vprof::SetFunctionEnabled(id, true);
+  }
+}
+
+TEST(DistVarianceIntegration, CrossTierFactorsAtOverloadAndOnlineTiers) {
+  DistStack stack(/*cold_start=*/false);
+
+  // Find the two-tier capacity untraced, then overload it.
+  const workload::OpenLoopResult calibration = workload::RunOpenLoop(
+      LoadOptions(stack.front->port(), kCalibrationRate, 0.6, /*seed=*/7));
+  ASSERT_FALSE(calibration.connect_failed);
+  ASSERT_GT(calibration.acked, 0u);
+  const double overload = calibration.achieved_per_s * kOverloadFactor;
+
+  // ---- Offline: one traced overload run, stitched and decomposed. --------
+  EnableAllProbes();
+  vprof::StartTracing();
+  const workload::OpenLoopResult offline_run = workload::RunOpenLoop(
+      LoadOptions(stack.front->port(), overload, 0.9, /*seed=*/21));
+  const vprof::Trace raw = vprof::StopTracing();
+  ASSERT_GT(offline_run.acked, 0u);
+
+  const dist::StitchResult stitched = stack.Stitch(raw);
+  ASSERT_GT(stitched.stats.matched_spans, 0u)
+      << "no RPC spans joined across the tier boundary";
+  // Two edges per span, minus spans clipped at the trace boundary (a caller
+  // that resumed after StopTracing has no post-wait segment to anchor).
+  EXPECT_GE(stitched.stats.injected_edges,
+            2 * stitched.stats.matched_spans * 95 / 100);
+
+  vprof::CriticalPathOptions path_options;
+  path_options.queue_wait_factor = net::kQueueWaitFactor;
+  const vprof::VarianceAnalysis analysis(stitched.trace, path_options);
+  ASSERT_GT(analysis.interval_count(), 0u);
+  ASSERT_GT(analysis.overall_variance(), 0.0);
+
+  // Eq. 2 must hold exactly at the merged root: children (including the
+  // synthetic body) partition each interval's latency by construction.
+  {
+    double sum = 0.0;
+    for (const vprof::NodeId child : analysis.node(vprof::kRootNode).children) {
+      sum += analysis.NodeVariance(child);
+    }
+    for (const vprof::SiblingCovariance& cov : analysis.covariances()) {
+      if (cov.parent == vprof::kRootNode) {
+        sum += 2.0 * cov.covariance;
+      }
+    }
+    const double overall = analysis.overall_variance();
+    EXPECT_NEAR(sum, overall, 1e-6 * overall + 1.0)
+        << "merged decomposition does not sum to end-to-end variance";
+  }
+
+  const std::vector<vprof::Factor> factors = vprof::AggregateFactors(
+      analysis, *stack.graph, stack.net_root, vprof::SpecificityKind::kQuadratic);
+  const std::vector<std::string> top =
+      TopLabels(factors, stitched.trace.function_names, 3);
+  ASSERT_FALSE(top.empty());
+  bool has_backend = false;
+  bool has_front = false;
+  for (const std::string& label : top) {
+    has_backend = has_backend || IsBackendFactor(label);
+    has_front = has_front || IsFrontFactor(label);
+  }
+  std::string joined;
+  for (const std::string& label : top) {
+    joined += label + " ";
+  }
+  EXPECT_TRUE(has_backend) << "no backend (lock/WAL) factor in top-3: "
+                           << joined;
+  EXPECT_TRUE(has_front) << "no front (net/allocator) factor in top-3: "
+                         << joined;
+
+  // ---- Online: per-tier trees folded per epoch, merged by DistMonitor. ---
+  vprof::OnlineTreeOptions tree_options;
+  tree_options.path_options.queue_wait_factor = net::kQueueWaitFactor;
+  vprof::OnlineVarianceTree front_tree(tree_options);
+  vprof::OnlineVarianceTree backend_tree(tree_options);
+
+  dist::DistMonitor monitor;
+  {
+    dist::TierConfig front_cfg;
+    front_cfg.name = "front";
+    front_cfg.is_front = true;
+    front_cfg.root = stack.net_root;
+    monitor.RegisterTier(front_cfg);
+    dist::TierConfig backend_cfg;
+    backend_cfg.name = "minidb";
+    backend_cfg.root = vprof::RegisterFunction("run_transaction");
+    monitor.RegisterTier(backend_cfg);
+  }
+
+  vprof::StartTracing();
+  std::thread load([&stack, overload]() {
+    (void)workload::RunOpenLoop(LoadOptions(
+        stack.front->port(), overload,
+        (kOnlineEpochs + 1) * kEpochMs / 1000.0, /*seed=*/35));
+  });
+  std::vector<statstore::EpochSample> samples;
+  for (int e = 0; e < kOnlineEpochs; ++e) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kEpochMs));
+    vprof::Trace epoch_trace = vprof::StopTracing();
+    vprof::StartTracing();
+    const std::vector<vprof::Trace> tiers = dist::SplitByTids(
+        epoch_trace, {{}, stack.backend->ProfiledTids()}, 0);
+    front_tree.Fold(tiers[0]);
+    backend_tree.Fold(tiers[1]);
+    monitor.UpdateTier("front", front_tree.Snapshot());
+    monitor.UpdateTier("minidb", backend_tree.Snapshot());
+    samples.push_back(monitor.Sample(static_cast<uint64_t>(e)));
+  }
+  load.join();
+  (void)vprof::StopTracing();
+  vprof::DisableAllFunctions();
+
+  const dist::DistSnapshot dist_snap = monitor.Snapshot();
+  ASSERT_EQ(dist_snap.tiers.size(), 2u);
+  EXPECT_TRUE(dist_snap.tiers[0].is_front);
+  EXPECT_GT(dist_snap.end_to_end_variance_ns2, 0.0);
+  EXPECT_GT(dist_snap.tiers[0].intervals, 0u);
+  EXPECT_GT(dist_snap.tiers[1].intervals, 0u);
+  EXPECT_GT(dist_snap.tiers[1].share, 0.0);
+  EXPECT_DOUBLE_EQ(dist_snap.tiers[0].share, 1.0);
+
+  // The merged factor list must rank entries from both tiers.
+  const std::vector<dist::DistFactor> merged =
+      monitor.TopFactors(*stack.graph, 8);
+  ASSERT_FALSE(merged.empty());
+  std::set<std::string> tiers_seen;
+  for (const dist::DistFactor& f : merged) {
+    tiers_seen.insert(f.tier);
+  }
+  EXPECT_EQ(tiers_seen.size(), 2u) << "merged ranking is single-tier";
+
+  // Every epoch persisted the full tier:* series set.
+  ASSERT_EQ(samples.size(), static_cast<size_t>(kOnlineEpochs));
+  std::set<std::string> series;
+  for (const statstore::SeriesValue& value : samples.back().values) {
+    series.insert(value.series);
+  }
+  for (const char* tier : {"front", "minidb"}) {
+    for (const char* field :
+         {"latency_mean_ns", "latency_variance_ns2", "share", "intervals"}) {
+      EXPECT_EQ(series.count(vprof::TierSeriesName(tier, field)), 1u)
+          << tier << ":" << field;
+    }
+  }
+}
+
+TEST(DistVarianceIntegration, ColdStartIsRankable) {
+  DistStack stack(/*cold_start=*/true);
+  EXPECT_FALSE(stack.pool->ready());
+
+  // Trace from before the first request: the spawn happens inside the run
+  // and its cost lands on the requests that waited for it.
+  EnableAllProbes();
+  vprof::StartTracing();
+  const workload::OpenLoopResult run = workload::RunOpenLoop(
+      LoadOptions(stack.front->port(), kCalibrationRate / 2, 0.5, /*seed=*/11));
+  const vprof::Trace raw = vprof::StopTracing();
+  vprof::DisableAllFunctions();
+  ASSERT_GT(run.acked, 0u);
+  EXPECT_EQ(stack.pool->cold_starts(), 1u);
+  ASSERT_TRUE(stack.pool->ready());
+
+  const dist::StitchResult stitched = stack.Stitch(raw);
+  vprof::CriticalPathOptions path_options;
+  path_options.queue_wait_factor = net::kQueueWaitFactor;
+  const vprof::VarianceAnalysis analysis(stitched.trace, path_options);
+  ASSERT_GT(analysis.overall_variance(), 0.0);
+
+  const std::vector<vprof::Factor> factors = vprof::AggregateFactors(
+      analysis, *stack.graph, stack.net_root, vprof::SpecificityKind::kQuadratic);
+  const std::vector<std::string> top =
+      TopLabels(factors, stitched.trace.function_names, 3);
+  ASSERT_FALSE(top.empty());
+  bool has_cold_start = false;
+  std::string joined;
+  for (const std::string& label : top) {
+    has_cold_start = has_cold_start || label == dist::kColdStartFunc;
+    joined += label + " ";
+  }
+  EXPECT_TRUE(has_cold_start)
+      << "dist:cold_start not in the first-epoch top-3: " << joined;
+}
+
+}  // namespace

@@ -323,6 +323,7 @@ TEST(NetProtocolTest, SeededCorruptionSweepNeverDesyncs) {
           case WireError::kOversized:
           case WireError::kBadType:
           case WireError::kBadPayload:
+          case WireError::kBadExtension:
             EXPECT_EQ(consumed, 0u);
             break;
         }
